@@ -1,0 +1,47 @@
+//! Planning-layer benches: DAGScheduler stage construction and reference
+//! analysis (`parseDAG`) over the largest workload DAGs in the suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use refdist_dag::{AppPlan, RefAnalyzer};
+use refdist_workloads::{Workload, WorkloadParams};
+use std::hint::black_box;
+
+fn bench_stage_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_build");
+    let params = WorkloadParams::small();
+    for w in [
+        Workload::ShortestPaths,               // 7 stages
+        Workload::PageRank,                    // ~20 stages
+        Workload::StronglyConnectedComponents, // ~100 stages, 1000+ appearances
+    ] {
+        let spec = w.build(&params);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.short_name()),
+            &spec,
+            |b, spec| {
+                b.iter(|| black_box(AppPlan::build(black_box(spec))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reference_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ref_analysis");
+    let params = WorkloadParams::small();
+    for w in [Workload::PageRank, Workload::StronglyConnectedComponents] {
+        let spec = w.build(&params);
+        let plan = AppPlan::build(&spec);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.short_name()),
+            &(&spec, &plan),
+            |b, (spec, plan)| {
+                b.iter(|| black_box(RefAnalyzer::new(spec, plan).profile()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_construction, bench_reference_analysis);
+criterion_main!(benches);

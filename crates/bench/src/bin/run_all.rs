@@ -1,0 +1,71 @@
+//! Run every experiment binary in sequence, writing each one's output to
+//! `experiments/<name>.txt` next to the workspace root (and echoing to
+//! stdout). The per-experiment binaries are expected to live next to this
+//! one in the cargo target directory.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1",
+    "exp_table3",
+    "exp_fig2",
+    "exp_fig4",
+    "exp_fig5",
+    "exp_fig6",
+    "exp_fig7",
+    "exp_fig8",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_belady",
+    "exp_overheads",
+    "exp_ablations",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current_exe");
+    let bin_dir = me.parent().expect("bin dir").to_path_buf();
+    let out_dir =
+        PathBuf::from(std::env::var("REFDIST_OUT_DIR").unwrap_or_else(|_| "experiments".into()));
+    fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let bin = bin_dir.join(name);
+        if !bin.exists() {
+            eprintln!(
+                "skipping {name}: {} not built (run `cargo build --release -p refdist-bench`)",
+                bin.display()
+            );
+            failures.push(*name);
+            continue;
+        }
+        println!("\n================ {name} ================\n");
+        let started = std::time::Instant::now();
+        let output = Command::new(&bin).output().expect("spawn experiment");
+        let elapsed = started.elapsed();
+        let text = String::from_utf8_lossy(&output.stdout);
+        print!("{text}");
+        if !output.status.success() {
+            eprintln!("{name} FAILED: {}", String::from_utf8_lossy(&output.stderr));
+            failures.push(*name);
+            continue;
+        }
+        let mut f = fs::File::create(out_dir.join(format!("{name}.txt"))).expect("create file");
+        f.write_all(text.as_bytes()).expect("write output");
+        println!("[{name} finished in {:.1}s]", elapsed.as_secs_f64());
+    }
+    if failures.is_empty() {
+        println!(
+            "\nAll experiments completed; outputs in {}/",
+            out_dir.display()
+        );
+    } else {
+        eprintln!("\nFailed or skipped: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Experiment harness for the MRD paper reproduction.
+//!
+//! Each table and figure in the paper's evaluation has a binary under
+//! `src/bin/` (`exp_table1`, `exp_fig4`, ...) built on the shared harness in
+//! this library: policy construction, cache-size sweeps sized against a
+//! workload's cached footprint, and parallel execution of independent
+//! simulations with `crossbeam` scoped threads.
+
+use parking_lot::Mutex;
+use refdist_cluster::{ClusterConfig, RunReport, SimConfig, Simulation};
+use refdist_core::{DistanceMetric, MrdConfig, MrdMode, MrdPolicy, ProfileMode};
+use refdist_dag::{AppPlan, AppSpec};
+use refdist_policies::{BeladyMinPolicy, CachePolicy, PolicyKind};
+use refdist_workloads::{Workload, WorkloadParams};
+
+/// Every policy configuration the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// Spark's default LRU (the baseline all figures normalize against).
+    Lru,
+    /// FIFO ablation baseline.
+    Fifo,
+    /// Random ablation baseline.
+    Random,
+    /// Least Reference Count (Fig. 5 comparator).
+    Lrc,
+    /// MemTune (Fig. 6 comparator).
+    MemTune,
+    /// MRD eviction only (Fig. 4 ablation).
+    MrdEvict,
+    /// MRD prefetch only over LRU eviction (Fig. 4 ablation).
+    MrdPrefetch,
+    /// Full MRD with stage distances (the headline policy).
+    MrdFull,
+    /// Full MRD with *job* distances (Fig. 8 ablation).
+    MrdJobMetric,
+    /// Belady's MIN oracle (extension; needs a recorded trace).
+    Belady,
+}
+
+impl PolicySpec {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicySpec::Lru => "LRU",
+            PolicySpec::Fifo => "FIFO",
+            PolicySpec::Random => "Random",
+            PolicySpec::Lrc => "LRC",
+            PolicySpec::MemTune => "MemTune",
+            PolicySpec::MrdEvict => "MRD-evict",
+            PolicySpec::MrdPrefetch => "MRD-prefetch",
+            PolicySpec::MrdFull => "MRD",
+            PolicySpec::MrdJobMetric => "MRD-jobdist",
+            PolicySpec::Belady => "Belady-MIN",
+        }
+    }
+
+    /// Instantiate the policy. `trace` is required for [`PolicySpec::Belady`].
+    pub fn build(self, trace: Option<&[refdist_dag::BlockId]>) -> Box<dyn CachePolicy> {
+        match self {
+            PolicySpec::Lru => PolicyKind::Lru.build(),
+            PolicySpec::Fifo => PolicyKind::Fifo.build(),
+            PolicySpec::Random => PolicyKind::Random.build(),
+            PolicySpec::Lrc => PolicyKind::Lrc.build(),
+            PolicySpec::MemTune => PolicyKind::MemTune.build(),
+            PolicySpec::MrdEvict => Box::new(MrdPolicy::new(MrdConfig {
+                mode: MrdMode::EvictOnly,
+                metric: DistanceMetric::Stage,
+                ..Default::default()
+            })),
+            PolicySpec::MrdPrefetch => Box::new(MrdPolicy::new(MrdConfig {
+                mode: MrdMode::PrefetchOnly,
+                metric: DistanceMetric::Stage,
+                ..Default::default()
+            })),
+            PolicySpec::MrdFull => Box::new(MrdPolicy::new(MrdConfig {
+                mode: MrdMode::Full,
+                metric: DistanceMetric::Stage,
+                ..Default::default()
+            })),
+            PolicySpec::MrdJobMetric => Box::new(MrdPolicy::new(MrdConfig {
+                mode: MrdMode::Full,
+                metric: DistanceMetric::Job,
+                ..Default::default()
+            })),
+            PolicySpec::Belady => Box::new(BeladyMinPolicy::from_trace(
+                trace.expect("Belady needs a recorded trace"),
+            )),
+        }
+    }
+}
+
+/// Shared experiment context.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// The simulated cluster (one of the Table 4 presets).
+    pub cluster: ClusterConfig,
+    /// Workload generation knobs.
+    pub params: WorkloadParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExpContext {
+    /// Default context: the paper's Main cluster, paper-scale workloads.
+    pub fn main() -> Self {
+        ExpContext {
+            cluster: ClusterConfig::main_cluster(),
+            params: WorkloadParams::default(),
+            seed: 42,
+        }
+    }
+
+    /// Context on the LRC-comparison cluster.
+    pub fn lrc() -> Self {
+        ExpContext {
+            cluster: ClusterConfig::lrc_cluster(),
+            ..Self::main()
+        }
+    }
+
+    /// Context on the MemTune-comparison cluster.
+    pub fn memtune() -> Self {
+        ExpContext {
+            cluster: ClusterConfig::memtune_cluster(),
+            ..Self::main()
+        }
+    }
+
+    /// Fast, reduced-scale context (used by CI and the integration tests).
+    pub fn quick(mut self) -> Self {
+        self.params.partitions = 64;
+        self.params.scale = 0.25;
+        self.cluster.nodes = 8;
+        self
+    }
+
+    /// Apply `REFDIST_QUICK=1` from the environment.
+    pub fn from_env(self) -> Self {
+        if std::env::var("REFDIST_QUICK").is_ok_and(|v| v != "0") {
+            self.quick()
+        } else {
+            self
+        }
+    }
+}
+
+/// Total bytes of all cached RDDs in an application (every generation).
+pub fn cached_footprint(spec: &AppSpec) -> u64 {
+    spec.cached_rdds().map(|r| r.total_size()).sum()
+}
+
+/// Per-node cache capacity equal to `fraction` of the workload's cached
+/// footprint divided across the cluster.
+pub fn cache_for_fraction(spec: &AppSpec, cluster: &ClusterConfig, fraction: f64) -> u64 {
+    ((cached_footprint(spec) as f64 * fraction) / cluster.nodes as f64) as u64
+}
+
+/// One simulated run.
+pub fn run_one(
+    spec: &AppSpec,
+    plan: &AppPlan,
+    ctx: &ExpContext,
+    cache_bytes: u64,
+    policy: PolicySpec,
+    mode: ProfileMode,
+) -> RunReport {
+    let cfg = SimConfig::new(ctx.cluster.with_cache(cache_bytes)).with_seed(ctx.seed);
+    let trace = if policy == PolicySpec::Belady {
+        Some(refdist_cluster::collect_trace(spec, plan, &cfg))
+    } else {
+        None
+    };
+    let mut p = policy.build(trace.as_deref());
+    Simulation::new(spec, plan, mode, cfg).run(&mut *p)
+}
+
+/// Result of one (workload, cache-size) sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Fraction of the cached footprint the cluster cache covers.
+    pub fraction: f64,
+    /// Per-node cache bytes.
+    pub cache_bytes: u64,
+    /// Reports, parallel to the policies passed to [`sweep`].
+    pub reports: Vec<RunReport>,
+}
+
+/// Standard cache fractions used by the sweeps (chosen so the smallest
+/// point forces heavy eviction and the largest nearly fits everything).
+pub const SWEEP_FRACTIONS: &[f64] = &[0.15, 0.25, 0.4, 0.6, 0.8, 1.1, 1.4];
+
+/// Sweep cache sizes for one workload, running every policy at every point.
+/// Points run in parallel (each simulation is single-threaded and
+/// independent).
+pub fn sweep(
+    w: Workload,
+    ctx: &ExpContext,
+    fractions: &[f64],
+    policies: &[PolicySpec],
+    mode: ProfileMode,
+) -> Vec<SweepPoint> {
+    let spec = w.build(&ctx.params);
+    let plan = AppPlan::build(&spec);
+    let results: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|s| {
+        for (i, &f) in fractions.iter().enumerate() {
+            let (spec, plan, results) = (&spec, &plan, &results);
+            s.spawn(move |_| {
+                let cache = cache_for_fraction(spec, &ctx.cluster, f).max(1);
+                let reports = policies
+                    .iter()
+                    .map(|&p| run_one(spec, plan, ctx, cache, p, mode))
+                    .collect();
+                results.lock().push((
+                    i,
+                    SweepPoint {
+                        fraction: f,
+                        cache_bytes: cache,
+                        reports,
+                    },
+                ));
+            });
+        }
+    })
+    .expect("sweep thread panicked");
+    let mut pts = results.into_inner();
+    pts.sort_by_key(|(i, _)| *i);
+    pts.into_iter().map(|(_, p)| p).collect()
+}
+
+/// The paper's Figure 4 methodology: best (lowest) JCT of `policy`
+/// normalized against LRU *at the same cache size*, over the sweep.
+/// Returns `(best normalized JCT, lru hit ratio, policy hit ratio)` at the
+/// best point.
+pub fn best_normalized(
+    w: Workload,
+    ctx: &ExpContext,
+    fractions: &[f64],
+    policy: PolicySpec,
+    mode: ProfileMode,
+) -> (f64, f64, f64) {
+    let pts = sweep(w, ctx, fractions, &[PolicySpec::Lru, policy], mode);
+    let mut best = (f64::INFINITY, 1.0, 1.0);
+    for p in &pts {
+        let norm = p.reports[1].normalized_jct(&p.reports[0]);
+        if norm < best.0 {
+            best = (norm, p.reports[0].hit_ratio(), p.reports[1].hit_ratio());
+        }
+    }
+    best
+}
+
+/// Run a closure per workload in parallel, collecting results in input
+/// order.
+pub fn par_map<T: Send>(workloads: &[Workload], f: impl Fn(Workload) -> T + Sync) -> Vec<T> {
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|s| {
+        for (i, &w) in workloads.iter().enumerate() {
+            let (f, results) = (&f, &results);
+            s.spawn(move |_| {
+                let r = f(w);
+                results.lock().push((i, r));
+            });
+        }
+    })
+    .expect("par_map thread panicked");
+    let mut v = results.into_inner();
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExpContext {
+        let mut ctx = ExpContext::main().quick();
+        ctx.params.partitions = 8;
+        ctx.params.scale = 0.02;
+        ctx.cluster.nodes = 4;
+        ctx
+    }
+
+    #[test]
+    fn policy_specs_build() {
+        for p in [
+            PolicySpec::Lru,
+            PolicySpec::Fifo,
+            PolicySpec::Random,
+            PolicySpec::Lrc,
+            PolicySpec::MemTune,
+            PolicySpec::MrdEvict,
+            PolicySpec::MrdPrefetch,
+            PolicySpec::MrdFull,
+            PolicySpec::MrdJobMetric,
+        ] {
+            assert!(!p.build(None).name().is_empty());
+        }
+    }
+
+    #[test]
+    fn footprint_positive_for_cached_workloads() {
+        let ctx = tiny_ctx();
+        let spec = Workload::KMeans.build(&ctx.params);
+        assert!(cached_footprint(&spec) > 0);
+        let c = cache_for_fraction(&spec, &ctx.cluster, 0.5);
+        assert!(c > 0);
+    }
+
+    #[test]
+    fn sweep_runs_all_points_and_policies() {
+        let ctx = tiny_ctx();
+        let pts = sweep(
+            Workload::ShortestPaths,
+            &ctx,
+            &[0.3, 0.9],
+            &[PolicySpec::Lru, PolicySpec::MrdFull],
+            ProfileMode::Recurring,
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].fraction < pts[1].fraction);
+        for p in &pts {
+            assert_eq!(p.reports.len(), 2);
+            assert!(p.reports.iter().all(|r| r.jct.micros() > 0));
+        }
+    }
+
+    #[test]
+    fn best_normalized_not_worse_than_one_for_mrd() {
+        let ctx = tiny_ctx();
+        let (norm, _, _) = best_normalized(
+            Workload::ConnectedComponents,
+            &ctx,
+            &[0.3, 0.6],
+            PolicySpec::MrdFull,
+            ProfileMode::Recurring,
+        );
+        assert!(norm <= 1.05, "MRD should not lose badly to LRU: {norm}");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let ws = [
+            Workload::HiSort,
+            Workload::HiWordCount,
+            Workload::HiTeraSort,
+        ];
+        let names = par_map(&ws, |w| w.short_name().to_string());
+        assert_eq!(names, vec!["Sort", "WordCount", "TeraSort"]);
+    }
+
+    #[test]
+    fn belady_runs_via_trace() {
+        let ctx = tiny_ctx();
+        let spec = Workload::ShortestPaths.build(&ctx.params);
+        let plan = AppPlan::build(&spec);
+        let cache = cache_for_fraction(&spec, &ctx.cluster, 0.3).max(1);
+        let r = run_one(
+            &spec,
+            &plan,
+            &ctx,
+            cache,
+            PolicySpec::Belady,
+            ProfileMode::Recurring,
+        );
+        assert!(r.jct.micros() > 0);
+        assert_eq!(r.policy, "Belady-MIN");
+    }
+}

@@ -1,0 +1,162 @@
+//! Simulation run reports.
+
+use refdist_dag::{BlockId, StageId};
+use refdist_simcore::{SimDuration, SimTime};
+use refdist_store::CacheStats;
+
+/// Everything the evaluation harness needs from one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Application name.
+    pub app: String,
+    /// Policy name (from [`refdist_policies::CachePolicy::name`]).
+    pub policy: String,
+    /// Job completion time of the whole application (makespan).
+    pub jct: SimDuration,
+    /// Cluster-aggregated cache statistics.
+    pub stats: CacheStats,
+    /// Per-node cache statistics.
+    pub per_node: Vec<CacheStats>,
+    /// Total task time spent waiting on input I/O.
+    pub io_time: SimDuration,
+    /// Total task compute time.
+    pub compute_time: SimDuration,
+    /// Per executed stage: (stage, start, end).
+    pub stage_times: Vec<(StageId, SimTime, SimTime)>,
+    /// Number of tasks executed.
+    pub tasks: u64,
+    /// Global cached-block access trace, when requested
+    /// ([`crate::SimConfig::collect_trace`]).
+    pub trace: Option<Vec<BlockId>>,
+}
+
+impl RunReport {
+    /// Cluster-wide memory hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        self.stats.hit_ratio()
+    }
+
+    /// JCT in seconds (for plots).
+    pub fn jct_secs(&self) -> f64 {
+        self.jct.as_secs_f64()
+    }
+
+    /// This run's JCT normalized against a baseline run (the paper reports
+    /// everything as a fraction of LRU's JCT).
+    pub fn normalized_jct(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.jct.micros();
+        if base == 0 {
+            1.0
+        } else {
+            self.jct.micros() as f64 / base as f64
+        }
+    }
+
+    /// The stage timeline as CSV (`stage,job,start_s,end_s,duration_s`),
+    /// ready for plotting.
+    pub fn timeline_csv(&self) -> String {
+        let mut out = String::from("stage,start_s,end_s,duration_s\n");
+        for (sid, start, end) in &self.stage_times {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6}\n",
+                sid.0,
+                start.as_secs_f64(),
+                end.as_secs_f64(),
+                (*end - *start).as_secs_f64()
+            ));
+        }
+        out
+    }
+
+    /// Fraction of total task time spent waiting on input I/O.
+    pub fn io_share(&self) -> f64 {
+        let total = self.io_time.micros() + self.compute_time.micros();
+        if total == 0 {
+            0.0
+        } else {
+            self.io_time.micros() as f64 / total as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} under {}: JCT {:.3}s, hit ratio {:.1}%, {} hits / {} misses, {} evictions, {} prefetches",
+            self.app,
+            self.policy,
+            self.jct.as_secs_f64(),
+            self.hit_ratio() * 100.0,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.evictions + self.stats.purges,
+            self.stats.prefetches,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(jct_us: u64) -> RunReport {
+        RunReport {
+            app: "test".into(),
+            policy: "LRU".into(),
+            jct: SimDuration(jct_us),
+            stats: CacheStats {
+                hits: 9,
+                misses: 1,
+                ..Default::default()
+            },
+            per_node: vec![],
+            io_time: SimDuration(0),
+            compute_time: SimDuration(0),
+            stage_times: vec![],
+            tasks: 0,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn normalized_jct() {
+        let base = report(1_000_000);
+        let half = report(500_000);
+        assert!((half.normalized_jct(&base) - 0.5).abs() < 1e-12);
+        assert_eq!(half.normalized_jct(&report(0)), 1.0);
+    }
+
+    #[test]
+    fn hit_ratio_passthrough() {
+        assert!((report(1).hit_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let s = report(2_000_000).summary();
+        assert!(s.contains("2.000s"));
+        assert!(s.contains("90.0%"));
+    }
+
+    #[test]
+    fn timeline_csv_format() {
+        let mut r = report(10);
+        r.stage_times = vec![
+            (StageId(0), SimTime(0), SimTime(1_000_000)),
+            (StageId(1), SimTime(1_000_000), SimTime(2_500_000)),
+        ];
+        let csv = r.timeline_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "stage,start_s,end_s,duration_s");
+        assert_eq!(lines[1], "0,0.000000,1.000000,1.000000");
+        assert_eq!(lines[2], "1,1.000000,2.500000,1.500000");
+    }
+
+    #[test]
+    fn io_share_bounds() {
+        let mut r = report(10);
+        assert_eq!(r.io_share(), 0.0);
+        r.io_time = SimDuration(300);
+        r.compute_time = SimDuration(700);
+        assert!((r.io_share() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,1092 @@
+//! The simulation engine: executes a planned application on a simulated
+//! cluster under a cache policy.
+//!
+//! ## Execution model
+//!
+//! Jobs run in submission order; within the application, stages execute in
+//! stage-ID order (a valid topological order — see `refdist_dag::plan`) with
+//! a barrier between stages. Each stage runs one task per partition; tasks
+//! are placed on their partition's home node (`partition mod nodes`) and
+//! queue for that node's task slots.
+//!
+//! A task's cost is `input-I/O + pipelined compute (+ shuffle write)`:
+//!
+//! * **memory hit** — free (possibly waiting for an in-flight prefetch);
+//! * **remote memory** — pays the reader's NIC;
+//! * **disk** — pays the source disk (plus NIC when remote) and promotes the
+//!   block back into the reader's memory;
+//! * **gone** (MEMORY_ONLY eviction) — recomputes the lineage: descends
+//!   through narrow parents, re-reading inputs and shuffle outputs, paying
+//!   compute again;
+//! * **shuffle read** — pays `parent_bytes / child_partitions` on the NIC;
+//! * **external input** — pays the local disk.
+//!
+//! After a stage's tasks are scheduled, the prefetch engine (for policies
+//! that want it) enqueues background fetches *behind* the stage's task I/O,
+//! so prefetching genuinely overlaps computation and contends for the same
+//! disk/NIC bandwidth (Algorithm 1's prefetching phase, threshold rule
+//! included).
+
+use crate::config::SimConfig;
+use crate::report::RunReport;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use refdist_core::{AppProfiler, ProfileMode};
+use refdist_dag::{AppPlan, AppProfile, AppSpec, BlockId, JobId, RddId, Stage, StageKind};
+use refdist_policies::{CachePolicy, LruPolicy};
+use refdist_simcore::{FifoResource, SimDuration, SimTime};
+use refdist_store::{BlockManager, BlockMaster, CacheStats, InsertError, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// A configured simulation of one application on one cluster.
+pub struct Simulation<'a> {
+    spec: &'a AppSpec,
+    plan: &'a AppPlan,
+    profiler: AppProfiler,
+    cfg: SimConfig,
+}
+
+impl<'a> Simulation<'a> {
+    /// Create a simulation. The profiler decides how much of the DAG each
+    /// policy sees at each point (ad-hoc vs recurring, paper §5.8).
+    pub fn new(spec: &'a AppSpec, plan: &'a AppPlan, mode: ProfileMode, cfg: SimConfig) -> Self {
+        cfg.cluster
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid cluster config: {e}"));
+        Simulation {
+            spec,
+            plan,
+            profiler: AppProfiler::new(spec, plan, mode),
+            cfg,
+        }
+    }
+
+    /// The profiler in use.
+    pub fn profiler(&self) -> &AppProfiler {
+        &self.profiler
+    }
+
+    /// Execute the application under `policy` and report.
+    pub fn run(&self, policy: &mut dyn CachePolicy) -> RunReport {
+        let mut engine = Engine::new(self.spec, self.plan, &self.profiler, &self.cfg);
+        engine.run(policy)
+    }
+}
+
+/// Record the global cached-block access trace of an application by running
+/// it once with an effectively infinite cache (no evictions). The Belady MIN
+/// oracle consumes this trace.
+pub fn collect_trace(spec: &AppSpec, plan: &AppPlan, cfg: &SimConfig) -> Vec<BlockId> {
+    let mut big = cfg.clone();
+    big.collect_trace = true;
+    big.cluster = big.cluster.with_cache(1 << 60);
+    let sim = Simulation::new(spec, plan, ProfileMode::Recurring, big);
+    let mut lru = LruPolicy::new();
+    sim.run(&mut lru)
+        .trace
+        .expect("trace collection was requested")
+}
+
+struct Engine<'a> {
+    spec: &'a AppSpec,
+    plan: &'a AppPlan,
+    profiler: &'a AppProfiler,
+    cfg: &'a SimConfig,
+    nodes: usize,
+
+    managers: Vec<BlockManager>,
+    master: BlockMaster,
+    disk: Vec<FifoResource>,
+    net: Vec<FifoResource>,
+    /// Per node, per core: time the slot becomes free.
+    slots: Vec<Vec<SimTime>>,
+
+    /// Blocks whose bytes are still in flight: usable only after the time.
+    pending: HashMap<(usize, BlockId), SimTime>,
+    /// Prefetched blocks not yet used (for wasted-prefetch accounting).
+    prefetched_unused: HashSet<(usize, BlockId)>,
+    /// Blocks that have been computed at least once this run.
+    materialized: HashSet<BlockId>,
+
+    /// Per-node prefetch thresholds (adaptive when configured).
+    thresholds: Vec<f64>,
+    /// Per-node (prefetches, wasted) seen at the last adaptation point.
+    adapt_baseline: Vec<(u64, u64)>,
+    now: SimTime,
+    io_accum: SimDuration,
+    compute_accum: SimDuration,
+    tasks_run: u64,
+    stage_times: Vec<(refdist_dag::StageId, SimTime, SimTime)>,
+    trace: Vec<BlockId>,
+    rng: SmallRng,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        spec: &'a AppSpec,
+        plan: &'a AppPlan,
+        profiler: &'a AppProfiler,
+        cfg: &'a SimConfig,
+    ) -> Self {
+        let n = cfg.cluster.nodes as usize;
+        Engine {
+            spec,
+            plan,
+            profiler,
+            cfg,
+            nodes: n,
+            managers: (0..n)
+                .map(|i| BlockManager::new(NodeId(i as u32), cfg.cluster.cache_bytes))
+                .collect(),
+            master: BlockMaster::new(),
+            disk: (0..n)
+                .map(|_| FifoResource::new(cfg.cluster.disk_bw))
+                .collect(),
+            net: (0..n)
+                .map(|_| FifoResource::new(cfg.cluster.net_bw))
+                .collect(),
+            slots: (0..n)
+                .map(|_| vec![SimTime::ZERO; cfg.cluster.cores_per_node as usize])
+                .collect(),
+            pending: HashMap::new(),
+            prefetched_unused: HashSet::new(),
+            materialized: HashSet::new(),
+            thresholds: vec![cfg.prefetch_threshold; n],
+            adapt_baseline: vec![(0, 0); n],
+            now: SimTime::ZERO,
+            io_accum: SimDuration::ZERO,
+            compute_accum: SimDuration::ZERO,
+            tasks_run: 0,
+            stage_times: Vec::new(),
+            trace: Vec::new(),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    fn home(&self, partition: u32) -> usize {
+        partition as usize % self.nodes
+    }
+
+    fn block_size(&self, b: BlockId) -> u64 {
+        self.spec.rdd(b.rdd).block_size
+    }
+
+    /// Deserialization CPU cost for a block arriving from disk or network.
+    fn deser_us(&self, bytes: u64) -> u64 {
+        bytes * self.cfg.deser_us_per_mb / (1 << 20)
+    }
+
+    fn run(&mut self, policy: &mut dyn CachePolicy) -> RunReport {
+        let mut submitted: Option<JobId> = None;
+        let mut visible: AppProfile = self.profiler.visible_at_job(JobId(0));
+
+        for stage in &self.plan.stages {
+            // Submit any jobs up to this stage's job.
+            let next = submitted.map_or(0, |j| j.0 + 1);
+            for j in next..=stage.job.0 {
+                visible = self.profiler.visible_at_job(JobId(j));
+                policy.on_job_submit(JobId(j), &visible);
+                submitted = Some(JobId(j));
+            }
+
+            policy.on_stage_start(stage.id, &visible);
+
+            // Injected worker failure: the node's stores are wiped; the
+            // replacement executor starts cold and the MRDmanager re-issues
+            // the table replica on the next interaction (§4.4).
+            if let Some((node, at_stage)) = self.cfg.node_failure {
+                if at_stage == stage.id.0 && (node as usize) < self.nodes {
+                    self.fail_node(node as usize, policy);
+                }
+            }
+
+            self.run_purge(policy);
+
+            // Execution memory borrows from the storage region for the
+            // stage's duration, evicting cached blocks per the policy.
+            let exec_bytes = (self.cfg.cluster.cache_bytes as f64
+                * self.cfg.exec_mem_fraction.clamp(0.0, 1.0)) as u64;
+            for node in 0..self.nodes {
+                while self.managers[node].memory.used() + exec_bytes > self.cfg.cluster.cache_bytes
+                {
+                    if !self.evict_one(node, policy) {
+                        break;
+                    }
+                }
+                self.managers[node].memory.set_reserved(exec_bytes);
+            }
+
+            let start = self.now;
+            let end = self.run_stage_tasks(stage, policy);
+
+            // The stage's execution memory is released; the freed headroom
+            // is what the prefetcher fills.
+            for node in 0..self.nodes {
+                self.managers[node].memory.set_reserved(0);
+            }
+            if policy.wants_prefetch() {
+                self.run_prefetch(stage, &visible, policy);
+            }
+            self.stage_times.push((stage.id, start, end));
+            self.now = end;
+        }
+
+        let mut agg = CacheStats::new();
+        for m in &self.managers {
+            agg.merge(&m.stats);
+        }
+        RunReport {
+            app: self.spec.name.clone(),
+            policy: policy.name(),
+            jct: self.now - SimTime::ZERO,
+            stats: agg,
+            per_node: self.managers.iter().map(|m| m.stats).collect(),
+            io_time: self.io_accum,
+            compute_time: self.compute_accum,
+            stage_times: std::mem::take(&mut self.stage_times),
+            tasks: self.tasks_run,
+            trace: if self.cfg.collect_trace {
+                Some(std::mem::take(&mut self.trace))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Wipe one node's memory and disk (executor loss). Lost cached blocks
+    /// will be recomputed or re-read from surviving copies on access.
+    fn fail_node(&mut self, node: usize, policy: &mut dyn CachePolicy) {
+        let lost_mem = self.managers[node].memory.drain();
+        for (b, _) in &lost_mem {
+            self.master.unregister_memory(*b, NodeId(node as u32));
+            self.pending.remove(&(node, *b));
+            self.prefetched_unused.remove(&(node, *b));
+            policy.on_remove(NodeId(node as u32), *b);
+        }
+        let lost_disk = self.managers[node].disk.drain();
+        for (b, _) in &lost_disk {
+            self.master.unregister_disk(*b, NodeId(node as u32));
+        }
+        self.managers[node].stats.lost_blocks += (lost_mem.len() + lost_disk.len()) as u64;
+    }
+
+    /// Adapt a node's prefetch threshold from its recent prefetch economy
+    /// (the paper's future-work item): mostly-wasted prefetches raise the
+    /// threshold (require more free memory before forcing), an all-hit
+    /// record lowers it.
+    fn adapt_threshold(&mut self, node: usize) {
+        let s = &self.managers[node].stats;
+        let (base_pf, base_waste) = self.adapt_baseline[node];
+        let pf = s.prefetches - base_pf;
+        let waste = s.wasted_prefetches - base_waste;
+        if pf == 0 {
+            return;
+        }
+        self.adapt_baseline[node] = (s.prefetches, s.wasted_prefetches);
+        let t = &mut self.thresholds[node];
+        if waste * 5 >= pf {
+            // More than 20% of recent prefetches were wasted: require more
+            // free headroom before force-prefetching.
+            *t = (*t + 0.05).min(0.6);
+        } else if waste == 0 {
+            *t = (*t - 0.02).max(0.05);
+        }
+    }
+
+    /// Cluster-wide proactive purge (Algorithm 1, eviction phase part 1).
+    fn run_purge(&mut self, policy: &mut dyn CachePolicy) {
+        let mut in_memory: Vec<BlockId> = self
+            .managers
+            .iter()
+            .flat_map(|m| m.memory.iter().map(|(b, _)| b))
+            .collect();
+        in_memory.sort_unstable();
+        in_memory.dedup();
+        if in_memory.is_empty() {
+            // Still let the policy refresh its purge bookkeeping.
+            let _ = policy.purge_candidates(&[]);
+            return;
+        }
+        for b in policy.purge_candidates(&in_memory) {
+            for node in 0..self.nodes {
+                let m = &mut self.managers[node];
+                let had_mem = m.memory.contains(b) && !m.memory.is_pinned(b);
+                let had_disk = m.disk.contains(b);
+                if had_mem || had_disk {
+                    m.purge(b);
+                    if had_mem {
+                        self.master.unregister_memory(b, NodeId(node as u32));
+                        self.pending.remove(&(node, b));
+                        if self.prefetched_unused.remove(&(node, b)) {
+                            self.managers[node].stats.wasted_prefetches += 1;
+                        }
+                        policy.on_remove(NodeId(node as u32), b);
+                    }
+                    if had_disk {
+                        self.master.unregister_disk(b, NodeId(node as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run all tasks of a stage; returns the stage end time.
+    fn run_stage_tasks(&mut self, stage: &Stage, policy: &mut dyn CachePolicy) -> SimTime {
+        let stage_start = self.now;
+        let mut stage_end = stage_start;
+        for p in 0..stage.num_tasks {
+            let home = self.home(p);
+            // Earliest-free slot on the home node.
+            let (mut node, mut slot_idx, mut slot_free) = {
+                let (i, &t) = self.slots[home]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, &t)| (t, *i))
+                    .expect("nodes have at least one core");
+                (home, i, t)
+            };
+            // Delay scheduling: if enabled and the home node keeps the task
+            // waiting too long past the globally earliest slot, run it
+            // remotely and pay remote reads instead.
+            if let Some(delay) = self.cfg.delay_scheduling_us {
+                let (gn, gi, gt) = (0..self.nodes)
+                    .flat_map(|n| {
+                        self.slots[n]
+                            .iter()
+                            .enumerate()
+                            .map(move |(i, &t)| (n, i, t))
+                    })
+                    .min_by_key(|&(n, i, t)| (t, n, i))
+                    .expect("cluster has slots");
+                if slot_free.max(stage_start).micros() > gt.max(stage_start).micros() + delay {
+                    (node, slot_idx, slot_free) = (gn, gi, gt);
+                }
+            }
+            let start = slot_free.max(stage_start);
+
+            let mut visited = HashSet::new();
+            let (io_done, compute_us) =
+                self.acquire(stage.final_rdd, p, node, start, &mut visited, policy);
+
+            let mut jitter = if self.cfg.compute_jitter > 0.0 {
+                1.0 + self
+                    .rng
+                    .random_range(-self.cfg.compute_jitter..=self.cfg.compute_jitter)
+            } else {
+                1.0
+            };
+            if let Some((slow, factor)) = self.cfg.slow_node {
+                if slow as usize == node {
+                    jitter *= factor.max(1.0);
+                }
+            }
+            let compute = SimDuration::from_secs_f64(compute_us as f64 * jitter / 1e6);
+            let mut task_end = io_done + compute;
+
+            if let StageKind::ShuffleMap { .. } = stage.kind {
+                // Write this task's map output to local disk.
+                let out = self.spec.rdd(stage.final_rdd).block_size;
+                task_end = self.disk[node].request(task_end, out);
+            }
+
+            self.slots[node][slot_idx] = task_end;
+            self.io_accum += io_done - start;
+            self.compute_accum += compute;
+            self.tasks_run += 1;
+            stage_end = stage_end.max(task_end);
+        }
+        stage_end
+    }
+
+    /// Acquire the data needed to produce `(rdd, part)` on `node` starting at
+    /// `at`. Returns `(io_ready_time, compute_us)`.
+    fn acquire(
+        &mut self,
+        rdd: RddId,
+        part: u32,
+        node: usize,
+        at: SimTime,
+        visited: &mut HashSet<RddId>,
+        policy: &mut dyn CachePolicy,
+    ) -> (SimTime, u64) {
+        if !visited.insert(rdd) {
+            return (at, 0);
+        }
+        let r = self.spec.rdd(rdd);
+        let b = BlockId::new(rdd, part);
+        if r.is_cached() && self.materialized.contains(&b) {
+            return self.access(b, node, at, visited, policy);
+        }
+        // Compute path (also the creation path for cached RDDs).
+        let (io, mut compute_us) = self.compute_inputs(rdd, part, node, at, visited, policy);
+        compute_us += r.compute_us;
+        if r.is_cached() {
+            self.materialized.insert(b);
+            if self.cfg.collect_trace {
+                self.trace.push(b);
+            }
+            self.try_insert(node, b, io, false, policy);
+        }
+        (io, compute_us)
+    }
+
+    /// Pay for the inputs of `(rdd, part)`: recurse into narrow parents, read
+    /// shuffle outputs, read external input.
+    fn compute_inputs(
+        &mut self,
+        rdd: RddId,
+        part: u32,
+        node: usize,
+        at: SimTime,
+        visited: &mut HashSet<RddId>,
+        policy: &mut dyn CachePolicy,
+    ) -> (SimTime, u64) {
+        let r = self.spec.rdd(rdd);
+        let mut io = at;
+        let mut compute_us = 0u64;
+        for dep in r.deps.clone() {
+            match dep {
+                refdist_dag::Dependency::Narrow(p) => {
+                    let (i, c) = self.acquire(p, part, node, at, visited, policy);
+                    io = io.max(i);
+                    compute_us += c;
+                }
+                refdist_dag::Dependency::Shuffle(p) => {
+                    // Shuffle files persist on the map-side disks; the read
+                    // crosses the network (all-to-all).
+                    let bytes = self.spec.rdd(p).total_size() / r.num_partitions.max(1) as u64;
+                    let done = self.net[node].request(at, bytes);
+                    io = io.max(done);
+                }
+            }
+        }
+        if r.is_input() {
+            let done = self.disk[node].request(at, r.block_size);
+            io = io.max(done);
+        }
+        (io, compute_us)
+    }
+
+    /// Access an already-materialized cached block.
+    fn access(
+        &mut self,
+        b: BlockId,
+        node: usize,
+        at: SimTime,
+        visited: &mut HashSet<RddId>,
+        policy: &mut dyn CachePolicy,
+    ) -> (SimTime, u64) {
+        if self.cfg.collect_trace {
+            self.trace.push(b);
+        }
+        let size = self.block_size(b);
+        // Local memory hit.
+        if self.managers[node].memory.contains(b) {
+            let avail = self.pending.get(&(node, b)).copied().unwrap_or(at);
+            self.managers[node].stats.hits += 1;
+            if self.prefetched_unused.remove(&(node, b)) {
+                self.managers[node].stats.prefetch_hits += 1;
+            }
+            policy.on_access(NodeId(node as u32), b);
+            return (at.max(avail), 0);
+        }
+        match self.master.best_source(b, NodeId(node as u32)) {
+            Some((src, true)) => {
+                // Remote memory: pay the reader's NIC; no local copy is kept
+                // (Spark reads remote blocks without replicating them).
+                let src_i = src.index();
+                let avail = self.pending.get(&(src_i, b)).copied().unwrap_or(at);
+                let done = self.net[node].request(at.max(avail), size);
+                self.managers[node].stats.hits += 1;
+                self.managers[node].stats.remote_hits += 1;
+                if self.prefetched_unused.remove(&(src_i, b)) {
+                    self.managers[src_i].stats.prefetch_hits += 1;
+                }
+                policy.on_access(src, b);
+                (done, self.deser_us(size))
+            }
+            Some((src, false)) => {
+                // On disk (local spill or remote): read it and promote back
+                // into the reader's memory.
+                let src_i = src.index();
+                self.managers[node].stats.misses += 1;
+                self.managers[node].stats.disk_hits += 1;
+                let mut done = self.disk[src_i].request(at, size);
+                if src_i != node {
+                    done = self.net[node].request(done, size);
+                }
+                self.try_insert(node, b, done, false, policy);
+                (done, self.deser_us(size))
+            }
+            None => {
+                // Evicted and dropped (MEMORY_ONLY): recompute from lineage.
+                self.managers[node].stats.misses += 1;
+                self.managers[node].stats.recomputes += 1;
+                let (io, mut compute_us) =
+                    self.compute_inputs(b.rdd, b.partition, node, at, visited, policy);
+                compute_us += self.spec.rdd(b.rdd).compute_us;
+                self.try_insert(node, b, io, false, policy);
+                (io, compute_us)
+            }
+        }
+    }
+
+    /// Insert `b` into `node`'s memory, evicting per the policy as needed.
+    /// Returns whether the block ended up cached.
+    fn try_insert(
+        &mut self,
+        node: usize,
+        b: BlockId,
+        available_at: SimTime,
+        prefetched: bool,
+        policy: &mut dyn CachePolicy,
+    ) -> bool {
+        let size = self.block_size(b);
+        loop {
+            match self.managers[node].put_memory(b, size) {
+                Ok(()) => {
+                    self.master.register_memory(b, NodeId(node as u32));
+                    if available_at > self.now {
+                        self.pending.insert((node, b), available_at);
+                    } else {
+                        self.pending.remove(&(node, b));
+                    }
+                    if prefetched {
+                        self.prefetched_unused.insert((node, b));
+                    }
+                    policy.on_insert(NodeId(node as u32), b);
+                    return true;
+                }
+                Err(InsertError::TooLarge) => return false,
+                Err(InsertError::NeedsEviction { .. }) => {
+                    if !self.evict_one(node, policy) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict one block chosen by the policy from `node`'s memory. Returns
+    /// false if nothing evictable remains (or the policy declines).
+    fn evict_one(&mut self, node: usize, policy: &mut dyn CachePolicy) -> bool {
+        let mut cands: Vec<BlockId> = self.managers[node]
+            .memory
+            .evictable()
+            .map(|(c, _)| c)
+            .collect();
+        cands.sort_unstable();
+        let Some(victim) = policy.pick_victim(NodeId(node as u32), &cands) else {
+            return false;
+        };
+        let spill = self.spec.rdd(victim.rdd).storage.spills_to_disk();
+        if self.managers[node].evict(victim, spill).is_none() {
+            // Policy chose something not evictable: give up rather than loop
+            // forever.
+            debug_assert!(false, "policy picked non-resident victim {victim}");
+            return false;
+        }
+        self.master.unregister_memory(victim, NodeId(node as u32));
+        if spill {
+            self.master.register_disk(victim, NodeId(node as u32));
+        }
+        self.pending.remove(&(node, victim));
+        if self.prefetched_unused.remove(&(node, victim)) {
+            self.managers[node].stats.wasted_prefetches += 1;
+        }
+        policy.on_remove(NodeId(node as u32), victim);
+        true
+    }
+
+    /// Background prefetching for the stages ahead (Algorithm 1, prefetching
+    /// phase). Runs after the stage's tasks so the transfers queue behind
+    /// demand I/O.
+    fn run_prefetch(&mut self, stage: &Stage, visible: &AppProfile, policy: &mut dyn CachePolicy) {
+        // RDDs the current stage itself touches are being handled by its
+        // tasks; prefetch targets strictly future references.
+        let current: HashSet<RddId> = visible
+            .per_stage
+            .get(stage.id.index())
+            .map(|t| t.reads.iter().chain(&t.creates).copied().collect())
+            .unwrap_or_default();
+
+        for node in 0..self.nodes {
+            if self.cfg.adaptive_threshold {
+                self.adapt_threshold(node);
+            }
+            let mut missing: Vec<BlockId> = Vec::new();
+            for r in self.spec.cached_rdds() {
+                if current.contains(&r.id) {
+                    continue;
+                }
+                for p in 0..r.num_partitions {
+                    if self.home(p) != node {
+                        continue;
+                    }
+                    let b = BlockId::new(r.id, p);
+                    if self.materialized.contains(&b) && !self.managers[node].memory.contains(b) {
+                        missing.push(b);
+                    }
+                }
+            }
+            missing.sort_unstable();
+            let mut order = policy.prefetch_order(NodeId(node as u32), &missing);
+            order.truncate(self.cfg.max_prefetch_per_node);
+            for b in order {
+                let size = self.block_size(b);
+                let free = self.managers[node].memory.free();
+                let fits = size <= free;
+                let above_threshold = self.managers[node].free_fraction() > self.thresholds[node];
+                if !fits && !above_threshold {
+                    break;
+                }
+                let Some((src, in_mem)) = self.master.best_source(b, NodeId(node as u32)) else {
+                    continue;
+                };
+                let src_i = src.index();
+                let done = if in_mem {
+                    // Pull from a remote node's memory over the network.
+                    let avail = self.pending.get(&(src_i, b)).copied().unwrap_or(self.now);
+                    self.net[node].request(self.now.max(avail), size)
+                } else {
+                    let mut d = self.disk[src_i].request(self.now, size);
+                    if src_i != node {
+                        d = self.net[node].request(d, size);
+                    }
+                    d
+                };
+                // The prefetched bytes are deserialized off the critical
+                // path, before the block becomes usable.
+                let done = done + refdist_simcore::SimDuration::from_micros(self.deser_us(size));
+                if self.try_insert(node, b, done, true, policy) {
+                    self.managers[node].stats.prefetches += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use refdist_core::{MrdConfig, MrdMode, MrdPolicy};
+    use refdist_dag::AppBuilder;
+    use refdist_policies::PolicyKind;
+
+    /// Iterative app: cached dataset reused by `iters` jobs.
+    fn iterative_app(iters: usize, parts: u32, block: u64) -> AppSpec {
+        let mut b = AppBuilder::new("iter-app");
+        let input = b.input("in", parts, block, 2_000);
+        let data = b.narrow("data", input, block, 5_000);
+        b.persist(data, refdist_dag::StorageLevel::MemoryAndDisk);
+        for i in 0..iters {
+            let s = b.shuffle(format!("agg{i}"), &[data], parts, block / 4, 1_000);
+            b.action(format!("job{i}"), s);
+        }
+        b.build()
+    }
+
+    fn sim_cfg(nodes: u32, cache: u64) -> SimConfig {
+        let mut cfg = SimConfig::new(ClusterConfig::tiny(nodes, cache));
+        cfg.compute_jitter = 0.0; // exact determinism for the unit tests
+                                  // Most unit tests exercise the caching mechanics in isolation; the
+                                  // execution-memory churn has its own test below.
+        cfg.exec_mem_fraction = 0.0;
+        cfg
+    }
+
+    fn run(spec: &AppSpec, cfg: SimConfig, policy: &mut dyn CachePolicy) -> RunReport {
+        let plan = AppPlan::build(spec);
+        Simulation::new(spec, &plan, ProfileMode::Recurring, cfg).run(policy)
+    }
+
+    #[test]
+    fn big_cache_gets_full_hit_ratio() {
+        let spec = iterative_app(4, 4, 1024 * 1024);
+        let report = run(&spec, sim_cfg(2, 1 << 40), &mut *PolicyKind::Lru.build());
+        // After creation, every re-reference hits.
+        assert_eq!(report.stats.misses, 0);
+        assert!(report.stats.hits > 0);
+        assert_eq!(report.hit_ratio(), 1.0);
+        assert!(report.jct.micros() > 0);
+    }
+
+    #[test]
+    fn zero_cache_still_completes() {
+        let spec = iterative_app(3, 4, 1024 * 1024);
+        let report = run(&spec, sim_cfg(2, 0), &mut *PolicyKind::Lru.build());
+        // Nothing can be cached: every access misses (recompute since the
+        // block never reached memory => never spilled; it is re-created).
+        assert_eq!(report.stats.hits, 0);
+        assert!(report.jct.micros() > 0);
+    }
+
+    #[test]
+    fn small_cache_evicts_and_spills() {
+        // Cache fits 2 of 4 one-MB blocks per node (2 nodes, 4 partitions:
+        // each node homes 2 blocks of `data`).
+        let spec = iterative_app(4, 4, 1024 * 1024);
+        let report = run(
+            &spec,
+            sim_cfg(2, 1024 * 1024),
+            &mut *PolicyKind::Lru.build(),
+        );
+        assert!(report.stats.evictions > 0);
+        // MEMORY_AND_DISK: misses come back from disk, not recompute.
+        assert!(report.stats.disk_hits > 0);
+        assert_eq!(report.stats.recomputes, 0);
+    }
+
+    #[test]
+    fn memory_only_misses_recompute() {
+        let mut bld = AppBuilder::new("mo");
+        let input = bld.input("in", 4, 1024 * 1024, 1_000);
+        let data = bld.narrow("data", input, 1024 * 1024, 2_000);
+        bld.cache(data); // MEMORY_ONLY
+        for i in 0..3 {
+            let s = bld.shuffle(format!("s{i}"), &[data], 4, 1024, 500);
+            bld.action(format!("j{i}"), s);
+        }
+        let spec = bld.build();
+        let report = run(
+            &spec,
+            sim_cfg(2, 1024 * 1024),
+            &mut *PolicyKind::Lru.build(),
+        );
+        assert!(report.stats.recomputes > 0);
+        assert_eq!(report.stats.disk_hits, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = iterative_app(5, 8, 512 * 1024);
+        let mut cfg = sim_cfg(3, 2 * 1024 * 1024);
+        cfg.compute_jitter = 0.1;
+        let r1 = run(&spec, cfg.clone(), &mut *PolicyKind::Lru.build());
+        let r2 = run(&spec, cfg, &mut *PolicyKind::Lru.build());
+        assert_eq!(r1.jct, r2.jct);
+        assert_eq!(r1.stats, r2.stats);
+    }
+
+    #[test]
+    fn different_seeds_jitter_differently() {
+        let spec = iterative_app(5, 8, 512 * 1024);
+        let mut cfg = sim_cfg(3, 2 * 1024 * 1024);
+        cfg.compute_jitter = 0.1;
+        let r1 = run(
+            &spec,
+            cfg.clone().with_seed(1),
+            &mut *PolicyKind::Lru.build(),
+        );
+        let r2 = run(&spec, cfg.with_seed(2), &mut *PolicyKind::Lru.build());
+        assert_ne!(r1.jct, r2.jct);
+    }
+
+    #[test]
+    fn mrd_beats_lru_under_pressure() {
+        // Two cached RDDs with different reference patterns under a cache
+        // that holds only one of them: LRU keeps the recently-used one; MRD
+        // keeps the one referenced sooner.
+        let mut bld = AppBuilder::new("pressure");
+        let input = bld.input("in", 8, 1024 * 1024, 1_000);
+        let hot = bld.narrow("hot", input, 1024 * 1024, 30_000);
+        bld.persist(hot, refdist_dag::StorageLevel::MemoryAndDisk);
+        let cold = bld.narrow("cold", input, 1024 * 1024, 30_000);
+        bld.persist(cold, refdist_dag::StorageLevel::MemoryAndDisk);
+        // Job 0 creates both; jobs 1..6 reference hot every job, cold only
+        // at the end.
+        let both = bld.narrow_multi("both", &[hot, cold], 1024, 100);
+        bld.action("create", both);
+        for i in 0..5 {
+            let s = bld.shuffle(format!("hot{i}"), &[hot], 8, 1024, 100);
+            bld.action(format!("jh{i}"), s);
+        }
+        let s = bld.shuffle("coldref", &[cold], 8, 1024, 100);
+        bld.action("jc", s);
+        let spec = bld.build();
+
+        // Per node (4 nodes, 8 partitions): 2 hot + 2 cold blocks of 1 MiB;
+        // cache holds 2.
+        let cfg = sim_cfg(4, 2 * 1024 * 1024);
+        let plan = AppPlan::build(&spec);
+        let lru = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg.clone())
+            .run(&mut *PolicyKind::Lru.build());
+        let mut mrd = MrdPolicy::new(MrdConfig {
+            mode: MrdMode::EvictOnly,
+            ..Default::default()
+        });
+        let mrd_r = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut mrd);
+        assert!(
+            mrd_r.hit_ratio() >= lru.hit_ratio(),
+            "MRD {} < LRU {}",
+            mrd_r.hit_ratio(),
+            lru.hit_ratio()
+        );
+        assert!(mrd_r.jct <= lru.jct, "MRD {} > LRU {}", mrd_r.jct, lru.jct);
+    }
+
+    #[test]
+    fn prefetch_restores_spilled_blocks() {
+        // Phase 1 (jobs 0-2) works on RDD `a`; phase 2 (jobs 3-5) on `b`.
+        // The cache cannot hold both, so `b` spills during phase 1; once `a`
+        // dies, MRD purges it and the freed space lets the prefetcher pull
+        // `b` back from disk before phase 2 references it.
+        let mut bld = AppBuilder::new("phases");
+        let input = bld.input("in", 8, 1024 * 1024, 1_000);
+        let a = bld.narrow("a", input, 1024 * 1024, 20_000);
+        bld.persist(a, refdist_dag::StorageLevel::MemoryAndDisk);
+        let b = bld.narrow("b", input, 1024 * 1024, 20_000);
+        bld.persist(b, refdist_dag::StorageLevel::MemoryAndDisk);
+        let both = bld.narrow_multi("both", &[a, b], 1024, 100);
+        bld.action("create", both);
+        for i in 0..3 {
+            let s = bld.shuffle(format!("pa{i}"), &[a], 8, 1024, 100);
+            bld.action(format!("ja{i}"), s);
+        }
+        for i in 0..3 {
+            let s = bld.shuffle(format!("pb{i}"), &[b], 8, 1024, 100);
+            bld.action(format!("jb{i}"), s);
+        }
+        let spec = bld.build();
+        // 2 nodes, 4 blocks of each RDD per node; cache holds 5 of the 8.
+        let cfg = sim_cfg(2, 5 * 1024 * 1024);
+        let plan = AppPlan::build(&spec);
+        let mut full = MrdPolicy::full();
+        let full_r =
+            Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg.clone()).run(&mut full);
+        assert!(full_r.stats.prefetches > 0, "no prefetches: {full_r:?}");
+        assert!(
+            full_r.stats.prefetch_hits > 0,
+            "prefetches never hit: {full_r:?}"
+        );
+        // Full MRD should not be slower than evict-only here.
+        let mut evict_only = MrdPolicy::new(MrdConfig {
+            mode: MrdMode::EvictOnly,
+            ..Default::default()
+        });
+        let eo = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut evict_only);
+        assert!(full_r.hit_ratio() >= eo.hit_ratio());
+    }
+
+    #[test]
+    fn trace_collection_records_accesses() {
+        let spec = iterative_app(3, 4, 1024);
+        let plan = AppPlan::build(&spec);
+        let cfg = sim_cfg(2, 1 << 40);
+        let trace = collect_trace(&spec, &plan, &cfg);
+        // data has 4 blocks, created once and read twice (jobs 1 and 2).
+        assert_eq!(trace.len(), 12);
+        let data = RddId(1);
+        assert!(trace.iter().all(|b| b.rdd == data));
+    }
+
+    #[test]
+    fn purge_frees_dead_data() {
+        // One RDD referenced only at creation: MRD purges it at the next
+        // stage; LRU keeps it pinned in memory until pressure.
+        let mut bld = AppBuilder::new("dead");
+        let input = bld.input("in", 4, 1024 * 1024, 1_000);
+        let once = bld.narrow("once", input, 1024 * 1024, 1_000);
+        bld.persist(once, refdist_dag::StorageLevel::MemoryAndDisk);
+        let s0 = bld.shuffle("s0", &[once], 4, 1024, 100);
+        bld.action("j0", s0);
+        let other = bld.narrow("other", input, 1024, 100);
+        let s1 = bld.shuffle("s1", &[other], 4, 1024, 100);
+        bld.action("j1", s1);
+        let spec = bld.build();
+        let plan = AppPlan::build(&spec);
+        let mut mrd = MrdPolicy::full();
+        let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, sim_cfg(2, 1 << 30))
+            .run(&mut mrd);
+        assert!(r.stats.purges > 0, "dead RDD should be purged");
+    }
+
+    #[test]
+    fn exec_memory_churn_evicts_and_releases() {
+        // With execution memory borrowing 50% of a just-fitting cache, the
+        // cached dataset cannot stay fully resident: stage-start reservations
+        // force evictions even though the data fits when idle.
+        let spec = iterative_app(4, 4, 1024 * 1024);
+        let mut cfg = sim_cfg(2, 2 * 1024 * 1024); // exactly fits 2 blocks/node
+        cfg.exec_mem_fraction = 0.5;
+        let with_churn = run(&spec, cfg, &mut *PolicyKind::Lru.build());
+        assert!(with_churn.stats.evictions > 0);
+
+        let no_churn = run(
+            &spec,
+            sim_cfg(2, 2 * 1024 * 1024),
+            &mut *PolicyKind::Lru.build(),
+        );
+        assert_eq!(no_churn.stats.evictions, 0);
+        // Churn can only slow things down for LRU.
+        assert!(with_churn.jct >= no_churn.jct);
+    }
+
+    #[test]
+    fn node_failure_loses_blocks_but_run_completes() {
+        let spec = iterative_app(5, 8, 1024 * 1024);
+        let plan = AppPlan::build(&spec);
+        let healthy = Simulation::new(&spec, &plan, ProfileMode::Recurring, sim_cfg(2, 1 << 30))
+            .run(&mut *PolicyKind::Lru.build());
+        assert_eq!(healthy.stats.lost_blocks, 0);
+
+        let mut cfg = sim_cfg(2, 1 << 30);
+        cfg.node_failure = Some((0, 4)); // node 0 dies at stage 4
+        let failed = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg)
+            .run(&mut *PolicyKind::Lru.build());
+        assert!(failed.stats.lost_blocks > 0);
+        // Lost blocks are re-acquired: the run finishes, no slower than never
+        // having cached and no faster than the healthy run.
+        assert!(failed.jct >= healthy.jct);
+        assert!(failed.stats.misses > healthy.stats.misses);
+    }
+
+    #[test]
+    fn node_failure_with_mrd_resyncs_and_completes() {
+        let spec = iterative_app(5, 8, 1024 * 1024);
+        let plan = AppPlan::build(&spec);
+        let mut cfg = sim_cfg(2, 2 * 1024 * 1024);
+        cfg.node_failure = Some((1, 6));
+        let mut mrd = MrdPolicy::full();
+        let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut mrd);
+        assert!(r.stats.lost_blocks > 0);
+        assert!(r.jct.micros() > 0);
+        // The manager kept broadcasting table replicas after the failure.
+        assert!(mrd.sync_messages() > 0);
+    }
+
+    #[test]
+    fn adaptive_threshold_stays_bounded_and_runs() {
+        let spec = iterative_app(6, 8, 1024 * 1024);
+        let plan = AppPlan::build(&spec);
+        let mut cfg = sim_cfg(2, 2 * 1024 * 1024);
+        cfg.adaptive_threshold = true;
+        let mut mrd = MrdPolicy::full();
+        let adaptive =
+            Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg.clone()).run(&mut mrd);
+        assert!(adaptive.jct.micros() > 0);
+        // Sanity: fixed-threshold run on the same inputs also completes and
+        // both agree on task counts (adaptation changes I/O, not work).
+        cfg.adaptive_threshold = false;
+        let mut mrd = MrdPolicy::full();
+        let fixed = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut mrd);
+        assert_eq!(adaptive.tasks, fixed.tasks);
+    }
+
+    #[test]
+    fn delay_scheduling_balances_skewed_stages() {
+        // 9 partitions on 3 nodes: home mapping puts 3 tasks per node, but a
+        // partition count much larger than one node's share exercises the
+        // remote path only when delay scheduling is on and tight.
+        let mut bld = AppBuilder::new("skew");
+        let input = bld.input("in", 9, 4 * 1024 * 1024, 2_000_000);
+        let s = bld.shuffle("s", &[input], 9, 1024, 1_000);
+        bld.action("j", s);
+        let spec = bld.build();
+        let plan = AppPlan::build(&spec);
+
+        // One-node cluster comparison is meaningless; use a 3-node cluster
+        // where node 0's disk is the bottleneck for its 3 input reads.
+        let mut strict = sim_cfg(3, 1 << 30);
+        strict.delay_scheduling_us = None;
+        let r_strict = Simulation::new(&spec, &plan, ProfileMode::Recurring, strict)
+            .run(&mut *PolicyKind::Lru.build());
+
+        let mut relaxed = sim_cfg(3, 1 << 30);
+        relaxed.delay_scheduling_us = Some(0); // always take the earliest slot
+        let r_relaxed = Simulation::new(&spec, &plan, ProfileMode::Recurring, relaxed)
+            .run(&mut *PolicyKind::Lru.build());
+        // Both complete deterministically; the relaxed schedule never leaves
+        // a slot idle while a task waits, so it cannot be slower on compute-
+        // bound stages.
+        assert!(r_relaxed.jct <= r_strict.jct);
+    }
+
+    #[test]
+    fn delay_scheduling_routes_around_stragglers() {
+        // Node 0 computes 10x slower and every node runs several task waves,
+        // so the straggler's queue backs up. With strict home placement its
+        // tasks gate every stage; with delay scheduling they migrate.
+        let spec = iterative_app(4, 32, 1024 * 1024);
+        let plan = AppPlan::build(&spec);
+        let mut strict = sim_cfg(4, 1 << 30);
+        strict.slow_node = Some((0, 10.0));
+        let r_strict = Simulation::new(&spec, &plan, ProfileMode::Recurring, strict)
+            .run(&mut *PolicyKind::Lru.build());
+
+        let mut routed = sim_cfg(4, 1 << 30);
+        routed.slow_node = Some((0, 10.0));
+        routed.delay_scheduling_us = Some(10_000); // wait at most 10ms
+        let r_routed = Simulation::new(&spec, &plan, ProfileMode::Recurring, routed)
+            .run(&mut *PolicyKind::Lru.build());
+        assert!(
+            r_routed.jct < r_strict.jct,
+            "delay scheduling should beat strict placement under a straggler: {} vs {}",
+            r_routed.jct,
+            r_strict.jct
+        );
+    }
+
+    #[test]
+    fn migrated_tasks_take_remote_memory_hits() {
+        // With a straggler and delay scheduling, tasks migrate off their
+        // home node and read that node's cached blocks over the network —
+        // the remote-memory path.
+        let spec = iterative_app(4, 32, 1024 * 1024);
+        let plan = AppPlan::build(&spec);
+        let mut cfg = sim_cfg(4, 1 << 30);
+        cfg.slow_node = Some((0, 10.0));
+        cfg.delay_scheduling_us = Some(10_000);
+        let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg)
+            .run(&mut *PolicyKind::Lru.build());
+        assert!(r.stats.remote_hits > 0, "no remote hits: {:?}", r.stats);
+        // Remote hits are still hits.
+        assert!(r.stats.remote_hits <= r.stats.hits);
+    }
+
+    #[test]
+    fn stage_times_are_monotone() {
+        let spec = iterative_app(4, 4, 256 * 1024);
+        let r = run(&spec, sim_cfg(2, 1 << 30), &mut *PolicyKind::Lru.build());
+        for w in r.stage_times.windows(2) {
+            assert!(w[0].2 <= w[1].1, "stages must not overlap");
+        }
+        assert_eq!(
+            r.stage_times.last().unwrap().2,
+            SimTime(r.jct.micros()),
+            "JCT equals last stage end"
+        );
+    }
+
+    #[test]
+    fn task_count_matches_plan() {
+        let spec = iterative_app(3, 4, 1024);
+        let plan = AppPlan::build(&spec);
+        let expected: u64 = plan.stages.iter().map(|s| s.num_tasks as u64).sum();
+        let r = run(&spec, sim_cfg(2, 1 << 30), &mut *PolicyKind::Lru.build());
+        assert_eq!(r.tasks, expected);
+    }
+
+    #[test]
+    fn all_baselines_complete() {
+        let spec = iterative_app(4, 8, 256 * 1024);
+        for &kind in PolicyKind::all() {
+            let r = run(&spec, sim_cfg(2, 1024 * 1024), &mut *kind.build());
+            assert!(r.jct.micros() > 0, "{kind:?} did not run");
+        }
+    }
+
+    #[test]
+    fn belady_from_trace_completes_and_is_competitive() {
+        let spec = iterative_app(6, 8, 1024 * 1024);
+        let plan = AppPlan::build(&spec);
+        let cfg = sim_cfg(2, 2 * 1024 * 1024);
+        let trace = collect_trace(&spec, &plan, &cfg);
+        let mut belady = refdist_policies::BeladyMinPolicy::from_trace(&trace);
+        let b = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg.clone()).run(&mut belady);
+        let l = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg)
+            .run(&mut *PolicyKind::Lru.build());
+        assert!(b.hit_ratio() >= l.hit_ratio());
+    }
+}

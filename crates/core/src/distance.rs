@@ -1,0 +1,125 @@
+//! Reference distances (paper §3.2 and Definition 1).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Which workflow subdivision distances are measured against.
+///
+/// The paper evaluates both in §5.7: stage distance is finer grained and
+/// strictly better for workloads with many stages per job; job distance is
+/// meaningless for ad-hoc runs (always 0 or infinite within one job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceMetric {
+    /// Distance in stage IDs (the paper's preferred metric).
+    #[default]
+    Stage,
+    /// Distance in job IDs.
+    Job,
+}
+
+impl fmt::Display for DistanceMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistanceMetric::Stage => write!(f, "stage"),
+            DistanceMetric::Job => write!(f, "job"),
+        }
+    }
+}
+
+/// A reference distance: how far ahead (in stages or jobs) the next
+/// reference to a block lies.
+///
+/// `Infinite` means the block has no recorded future reference — the paper
+/// encodes this as a negative value (Algorithm 1 line 13); we use a proper
+/// variant. Ordering places every finite distance below `Infinite`, so
+/// "largest distance evicts first" naturally evicts dead data first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefDistance {
+    /// The next reference is `n` steps ahead (0 = referenced by the current
+    /// step).
+    Finite(u32),
+    /// No future reference is known.
+    Infinite,
+}
+
+impl RefDistance {
+    /// Whether this distance is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        matches!(self, RefDistance::Finite(_))
+    }
+
+    /// The finite value, if any.
+    #[inline]
+    pub fn finite(self) -> Option<u32> {
+        match self {
+            RefDistance::Finite(n) => Some(n),
+            RefDistance::Infinite => None,
+        }
+    }
+}
+
+impl PartialOrd for RefDistance {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RefDistance {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (RefDistance::Finite(a), RefDistance::Finite(b)) => a.cmp(b),
+            (RefDistance::Finite(_), RefDistance::Infinite) => Ordering::Less,
+            (RefDistance::Infinite, RefDistance::Finite(_)) => Ordering::Greater,
+            (RefDistance::Infinite, RefDistance::Infinite) => Ordering::Equal,
+        }
+    }
+}
+
+impl fmt::Display for RefDistance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefDistance::Finite(n) => write!(f, "{n}"),
+            RefDistance::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_puts_infinite_last() {
+        assert!(RefDistance::Finite(0) < RefDistance::Finite(5));
+        assert!(RefDistance::Finite(u32::MAX) < RefDistance::Infinite);
+        assert_eq!(RefDistance::Infinite, RefDistance::Infinite);
+    }
+
+    #[test]
+    fn max_of_mixed_is_infinite() {
+        let d = [
+            RefDistance::Finite(3),
+            RefDistance::Infinite,
+            RefDistance::Finite(100),
+        ];
+        assert_eq!(d.iter().max(), Some(&RefDistance::Infinite));
+        assert_eq!(d.iter().min(), Some(&RefDistance::Finite(3)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(RefDistance::Finite(2).is_finite());
+        assert_eq!(RefDistance::Finite(2).finite(), Some(2));
+        assert!(!RefDistance::Infinite.is_finite());
+        assert_eq!(RefDistance::Infinite.finite(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RefDistance::Finite(7).to_string(), "7");
+        assert_eq!(RefDistance::Infinite.to_string(), "inf");
+        assert_eq!(DistanceMetric::Stage.to_string(), "stage");
+        assert_eq!(DistanceMetric::Job.to_string(), "job");
+    }
+}

@@ -1,0 +1,72 @@
+//! # MRD — Most Reference Distance cache management
+//!
+//! The primary contribution of *"Reference-distance Eviction and Prefetching
+//! for Cache Management in Spark"* (Perez, Zhou, Cheng — ICPP 2018),
+//! implemented against the DAG substrate in `refdist-dag` and the policy
+//! interface in `refdist-policies`.
+//!
+//! **Reference distance** (paper Definition 1): for each data block, the
+//! relative distance between the current step of the application's execution
+//! and the next step in the workflow that references the block, measured in
+//! stage IDs (preferred) or job IDs. MRD always **evicts** the block with
+//! the *largest* distance (infinite first — data that is never referenced
+//! again), and **prefetches** the blocks with the *smallest* distance,
+//! overlapping their I/O with computation.
+//!
+//! The implementation mirrors the paper's architecture (Figure 3):
+//!
+//! * [`AppProfiler`] — parses job DAGs into reference-distance profiles;
+//!   stores whole-application profiles for recurring applications
+//!   (`parseDAG` in Table 2).
+//! * [`MrdManager`] — owns the [`MrdTable`], advances it as execution
+//!   proceeds (`newReferenceDistance`), issues cluster-wide purge orders and
+//!   prefetch orders, and broadcasts the table to the per-node monitors
+//!   (`sendReferenceDistance`).
+//! * [`CacheMonitor`] — one per worker node; holds a replica of the distance
+//!   table for local eviction decisions (`evictBlock`) and tracks how many
+//!   synchronization messages the replication costs (§4.4's communication
+//!   overhead).
+//! * [`MrdPolicy`] — packages the above as a
+//!   [`refdist_policies::CachePolicy`] the cluster simulator can drive, in
+//!   three modes matching the paper's Figure 4 ablation: eviction-only,
+//!   prefetch-only, and full MRD.
+
+//! # Example
+//!
+//! ```
+//! use refdist_core::{DistanceMetric, MrdTable, RefDistance};
+//! use refdist_dag::{AppBuilder, AppPlan, RefAnalyzer, RddId, StageId};
+//!
+//! let mut b = AppBuilder::new("demo");
+//! let input = b.input("in", 2, 1024, 100);
+//! let data = b.narrow("data", input, 1024, 100);
+//! b.cache(data);
+//! for i in 0..3 {
+//!     let agg = b.shuffle(format!("agg{i}"), &[data], 2, 128, 100);
+//!     b.action(format!("job{i}"), agg);
+//! }
+//! let spec = b.build();
+//! let plan = AppPlan::build(&spec);
+//! let profile = RefAnalyzer::new(&spec, &plan).profile();
+//!
+//! let mut table = MrdTable::from_profile(DistanceMetric::Stage, &profile);
+//! // At stage 0, `data` is being created (distance 0).
+//! assert_eq!(table.distance(data), RefDistance::Finite(0));
+//! // Past its last reference the distance goes infinite — purge time.
+//! table.advance_to(100);
+//! assert_eq!(table.distance(data), RefDistance::Infinite);
+//! ```
+
+pub mod distance;
+pub mod manager;
+pub mod monitor;
+pub mod policy;
+pub mod profiler;
+pub mod table;
+
+pub use distance::{DistanceMetric, RefDistance};
+pub use manager::MrdManager;
+pub use monitor::{CacheMonitor, TieBreak};
+pub use policy::{MrdConfig, MrdMode, MrdPolicy};
+pub use profiler::{AppProfiler, ProfileMode, ProfileStore};
+pub use table::MrdTable;

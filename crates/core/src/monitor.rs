@@ -1,0 +1,249 @@
+//! CacheMonitor: the per-worker-node component of MRD (paper §4.2).
+//!
+//! Each worker holds a replica of the MRD table so that eviction decisions
+//! under memory pressure are local — no round trip to the manager on the hot
+//! path (the paper's communication-overhead argument in §4.4). The monitor
+//! also tracks local block recency, used only to break ties between blocks
+//! whose reference distances are equal.
+
+use crate::distance::{DistanceMetric, RefDistance};
+use crate::table::MrdTable;
+use refdist_dag::BlockId;
+use refdist_store::NodeId;
+use std::collections::HashMap;
+
+/// How distance ties are broken during victim selection (ablation knob —
+/// the paper does not specify; see [`CacheMonitor::pick_victim`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Evict the most recently used among equals (Belady-consistent below
+    /// stage granularity; the default).
+    #[default]
+    Mru,
+    /// Evict the least recently used among equals (thrashes cyclic scans).
+    Lru,
+}
+
+/// A worker node's MRD cache monitor.
+#[derive(Debug, Clone)]
+pub struct CacheMonitor {
+    node: NodeId,
+    table: MrdTable,
+    /// Version of the replica, compared against the manager's table.
+    synced_version: Option<u64>,
+    /// Times this monitor received a table replica.
+    syncs: u64,
+    clock: u64,
+    last_touch: HashMap<BlockId, u64>,
+}
+
+impl CacheMonitor {
+    /// New monitor for `node` with an empty (unsynced) replica.
+    pub fn new(node: NodeId) -> Self {
+        CacheMonitor {
+            node,
+            table: MrdTable::new(DistanceMetric::Stage),
+            synced_version: None,
+            syncs: 0,
+            clock: 0,
+            last_touch: HashMap::new(),
+        }
+    }
+
+    /// The node this monitor runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Version of the replica table (`None` until first sync).
+    pub fn table_version(&self) -> Option<u64> {
+        self.synced_version
+    }
+
+    /// Times this monitor has been sent a replica.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Install a fresh replica from the manager.
+    pub fn receive_table(&mut self, table: MrdTable) {
+        self.synced_version = Some(table.version());
+        self.table = table;
+        self.syncs += 1;
+    }
+
+    /// Reference distance of a block per the local replica.
+    pub fn distance(&self, block: BlockId) -> RefDistance {
+        self.table.distance(block.rdd)
+    }
+
+    /// Record a local insert/access (for tie-breaking recency).
+    pub fn touch(&mut self, block: BlockId) {
+        self.clock += 1;
+        self.last_touch.insert(block, self.clock);
+    }
+
+    /// Forget a block that left this node's memory.
+    pub fn forget(&mut self, block: BlockId) {
+        self.last_touch.remove(&block);
+    }
+
+    /// Choose the eviction victim among `candidates`: the block with the
+    /// **largest** reference distance (`evictBlock`); infinite-distance
+    /// blocks evict first of all.
+    ///
+    /// Ties break toward the **most recently used** block, then lowest block
+    /// id, for determinism. Stage-granular distances tie for all blocks of
+    /// one RDD; when a stage cyclically scans such an RDD, the block whose
+    /// *task-level* next access is furthest away is precisely the one just
+    /// used — so an MRU tiebreak is what keeps MRD an approximation of
+    /// Belady's MIN below stage granularity (an LRU tiebreak would thrash
+    /// scans larger than the cache, the classic LRU pathology of §3.3).
+    pub fn pick_victim(&self, candidates: &[BlockId]) -> Option<BlockId> {
+        self.pick_victim_with(candidates, TieBreak::Mru)
+    }
+
+    /// [`CacheMonitor::pick_victim`] with an explicit tie-breaking rule
+    /// (for the tie-break ablation).
+    pub fn pick_victim_with(&self, candidates: &[BlockId], tie: TieBreak) -> Option<BlockId> {
+        candidates.iter().copied().max_by(|a, b| {
+            self.distance(*a)
+                .cmp(&self.distance(*b))
+                .then_with(|| {
+                    let ta = self.last_touch.get(a).copied().unwrap_or(0);
+                    let tb = self.last_touch.get(b).copied().unwrap_or(0);
+                    match tie {
+                        // Newer touch wins the max: MRU evicts first.
+                        TieBreak::Mru => ta.cmp(&tb),
+                        // Older touch wins the max: LRU evicts first.
+                        TieBreak::Lru => tb.cmp(&ta),
+                    }
+                })
+                .then_with(|| b.cmp(a))
+        })
+    }
+
+    /// Rank `missing` blocks for prefetching (`prefetchBlock`): smallest
+    /// finite distance first; infinite-distance blocks are never prefetched,
+    /// and blocks beyond `horizon` (when non-zero) are skipped.
+    pub fn prefetch_order(&self, missing: &[BlockId], horizon: u32) -> Vec<BlockId> {
+        let mut finite: Vec<(u32, BlockId)> = missing
+            .iter()
+            .filter_map(|&b| self.distance(b).finite().map(|d| (d, b)))
+            .filter(|&(d, _)| horizon == 0 || d <= horizon)
+            .collect();
+        finite.sort_unstable();
+        finite.into_iter().map(|(_, b)| b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::{AppProfile, JobId, RddId, RddRefs, StageId};
+    use std::collections::BTreeMap;
+
+    fn blk(r: u32, p: u32) -> BlockId {
+        BlockId::new(RddId(r), p)
+    }
+
+    fn table(entries: &[(u32, &[u32])], current: u32) -> MrdTable {
+        let mut per_rdd = BTreeMap::new();
+        for &(r, stages) in entries {
+            per_rdd.insert(
+                RddId(r),
+                RddRefs {
+                    rdd: RddId(r),
+                    stages: stages.iter().map(|&s| StageId(s)).collect(),
+                    jobs: stages.iter().map(|_| JobId(0)).collect(),
+                },
+            );
+        }
+        let profile = AppProfile {
+            per_rdd,
+            per_stage: vec![],
+            stage_job: vec![],
+            num_jobs: 1,
+        };
+        let mut t = MrdTable::from_profile(DistanceMetric::Stage, &profile);
+        t.advance_to(current);
+        t
+    }
+
+    fn synced(entries: &[(u32, &[u32])], current: u32) -> CacheMonitor {
+        let mut m = CacheMonitor::new(NodeId(0));
+        m.receive_table(table(entries, current));
+        m
+    }
+
+    #[test]
+    fn evicts_largest_distance() {
+        let m = synced(&[(0, &[5]), (1, &[20]), (2, &[8])], 0);
+        let v = m.pick_victim(&[blk(0, 0), blk(1, 0), blk(2, 0)]);
+        assert_eq!(v, Some(blk(1, 0)));
+    }
+
+    #[test]
+    fn infinite_distance_evicts_first() {
+        let m = synced(&[(0, &[5]), (1, &[])], 0);
+        let v = m.pick_victim(&[blk(0, 0), blk(1, 0)]);
+        assert_eq!(v, Some(blk(1, 0)));
+        // Unknown RDDs are also infinite.
+        let v2 = m.pick_victim(&[blk(0, 0), blk(9, 0)]);
+        assert_eq!(v2, Some(blk(9, 0)));
+    }
+
+    #[test]
+    fn equal_distance_breaks_by_mru() {
+        let mut m = synced(&[(0, &[5]), (1, &[5])], 0);
+        m.touch(blk(0, 0));
+        m.touch(blk(1, 0));
+        m.touch(blk(0, 0)); // rdd0's block now most recent: evicts on tie
+        assert_eq!(m.pick_victim(&[blk(0, 0), blk(1, 0)]), Some(blk(0, 0)));
+    }
+
+    #[test]
+    fn prefetch_orders_by_smallest_distance() {
+        let m = synced(&[(0, &[9]), (1, &[3]), (2, &[])], 0);
+        let order = m.prefetch_order(&[blk(0, 0), blk(1, 0), blk(2, 0)], 0);
+        // Infinite (rdd2) excluded; rdd1 (3) before rdd0 (9).
+        assert_eq!(order, vec![blk(1, 0), blk(0, 0)]);
+        // A horizon of 5 drops the distance-9 block.
+        let near = m.prefetch_order(&[blk(0, 0), blk(1, 0), blk(2, 0)], 5);
+        assert_eq!(near, vec![blk(1, 0)]);
+    }
+
+    #[test]
+    fn distance_tracks_replica_updates() {
+        let mut m = synced(&[(0, &[5])], 0);
+        assert_eq!(m.distance(blk(0, 0)), RefDistance::Finite(5));
+        m.receive_table(table(&[(0, &[5])], 4));
+        assert_eq!(m.distance(blk(0, 0)), RefDistance::Finite(1));
+        assert_eq!(m.syncs(), 2);
+    }
+
+    #[test]
+    fn forget_clears_recency() {
+        let mut m = synced(&[(0, &[5]), (1, &[5])], 0);
+        m.touch(blk(0, 0));
+        m.touch(blk(1, 0));
+        m.forget(blk(1, 0));
+        // rdd1's block lost its recency: counts as oldest, so on an MRU
+        // tiebreak the still-recent rdd0 block evicts first.
+        assert_eq!(m.pick_victim(&[blk(0, 0), blk(1, 0)]), Some(blk(0, 0)));
+    }
+
+    #[test]
+    fn empty_candidates_none() {
+        let m = synced(&[], 0);
+        assert_eq!(m.pick_victim(&[]), None);
+        assert!(m.prefetch_order(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_final_tiebreak() {
+        let m = synced(&[(0, &[5]), (1, &[5])], 0);
+        // No touches at all: equal distance, equal recency -> lowest id.
+        assert_eq!(m.pick_victim(&[blk(1, 0), blk(0, 0)]), Some(blk(0, 0)));
+    }
+}

@@ -1,0 +1,416 @@
+//! AppProfiler: reference-distance profiles per application (paper §4.2).
+//!
+//! Two modus operandi (§4.1):
+//!
+//! * **Ad-hoc / first run** — the DAG arrives one job at a time, so the
+//!   profiler can only expose references up to the most recently submitted
+//!   job; everything beyond is unknown (infinite distance).
+//! * **Recurring** — a high share of cluster workloads are periodically
+//!   re-run with fresh input. The profiler stores the completed
+//!   application's profile in a [`ProfileStore`] and on the next run hands
+//!   the MRDmanager the whole-application view from the start.
+//!
+//! Profiles persist in a line-oriented text format (no external
+//! serialization dependency; see `DESIGN.md` §5).
+
+use refdist_dag::{
+    AppPlan, AppProfile, AppSpec, JobId, RddId, RddRefs, RefAnalyzer, StageId, StageTouches,
+};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Whether the profiler may use a whole-application profile from a previous
+/// run, or must build knowledge one job at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// First run / non-recurring: DAG visible one job at a time.
+    AdHoc,
+    /// Recurring application: whole-application profile available upfront.
+    #[default]
+    Recurring,
+}
+
+/// Produces the reference profile visible to the MRDmanager at each point of
+/// the run.
+#[derive(Debug, Clone)]
+pub struct AppProfiler {
+    mode: ProfileMode,
+    name: String,
+    full: AppProfile,
+}
+
+impl AppProfiler {
+    /// Profile an application by parsing its planned DAG (`parseDAG`).
+    pub fn new(spec: &AppSpec, plan: &AppPlan, mode: ProfileMode) -> Self {
+        let full = RefAnalyzer::new(spec, plan).profile();
+        AppProfiler {
+            mode,
+            name: spec.name.clone(),
+            full,
+        }
+    }
+
+    /// Build a profiler around a stored profile (recurring application whose
+    /// previous run was saved in a [`ProfileStore`]).
+    pub fn from_stored(name: impl Into<String>, profile: AppProfile) -> Self {
+        AppProfiler {
+            mode: ProfileMode::Recurring,
+            name: name.into(),
+            full: profile,
+        }
+    }
+
+    /// The profiling mode.
+    pub fn mode(&self) -> ProfileMode {
+        self.mode
+    }
+
+    /// Application name (the recurring-profile key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The complete profile (what a finished run records).
+    pub fn full(&self) -> &AppProfile {
+        &self.full
+    }
+
+    /// The profile visible when `job` is submitted.
+    pub fn visible_at_job(&self, job: JobId) -> AppProfile {
+        match self.mode {
+            ProfileMode::Recurring => self.full.clone(),
+            ProfileMode::AdHoc => self.full.visible_up_to_job(job),
+        }
+    }
+
+    /// Whether a stored profile disagrees with the DAG observed this run —
+    /// the "discrepancy" check of §4.4 (fault tolerance / changed program).
+    pub fn discrepancy(&self, observed: &AppProfile) -> bool {
+        self.full.per_rdd != observed.per_rdd
+    }
+}
+
+/// On-disk store of application profiles, keyed by application name.
+#[derive(Debug, Clone)]
+pub struct ProfileStore {
+    dir: PathBuf,
+}
+
+impl ProfileStore {
+    /// A store rooted at `dir` (created on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ProfileStore { dir: dir.into() }
+    }
+
+    fn path_for(&self, app: &str) -> PathBuf {
+        // Sanitize: app names become file names.
+        let safe: String = app
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!("{safe}.mrdprofile"))
+    }
+
+    /// Persist `profile` under `app`, returning the file path.
+    pub fn save(&self, app: &str, profile: &AppProfile) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(app);
+        fs::write(&path, serialize(app, profile))?;
+        Ok(path)
+    }
+
+    /// Load the stored profile for `app`, if present.
+    pub fn load(&self, app: &str) -> io::Result<Option<AppProfile>> {
+        let path = self.path_for(app);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&path)?;
+        parse(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Whether a profile exists for `app`.
+    pub fn contains(&self, app: &str) -> bool {
+        self.path_for(app).exists()
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Serialize a profile to the v1 text format.
+fn serialize(app: &str, profile: &AppProfile) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "refdist-profile v1");
+    let _ = writeln!(out, "app {app}");
+    let _ = writeln!(out, "jobs {}", profile.num_jobs);
+    let mut line = String::from("stagejobs");
+    for j in &profile.stage_job {
+        let _ = write!(line, " {}", j.0);
+    }
+    let _ = writeln!(out, "{line}");
+    for (i, t) in profile.per_stage.iter().enumerate() {
+        let reads = join_ids(t.reads.iter().map(|r| r.0));
+        let creates = join_ids(t.creates.iter().map(|r| r.0));
+        let _ = writeln!(out, "stage {i} reads {reads} creates {creates}");
+    }
+    for (rdd, refs) in &profile.per_rdd {
+        let mut line = format!("rdd {}", rdd.0);
+        for (s, j) in refs.stages.iter().zip(&refs.jobs) {
+            let _ = write!(line, " {}:{}", s.0, j.0);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+fn join_ids(ids: impl Iterator<Item = u32>) -> String {
+    let v: Vec<String> = ids.map(|i| i.to_string()).collect();
+    if v.is_empty() {
+        "-".to_string()
+    } else {
+        v.join(",")
+    }
+}
+
+fn split_ids(s: &str) -> Result<Vec<RddId>, String> {
+    if s == "-" {
+        return Ok(vec![]);
+    }
+    s.split(',')
+        .map(|p| {
+            p.parse::<u32>()
+                .map(RddId)
+                .map_err(|e| format!("bad id `{p}`: {e}"))
+        })
+        .collect()
+}
+
+/// Parse the v1 text format back into a profile.
+fn parse(text: &str) -> Result<AppProfile, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("refdist-profile v1") => {}
+        other => return Err(format!("bad header: {other:?}")),
+    }
+    let mut num_jobs = 0usize;
+    let mut stage_job: Vec<JobId> = Vec::new();
+    let mut per_stage: Vec<StageTouches> = Vec::new();
+    let mut per_rdd: BTreeMap<RddId, RddRefs> = BTreeMap::new();
+
+    for line in lines {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            None | Some("app") => {}
+            Some("jobs") => {
+                num_jobs = it
+                    .next()
+                    .ok_or("jobs: missing count")?
+                    .parse()
+                    .map_err(|e| format!("jobs: {e}"))?;
+            }
+            Some("stagejobs") => {
+                stage_job = it
+                    .map(|t| {
+                        t.parse::<u32>()
+                            .map(JobId)
+                            .map_err(|e| format!("stagejobs: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            Some("stage") => {
+                let idx: usize = it
+                    .next()
+                    .ok_or("stage: missing index")?
+                    .parse()
+                    .map_err(|e| format!("stage index: {e}"))?;
+                if idx != per_stage.len() {
+                    return Err(format!("stage lines out of order at {idx}"));
+                }
+                if it.next() != Some("reads") {
+                    return Err("stage: expected `reads`".into());
+                }
+                let reads = split_ids(it.next().ok_or("stage: missing reads")?)?;
+                if it.next() != Some("creates") {
+                    return Err("stage: expected `creates`".into());
+                }
+                let creates = split_ids(it.next().ok_or("stage: missing creates")?)?;
+                per_stage.push(StageTouches { reads, creates });
+            }
+            Some("rdd") => {
+                let id: u32 = it
+                    .next()
+                    .ok_or("rdd: missing id")?
+                    .parse()
+                    .map_err(|e| format!("rdd id: {e}"))?;
+                let mut stages = Vec::new();
+                let mut jobs = Vec::new();
+                for pair in it {
+                    let (s, j) = pair
+                        .split_once(':')
+                        .ok_or_else(|| format!("rdd ref `{pair}` missing `:`"))?;
+                    stages.push(StageId(s.parse::<u32>().map_err(|e| e.to_string())?));
+                    jobs.push(JobId(j.parse::<u32>().map_err(|e| e.to_string())?));
+                }
+                per_rdd.insert(
+                    RddId(id),
+                    RddRefs {
+                        rdd: RddId(id),
+                        stages,
+                        jobs,
+                    },
+                );
+            }
+            Some(other) => return Err(format!("unknown directive `{other}`")),
+        }
+    }
+    if per_stage.len() != stage_job.len() {
+        return Err(format!(
+            "stage count mismatch: {} touch lines vs {} stagejobs",
+            per_stage.len(),
+            stage_job.len()
+        ));
+    }
+    Ok(AppProfile {
+        per_rdd,
+        per_stage,
+        stage_job,
+        num_jobs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::AppBuilder;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn sample() -> (AppSpec, AppPlan) {
+        let mut b = AppBuilder::new("sample app");
+        let input = b.input("in", 4, 100, 10);
+        let data = b.narrow("data", input, 100, 10);
+        b.cache(data);
+        for i in 0..3 {
+            let s = b.shuffle(format!("s{i}"), &[data], 4, 50, 10);
+            b.action(format!("j{i}"), s);
+        }
+        let spec = b.build();
+        let plan = AppPlan::build(&spec);
+        (spec, plan)
+    }
+
+    fn temp_store() -> ProfileStore {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "refdist-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        ProfileStore::new(dir)
+    }
+
+    #[test]
+    fn recurring_sees_everything_upfront() {
+        let (spec, plan) = sample();
+        let p = AppProfiler::new(&spec, &plan, ProfileMode::Recurring);
+        let v = p.visible_at_job(JobId(0));
+        assert_eq!(v.refs(RddId(1)).unwrap().count(), 3);
+    }
+
+    #[test]
+    fn adhoc_sees_only_submitted_jobs() {
+        let (spec, plan) = sample();
+        let p = AppProfiler::new(&spec, &plan, ProfileMode::AdHoc);
+        assert_eq!(
+            p.visible_at_job(JobId(0)).refs(RddId(1)).unwrap().count(),
+            1
+        );
+        assert_eq!(
+            p.visible_at_job(JobId(2)).refs(RddId(1)).unwrap().count(),
+            3
+        );
+    }
+
+    #[test]
+    fn profile_roundtrips_through_store() {
+        let (spec, plan) = sample();
+        let p = AppProfiler::new(&spec, &plan, ProfileMode::Recurring);
+        let store = temp_store();
+        assert!(!store.contains(&spec.name));
+        store.save(&spec.name, p.full()).unwrap();
+        assert!(store.contains(&spec.name));
+        let loaded = store.load(&spec.name).unwrap().unwrap();
+        assert_eq!(loaded.per_rdd, p.full().per_rdd);
+        assert_eq!(loaded.stage_job, p.full().stage_job);
+        assert_eq!(loaded.num_jobs, p.full().num_jobs);
+        assert_eq!(
+            loaded
+                .per_stage
+                .iter()
+                .map(|t| (t.reads.clone(), t.creates.clone()))
+                .collect::<Vec<_>>(),
+            p.full()
+                .per_stage
+                .iter()
+                .map(|t| (t.reads.clone(), t.creates.clone()))
+                .collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_profile_loads_none() {
+        let store = temp_store();
+        assert!(store.load("nothing-here").unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_profile_is_invalid_data() {
+        let store = temp_store();
+        std::fs::create_dir_all(store.dir()).unwrap();
+        std::fs::write(store.path_for("bad"), "not a profile").unwrap();
+        let err = store.load("bad").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn discrepancy_detection() {
+        let (spec, plan) = sample();
+        let p = AppProfiler::new(&spec, &plan, ProfileMode::Recurring);
+        assert!(!p.discrepancy(p.full()));
+        let mut altered = p.full().clone();
+        altered.per_rdd.clear();
+        assert!(p.discrepancy(&altered));
+    }
+
+    #[test]
+    fn stored_profiler_reports_recurring() {
+        let (spec, plan) = sample();
+        let p = AppProfiler::new(&spec, &plan, ProfileMode::AdHoc);
+        let stored = AppProfiler::from_stored("sample app", p.full().clone());
+        assert_eq!(stored.mode(), ProfileMode::Recurring);
+        assert_eq!(stored.name(), "sample app");
+    }
+
+    #[test]
+    fn app_names_are_sanitized_for_paths() {
+        let store = temp_store();
+        let p = store.path_for("weird name/with:stuff");
+        let fname = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert_eq!(fname, "weird_name_with_stuff.mrdprofile");
+    }
+}

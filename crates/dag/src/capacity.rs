@@ -1,0 +1,165 @@
+//! Cache-capacity analysis: how much memory would a workload need for a
+//! fully-hitting run?
+//!
+//! A cached RDD is *live* from the stage that creates it through the stage
+//! of its last reference; afterwards an optimal policy discards it. The
+//! peak of the live-set size over the execution is therefore the minimum
+//! cluster-wide cache capacity with which a clairvoyant policy never
+//! misses — the provisioning number behind the paper's cache-savings
+//! observation (§5.6: MRD reaches a target hit ratio with a fraction of
+//! LRU's cache).
+
+use crate::analyze::AppProfile;
+use crate::app::AppSpec;
+use crate::ids::StageId;
+
+/// The live-set profile of an application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveSetProfile {
+    /// Live cached bytes during each stage, indexed by `StageId`.
+    pub per_stage: Vec<u64>,
+    /// Peak live bytes.
+    pub peak_bytes: u64,
+    /// First stage at which the peak occurs.
+    pub peak_stage: StageId,
+    /// Total bytes ever cached (the footprint an eviction-free run needs).
+    pub total_bytes: u64,
+}
+
+impl LiveSetProfile {
+    /// Compute the live-set profile from a reference profile.
+    pub fn compute(spec: &AppSpec, profile: &AppProfile) -> LiveSetProfile {
+        let stages = profile.per_stage.len();
+        // Differential array: +size at creation, -size after last reference.
+        let mut delta = vec![0i128; stages + 1];
+        let mut total = 0u64;
+        for refs in profile.per_rdd.values() {
+            let size = spec.rdd(refs.rdd).total_size();
+            total += size;
+            let created = refs.stages[0].index();
+            let last = refs.stages[refs.stages.len() - 1].index();
+            delta[created] += size as i128;
+            delta[last + 1] -= size as i128;
+        }
+        let mut per_stage = Vec::with_capacity(stages);
+        let mut live = 0i128;
+        let mut peak = 0u64;
+        let mut peak_stage = StageId(0);
+        for (s, d) in delta.iter().take(stages).enumerate() {
+            live += d;
+            debug_assert!(live >= 0, "live set went negative at stage {s}");
+            let bytes = live as u64;
+            if bytes > peak {
+                peak = bytes;
+                peak_stage = StageId(s as u32);
+            }
+            per_stage.push(bytes);
+        }
+        LiveSetProfile {
+            per_stage,
+            peak_bytes: peak,
+            peak_stage,
+            total_bytes: total,
+        }
+    }
+
+    /// Fraction of the total footprint the peak live set occupies — how
+    /// much cache an optimal policy saves relative to keeping everything.
+    pub fn optimal_savings(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.peak_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::RefAnalyzer;
+    use crate::app::AppBuilder;
+    use crate::plan::AppPlan;
+
+    /// Two cached RDDs with disjoint live ranges: a lives stages 0..=2,
+    /// b lives 3..=5 (roughly), so the peak is far below the total.
+    fn phased() -> (AppSpec, AppProfile) {
+        let mut bld = AppBuilder::new("phased");
+        let input = bld.input("in", 2, 100, 10);
+        let a = bld.narrow("a", input, 100, 10);
+        bld.cache(a);
+        let b = bld.narrow("b", input, 100, 10);
+        bld.cache(b);
+        for i in 0..2 {
+            let s = bld.shuffle(format!("pa{i}"), &[a], 2, 10, 1);
+            bld.action(format!("ja{i}"), s);
+        }
+        for i in 0..2 {
+            let s = bld.shuffle(format!("pb{i}"), &[b], 2, 10, 1);
+            bld.action(format!("jb{i}"), s);
+        }
+        let spec = bld.build();
+        let plan = AppPlan::build(&spec);
+        let profile = RefAnalyzer::new(&spec, &plan).profile();
+        (spec, profile)
+    }
+
+    #[test]
+    fn disjoint_phases_peak_below_total() {
+        let (spec, profile) = phased();
+        let live = LiveSetProfile::compute(&spec, &profile);
+        assert_eq!(live.total_bytes, 400); // both RDDs, 2 blocks of 100 each
+                                           // a dies before b's phase begins... a is created in job ja0's map
+                                           // stage together with... check the key property: the peak is less
+                                           // than the total (the phases do not fully overlap).
+        assert!(live.peak_bytes < live.total_bytes);
+        assert!(live.optimal_savings() > 0.0);
+        // Live bytes are zero once everything is dead.
+        assert_eq!(*live.per_stage.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn always_live_rdd_peaks_at_total() {
+        let mut bld = AppBuilder::new("hot");
+        let input = bld.input("in", 2, 100, 10);
+        let d = bld.narrow("d", input, 100, 10);
+        bld.cache(d);
+        for i in 0..3 {
+            let s = bld.shuffle(format!("s{i}"), &[d], 2, 10, 1);
+            bld.action(format!("j{i}"), s);
+        }
+        let spec = bld.build();
+        let plan = AppPlan::build(&spec);
+        let profile = RefAnalyzer::new(&spec, &plan).profile();
+        let live = LiveSetProfile::compute(&spec, &profile);
+        assert_eq!(live.peak_bytes, 200);
+        assert_eq!(live.total_bytes, 200);
+        assert_eq!(live.optimal_savings(), 0.0);
+        // Live from creation through the last referencing stage.
+        assert!(live.per_stage.iter().filter(|&&b| b > 0).count() >= 4);
+    }
+
+    #[test]
+    fn empty_profile_is_all_zero() {
+        let mut bld = AppBuilder::new("uncached");
+        let input = bld.input("in", 2, 100, 10);
+        let s = bld.shuffle("s", &[input], 2, 10, 1);
+        bld.action("j", s);
+        let spec = bld.build();
+        let plan = AppPlan::build(&spec);
+        let profile = RefAnalyzer::new(&spec, &plan).profile();
+        let live = LiveSetProfile::compute(&spec, &profile);
+        assert_eq!(live.peak_bytes, 0);
+        assert_eq!(live.total_bytes, 0);
+        assert!(live.per_stage.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn per_stage_length_matches_plan() {
+        let (spec, profile) = phased();
+        let live = LiveSetProfile::compute(&spec, &profile);
+        assert_eq!(live.per_stage.len(), profile.per_stage.len());
+        assert!(live.peak_stage.index() < live.per_stage.len());
+        assert_eq!(live.per_stage[live.peak_stage.index()], live.peak_bytes);
+    }
+}

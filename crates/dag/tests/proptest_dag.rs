@@ -1,0 +1,130 @@
+//! Property tests on DAG planning primitives over randomly shaped lineages.
+
+use proptest::prelude::*;
+use refdist_dag::{plan, AppBuilder, AppPlan, AppSpec, RefAnalyzer, StorageLevel};
+
+/// Build a random but valid lineage: each new RDD picks an existing parent
+/// and a transformation kind.
+fn random_spec(choices: &[(u8, u8, bool)]) -> AppSpec {
+    let mut b = AppBuilder::new("random");
+    let mut rdds = vec![b.input("in", 4, 1024, 100)];
+    for (i, &(kind, parent, cache)) in choices.iter().enumerate() {
+        let p = rdds[parent as usize % rdds.len()];
+        let r = match kind % 3 {
+            0 => b.narrow(format!("n{i}"), p, 1024, 100),
+            1 => b.shuffle(format!("s{i}"), &[p], 4, 512, 100),
+            _ => {
+                let q = rdds[(parent as usize / 2) % rdds.len()];
+                b.shuffle(format!("j{i}"), &[p, q], 4, 512, 100)
+            }
+        };
+        if cache {
+            b.persist(r, StorageLevel::MemoryAndDisk);
+        }
+        rdds.push(r);
+    }
+    let last = *rdds.last().unwrap();
+    b.action("final", last);
+    // A second action earlier in the lineage exercises stage sharing.
+    let mid = rdds[rdds.len() / 2];
+    b.action("mid", mid);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn narrow_sets_never_cross_shuffles(choices in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..30)) {
+        let spec = random_spec(&choices);
+        let p = AppPlan::build(&spec);
+        for stage in &p.stages {
+            for &r in &stage.rdds {
+                // Every member is reachable from the final RDD via narrow
+                // deps only: recomputing membership must agree.
+                prop_assert!(plan::narrow_set(&spec, stage.final_rdd).contains(&r));
+            }
+            // The frontier's map stages are exactly the stage's parents.
+            let frontier = plan::shuffle_frontier(&spec, stage.final_rdd);
+            prop_assert_eq!(frontier.len(), {
+                // Parents may be deduplicated when two edges share a stage.
+                let mut ids = stage.parents.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                let mut fr: Vec<_> = frontier
+                    .iter()
+                    .map(|e| {
+                        p.stages
+                            .iter()
+                            .find(|s| s.final_rdd == e.0 && matches!(s.kind, plan::StageKind::ShuffleMap { child } if child == e.1))
+                            .map(|s| s.id)
+                            .expect("frontier edge has a stage")
+                    })
+                    .collect();
+                fr.sort_unstable();
+                fr.dedup();
+                prop_assert_eq!(&ids, &fr);
+                frontier.len()
+            });
+        }
+    }
+
+    #[test]
+    fn execution_order_equals_id_order(choices in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..30)) {
+        let spec = random_spec(&choices);
+        let p = AppPlan::build(&spec);
+        // Stage ids grouped by creating job, non-decreasing.
+        let jobs: Vec<u32> = p.stages.iter().map(|s| s.job.0).collect();
+        let mut sorted = jobs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(jobs, sorted);
+        // Skipped stages of a job were always created by an earlier job.
+        for job in &p.jobs {
+            for s in p.skipped_stages_of_job(job.id) {
+                prop_assert!(p.stage(s).job < job.id);
+            }
+        }
+    }
+
+    #[test]
+    fn analyzer_profile_consistent_with_plan(choices in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..30)) {
+        let spec = random_spec(&choices);
+        let p = AppPlan::build(&spec);
+        let profile = RefAnalyzer::new(&spec, &p).profile();
+        prop_assert_eq!(profile.per_stage.len(), p.stages.len());
+        // A stage's recorded reads/creates all appear in its pipelined set.
+        for (i, touches) in profile.per_stage.iter().enumerate() {
+            let stage = &p.stages[i];
+            for r in touches.reads.iter().chain(&touches.creates) {
+                prop_assert!(stage.rdds.contains(r));
+            }
+        }
+        // Each cached RDD is created exactly once across all stages.
+        let mut created = std::collections::HashSet::new();
+        for t in &profile.per_stage {
+            for r in &t.creates {
+                prop_assert!(created.insert(*r), "rdd created twice");
+            }
+        }
+        // Total refs = creates + reads.
+        let touches: usize = profile
+            .per_stage
+            .iter()
+            .map(|t| t.reads.len() + t.creates.len())
+            .sum();
+        prop_assert_eq!(touches, profile.total_references());
+    }
+
+    #[test]
+    fn dot_exports_are_balanced(choices in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..20)) {
+        let spec = random_spec(&choices);
+        let p = AppPlan::build(&spec);
+        for text in [
+            refdist_dag::dot::lineage_dot(&spec),
+            refdist_dag::dot::stage_dot(&spec, &p),
+        ] {
+            prop_assert_eq!(text.matches('{').count(), text.matches('}').count());
+            prop_assert!(text.starts_with("digraph"));
+        }
+    }
+}

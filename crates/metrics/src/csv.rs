@@ -1,0 +1,81 @@
+//! Minimal CSV output for experiment data series.
+
+use std::fmt::Write as _;
+
+/// Builds CSV text with proper quoting of commas, quotes and newlines.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    out: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// New writer with a header row.
+    pub fn new<S: AsRef<str>>(header: impl IntoIterator<Item = S>) -> Self {
+        let mut w = CsvWriter {
+            out: String::new(),
+            columns: 0,
+        };
+        let cells: Vec<String> = header
+            .into_iter()
+            .map(|c| Self::escape(c.as_ref()))
+            .collect();
+        w.columns = cells.len();
+        w.out.push_str(&cells.join(","));
+        w.out.push('\n');
+        w
+    }
+
+    fn escape(cell: &str) -> String {
+        if cell.contains([',', '"', '\n']) {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+
+    /// Append a data row.
+    ///
+    /// # Panics
+    /// Panics on a cell-count mismatch with the header.
+    pub fn row<S: AsRef<str>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells
+            .into_iter()
+            .map(|c| Self::escape(c.as_ref()))
+            .collect();
+        assert_eq!(cells.len(), self.columns, "csv row width mismatch");
+        let _ = writeln!(self.out, "{}", cells.join(","));
+        self
+    }
+
+    /// The CSV text.
+    pub fn finish(&self) -> &str {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_rows() {
+        let mut w = CsvWriter::new(["a", "b"]);
+        w.row(["1", "2"]).row(["3", "4"]);
+        assert_eq!(w.finish(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut w = CsvWriter::new(["x"]);
+        w.row(["hello, world"]).row(["say \"hi\""]);
+        assert_eq!(w.finish(), "x\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut w = CsvWriter::new(["a", "b"]);
+        w.row(["1"]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Ordinary least squares linear regression with R².
+//!
+//! Used to regenerate the trendlines of the paper's Figures 11 and 12
+//! (performance vs average stage distance, R²=0.46; performance vs average
+//! references per stage, R²=0.71).
+
+/// A fitted line `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted y at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fit `y = a + b x` by OLS. Returns `None` for fewer than 2 points or a
+/// degenerate (constant-x) sample.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let syy: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let r2 = if syy == 0.0 {
+        1.0 // constant y: the fit is exact
+    } else {
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| {
+                let e = p.1 - (intercept + slope * p.0);
+                e * e
+            })
+            .sum();
+        1.0 - ss_res / syy
+    };
+    Some(LinearFit {
+        intercept,
+        slope,
+        r2,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_has_r2_one() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 43.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_partial_r2() {
+        let pts = [(0.0, 0.0), (1.0, 1.5), (2.0, 1.8), (3.0, 3.3), (4.0, 3.9)];
+        let fit = linear_fit(&pts).unwrap();
+        assert!(fit.slope > 0.0);
+        assert!(fit.r2 > 0.8 && fit.r2 < 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        // Constant x: vertical line cannot be fit.
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_y_is_perfect_flat_fit() {
+        let fit = linear_fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn anticorrelated_slope_is_negative() {
+        let pts: Vec<(f64, f64)> = (0..8).map(|i| (i as f64, -(i as f64) + 0.1)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!(fit.slope < 0.0);
+    }
+}

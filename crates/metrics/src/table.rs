@@ -1,0 +1,135 @@
+//! Fixed-width text tables for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple right-padded text table builder.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row has {} cells, header has {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string with a separator line under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", c, width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a byte count as a human-friendly string (e.g. `2.4 G`).
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "K", "M", "G", "T"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]).row(["longer", "22"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "name    value");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "a       1");
+        assert_eq!(lines[3], "longer  22");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = TextTable::new(["x"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 K");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.0 M");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0 G");
+    }
+}

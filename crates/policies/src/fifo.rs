@@ -1,0 +1,89 @@
+//! First-In First-Out eviction: evicts the oldest-inserted block.
+//!
+//! Not in the paper's comparison set; included as an ablation baseline that
+//! isolates how much of LRU's benefit comes from recency tracking at all.
+
+use crate::CachePolicy;
+use refdist_dag::BlockId;
+use refdist_store::NodeId;
+use std::collections::HashMap;
+
+/// FIFO eviction.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    clock: u64,
+    inserted_at: HashMap<BlockId, u64>,
+}
+
+impl FifoPolicy {
+    /// New FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CachePolicy for FifoPolicy {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+
+    fn on_insert(&mut self, _node: NodeId, block: BlockId) {
+        self.clock += 1;
+        // Keep the original insertion time on re-insert.
+        self.inserted_at.entry(block).or_insert(self.clock);
+    }
+
+    fn on_remove(&mut self, _node: NodeId, block: BlockId) {
+        self.inserted_at.remove(&block);
+    }
+
+    fn pick_victim(&mut self, _node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|b| (self.inserted_at.get(b).copied().unwrap_or(0), *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::RddId;
+
+    fn blk(r: u32, p: u32) -> BlockId {
+        BlockId::new(RddId(r), p)
+    }
+
+    const N: NodeId = NodeId(0);
+
+    #[test]
+    fn evicts_oldest_insert_regardless_of_access() {
+        let mut p = FifoPolicy::new();
+        p.on_insert(N, blk(0, 0));
+        p.on_insert(N, blk(1, 0));
+        p.on_access(N, blk(0, 0)); // access must not matter
+        let v = p.pick_victim(N, &[blk(0, 0), blk(1, 0)]);
+        assert_eq!(v, Some(blk(0, 0)));
+    }
+
+    #[test]
+    fn reinsert_keeps_original_position() {
+        let mut p = FifoPolicy::new();
+        p.on_insert(N, blk(0, 0));
+        p.on_insert(N, blk(1, 0));
+        p.on_insert(N, blk(0, 0)); // re-insert
+        let v = p.pick_victim(N, &[blk(0, 0), blk(1, 0)]);
+        assert_eq!(v, Some(blk(0, 0)));
+    }
+
+    #[test]
+    fn remove_then_insert_moves_to_back() {
+        let mut p = FifoPolicy::new();
+        p.on_insert(N, blk(0, 0));
+        p.on_insert(N, blk(1, 0));
+        p.on_remove(N, blk(0, 0));
+        p.on_insert(N, blk(0, 0));
+        let v = p.pick_victim(N, &[blk(0, 0), blk(1, 0)]);
+        assert_eq!(v, Some(blk(1, 0)));
+    }
+}

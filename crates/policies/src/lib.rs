@@ -1,0 +1,173 @@
+//! Cache management policies.
+//!
+//! Defines the [`CachePolicy`] trait the cluster simulator drives, plus the
+//! baseline policies the MRD paper evaluates against:
+//!
+//! * [`LruPolicy`] — Spark's default recency-based eviction (§2).
+//! * [`FifoPolicy`], [`RandomPolicy`] — classic non-DAG baselines for
+//!   ablations.
+//! * [`LrcPolicy`] — Least Reference Count (Yu et al., INFOCOM'17): counts
+//!   remaining DAG references per block, evicts the lowest.
+//! * [`MemTunePolicy`] — MemTune's cache component (Xu et al., IPDPS'16):
+//!   keeps lists of RDDs needed by runnable stages; evicts outside the list,
+//!   prefetches inside it.
+//! * [`BeladyMinPolicy`] — the clairvoyant MIN oracle over a recorded access
+//!   trace, the unreachable upper bound MRD approximates (§3.1).
+//!
+//! The MRD policy itself lives in `refdist-core`; it implements the same
+//! trait.
+
+pub mod belady;
+pub mod fifo;
+pub mod lrc;
+pub mod lru;
+pub mod memtune;
+pub mod random;
+
+pub use belady::BeladyMinPolicy;
+pub use fifo::FifoPolicy;
+pub use lrc::LrcPolicy;
+pub use lru::LruPolicy;
+pub use memtune::MemTunePolicy;
+pub use random::RandomPolicy;
+
+use refdist_dag::{AppProfile, BlockId, JobId, StageId};
+use refdist_store::NodeId;
+
+/// A cache management policy, driven by the cluster runtime.
+///
+/// The runtime calls the `on_*` hooks as the simulated application executes
+/// and consults `pick_victim` under memory pressure, `purge_candidates` for
+/// proactive cluster-wide eviction, and `prefetch_order` when a policy does
+/// prefetching. All hooks are infallible and must be cheap: the paper's §4.4
+/// argues MRD's bookkeeping is comparable to LRU's, and the criterion
+/// benches in `refdist-bench` verify that claim for this implementation.
+pub trait CachePolicy {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+
+    /// A job's DAG has been submitted; `visible` is the reference profile
+    /// known so far (whole application for recurring runs, everything up to
+    /// this job for ad-hoc runs).
+    fn on_job_submit(&mut self, job: JobId, visible: &AppProfile) {
+        let _ = (job, visible);
+    }
+
+    /// Execution advanced to `stage`.
+    fn on_stage_start(&mut self, stage: StageId, visible: &AppProfile) {
+        let _ = (stage, visible);
+    }
+
+    /// `block` was inserted into `node`'s memory cache.
+    fn on_insert(&mut self, node: NodeId, block: BlockId) {
+        let _ = (node, block);
+    }
+
+    /// `block` was read from `node`'s memory cache (a hit).
+    fn on_access(&mut self, node: NodeId, block: BlockId) {
+        let _ = (node, block);
+    }
+
+    /// `block` left `node`'s memory cache (eviction or purge).
+    fn on_remove(&mut self, node: NodeId, block: BlockId) {
+        let _ = (node, block);
+    }
+
+    /// Under memory pressure on `node`, choose which of `candidates` (the
+    /// node's unpinned resident blocks, in deterministic order) to evict.
+    ///
+    /// Returning `None` aborts the insert (nothing evictable is worth less
+    /// than the incoming block, or the candidate list is empty).
+    fn pick_victim(&mut self, node: NodeId, candidates: &[BlockId]) -> Option<BlockId>;
+
+    /// Among `in_memory` blocks cluster-wide, those that should be purged
+    /// proactively (MRD's "all-out purge" of infinite-distance data, §4.2).
+    fn purge_candidates(&mut self, in_memory: &[BlockId]) -> Vec<BlockId> {
+        let _ = in_memory;
+        Vec::new()
+    }
+
+    /// Rank `missing` blocks (cached-RDD blocks not in `node`'s memory) in
+    /// prefetch priority order, best first. Empty means "prefetch nothing".
+    fn prefetch_order(&mut self, node: NodeId, missing: &[BlockId]) -> Vec<BlockId> {
+        let _ = (node, missing);
+        Vec::new()
+    }
+
+    /// Whether the runtime should run the prefetch engine for this policy.
+    fn wants_prefetch(&self) -> bool {
+        false
+    }
+}
+
+/// Baseline policy selector, used by benches and examples to construct
+/// policies by name. MRD is constructed separately (it carries a config);
+/// see `refdist_core::MrdPolicy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Least Recently Used (Spark default).
+    Lru,
+    /// First-In First-Out.
+    Fifo,
+    /// Uniform random victim (seeded).
+    Random,
+    /// Least Reference Count.
+    Lrc,
+    /// MemTune's dependency-list policy.
+    MemTune,
+}
+
+impl PolicyKind {
+    /// Instantiate the baseline policy.
+    pub fn build(self) -> Box<dyn CachePolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(LruPolicy::new()),
+            PolicyKind::Fifo => Box::new(FifoPolicy::new()),
+            PolicyKind::Random => Box::new(RandomPolicy::new(0x5eed)),
+            PolicyKind::Lrc => Box::new(LrcPolicy::new()),
+            PolicyKind::MemTune => Box::new(MemTunePolicy::new()),
+        }
+    }
+
+    /// All baseline kinds, for sweeps.
+    pub fn all() -> &'static [PolicyKind] {
+        &[
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::Lrc,
+            PolicyKind::MemTune,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_named_policies() {
+        for &k in PolicyKind::all() {
+            let p = k.build();
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        // A minimal policy relying on every default must still be usable.
+        struct Nop;
+        impl CachePolicy for Nop {
+            fn name(&self) -> String {
+                "nop".into()
+            }
+            fn pick_victim(&mut self, _: NodeId, c: &[BlockId]) -> Option<BlockId> {
+                c.first().copied()
+            }
+        }
+        let mut p = Nop;
+        assert!(!p.wants_prefetch());
+        assert!(p.purge_candidates(&[]).is_empty());
+        assert!(p.prefetch_order(NodeId(0), &[]).is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Least Reference Count (LRC) — Yu et al., INFOCOM 2017.
+//!
+//! Traverses the DAG and counts the references to each data block; as the
+//! application runs, each access decrements the block's remaining count, and
+//! eviction removes the block with the lowest count. Blocks with zero
+//! remaining references are dead and evict first.
+//!
+//! The paper (§2, §3.3) points out LRC's weakness that MRD fixes: a block
+//! with many references *far in the future* keeps a high count and squats in
+//! the cache, while a block with a single *imminent* reference is evicted.
+//! This implementation follows the LRC paper's mechanism so that weakness is
+//! faithfully reproduced (see `lrc_keeps_far_future_block` below).
+
+use crate::CachePolicy;
+use refdist_dag::{AppProfile, BlockId, JobId, RddId, StageId};
+use refdist_store::NodeId;
+use std::collections::HashMap;
+
+/// Least Reference Count eviction.
+#[derive(Debug, Default)]
+pub struct LrcPolicy {
+    /// Total references per RDD, from the DAG profile.
+    total_refs: HashMap<RddId, u32>,
+    /// References already consumed, per block.
+    consumed: HashMap<BlockId, u32>,
+    /// Logical clock for LRU tie-breaking among equal counts.
+    clock: u64,
+    last_touch: HashMap<BlockId, u64>,
+}
+
+impl LrcPolicy {
+    /// New LRC policy; reference counts arrive via `on_job_submit`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remaining reference count of a block.
+    pub fn remaining(&self, block: BlockId) -> u32 {
+        let total = self.total_refs.get(&block.rdd).copied().unwrap_or(0);
+        let used = self.consumed.get(&block).copied().unwrap_or(0);
+        total.saturating_sub(used)
+    }
+
+    fn consume(&mut self, block: BlockId) {
+        *self.consumed.entry(block).or_insert(0) += 1;
+        self.clock += 1;
+        self.last_touch.insert(block, self.clock);
+    }
+}
+
+impl CachePolicy for LrcPolicy {
+    fn name(&self) -> String {
+        "LRC".into()
+    }
+
+    fn on_job_submit(&mut self, _job: JobId, visible: &AppProfile) {
+        // Counts are refreshed from the currently visible profile; consumed
+        // references stay, so remaining = visible total - consumed.
+        for (&rdd, refs) in &visible.per_rdd {
+            self.total_refs.insert(rdd, refs.count() as u32);
+        }
+    }
+
+    fn on_stage_start(&mut self, _stage: StageId, _visible: &AppProfile) {}
+
+    fn on_insert(&mut self, _node: NodeId, block: BlockId) {
+        // Creation is the block's first reference; it is consumed by the act
+        // of computing the block.
+        self.consume(block);
+    }
+
+    fn on_access(&mut self, _node: NodeId, block: BlockId) {
+        self.consume(block);
+    }
+
+    fn on_remove(&mut self, _node: NodeId, block: BlockId) {
+        self.last_touch.remove(&block);
+        // `consumed` is retained: if the block is recomputed later its past
+        // references are still spent.
+    }
+
+    fn pick_victim(&mut self, _node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
+        candidates.iter().copied().min_by_key(|b| {
+            (
+                self.remaining(*b),
+                self.last_touch.get(b).copied().unwrap_or(0),
+                *b,
+            )
+        })
+    }
+
+    fn purge_candidates(&mut self, in_memory: &[BlockId]) -> Vec<BlockId> {
+        // Zero remaining references = dead data; LRC drops it eagerly.
+        in_memory
+            .iter()
+            .copied()
+            .filter(|&b| self.remaining(b) == 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::RddRefs;
+    use std::collections::BTreeMap;
+
+    fn blk(r: u32, p: u32) -> BlockId {
+        BlockId::new(RddId(r), p)
+    }
+
+    const N: NodeId = NodeId(0);
+
+    /// Profile stub: rdd -> reference stages.
+    fn profile(entries: &[(u32, &[u32])]) -> AppProfile {
+        let mut per_rdd = BTreeMap::new();
+        let mut max_stage = 0;
+        for &(r, stages) in entries {
+            per_rdd.insert(
+                RddId(r),
+                RddRefs {
+                    rdd: RddId(r),
+                    stages: stages.iter().map(|&s| StageId(s)).collect(),
+                    jobs: stages.iter().map(|_| JobId(0)).collect(),
+                },
+            );
+            max_stage = max_stage.max(stages.iter().copied().max().unwrap_or(0));
+        }
+        AppProfile {
+            per_rdd,
+            per_stage: vec![Default::default(); max_stage as usize + 1],
+            stage_job: vec![JobId(0); max_stage as usize + 1],
+            num_jobs: 1,
+        }
+    }
+
+    #[test]
+    fn counts_initialize_from_profile() {
+        let mut p = LrcPolicy::new();
+        p.on_job_submit(JobId(0), &profile(&[(0, &[0, 2, 4]), (1, &[1])]));
+        assert_eq!(p.remaining(blk(0, 0)), 3);
+        assert_eq!(p.remaining(blk(1, 0)), 1);
+        assert_eq!(p.remaining(blk(9, 0)), 0); // unknown rdd
+    }
+
+    #[test]
+    fn insert_and_access_consume_references() {
+        let mut p = LrcPolicy::new();
+        p.on_job_submit(JobId(0), &profile(&[(0, &[0, 2, 4])]));
+        p.on_insert(N, blk(0, 0));
+        assert_eq!(p.remaining(blk(0, 0)), 2);
+        p.on_access(N, blk(0, 0));
+        assert_eq!(p.remaining(blk(0, 0)), 1);
+        p.on_access(N, blk(0, 0));
+        assert_eq!(p.remaining(blk(0, 0)), 0);
+        p.on_access(N, blk(0, 0)); // over-consumption saturates
+        assert_eq!(p.remaining(blk(0, 0)), 0);
+    }
+
+    #[test]
+    fn evicts_lowest_count() {
+        let mut p = LrcPolicy::new();
+        p.on_job_submit(JobId(0), &profile(&[(0, &[0, 2, 4, 6]), (1, &[1, 3])]));
+        p.on_insert(N, blk(0, 0)); // remaining 3
+        p.on_insert(N, blk(1, 0)); // remaining 1
+        let v = p.pick_victim(N, &[blk(0, 0), blk(1, 0)]);
+        assert_eq!(v, Some(blk(1, 0)));
+    }
+
+    #[test]
+    fn lrc_keeps_far_future_block() {
+        // The pathology MRD fixes (paper §3.3, RDD22 example): a block with
+        // many far-future references beats a block with one imminent
+        // reference under LRC.
+        let mut p = LrcPolicy::new();
+        p.on_job_submit(JobId(0), &profile(&[(0, &[0, 90, 95, 99]), (1, &[1, 2])]));
+        p.on_insert(N, blk(0, 0)); // 3 remaining, all far away
+        p.on_insert(N, blk(1, 0)); // 1 remaining, imminent (stage 2)
+                                   // LRC evicts the imminent single-reference block.
+        assert_eq!(p.pick_victim(N, &[blk(0, 0), blk(1, 0)]), Some(blk(1, 0)));
+    }
+
+    #[test]
+    fn dead_blocks_purge() {
+        let mut p = LrcPolicy::new();
+        p.on_job_submit(JobId(0), &profile(&[(0, &[0]), (1, &[1, 5])]));
+        p.on_insert(N, blk(0, 0)); // consumed its only ref
+        p.on_insert(N, blk(1, 0)); // one ref left
+        let purge = p.purge_candidates(&[blk(0, 0), blk(1, 0)]);
+        assert_eq!(purge, vec![blk(0, 0)]);
+    }
+
+    #[test]
+    fn ties_break_by_recency() {
+        let mut p = LrcPolicy::new();
+        p.on_job_submit(JobId(0), &profile(&[(0, &[0, 2]), (1, &[1, 3])]));
+        p.on_insert(N, blk(0, 0)); // remaining 1
+        p.on_insert(N, blk(1, 0)); // remaining 1, touched later
+        assert_eq!(p.pick_victim(N, &[blk(0, 0), blk(1, 0)]), Some(blk(0, 0)));
+    }
+
+    #[test]
+    fn profile_update_extends_counts() {
+        // Ad-hoc mode: a later job reveals more references.
+        let mut p = LrcPolicy::new();
+        p.on_job_submit(JobId(0), &profile(&[(0, &[0])]));
+        p.on_insert(N, blk(0, 0));
+        assert_eq!(p.remaining(blk(0, 0)), 0);
+        p.on_job_submit(JobId(1), &profile(&[(0, &[0, 5, 7])]));
+        assert_eq!(p.remaining(blk(0, 0)), 2);
+    }
+
+    #[test]
+    fn no_prefetching() {
+        let p = LrcPolicy::new();
+        assert!(!p.wants_prefetch());
+    }
+}

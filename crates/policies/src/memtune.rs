@@ -1,0 +1,209 @@
+//! MemTune's cache eviction/prefetch component — Xu et al., IPDPS 2016.
+//!
+//! MemTune uses DAG dependency information, but (as the MRD paper notes in
+//! §2) "it restricts to local dependencies on runnable tasks, and keeps
+//! information of all the required RDD blocks in a series of lists that do
+//! not provide the fine-grained time-locality information the DAG is able to
+//! provide". We model that as a lookahead *window*: the RDDs referenced by
+//! the currently running stage and the immediately next stage form the
+//! "needed" list. Eviction prefers blocks outside the list (LRU within each
+//! class); prefetching pulls blocks inside it. There is no notion of *how
+//! far* in the future a reference is — which is exactly the coarseness MRD
+//! improves on.
+//!
+//! MemTune's dynamic resizing of Spark's storage/execution memory regions is
+//! out of scope (see DESIGN.md §"Known deviations").
+
+use crate::CachePolicy;
+use refdist_dag::{AppProfile, BlockId, RddId, StageId};
+use refdist_store::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// MemTune-style list-based eviction and prefetching.
+#[derive(Debug, Default)]
+pub struct MemTunePolicy {
+    /// RDDs needed by the runnable window (current + next stage).
+    needed: HashSet<RddId>,
+    /// RDDs needed by the current stage specifically (prefetched first).
+    needed_now: HashSet<RddId>,
+    clock: u64,
+    last_touch: HashMap<BlockId, u64>,
+}
+
+impl MemTunePolicy {
+    /// New MemTune policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, block: BlockId) {
+        self.clock += 1;
+        self.last_touch.insert(block, self.clock);
+    }
+}
+
+impl CachePolicy for MemTunePolicy {
+    fn name(&self) -> String {
+        "MemTune".into()
+    }
+
+    fn on_stage_start(&mut self, stage: StageId, visible: &AppProfile) {
+        self.needed.clear();
+        self.needed_now.clear();
+        // Window = this stage and the next: the "runnable tasks" horizon.
+        for (off, set) in [(0usize, true), (1usize, false)] {
+            if let Some(touches) = visible.per_stage.get(stage.index() + off) {
+                for &r in touches.reads.iter().chain(&touches.creates) {
+                    self.needed.insert(r);
+                    if set {
+                        self.needed_now.insert(r);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_insert(&mut self, _node: NodeId, block: BlockId) {
+        self.touch(block);
+    }
+
+    fn on_access(&mut self, _node: NodeId, block: BlockId) {
+        self.touch(block);
+    }
+
+    fn on_remove(&mut self, _node: NodeId, block: BlockId) {
+        self.last_touch.remove(&block);
+    }
+
+    fn pick_victim(&mut self, _node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
+        // Evict un-needed blocks first (LRU among them), then needed (LRU).
+        candidates.iter().copied().min_by_key(|b| {
+            let needed = self.needed.contains(&b.rdd);
+            (
+                needed, // false < true: un-needed evict first
+                self.last_touch.get(b).copied().unwrap_or(0),
+                *b,
+            )
+        })
+    }
+
+    fn prefetch_order(&mut self, _node: NodeId, missing: &[BlockId]) -> Vec<BlockId> {
+        // Blocks needed by the current stage first, then by the next stage;
+        // everything else is not prefetched.
+        let mut order: Vec<BlockId> = missing
+            .iter()
+            .copied()
+            .filter(|b| self.needed.contains(&b.rdd))
+            .collect();
+        order.sort_by_key(|b| (!self.needed_now.contains(&b.rdd), *b));
+        order
+    }
+
+    fn wants_prefetch(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::{JobId, RddRefs, StageTouches};
+    use std::collections::BTreeMap;
+
+    fn blk(r: u32, p: u32) -> BlockId {
+        BlockId::new(RddId(r), p)
+    }
+
+    const N: NodeId = NodeId(0);
+
+    /// Profile where stage i reads the RDDs in `reads[i]`.
+    fn profile(reads: &[&[u32]]) -> AppProfile {
+        let per_stage = reads
+            .iter()
+            .map(|rs| StageTouches {
+                reads: rs.iter().map(|&r| RddId(r)).collect(),
+                creates: vec![],
+            })
+            .collect::<Vec<_>>();
+        let mut per_rdd = BTreeMap::new();
+        for (s, rs) in reads.iter().enumerate() {
+            for &r in rs.iter() {
+                per_rdd
+                    .entry(RddId(r))
+                    .or_insert_with(|| RddRefs {
+                        rdd: RddId(r),
+                        stages: vec![],
+                        jobs: vec![],
+                    })
+                    .stages
+                    .push(StageId(s as u32));
+            }
+        }
+        for refs in per_rdd.values_mut() {
+            refs.jobs = refs.stages.iter().map(|_| JobId(0)).collect();
+        }
+        AppProfile {
+            stage_job: vec![JobId(0); per_stage.len()],
+            per_stage,
+            per_rdd,
+            num_jobs: 1,
+        }
+    }
+
+    #[test]
+    fn window_covers_current_and_next_stage() {
+        let mut p = MemTunePolicy::new();
+        let prof = profile(&[&[0], &[1], &[2]]);
+        p.on_stage_start(StageId(0), &prof);
+        assert!(p.needed.contains(&RddId(0)));
+        assert!(p.needed.contains(&RddId(1)));
+        assert!(!p.needed.contains(&RddId(2)));
+    }
+
+    #[test]
+    fn evicts_outside_window_first() {
+        let mut p = MemTunePolicy::new();
+        let prof = profile(&[&[0], &[1], &[2]]);
+        p.on_stage_start(StageId(0), &prof);
+        p.on_insert(N, blk(0, 0));
+        p.on_insert(N, blk(2, 0));
+        // rdd2 is outside the window, evict it even though rdd0 is older.
+        assert_eq!(p.pick_victim(N, &[blk(0, 0), blk(2, 0)]), Some(blk(2, 0)));
+    }
+
+    #[test]
+    fn falls_back_to_lru_inside_window() {
+        let mut p = MemTunePolicy::new();
+        let prof = profile(&[&[0, 1], &[]]);
+        p.on_stage_start(StageId(0), &prof);
+        p.on_insert(N, blk(0, 0));
+        p.on_insert(N, blk(1, 0));
+        assert_eq!(p.pick_victim(N, &[blk(0, 0), blk(1, 0)]), Some(blk(0, 0)));
+    }
+
+    #[test]
+    fn prefetches_current_stage_rdds_first() {
+        let mut p = MemTunePolicy::new();
+        let prof = profile(&[&[1], &[2], &[3]]);
+        p.on_stage_start(StageId(0), &prof);
+        let order = p.prefetch_order(N, &[blk(3, 0), blk(2, 0), blk(1, 0)]);
+        // rdd3 (stage 2) outside window: dropped. rdd1 (now) before rdd2.
+        assert_eq!(order, vec![blk(1, 0), blk(2, 0)]);
+    }
+
+    #[test]
+    fn window_advances_with_stages() {
+        let mut p = MemTunePolicy::new();
+        let prof = profile(&[&[0], &[1], &[2]]);
+        p.on_stage_start(StageId(2), &prof);
+        assert!(p.needed.contains(&RddId(2)));
+        assert!(!p.needed.contains(&RddId(0)));
+        // Final stage has no successor; window is just itself.
+        assert_eq!(p.needed.len(), 1);
+    }
+
+    #[test]
+    fn wants_prefetch() {
+        assert!(MemTunePolicy::new().wants_prefetch());
+    }
+}

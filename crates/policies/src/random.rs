@@ -1,0 +1,78 @@
+//! Uniform random eviction (seeded, deterministic per run).
+//!
+//! An ablation baseline: any DAG-aware policy should comfortably beat it.
+
+use crate::CachePolicy;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use refdist_dag::BlockId;
+use refdist_store::NodeId;
+
+/// Random eviction with a deterministic seed.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: SmallRng,
+}
+
+impl RandomPolicy {
+    /// New random policy with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl CachePolicy for RandomPolicy {
+    fn name(&self) -> String {
+        "Random".into()
+    }
+
+    fn pick_victim(&mut self, _node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
+        if candidates.is_empty() {
+            None
+        } else {
+            let i = self.rng.random_range(0..candidates.len());
+            Some(candidates[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::RddId;
+
+    fn blk(r: u32) -> BlockId {
+        BlockId::new(RddId(r), 0)
+    }
+
+    #[test]
+    fn picks_from_candidates() {
+        let mut p = RandomPolicy::new(1);
+        let cands = [blk(0), blk(1), blk(2)];
+        for _ in 0..32 {
+            let v = p.pick_victim(NodeId(0), &cands).unwrap();
+            assert!(cands.contains(&v));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let cands = [blk(0), blk(1), blk(2), blk(3)];
+        let mut a = RandomPolicy::new(7);
+        let mut b = RandomPolicy::new(7);
+        for _ in 0..16 {
+            assert_eq!(
+                a.pick_victim(NodeId(0), &cands),
+                b.pick_victim(NodeId(0), &cands)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let mut p = RandomPolicy::new(1);
+        assert_eq!(p.pick_victim(NodeId(0), &[]), None);
+    }
+}

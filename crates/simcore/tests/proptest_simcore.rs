@@ -1,0 +1,81 @@
+//! Property tests for the simulation core: the event queue's total order and
+//! the FIFO resource's conservation laws must hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use refdist_simcore::{EventQueue, FifoResource, SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_time_then_fifo_order(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // Times are non-decreasing; ties preserve insertion order.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+        // `now` ends at the latest event time.
+        prop_assert_eq!(q.now(), SimTime(*times.iter().max().unwrap()));
+    }
+
+    #[test]
+    fn resource_completions_are_fifo_and_conserve_bytes(
+        requests in prop::collection::vec((0u64..10_000, 0u64..1_000_000), 1..100),
+        bw in 1u64..10_000_000,
+    ) {
+        let mut r = FifoResource::new(bw);
+        let mut now = SimTime::ZERO;
+        let mut last_done = SimTime::ZERO;
+        let mut total_bytes = 0u64;
+        for &(advance, bytes) in &requests {
+            now += SimDuration(advance);
+            let done = r.request(now, bytes);
+            // Completions never regress and never precede submission.
+            prop_assert!(done >= last_done);
+            prop_assert!(done >= now);
+            // Service time is at least the ideal transfer time.
+            prop_assert!(done.micros() - now.micros() >= SimDuration::transfer(bytes, bw).micros()
+                || done.micros() >= now.micros());
+            last_done = done;
+            total_bytes += bytes;
+        }
+        prop_assert_eq!(r.bytes_served(), total_bytes);
+        // Busy time equals the sum of individual service times.
+        let expected_busy: u64 = requests
+            .iter()
+            .map(|&(_, b)| SimDuration::transfer(b, bw).micros())
+            .sum();
+        prop_assert_eq!(r.busy_time().micros(), expected_busy);
+    }
+
+    #[test]
+    fn estimate_matches_subsequent_request(
+        bytes in 0u64..1_000_000,
+        pre in 0u64..100_000,
+        bw in 1u64..1_000_000,
+    ) {
+        let mut r = FifoResource::new(bw);
+        r.request(SimTime::ZERO, pre);
+        let est = r.estimate(SimTime(10), bytes);
+        let act = r.request(SimTime(10), bytes);
+        prop_assert_eq!(est, act);
+    }
+
+    #[test]
+    fn transfer_scales_linearly_within_rounding(bytes in 1u64..1_000_000, bw in 1u64..1_000_000) {
+        let one = SimDuration::transfer(bytes, bw).micros();
+        let two = SimDuration::transfer(bytes * 2, bw).micros();
+        // Doubling bytes at most doubles the time (+1 for rounding).
+        prop_assert!(two <= one * 2 + 1);
+        prop_assert!(two + 1 >= one * 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Cluster-wide block location registry (Spark's `BlockManagerMaster`).
+//!
+//! Nodes report block placement changes here; tasks resolving a remote read
+//! and the MRD prefetcher resolving a source copy query it. Locations are
+//! kept in ordered sets so lookups are deterministic.
+
+use crate::NodeId;
+use refdist_dag::BlockId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Tracks which nodes hold each block in memory and on disk.
+#[derive(Debug, Clone, Default)]
+pub struct BlockMaster {
+    memory: HashMap<BlockId, BTreeSet<NodeId>>,
+    disk: HashMap<BlockId, BTreeSet<NodeId>>,
+}
+
+impl BlockMaster {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `node` holds `block` in memory.
+    pub fn register_memory(&mut self, block: BlockId, node: NodeId) {
+        self.memory.entry(block).or_default().insert(node);
+    }
+
+    /// Record that `node` holds `block` on disk.
+    pub fn register_disk(&mut self, block: BlockId, node: NodeId) {
+        self.disk.entry(block).or_default().insert(node);
+    }
+
+    /// Record that `node` no longer holds `block` in memory.
+    pub fn unregister_memory(&mut self, block: BlockId, node: NodeId) {
+        if let Some(set) = self.memory.get_mut(&block) {
+            set.remove(&node);
+            if set.is_empty() {
+                self.memory.remove(&block);
+            }
+        }
+    }
+
+    /// Record that `node` no longer holds `block` on disk.
+    pub fn unregister_disk(&mut self, block: BlockId, node: NodeId) {
+        if let Some(set) = self.disk.get_mut(&block) {
+            set.remove(&node);
+            if set.is_empty() {
+                self.disk.remove(&block);
+            }
+        }
+    }
+
+    /// Nodes holding `block` in memory.
+    pub fn memory_locations(&self, block: BlockId) -> impl Iterator<Item = NodeId> + '_ {
+        self.memory.get(&block).into_iter().flatten().copied()
+    }
+
+    /// Nodes holding `block` on disk.
+    pub fn disk_locations(&self, block: BlockId) -> impl Iterator<Item = NodeId> + '_ {
+        self.disk.get(&block).into_iter().flatten().copied()
+    }
+
+    /// Whether any node holds `block` in memory.
+    pub fn in_memory_anywhere(&self, block: BlockId) -> bool {
+        self.memory.contains_key(&block)
+    }
+
+    /// Whether any node holds `block` at all.
+    pub fn anywhere(&self, block: BlockId) -> bool {
+        self.memory.contains_key(&block) || self.disk.contains_key(&block)
+    }
+
+    /// Best source to read `block` from, from `reader`'s point of view:
+    /// local memory, then local disk, then remote memory, then remote disk.
+    /// Returns the chosen node and whether that copy is in memory.
+    pub fn best_source(&self, block: BlockId, reader: NodeId) -> Option<(NodeId, bool)> {
+        let mem = self.memory.get(&block);
+        if let Some(set) = mem {
+            if set.contains(&reader) {
+                return Some((reader, true));
+            }
+        }
+        if let Some(set) = self.disk.get(&block) {
+            if set.contains(&reader) {
+                return Some((reader, false));
+            }
+        }
+        if let Some(set) = mem {
+            if let Some(&n) = set.iter().next() {
+                return Some((n, true));
+            }
+        }
+        if let Some(set) = self.disk.get(&block) {
+            if let Some(&n) = set.iter().next() {
+                return Some((n, false));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::RddId;
+
+    fn blk(r: u32, p: u32) -> BlockId {
+        BlockId::new(RddId(r), p)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut m = BlockMaster::new();
+        m.register_memory(blk(0, 0), NodeId(1));
+        m.register_disk(blk(0, 0), NodeId(2));
+        assert_eq!(
+            m.memory_locations(blk(0, 0)).collect::<Vec<_>>(),
+            vec![NodeId(1)]
+        );
+        assert_eq!(
+            m.disk_locations(blk(0, 0)).collect::<Vec<_>>(),
+            vec![NodeId(2)]
+        );
+        assert!(m.in_memory_anywhere(blk(0, 0)));
+        assert!(m.anywhere(blk(0, 0)));
+    }
+
+    #[test]
+    fn unregister_cleans_up() {
+        let mut m = BlockMaster::new();
+        m.register_memory(blk(0, 0), NodeId(1));
+        m.unregister_memory(blk(0, 0), NodeId(1));
+        assert!(!m.in_memory_anywhere(blk(0, 0)));
+        assert!(!m.anywhere(blk(0, 0)));
+        // Unregistering again is harmless.
+        m.unregister_memory(blk(0, 0), NodeId(1));
+    }
+
+    #[test]
+    fn best_source_prefers_local_memory() {
+        let mut m = BlockMaster::new();
+        m.register_memory(blk(0, 0), NodeId(0));
+        m.register_memory(blk(0, 0), NodeId(1));
+        assert_eq!(m.best_source(blk(0, 0), NodeId(1)), Some((NodeId(1), true)));
+    }
+
+    #[test]
+    fn best_source_prefers_local_disk_over_remote_memory() {
+        let mut m = BlockMaster::new();
+        m.register_memory(blk(0, 0), NodeId(2));
+        m.register_disk(blk(0, 0), NodeId(1));
+        assert_eq!(
+            m.best_source(blk(0, 0), NodeId(1)),
+            Some((NodeId(1), false))
+        );
+    }
+
+    #[test]
+    fn best_source_falls_back_to_remote() {
+        let mut m = BlockMaster::new();
+        m.register_disk(blk(0, 0), NodeId(3));
+        assert_eq!(
+            m.best_source(blk(0, 0), NodeId(0)),
+            Some((NodeId(3), false))
+        );
+        assert_eq!(m.best_source(blk(9, 9), NodeId(0)), None);
+    }
+
+    #[test]
+    fn remote_memory_beats_remote_disk() {
+        let mut m = BlockMaster::new();
+        m.register_disk(blk(0, 0), NodeId(1));
+        m.register_memory(blk(0, 0), NodeId(2));
+        assert_eq!(m.best_source(blk(0, 0), NodeId(0)), Some((NodeId(2), true)));
+    }
+
+    #[test]
+    fn deterministic_remote_choice() {
+        let mut m = BlockMaster::new();
+        m.register_memory(blk(0, 0), NodeId(5));
+        m.register_memory(blk(0, 0), NodeId(3));
+        // BTreeSet ordering: the lowest node id wins.
+        assert_eq!(m.best_source(blk(0, 0), NodeId(0)), Some((NodeId(3), true)));
+    }
+}

@@ -1,0 +1,336 @@
+//! Capacity-bounded in-memory block store.
+//!
+//! The cache the eviction policies fight over. The store itself is
+//! policy-free: it tracks sizes, capacity and pins, and refuses inserts that
+//! do not fit — choosing *what* to evict to make space is the policy's job,
+//! driven by the cluster runtime.
+
+use refdist_dag::BlockId;
+use std::collections::HashMap;
+
+/// Why an insert was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// Not enough free space; the caller must evict first.
+    NeedsEviction {
+        /// Bytes that must be freed before the insert can succeed.
+        shortfall: u64,
+    },
+    /// The block is larger than the whole store and can never fit.
+    TooLarge,
+}
+
+/// In-memory block store with byte capacity and pin counting.
+///
+/// Pinned blocks are in use by running tasks and must not be evicted —
+/// Spark's `MemoryStore` has the same notion via block read locks.
+#[derive(Debug, Clone)]
+pub struct MemoryStore {
+    capacity: u64,
+    used: u64,
+    /// Bytes reserved by execution memory (Spark's unified memory manager:
+    /// shuffles borrow from the storage region for the duration of a stage).
+    reserved: u64,
+    blocks: HashMap<BlockId, u64>,
+    pins: HashMap<BlockId, u32>,
+}
+
+impl MemoryStore {
+    /// A store with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        MemoryStore {
+            capacity,
+            used: 0,
+            reserved: 0,
+            blocks: HashMap::new(),
+            pins: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied by blocks.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently reserved by execution memory.
+    #[inline]
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Reserve `bytes` for execution memory (0 releases the reservation).
+    /// The caller is responsible for evicting first if blocks currently
+    /// occupy the reserved span; until then `free()` saturates at zero.
+    pub fn set_reserved(&mut self, bytes: u64) {
+        self.reserved = bytes.min(self.capacity);
+    }
+
+    /// Bytes currently free for block storage.
+    #[inline]
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used + self.reserved)
+    }
+
+    /// Number of resident blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store holds no blocks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Whether `block` is resident.
+    #[inline]
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains_key(&block)
+    }
+
+    /// Size of a resident block.
+    #[inline]
+    pub fn size_of(&self, block: BlockId) -> Option<u64> {
+        self.blocks.get(&block).copied()
+    }
+
+    /// Insert a block. Re-inserting a resident block is a no-op (Spark keeps
+    /// the existing entry).
+    pub fn insert(&mut self, block: BlockId, size: u64) -> Result<(), InsertError> {
+        if self.blocks.contains_key(&block) {
+            return Ok(());
+        }
+        if size > self.capacity {
+            return Err(InsertError::TooLarge);
+        }
+        if size > self.free() {
+            return Err(InsertError::NeedsEviction {
+                shortfall: size - self.free(),
+            });
+        }
+        self.blocks.insert(block, size);
+        self.used += size;
+        Ok(())
+    }
+
+    /// Remove a block, returning its size if it was resident.
+    ///
+    /// # Panics
+    /// Panics if the block is pinned — evicting a block a task is reading is
+    /// a runtime bug.
+    pub fn remove(&mut self, block: BlockId) -> Option<u64> {
+        if let Some(size) = self.blocks.remove(&block) {
+            assert!(!self.is_pinned(block), "evicting pinned block {block}");
+            self.used -= size;
+            Some(size)
+        } else {
+            None
+        }
+    }
+
+    /// Pin a resident block against eviction (counted; pins nest).
+    pub fn pin(&mut self, block: BlockId) {
+        debug_assert!(self.contains(block), "pinning non-resident {block}");
+        *self.pins.entry(block).or_insert(0) += 1;
+    }
+
+    /// Release one pin.
+    pub fn unpin(&mut self, block: BlockId) {
+        match self.pins.get_mut(&block) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.pins.remove(&block);
+            }
+            None => debug_assert!(false, "unpinning unpinned {block}"),
+        }
+    }
+
+    /// Whether the block is currently pinned.
+    #[inline]
+    pub fn is_pinned(&self, block: BlockId) -> bool {
+        self.pins.contains_key(&block)
+    }
+
+    /// Remove every resident block (node failure), returning them sorted by
+    /// id for deterministic downstream processing.
+    ///
+    /// # Panics
+    /// Panics if any block is pinned: failing a node while tasks hold reads
+    /// is a runtime bug in this simulator (failures are injected at stage
+    /// boundaries).
+    pub fn drain(&mut self) -> Vec<(BlockId, u64)> {
+        assert!(self.pins.is_empty(), "draining store with pinned blocks");
+        let mut all: Vec<(BlockId, u64)> = self.blocks.drain().collect();
+        all.sort_unstable();
+        self.used = 0;
+        all
+    }
+
+    /// Iterate over resident blocks and their sizes (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, u64)> + '_ {
+        self.blocks.iter().map(|(&b, &s)| (b, s))
+    }
+
+    /// Resident blocks that are evictable (not pinned), arbitrary order.
+    pub fn evictable(&self) -> impl Iterator<Item = (BlockId, u64)> + '_ {
+        self.iter().filter(|(b, _)| !self.is_pinned(*b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::RddId;
+
+    fn blk(r: u32, p: u32) -> BlockId {
+        BlockId::new(RddId(r), p)
+    }
+
+    #[test]
+    fn insert_and_accounting() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 40).unwrap();
+        m.insert(blk(0, 1), 30).unwrap();
+        assert_eq!(m.used(), 70);
+        assert_eq!(m.free(), 30);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(blk(0, 0)));
+        assert_eq!(m.size_of(blk(0, 1)), Some(30));
+    }
+
+    #[test]
+    fn insert_reports_shortfall() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 80).unwrap();
+        assert_eq!(
+            m.insert(blk(0, 1), 50),
+            Err(InsertError::NeedsEviction { shortfall: 30 })
+        );
+        // Store unchanged on failure.
+        assert_eq!(m.used(), 80);
+        assert!(!m.contains(blk(0, 1)));
+    }
+
+    #[test]
+    fn oversized_block_is_too_large() {
+        let mut m = MemoryStore::new(100);
+        assert_eq!(m.insert(blk(0, 0), 101), Err(InsertError::TooLarge));
+    }
+
+    #[test]
+    fn reinsert_is_noop() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 40).unwrap();
+        m.insert(blk(0, 0), 40).unwrap();
+        assert_eq!(m.used(), 40);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn remove_returns_size() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 40).unwrap();
+        assert_eq!(m.remove(blk(0, 0)), Some(40));
+        assert_eq!(m.remove(blk(0, 0)), None);
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn pins_nest() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 40).unwrap();
+        m.pin(blk(0, 0));
+        m.pin(blk(0, 0));
+        m.unpin(blk(0, 0));
+        assert!(m.is_pinned(blk(0, 0)));
+        m.unpin(blk(0, 0));
+        assert!(!m.is_pinned(blk(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "evicting pinned block")]
+    fn removing_pinned_block_panics() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 40).unwrap();
+        m.pin(blk(0, 0));
+        m.remove(blk(0, 0));
+    }
+
+    #[test]
+    fn evictable_excludes_pinned() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 40).unwrap();
+        m.insert(blk(0, 1), 40).unwrap();
+        m.pin(blk(0, 0));
+        let ev: Vec<_> = m.evictable().map(|(b, _)| b).collect();
+        assert_eq!(ev, vec![blk(0, 1)]);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 100).unwrap();
+        assert_eq!(m.free(), 0);
+    }
+
+    #[test]
+    fn drain_empties_the_store() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(1, 0), 30).unwrap();
+        m.insert(blk(0, 1), 20).unwrap();
+        let drained = m.drain();
+        assert_eq!(drained, vec![(blk(0, 1), 20), (blk(1, 0), 30)]);
+        assert_eq!(m.used(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned")]
+    fn drain_with_pins_panics() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 10).unwrap();
+        m.pin(blk(0, 0));
+        m.drain();
+    }
+
+    #[test]
+    fn reservation_shrinks_free_space() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 40).unwrap();
+        m.set_reserved(30);
+        assert_eq!(m.free(), 30);
+        assert_eq!(
+            m.insert(blk(0, 1), 50),
+            Err(InsertError::NeedsEviction { shortfall: 20 })
+        );
+        m.set_reserved(0);
+        assert!(m.insert(blk(0, 1), 50).is_ok());
+    }
+
+    #[test]
+    fn over_reservation_saturates_free() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 80).unwrap();
+        m.set_reserved(90); // blocks still occupy the span; free saturates
+        assert_eq!(m.free(), 0);
+        assert_eq!(m.reserved(), 90);
+        // Reservations are capped at capacity.
+        m.set_reserved(500);
+        assert_eq!(m.reserved(), 100);
+    }
+
+    #[test]
+    fn zero_capacity_store_rejects_everything() {
+        let mut m = MemoryStore::new(0);
+        assert_eq!(m.insert(blk(0, 0), 1), Err(InsertError::TooLarge));
+        assert!(m.insert(blk(0, 1), 0).is_ok()); // zero-size fits anywhere
+    }
+}

@@ -1,0 +1,337 @@
+//! The workload catalog: names, categories, job types and dispatch.
+//!
+//! Mirrors the rows of the paper's Table 3 (SparkBench) and the HiBench
+//! section of Table 1.
+
+use crate::common::WorkloadParams;
+use crate::{batch, graph, ml};
+use refdist_dag::AppSpec;
+use std::fmt;
+
+/// The paper's workload categorization (Table 3 "Job Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobType {
+    /// Dominated by task compute.
+    CpuIntensive,
+    /// Dominated by disk/network transfer.
+    IoIntensive,
+    /// In between.
+    Mixed,
+}
+
+impl fmt::Display for JobType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobType::CpuIntensive => write!(f, "CPU intensive"),
+            JobType::IoIntensive => write!(f, "I/O intensive"),
+            JobType::Mixed => write!(f, "Mixed"),
+        }
+    }
+}
+
+/// Every workload in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Workload {
+    // SparkBench (Table 3).
+    KMeans,
+    LinearRegression,
+    LogisticRegression,
+    Svm,
+    DecisionTree,
+    MatrixFactorization,
+    PageRank,
+    TriangleCount,
+    ShortestPaths,
+    LabelPropagation,
+    SvdPlusPlus,
+    ConnectedComponents,
+    StronglyConnectedComponents,
+    PregelOperation,
+    // HiBench (Table 1 only).
+    HiSort,
+    HiWordCount,
+    HiTeraSort,
+    HiPageRank,
+    HiBayes,
+    HiKMeans,
+}
+
+impl Workload {
+    /// The 14 SparkBench workloads of the main evaluation.
+    pub fn sparkbench() -> &'static [Workload] {
+        use Workload::*;
+        &[
+            KMeans,
+            LinearRegression,
+            LogisticRegression,
+            Svm,
+            DecisionTree,
+            MatrixFactorization,
+            PageRank,
+            TriangleCount,
+            ShortestPaths,
+            LabelPropagation,
+            SvdPlusPlus,
+            ConnectedComponents,
+            StronglyConnectedComponents,
+            PregelOperation,
+        ]
+    }
+
+    /// The 6 HiBench workloads profiled in Table 1.
+    pub fn hibench() -> &'static [Workload] {
+        use Workload::*;
+        &[
+            HiSort,
+            HiWordCount,
+            HiTeraSort,
+            HiPageRank,
+            HiBayes,
+            HiKMeans,
+        ]
+    }
+
+    /// Short name used in the paper's figures (KM, LinR, ...).
+    pub fn short_name(self) -> &'static str {
+        use Workload::*;
+        match self {
+            KMeans => "KM",
+            LinearRegression => "LinR",
+            LogisticRegression => "LogR",
+            Svm => "SVM",
+            DecisionTree => "DT",
+            MatrixFactorization => "MF",
+            PageRank => "PR",
+            TriangleCount => "TC",
+            ShortestPaths => "SP",
+            LabelPropagation => "LP",
+            SvdPlusPlus => "SVD++",
+            ConnectedComponents => "CC",
+            StronglyConnectedComponents => "SCC",
+            PregelOperation => "PO",
+            HiSort => "Sort",
+            HiWordCount => "WordCount",
+            HiTeraSort => "TeraSort",
+            HiPageRank => "PageRank(Hi)",
+            HiBayes => "Bayes",
+            HiKMeans => "K-Means(Hi)",
+        }
+    }
+
+    /// Full name as in Table 3.
+    pub fn full_name(self) -> &'static str {
+        use Workload::*;
+        match self {
+            KMeans => "K-Means",
+            LinearRegression => "Linear Regression",
+            LogisticRegression => "Logistic Regression",
+            Svm => "SVM",
+            DecisionTree => "Decision Tree",
+            MatrixFactorization => "Matrix Factorization",
+            PageRank => "Page Rank",
+            TriangleCount => "Triangle Count",
+            ShortestPaths => "Shortest Paths",
+            LabelPropagation => "Label Propagation",
+            SvdPlusPlus => "SVD++",
+            ConnectedComponents => "ConnectedComponent",
+            StronglyConnectedComponents => "StronglyConnectedComponent",
+            PregelOperation => "PregelOperation",
+            HiSort => "Sort",
+            HiWordCount => "WordCount",
+            HiTeraSort => "TeraSort",
+            HiPageRank => "PageRank",
+            HiBayes => "Bayes",
+            HiKMeans => "K-Means",
+        }
+    }
+
+    /// Category column of Table 3.
+    pub fn category(self) -> &'static str {
+        use Workload::*;
+        match self {
+            KMeans | LogisticRegression | Svm | MatrixFactorization => "Machine Learning",
+            PageRank => "Web Search",
+            TriangleCount | SvdPlusPlus => "Graph Computation",
+            LinearRegression
+            | DecisionTree
+            | ShortestPaths
+            | LabelPropagation
+            | ConnectedComponents
+            | StronglyConnectedComponents
+            | PregelOperation => "Other Workloads",
+            HiSort | HiWordCount | HiTeraSort | HiPageRank | HiBayes | HiKMeans => "HiBench",
+        }
+    }
+
+    /// Job type column of Table 3.
+    pub fn job_type(self) -> JobType {
+        use Workload::*;
+        match self {
+            LinearRegression | LogisticRegression | Svm | DecisionTree => JobType::CpuIntensive,
+            PageRank
+            | LabelPropagation
+            | SvdPlusPlus
+            | ConnectedComponents
+            | StronglyConnectedComponents
+            | PregelOperation => JobType::IoIntensive,
+            KMeans | MatrixFactorization | TriangleCount | ShortestPaths => JobType::Mixed,
+            HiSort | HiWordCount | HiTeraSort | HiPageRank => JobType::IoIntensive,
+            HiBayes | HiKMeans => JobType::Mixed,
+        }
+    }
+
+    /// Whether the workload exposes an iterations parameter (paper §5.9;
+    /// DecisionTree notably does not react to it).
+    pub fn has_iterations(self) -> bool {
+        use Workload::*;
+        !matches!(
+            self,
+            DecisionTree | TriangleCount | HiSort | HiWordCount | HiTeraSort
+        )
+    }
+
+    /// The generator's default iteration count, when the workload has one
+    /// (used by the §5.9 iterations experiment to triple it).
+    pub fn default_iterations(self) -> Option<u32> {
+        use Workload::*;
+        match self {
+            KMeans => Some(14),
+            LinearRegression => Some(3),
+            LogisticRegression => Some(4),
+            Svm => Some(7),
+            MatrixFactorization => Some(3),
+            PageRank => Some(11),
+            ShortestPaths => Some(2),
+            LabelPropagation => Some(21),
+            SvdPlusPlus => Some(12),
+            ConnectedComponents => Some(5),
+            StronglyConnectedComponents => Some(24),
+            PregelOperation => Some(15),
+            HiPageRank => Some(3),
+            HiBayes => Some(4),
+            HiKMeans => Some(17),
+            DecisionTree | TriangleCount | HiSort | HiWordCount | HiTeraSort => None,
+        }
+    }
+
+    /// Look up a workload by its short name (case-insensitive).
+    pub fn from_short_name(name: &str) -> Option<Workload> {
+        Workload::sparkbench()
+            .iter()
+            .chain(Workload::hibench())
+            .copied()
+            .find(|w| w.short_name().eq_ignore_ascii_case(name))
+    }
+
+    /// Generate the application DAG.
+    pub fn build(self, p: &WorkloadParams) -> AppSpec {
+        use Workload::*;
+        match self {
+            KMeans => ml::kmeans(p),
+            LinearRegression => ml::linear_regression(p),
+            LogisticRegression => ml::logistic_regression(p),
+            Svm => ml::svm(p),
+            DecisionTree => ml::decision_tree(p),
+            MatrixFactorization => ml::matrix_factorization(p),
+            PageRank => graph::pagerank(p),
+            TriangleCount => graph::triangle_count(p),
+            ShortestPaths => graph::shortest_paths(p),
+            LabelPropagation => graph::label_propagation(p),
+            SvdPlusPlus => graph::svd_plus_plus(p),
+            ConnectedComponents => graph::connected_components(p),
+            StronglyConnectedComponents => graph::strongly_connected_components(p),
+            PregelOperation => graph::pregel_operation(p),
+            HiSort => batch::hibench_sort(p),
+            HiWordCount => batch::hibench_wordcount(p),
+            HiTeraSort => batch::hibench_terasort(p),
+            HiPageRank => graph::hibench_pagerank(p),
+            HiBayes => ml::hibench_bayes(p),
+            HiKMeans => ml::hibench_kmeans(p),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_counts() {
+        assert_eq!(Workload::sparkbench().len(), 14);
+        assert_eq!(Workload::hibench().len(), 6);
+    }
+
+    #[test]
+    fn all_workloads_build_and_validate() {
+        let p = WorkloadParams::small();
+        for &w in Workload::sparkbench().iter().chain(Workload::hibench()) {
+            let spec = w.build(&p);
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.short_name()));
+            assert!(spec.num_jobs() >= 1);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Workload::sparkbench()
+            .iter()
+            .chain(Workload::hibench())
+            .map(|w| w.short_name())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn io_intensive_set_matches_paper() {
+        // §5.10: PageRank, SVD++, CC and PO are called out as I/O intensive.
+        for w in [
+            Workload::PageRank,
+            Workload::SvdPlusPlus,
+            Workload::ConnectedComponents,
+            Workload::PregelOperation,
+        ] {
+            assert_eq!(w.job_type(), JobType::IoIntensive);
+        }
+    }
+
+    #[test]
+    fn dt_and_tc_lack_iterations() {
+        assert!(!Workload::DecisionTree.has_iterations());
+        assert!(!Workload::TriangleCount.has_iterations());
+        assert!(Workload::KMeans.has_iterations());
+    }
+
+    #[test]
+    fn from_short_name_roundtrips() {
+        for &w in Workload::sparkbench().iter().chain(Workload::hibench()) {
+            assert_eq!(Workload::from_short_name(w.short_name()), Some(w));
+            assert_eq!(
+                Workload::from_short_name(&w.short_name().to_lowercase()),
+                Some(w)
+            );
+        }
+        assert_eq!(Workload::from_short_name("nope"), None);
+    }
+
+    #[test]
+    fn default_iterations_agree_with_has_iterations() {
+        for &w in Workload::sparkbench().iter().chain(Workload::hibench()) {
+            assert_eq!(
+                w.default_iterations().is_some(),
+                w.has_iterations(),
+                "{}",
+                w.short_name()
+            );
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Graph-computation workloads: the GraphX/Pregel family plus HiBench
+//! PageRank.
+//!
+//! All the SparkBench graph workloads run on GraphX's `Pregel` operator: a
+//! superstep loop that shuffles messages, joins them into a new cached
+//! vertex generation, and counts the remaining messages (one job per
+//! superstep). The knobs per workload — supersteps, aggregation phases,
+//! snapshot lag — are tuned so the resulting DAGs match the paper's Table 1
+//! reference distances and Table 3 job/stage/RDD counts.
+
+use crate::common::{build_pregel, cost, narrow_chain, PregelConfig, WorkloadParams, GB, KB, MB};
+use refdist_dag::{AppBuilder, AppSpec, StorageLevel};
+
+fn pregel_app(name: &str, p: &WorkloadParams, input_total: u64, cfg: PregelConfig) -> AppSpec {
+    let mut b = AppBuilder::new(name);
+    let input_block = p.block(input_total);
+    let input = b.input(
+        "hdfs_edges",
+        cfg.partitions,
+        input_block,
+        cost(input_block, 5_000),
+    );
+    build_pregel(&mut b, input, &cfg);
+    b.build()
+}
+
+fn scaled(p: &WorkloadParams, total: u64) -> u64 {
+    p.block(total)
+}
+
+/// PageRank (PR): 934 MB input, I/O intensive (Table 3: 7 jobs, 69 stage
+/// appearances, 21 active, 95 RDDs; Table 1: avg stage distance 6.08).
+pub fn pagerank(p: &WorkloadParams) -> AppSpec {
+    pregel_app(
+        "PageRank",
+        p,
+        934 * MB,
+        PregelConfig {
+            partitions: p.partitions,
+            vertex_block: scaled(p, 600 * MB),
+            edge_block: scaled(p, 900 * MB),
+            msg_block: scaled(p, 500 * MB),
+            supersteps: p.iters(11),
+            vertex_us: cost(scaled(p, 600 * MB), 3_000),
+            msg_us: cost(scaled(p, 500 * MB), 3_000),
+            long_ref_lag: 7,
+            job_every: 2,
+            phases: 1,
+            chain: 6,
+            final_reads_first: true,
+            vertex_storage: StorageLevel::MemoryAndDisk,
+        },
+    )
+}
+
+/// ConnectedComponents (CC): 2.4 GB input, I/O intensive (6 jobs, 50
+/// appearances, 19 active, 85 RDDs; avg stage distance 5.31, max 16).
+pub fn connected_components(p: &WorkloadParams) -> AppSpec {
+    pregel_app(
+        "ConnectedComponents",
+        p,
+        (2.4 * GB as f64) as u64,
+        PregelConfig {
+            partitions: p.partitions,
+            vertex_block: scaled(p, GB),
+            edge_block: scaled(p, 2 * GB),
+            msg_block: scaled(p, 600 * MB),
+            supersteps: p.iters(5),
+            vertex_us: cost(scaled(p, GB), 2_500),
+            msg_us: cost(scaled(p, 600 * MB), 2_500),
+            long_ref_lag: 3,
+            job_every: 1,
+            phases: 2,
+            chain: 8,
+            final_reads_first: true,
+            vertex_storage: StorageLevel::MemoryAndDisk,
+        },
+    )
+}
+
+/// StronglyConnectedComponents (SCC): 81 MB input but an 839-stage DAG
+/// (26 jobs, 93 active stages, 560 RDDs; the largest distances of the
+/// suite: avg stage 29.96, max 90).
+pub fn strongly_connected_components(p: &WorkloadParams) -> AppSpec {
+    pregel_app(
+        "StronglyConnectedComponents",
+        p,
+        81 * MB,
+        PregelConfig {
+            partitions: p.partitions,
+            vertex_block: scaled(p, 120 * MB),
+            edge_block: scaled(p, 80 * MB),
+            msg_block: scaled(p, 80 * MB),
+            supersteps: p.iters(24),
+            vertex_us: cost(scaled(p, 120 * MB), 3_000),
+            msg_us: cost(scaled(p, 80 * MB), 3_000),
+            long_ref_lag: 8,
+            job_every: 1,
+            phases: 3,
+            chain: 16,
+            final_reads_first: true,
+            vertex_storage: StorageLevel::MemoryAndDisk,
+        },
+    )
+}
+
+/// LabelPropagation (LP): 1.3 MB input, 858-stage DAG (23 jobs, 87 active,
+/// 377 RDDs; avg stage distance 28.37, max 85).
+pub fn label_propagation(p: &WorkloadParams) -> AppSpec {
+    pregel_app(
+        "LabelPropagation",
+        p,
+        (1.3 * MB as f64) as u64,
+        PregelConfig {
+            partitions: p.partitions,
+            vertex_block: scaled(p, 12 * MB).max(4 * KB),
+            edge_block: scaled(p, 4 * MB).max(4 * KB),
+            msg_block: scaled(p, 8 * MB).max(4 * KB),
+            supersteps: p.iters(21),
+            vertex_us: cost(scaled(p, 12 * MB), 30_000),
+            msg_us: cost(scaled(p, 8 * MB), 30_000),
+            long_ref_lag: 7,
+            job_every: 1,
+            phases: 3,
+            chain: 12,
+            final_reads_first: true,
+            vertex_storage: StorageLevel::MemoryAndDisk,
+        },
+    )
+}
+
+/// PregelOperation (PO): 1.4 GB input (17 jobs, 467 appearances, 65 active,
+/// 283 RDDs; avg stage distance 5.45, max 16).
+pub fn pregel_operation(p: &WorkloadParams) -> AppSpec {
+    pregel_app(
+        "PregelOperation",
+        p,
+        (1.4 * GB as f64) as u64,
+        PregelConfig {
+            partitions: p.partitions,
+            vertex_block: scaled(p, 700 * MB),
+            edge_block: scaled(p, (1.2 * GB as f64) as u64),
+            msg_block: scaled(p, 500 * MB),
+            supersteps: p.iters(15),
+            vertex_us: cost(scaled(p, 700 * MB), 2_500),
+            msg_us: cost(scaled(p, 500 * MB), 2_500),
+            long_ref_lag: 3,
+            job_every: 1,
+            phases: 3,
+            chain: 13,
+            final_reads_first: false,
+            vertex_storage: StorageLevel::MemoryAndDisk,
+        },
+    )
+}
+
+/// SVD++: 453 MB input, I/O intensive (14 jobs, 103 appearances, 27 active,
+/// 105 RDDs; avg stage distance 6.82, max 23).
+pub fn svd_plus_plus(p: &WorkloadParams) -> AppSpec {
+    pregel_app(
+        "SVDPlusPlus",
+        p,
+        453 * MB,
+        PregelConfig {
+            partitions: p.partitions,
+            vertex_block: scaled(p, 400 * MB),
+            edge_block: scaled(p, 400 * MB),
+            msg_block: scaled(p, 600 * MB),
+            supersteps: p.iters(12),
+            vertex_us: cost(scaled(p, 400 * MB), 4_000),
+            msg_us: cost(scaled(p, 600 * MB), 4_000),
+            long_ref_lag: 4,
+            job_every: 1,
+            phases: 1,
+            chain: 5,
+            final_reads_first: true,
+            vertex_storage: StorageLevel::MemoryAndDisk,
+        },
+    )
+}
+
+/// ShortestPaths (SP): 2.9 GB input, mixed (3 jobs, 8 appearances, 7 active,
+/// 34 RDDs; tiny distances: avg stage 1.19, max 4).
+pub fn shortest_paths(p: &WorkloadParams) -> AppSpec {
+    pregel_app(
+        "ShortestPaths",
+        p,
+        (2.9 * GB as f64) as u64,
+        PregelConfig {
+            partitions: p.partitions,
+            vertex_block: scaled(p, (1.5 * GB as f64) as u64),
+            edge_block: scaled(p, 2 * GB),
+            msg_block: scaled(p, GB),
+            supersteps: p.iters(2),
+            vertex_us: cost(scaled(p, (1.5 * GB as f64) as u64), 3_000),
+            msg_us: cost(scaled(p, GB), 3_000),
+            long_ref_lag: 0,
+            job_every: 1,
+            phases: 1,
+            chain: 9,
+            final_reads_first: false,
+            vertex_storage: StorageLevel::MemoryAndDisk,
+        },
+    )
+}
+
+/// TriangleCount (TC): 268 MB input but 9.4 GB of shuffle (2 jobs, 11
+/// stages, 74 RDDs; refs/RDD 0.80 — most lineage is uncached one-shot
+/// shuffles).
+pub fn triangle_count(p: &WorkloadParams) -> AppSpec {
+    let edge_block = p.block(268 * MB);
+    let big = p.block(3 * GB); // the triangle-candidate explosion
+    let us = cost(big, 2_000);
+    let mut b = AppBuilder::new("TriangleCount");
+
+    let input = b.input(
+        "hdfs_edges",
+        p.partitions,
+        edge_block,
+        cost(edge_block, 5_000),
+    );
+    let parsed = narrow_chain(
+        &mut b,
+        "parse",
+        input,
+        8,
+        edge_block,
+        cost(edge_block, 4_000),
+    );
+    let edges = b.narrow(
+        "canonical_edges",
+        parsed,
+        edge_block,
+        cost(edge_block, 4_000),
+    );
+    b.persist(edges, StorageLevel::MemoryAndDisk);
+
+    // Job 0: build + count the adjacency sets (3 shuffles).
+    let grouped = b.shuffle("neighbors", &[edges], p.partitions, big / 4, us);
+    let chain1 = narrow_chain(&mut b, "adj_expr", grouped, 10, big / 4, us / 4);
+    let adj = b.narrow("adjacency", chain1, big / 4, us / 4);
+    b.persist(adj, StorageLevel::MemoryAndDisk);
+    let deg = b.shuffle("degrees", &[adj], p.partitions, edge_block, us / 8);
+    let deg2 = narrow_chain(&mut b, "deg_expr", deg, 4, edge_block, us / 8);
+    let hist = b.shuffle("degree_hist", &[deg2], p.partitions, edge_block / 4, us / 8);
+    b.action("count_vertices", hist);
+
+    // Job 1: triangle enumeration — the huge shuffles.
+    let cand0 = b.narrow_multi("candidates", &[adj, edges], big, us);
+    let cand = narrow_chain(&mut b, "cand_expr", cand0, 16, big, us / 4);
+    let matched = b.shuffle("match", &[cand], p.partitions, big / 2, us);
+    let closed = narrow_chain(&mut b, "close_expr", matched, 8, big / 2, us / 4);
+    let verified = b.shuffle("verify", &[closed], p.partitions, big / 4, us / 2);
+    let tri0 = narrow_chain(&mut b, "tri_expr", verified, 8, big / 8, us / 4);
+    let counts = b.shuffle("tri_counts", &[tri0], p.partitions, edge_block, us / 8);
+    let total = b.shuffle("tri_total", &[counts], p.partitions, edge_block / 8, us / 8);
+    b.action("count_triangles", total);
+    b.build()
+}
+
+/// HiBench PageRank: MapReduce-style rank iterations chained through
+/// shuffles *without caching* — the near-zero reference distances of
+/// Table 1 (avg stage distance 0.09).
+pub fn hibench_pagerank(p: &WorkloadParams) -> AppSpec {
+    let block = p.block(GB);
+    let us = cost(block, 4_000);
+    let mut b = AppBuilder::new("HiBench-PageRank");
+    let input = b.input("hdfs_links", p.partitions, block, cost(block, 5_000));
+    // MR-style: links are NOT cached; every iteration re-reads them through
+    // the shuffle pipeline, exactly like the Hadoop-ported HiBench job.
+    let links = b.narrow("links", input, block, us);
+    // The one small cached RDD (dangling-node list), referenced once shortly
+    // after creation — HiBench PageRank's 0.09 average stage distance.
+    let dangling = b.narrow("dangling", links, (block / 64).max(1), us / 16);
+    b.persist(dangling, StorageLevel::MemoryAndDisk);
+    let init = b.narrow_multi("rank_seed", &[links, dangling], block / 2, us);
+    let mut ranks = b.shuffle("ranks_0", &[init], p.partitions, block / 2, us);
+    b.action("seed", ranks);
+    for i in 0..p.iters(3) {
+        let contribs = b.narrow_multi(format!("contribs_{i}"), &[ranks, links], block / 2, us);
+        let adjusted = if i == 0 {
+            // First iteration corrects for dangling mass: the single re-use.
+            b.narrow_multi("dangling_fix", &[contribs, dangling], block / 2, us)
+        } else {
+            contribs
+        };
+        ranks = b.shuffle(
+            format!("ranks_{}", i + 1),
+            &[adjusted],
+            p.partitions,
+            block / 2,
+            us,
+        );
+        b.action(format!("iter_{i}"), ranks);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::{AppPlan, DistanceStats, RefAnalyzer};
+
+    fn stats(spec: &AppSpec) -> (usize, usize, usize, usize, DistanceStats) {
+        let plan = AppPlan::build(spec);
+        let profile = RefAnalyzer::new(spec, &plan).profile();
+        let d = RefAnalyzer::distance_stats(&profile);
+        (
+            plan.jobs.len(),
+            plan.total_stage_appearances(),
+            plan.active_stage_count(),
+            spec.rdds.len(),
+            d,
+        )
+    }
+
+    #[test]
+    fn pagerank_shape() {
+        let (jobs, appearances, active, rdds, d) = stats(&pagerank(&WorkloadParams::small()));
+        assert!((6..=8).contains(&jobs), "jobs {jobs}");
+        assert!(appearances > active, "{appearances} vs {active}");
+        assert!((18..=30).contains(&active), "active {active}");
+        assert!((80..=115).contains(&rdds), "rdds {rdds}");
+        assert!(
+            d.avg_stage > 2.5 && d.avg_stage < 12.0,
+            "avg stage {}",
+            d.avg_stage
+        );
+    }
+
+    #[test]
+    fn scc_has_the_largest_distances() {
+        let (jobs, appearances, active, rdds, d) =
+            stats(&strongly_connected_components(&WorkloadParams::small()));
+        assert!((24..=27).contains(&jobs), "jobs {jobs}");
+        assert!(
+            (700..=1100).contains(&appearances),
+            "appearances {appearances}"
+        );
+        assert!((90..=110).contains(&active), "active {active}");
+        assert!(rdds > 450, "rdds {rdds}");
+        assert!(d.avg_stage > 8.0, "avg stage {}", d.avg_stage);
+        assert!(d.max_stage > 70, "max stage {}", d.max_stage);
+        assert!(d.avg_job > 2.5, "avg job {}", d.avg_job);
+    }
+
+    #[test]
+    fn lp_is_long_distance() {
+        let (jobs, appearances, active, rdds, d) =
+            stats(&label_propagation(&WorkloadParams::small()));
+        assert!((21..=24).contains(&jobs), "jobs {jobs}");
+        assert!(
+            (600..=1000).contains(&appearances),
+            "appearances {appearances}"
+        );
+        assert!((75..=100).contains(&active), "active {active}");
+        assert!((300..=450).contains(&rdds), "rdds {rdds}");
+        assert!(d.avg_stage > 8.0, "avg stage {}", d.avg_stage);
+        assert!(d.max_stage > 60, "max stage {}", d.max_stage);
+    }
+
+    #[test]
+    fn sp_is_short_distance() {
+        let (jobs, _, active, rdds, d) = stats(&shortest_paths(&WorkloadParams::small()));
+        assert_eq!(jobs, 3);
+        assert!((6..=9).contains(&active), "active {active}");
+        assert!((25..=45).contains(&rdds), "rdds {rdds}");
+        assert!(d.avg_stage < 4.0, "avg stage {}", d.avg_stage);
+        assert!(d.max_job <= 2, "max job {}", d.max_job);
+    }
+
+    #[test]
+    fn triangle_count_two_jobs() {
+        let (jobs, _, active, rdds, d) = stats(&triangle_count(&WorkloadParams::small()));
+        assert_eq!(jobs, 2);
+        assert!((8..=13).contains(&active), "active {active}");
+        assert!((55..=80).contains(&rdds), "rdds {rdds}");
+        assert!(d.max_job <= 1, "max job {}", d.max_job);
+    }
+
+    #[test]
+    fn cc_and_po_mid_range() {
+        let (jobs_cc, _, active_cc, _, d_cc) =
+            stats(&connected_components(&WorkloadParams::small()));
+        assert!((5..=7).contains(&jobs_cc), "cc jobs {jobs_cc}");
+        assert!((14..=24).contains(&active_cc), "cc active {active_cc}");
+        assert!(d_cc.avg_stage > 2.0 && d_cc.avg_stage < 10.0);
+
+        let (jobs_po, _, active_po, rdds_po, d_po) =
+            stats(&pregel_operation(&WorkloadParams::small()));
+        assert!((15..=18).contains(&jobs_po), "po jobs {jobs_po}");
+        assert!((55..=75).contains(&active_po), "po active {active_po}");
+        assert!(rdds_po > 230, "po rdds {rdds_po}");
+        assert!(
+            d_po.avg_stage > 3.0 && d_po.avg_stage < 10.0,
+            "po avg {}",
+            d_po.avg_stage
+        );
+    }
+
+    #[test]
+    fn svdpp_shape() {
+        let (jobs, _, active, rdds, d) = stats(&svd_plus_plus(&WorkloadParams::small()));
+        assert!((12..=15).contains(&jobs), "jobs {jobs}");
+        assert!((24..=32).contains(&active), "active {active}");
+        assert!((75..=120).contains(&rdds), "rdds {rdds}");
+        assert!(d.avg_stage > 3.0, "avg stage {}", d.avg_stage);
+    }
+
+    #[test]
+    fn hibench_pagerank_is_nearly_distance_free() {
+        let (_, _, _, _, d) = stats(&hibench_pagerank(&WorkloadParams::small()));
+        assert!(d.avg_stage <= 2.5, "avg stage {}", d.avg_stage);
+        assert!(d.max_job <= 1);
+    }
+
+    #[test]
+    fn iterations_scale_pregel_workloads() {
+        let base = pagerank(&WorkloadParams::small());
+        let tripled = pagerank(&WorkloadParams {
+            iterations: Some(33),
+            ..WorkloadParams::small()
+        });
+        assert!(tripled.num_jobs() > base.num_jobs());
+        assert!(tripled.rdds.len() > base.rdds.len());
+    }
+
+    #[test]
+    fn all_graph_specs_validate() {
+        let p = WorkloadParams::small();
+        for spec in [
+            pagerank(&p),
+            connected_components(&p),
+            strongly_connected_components(&p),
+            label_propagation(&p),
+            pregel_operation(&p),
+            svd_plus_plus(&p),
+            shortest_paths(&p),
+            triangle_count(&p),
+            hibench_pagerank(&p),
+        ] {
+            spec.validate().unwrap();
+        }
+    }
+}

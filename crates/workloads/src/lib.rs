@@ -1,0 +1,34 @@
+//! Synthetic workload DAG generators.
+//!
+//! The paper evaluates MRD on 14 SparkBench workloads (plus 6 HiBench
+//! workloads that were profiled in Table 1 and then dropped for their tiny
+//! reference distances). We do not have SparkBench or a JVM, so each
+//! workload is reconstructed as a *DAG generator*: a function that emits the
+//! application's RDD lineage — jobs, stages, cached RDDs and their reference
+//! pattern — with job/stage/RDD counts and reference-distance statistics
+//! matching the paper's published characterizations (Tables 1 and 3).
+//!
+//! The generators capture the *structures* that matter to a cache policy:
+//!
+//! * **Iterative ML** (KMeans, regressions, SVM, MF, DT): a cached parsed
+//!   dataset referenced by every iteration job, plus auxiliary cached RDDs
+//!   (norms, samples, seed models) created early and referenced much later —
+//!   the source of KMeans' large average job distance.
+//! * **Pregel-style graph computation** (PageRank, CC, SCC, LP, PO, SVD++,
+//!   SP): a superstep loop where each step shuffles messages, joins them
+//!   into a new cached vertex generation and runs a convergence-check
+//!   action; older vertex generations may be re-read `lag` supersteps later
+//!   (snapshot comparisons), producing the very large stage distances of
+//!   LabelPropagation and StronglyConnectedComponents.
+//! * **Batch ETL** (HiBench Sort/WordCount/TeraSort): shuffle pipelines with
+//!   little or no caching — the near-zero distances that made the paper drop
+//!   HiBench.
+
+pub mod batch;
+pub mod catalog;
+pub mod common;
+pub mod graph;
+pub mod ml;
+
+pub use catalog::{JobType, Workload};
+pub use common::{WorkloadParams, GB, KB, MB};

@@ -1,0 +1,471 @@
+//! Machine-learning workloads: the SparkBench ML family plus HiBench Bayes
+//! and KMeans.
+//!
+//! All follow MLlib's driver pattern: parse + cache the training set, run an
+//! initialization job (sampling / seeding, which also materializes auxiliary
+//! cached RDDs such as row norms or the seed model), then one job per
+//! optimizer iteration reading the cached set, and a final evaluation job
+//! that re-reads the auxiliary RDDs — the source of the long reference
+//! distances in the paper's Table 1 (e.g. KMeans: average job distance 5.15,
+//! maximum 16).
+
+use crate::common::{build_ml, cost, narrow_chain, MlConfig, WorkloadParams, GB};
+use refdist_dag::{AppBuilder, AppSpec, StorageLevel};
+
+/// K-Means (KM): 5.5 GB input, 17 jobs, mixed CPU/I-O.
+///
+/// Single-stage iterations (MLlib's `collectAsMap` on narrowly mapped
+/// points) with five auxiliary cached RDDs (norms, seed centers from the
+/// kmeans|| rounds) re-read at evaluation time.
+pub fn kmeans(p: &WorkloadParams) -> AppSpec {
+    let mut b = AppBuilder::new("KMeans");
+    build_ml(
+        &mut b,
+        &MlConfig {
+            input_total: (5.5 * GB as f64) as u64,
+            partitions: p.partitions,
+            parse_us_per_mb: 8_000,
+            iter_us_per_mb: 25_000,
+            iterations: p.iters(14),
+            single_stage_iters: true,
+            aux_cached: 5,
+            chain: 1,
+            block: Some(p.block((5.5 * GB as f64) as u64)),
+        },
+    );
+    b.build()
+}
+
+/// Linear Regression (LinR): 7.7 GB input, 6 jobs, CPU intensive.
+pub fn linear_regression(p: &WorkloadParams) -> AppSpec {
+    let mut b = AppBuilder::new("LinearRegression");
+    build_ml(
+        &mut b,
+        &MlConfig {
+            input_total: (7.7 * GB as f64) as u64,
+            partitions: p.partitions,
+            parse_us_per_mb: 8_000,
+            iter_us_per_mb: 150_000,
+            iterations: p.iters(3),
+            single_stage_iters: true,
+            aux_cached: 2,
+            chain: 4,
+            block: Some(p.block((7.7 * GB as f64) as u64)),
+        },
+    );
+    b.build()
+}
+
+/// Logistic Regression (LogR): 11.1 GB input, 7 jobs, CPU intensive.
+pub fn logistic_regression(p: &WorkloadParams) -> AppSpec {
+    let mut b = AppBuilder::new("LogisticRegression");
+    build_ml(
+        &mut b,
+        &MlConfig {
+            input_total: (11.1 * GB as f64) as u64,
+            partitions: p.partitions,
+            parse_us_per_mb: 8_000,
+            iter_us_per_mb: 140_000,
+            iterations: p.iters(4),
+            single_stage_iters: true,
+            aux_cached: 2,
+            chain: 3,
+            block: Some(p.block((11.1 * GB as f64) as u64)),
+        },
+    );
+    b.build()
+}
+
+/// SVM: 3.8 GB input, 10 jobs, CPU intensive with a large shuffle
+/// (3.2 GB R/W in Table 3), hence two-stage iterations chained on the
+/// previous model — later jobs' DAGs re-include earlier stages as skipped
+/// (28 stage appearances vs 17 active).
+pub fn svm(p: &WorkloadParams) -> AppSpec {
+    let total = (3.8 * GB as f64) as u64;
+    let block = p.block(total);
+    let iter_us = cost(block, 90_000);
+    let mut b = AppBuilder::new("SVM");
+
+    let input = b.input("hdfs_input", p.partitions, block, cost(block, 8_000));
+    let data = b.narrow("points", input, block, cost(block, 8_000));
+    b.persist(data, StorageLevel::MemoryAndDisk);
+    b.action("count", data);
+
+    // Train/test split: both cached.
+    let train = b.narrow("train", data, block * 8 / 10, iter_us / 8);
+    b.persist(train, StorageLevel::MemoryAndDisk);
+    let test = b.narrow("test", data, block * 2 / 10, iter_us / 8);
+    b.persist(test, StorageLevel::MemoryAndDisk);
+    let split = b.shuffle(
+        "split_sample",
+        &[train, test],
+        p.partitions,
+        (block / 32).max(1),
+        iter_us / 8,
+    );
+    b.action("init_split", split);
+
+    // Chained two-stage gradient iterations: each gradient reads the cached
+    // training set and the previous iteration's reduced model.
+    let mut model = split;
+    for i in 0..p.iters(7) {
+        let grad0 = b.narrow_multi(
+            format!("grad_{i}"),
+            &[train, model],
+            (block / 4).max(1),
+            iter_us,
+        );
+        let grad = narrow_chain(
+            &mut b,
+            &format!("gexpr_{i}"),
+            grad0,
+            2,
+            (block / 4).max(1),
+            iter_us / 8,
+        );
+        model = b.shuffle(
+            format!("model_{i}"),
+            &[grad],
+            p.partitions,
+            (block / 2).max(1), // large shuffle: SVM's 3.2 GB R/W
+            iter_us / 8,
+        );
+        b.action(format!("iter_{i}"), model);
+    }
+
+    // Validation on the held-out set against the final model.
+    let scored = b.narrow_multi("score", &[test, model], (block / 8).max(1), iter_us / 2);
+    let metrics = b.shuffle(
+        "metrics",
+        &[scored],
+        p.partitions,
+        (block / 64).max(1),
+        iter_us / 8,
+    );
+    b.action("validate", metrics);
+    b.build()
+}
+
+/// Decision Tree (DT): 3.5 GB input, 10 jobs, CPU intensive.
+///
+/// One job per tree level; the per-level aggregate is a two-stage job over
+/// the cached, binned training data. DT famously ignores the iterations
+/// parameter (paper §5.9: "no impact on either"), so `p.iterations` is not
+/// consulted: the tree depth is fixed by the model.
+pub fn decision_tree(p: &WorkloadParams) -> AppSpec {
+    let total = (3.5 * GB as f64) as u64;
+    let block = p.block(total);
+    let level_us = cost(block, 160_000);
+    let mut b = AppBuilder::new("DecisionTree");
+
+    let input = b.input("hdfs_input", p.partitions, block, cost(block, 8_000));
+    let raw = b.narrow("labeled_points", input, block, cost(block, 8_000));
+    // Binned features: the cached dataset every level reads.
+    let binned = b.narrow("tree_input", raw, block, cost(block, 10_000));
+    b.persist(binned, StorageLevel::MemoryAndDisk);
+    // Feature metadata: cached early, referenced by the final model job.
+    let meta = b.narrow("feature_meta", raw, (block / 64).max(1), level_us / 16);
+    b.persist(meta, StorageLevel::MemoryAndDisk);
+    let meta_agg = b.shuffle(
+        "meta_agg",
+        &[meta],
+        p.partitions,
+        (block / 64).max(1),
+        level_us / 16,
+    );
+    b.action("find_splits", meta_agg);
+    b.action("count", binned);
+
+    const LEVELS: u32 = 7;
+    for level in 0..LEVELS {
+        let stats0 = b.narrow(
+            format!("level_{level}_stats"),
+            binned,
+            (block / 6).max(1),
+            level_us,
+        );
+        let stats = narrow_chain(
+            &mut b,
+            &format!("lexpr_{level}"),
+            stats0,
+            1,
+            (block / 6).max(1),
+            level_us / 8,
+        );
+        let best = b.shuffle(
+            format!("best_splits_{level}"),
+            &[stats],
+            p.partitions,
+            (block / 128).max(1),
+            level_us / 8,
+        );
+        b.action(format!("level_{level}"), best);
+    }
+
+    // Final model assembly touches the metadata again: the long reference.
+    let model = b.narrow_multi("model", &[binned, meta], (block / 16).max(1), level_us / 4);
+    let packed = b.shuffle(
+        "model_pack",
+        &[model],
+        p.partitions,
+        (block / 128).max(1),
+        level_us / 8,
+    );
+    b.action("assemble_model", packed);
+    b.build()
+}
+
+/// Matrix Factorization (MF / ALS): 1.1 GB input, 8 jobs, mixed.
+///
+/// Alternating least squares: user and item factor generations alternate,
+/// each a shuffle join against the cached ratings; lineage accumulates so
+/// later jobs see many skipped stages (64 appearances vs 22 active).
+pub fn matrix_factorization(p: &WorkloadParams) -> AppSpec {
+    let total = (1.1 * GB as f64) as u64;
+    let block = p.block(total);
+    let step_us = cost(block, 30_000);
+    let mut b = AppBuilder::new("MatrixFactorization");
+
+    let input = b.input("hdfs_ratings", p.partitions, block, cost(block, 8_000));
+    let ratings0 = narrow_chain(&mut b, "parse", input, 4, block, cost(block, 6_000));
+    let ratings = b.narrow("ratings", ratings0, block, cost(block, 6_000));
+    b.persist(ratings, StorageLevel::MemoryAndDisk);
+    // Blocked ratings: both orientations cached (ALS in-links/out-links).
+    let by_user = b.shuffle("in_links", &[ratings], p.partitions, block, step_us / 4);
+    b.persist(by_user, StorageLevel::MemoryAndDisk);
+    let by_item = b.shuffle("out_links", &[ratings], p.partitions, block, step_us / 4);
+    b.persist(by_item, StorageLevel::MemoryAndDisk);
+    b.action("init", by_user);
+
+    let mut user_f = by_user;
+    let mut item_f = by_item;
+    for i in 0..p.iters(3) {
+        // Update item factors from user factors.
+        let msg_u = b.narrow_multi(
+            format!("u2i_{i}"),
+            &[user_f, by_user],
+            (block / 2).max(1),
+            step_us,
+        );
+        let msg_u = narrow_chain(
+            &mut b,
+            &format!("uexpr_{i}"),
+            msg_u,
+            8,
+            (block / 2).max(1),
+            step_us / 8,
+        );
+        item_f = b.shuffle(
+            format!("item_f_{i}"),
+            &[msg_u],
+            p.partitions,
+            (block / 2).max(1),
+            step_us,
+        );
+        b.persist(item_f, StorageLevel::MemoryAndDisk);
+        b.action(format!("als_half_{i}"), item_f);
+        // Update user factors from item factors.
+        let msg_i = b.narrow_multi(
+            format!("i2u_{i}"),
+            &[item_f, by_item],
+            (block / 2).max(1),
+            step_us,
+        );
+        let msg_i = narrow_chain(
+            &mut b,
+            &format!("iexpr_{i}"),
+            msg_i,
+            8,
+            (block / 2).max(1),
+            step_us / 8,
+        );
+        user_f = b.shuffle(
+            format!("user_f_{i}"),
+            &[msg_i],
+            p.partitions,
+            (block / 2).max(1),
+            step_us,
+        );
+        b.persist(user_f, StorageLevel::MemoryAndDisk);
+        b.action(format!("als_iter_{i}"), user_f);
+    }
+
+    // RMSE evaluation touches ratings and both final factor sets.
+    let pred = b.narrow_multi(
+        "predict",
+        &[ratings, user_f, item_f],
+        (block / 4).max(1),
+        step_us / 2,
+    );
+    let rmse = b.shuffle(
+        "rmse",
+        &[pred],
+        p.partitions,
+        (block / 64).max(1),
+        step_us / 8,
+    );
+    b.action("evaluate", rmse);
+    b.build()
+}
+
+/// HiBench Bayes: a few aggregation jobs over a cached corpus (Table 1: avg
+/// job distance 2.09, max 7).
+pub fn hibench_bayes(p: &WorkloadParams) -> AppSpec {
+    let total = 2 * GB;
+    let mut b = AppBuilder::new("HiBench-Bayes");
+    build_ml(
+        &mut b,
+        &MlConfig {
+            input_total: total,
+            partitions: p.partitions,
+            parse_us_per_mb: 8_000,
+            iter_us_per_mb: 20_000,
+            iterations: p.iters(4),
+            single_stage_iters: false,
+            aux_cached: 1,
+            chain: 2,
+            block: Some(p.block(total)),
+        },
+    );
+    b.build()
+}
+
+/// HiBench KMeans: the one HiBench workload with SparkBench-like distances
+/// (Table 1: avg job distance 6.08, max 19).
+pub fn hibench_kmeans(p: &WorkloadParams) -> AppSpec {
+    let total = 4 * GB;
+    let mut b = AppBuilder::new("HiBench-KMeans");
+    build_ml(
+        &mut b,
+        &MlConfig {
+            input_total: total,
+            partitions: p.partitions,
+            parse_us_per_mb: 8_000,
+            iter_us_per_mb: 25_000,
+            iterations: p.iters(17),
+            single_stage_iters: true,
+            aux_cached: 6,
+            chain: 1,
+            block: Some(p.block(total)),
+        },
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdist_dag::{AppPlan, RefAnalyzer};
+
+    fn stats(spec: &AppSpec) -> (usize, usize, usize, refdist_dag::DistanceStats) {
+        let plan = AppPlan::build(spec);
+        let profile = RefAnalyzer::new(spec, &plan).profile();
+        let d = RefAnalyzer::distance_stats(&profile);
+        (
+            plan.jobs.len(),
+            plan.active_stage_count(),
+            spec.rdds.len(),
+            d,
+        )
+    }
+
+    #[test]
+    fn kmeans_shape_matches_table3() {
+        let (jobs, active, rdds, d) = stats(&kmeans(&WorkloadParams::small()));
+        assert_eq!(jobs, 17);
+        assert!((17..=24).contains(&active), "active stages {active}");
+        assert!((30..=45).contains(&rdds), "rdds {rdds}");
+        // Table 1: avg job distance 5.15, max 16.
+        assert!(d.avg_job > 2.5 && d.avg_job < 9.0, "avg job {}", d.avg_job);
+        assert!(d.max_job >= 12, "max job {}", d.max_job);
+    }
+
+    #[test]
+    fn linr_is_small_and_short() {
+        let (jobs, active, rdds, d) = stats(&linear_regression(&WorkloadParams::small()));
+        assert_eq!(jobs, 6);
+        assert!((6..=11).contains(&active));
+        assert!((18..=30).contains(&rdds));
+        assert!(d.avg_job < 3.0);
+        assert!(d.max_job <= 6);
+    }
+
+    #[test]
+    fn logr_has_seven_jobs() {
+        let (jobs, _, _, _) = stats(&logistic_regression(&WorkloadParams::small()));
+        assert_eq!(jobs, 7);
+    }
+
+    #[test]
+    fn svm_reuses_stages_across_jobs() {
+        let spec = svm(&WorkloadParams::small());
+        let plan = AppPlan::build(&spec);
+        assert_eq!(plan.jobs.len(), 10);
+        assert!(
+            plan.total_stage_appearances() > plan.active_stage_count() + 5,
+            "appearances {} vs active {}",
+            plan.total_stage_appearances(),
+            plan.active_stage_count()
+        );
+    }
+
+    #[test]
+    fn decision_tree_ignores_iterations() {
+        let a = decision_tree(&WorkloadParams::small());
+        let b = decision_tree(&WorkloadParams {
+            iterations: Some(21),
+            ..WorkloadParams::small()
+        });
+        assert_eq!(a.num_jobs(), b.num_jobs());
+        assert_eq!(a.rdds.len(), b.rdds.len());
+        assert_eq!(a.num_jobs(), 10);
+    }
+
+    #[test]
+    fn mf_accumulates_lineage() {
+        let spec = matrix_factorization(&WorkloadParams::small());
+        let plan = AppPlan::build(&spec);
+        assert!(
+            (5..=9).contains(&plan.jobs.len()),
+            "jobs {}",
+            plan.jobs.len()
+        );
+        assert!(spec.rdds.len() >= 60, "rdds {}", spec.rdds.len());
+        assert!(plan.total_stage_appearances() > plan.active_stage_count());
+    }
+
+    #[test]
+    fn iterations_param_scales_ml_jobs() {
+        let base = kmeans(&WorkloadParams::small());
+        let tripled = kmeans(&WorkloadParams {
+            iterations: Some(42),
+            ..WorkloadParams::small()
+        });
+        assert!(tripled.num_jobs() > base.num_jobs());
+    }
+
+    #[test]
+    fn hibench_kmeans_has_long_distances() {
+        let (_, _, _, d) = stats(&hibench_kmeans(&WorkloadParams::small()));
+        assert!(d.max_job >= 15, "max job {}", d.max_job);
+        assert!(d.avg_job > 3.0);
+    }
+
+    #[test]
+    fn all_ml_specs_validate() {
+        let p = WorkloadParams::small();
+        for spec in [
+            kmeans(&p),
+            linear_regression(&p),
+            logistic_regression(&p),
+            svm(&p),
+            decision_tree(&p),
+            matrix_factorization(&p),
+            hibench_bayes(&p),
+            hibench_kmeans(&p),
+        ] {
+            spec.validate().unwrap();
+            assert!(spec.cached_rdds().count() > 0);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-workload structural properties: the DAG *shape* (jobs, stages,
+//! references, distances) must be invariant to data scale and partitioning,
+//! since those only change block sizes and task counts.
+
+use refdist_dag::{AppPlan, RefAnalyzer};
+use refdist_workloads::{Workload, WorkloadParams};
+
+fn shape(w: Workload, p: &WorkloadParams) -> (usize, usize, usize, f64, u32) {
+    let spec = w.build(p);
+    let plan = AppPlan::build(&spec);
+    let profile = RefAnalyzer::new(&spec, &plan).profile();
+    let d = RefAnalyzer::distance_stats(&profile);
+    (
+        plan.jobs.len(),
+        plan.active_stage_count(),
+        spec.rdds.len(),
+        d.avg_stage,
+        d.max_stage,
+    )
+}
+
+#[test]
+fn dag_shape_is_scale_invariant() {
+    for &w in Workload::sparkbench().iter().chain(Workload::hibench()) {
+        let a = shape(
+            w,
+            &WorkloadParams {
+                partitions: 8,
+                scale: 0.05,
+                iterations: None,
+            },
+        );
+        let b = shape(
+            w,
+            &WorkloadParams {
+                partitions: 64,
+                scale: 1.0,
+                iterations: None,
+            },
+        );
+        assert_eq!(
+            a,
+            b,
+            "{}: shape changed with scale/partitions",
+            w.short_name()
+        );
+    }
+}
+
+#[test]
+fn tripling_iterations_grows_jobs_and_stages() {
+    // Paper §5.9: jobs +59%, stages +78% on average when tripled.
+    let p = WorkloadParams::small();
+    let mut job_growth = Vec::new();
+    let mut stage_growth = Vec::new();
+    for &w in Workload::sparkbench() {
+        let Some(iters) = w.default_iterations() else {
+            continue;
+        };
+        let base = shape(w, &p);
+        let tripled = shape(
+            w,
+            &WorkloadParams {
+                iterations: Some(iters * 3),
+                ..p
+            },
+        );
+        assert!(tripled.0 > base.0, "{}: jobs did not grow", w.short_name());
+        assert!(
+            tripled.1 > base.1,
+            "{}: stages did not grow",
+            w.short_name()
+        );
+        job_growth.push(tripled.0 as f64 / base.0 as f64 - 1.0);
+        stage_growth.push(tripled.1 as f64 / base.1 as f64 - 1.0);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Growth is substantial but sub-3x (only part of each app iterates),
+    // bracketing the paper's +59% jobs / +78% stages.
+    let jg = avg(&job_growth);
+    let sg = avg(&stage_growth);
+    assert!(jg > 0.4 && jg < 2.5, "avg job growth {jg}");
+    assert!(sg > 0.4 && sg < 2.5, "avg stage growth {sg}");
+}
+
+#[test]
+fn suite_distance_ordering_matches_table1() {
+    // The qualitative ordering the paper's Table 1 establishes.
+    let p = WorkloadParams::small();
+    let avg_stage = |w: Workload| shape(w, &p).3;
+    let scc = avg_stage(Workload::StronglyConnectedComponents);
+    let lp = avg_stage(Workload::LabelPropagation);
+    let sort = avg_stage(Workload::HiSort);
+    let sp = avg_stage(Workload::ShortestPaths);
+    // SCC and LP dominate everything else.
+    for &w in Workload::sparkbench() {
+        if matches!(
+            w,
+            Workload::StronglyConnectedComponents | Workload::LabelPropagation
+        ) {
+            continue;
+        }
+        assert!(scc > avg_stage(w), "SCC not above {}", w.short_name());
+        assert!(lp > avg_stage(w), "LP not above {}", w.short_name());
+    }
+    // Batch ETL has no distances at all; SP sits near the bottom.
+    assert_eq!(sort, 0.0);
+    assert!(sp < 4.0);
+}
+
+#[test]
+fn cached_footprints_are_positive_for_sparkbench() {
+    let p = WorkloadParams::small();
+    for &w in Workload::sparkbench() {
+        let spec = w.build(&p);
+        let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+        assert!(footprint > 0, "{} has no cached data", w.short_name());
+        // Every cached RDD must actually be referenced by the plan.
+        let plan = AppPlan::build(&spec);
+        let profile = RefAnalyzer::new(&spec, &plan).profile();
+        for r in spec.cached_rdds() {
+            assert!(
+                profile.refs(r.id).is_some(),
+                "{}: cached RDD {} is never touched",
+                w.short_name(),
+                r.name
+            );
+        }
+    }
+}
+
+#[test]
+fn io_intensive_workloads_have_higher_io_share() {
+    // The Job Type labels must be reflected in simulated behaviour: the
+    // I/O-intensive group spends a larger share of task time on I/O than
+    // the CPU-intensive group under the same relative cache pressure.
+    use refdist_cluster::{ClusterConfig, SimConfig, Simulation};
+    use refdist_core::ProfileMode;
+    use refdist_policies::PolicyKind;
+    use refdist_workloads::JobType;
+
+    let p = WorkloadParams {
+        partitions: 16,
+        scale: 0.05,
+        iterations: None,
+    };
+    let mut shares: Vec<(JobType, f64)> = Vec::new();
+    for &w in Workload::sparkbench() {
+        let spec = w.build(&p);
+        let plan = AppPlan::build(&spec);
+        let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+        let mut cfg = SimConfig::new(ClusterConfig::tiny(4, (footprint / 8).max(1)));
+        cfg.compute_jitter = 0.0;
+        let mut lru = PolicyKind::Lru.build();
+        let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut *lru);
+        shares.push((w.job_type(), r.io_share()));
+    }
+    let avg = |t: JobType| {
+        let v: Vec<f64> = shares
+            .iter()
+            .filter(|(jt, _)| *jt == t)
+            .map(|(_, s)| *s)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    assert!(
+        avg(JobType::IoIntensive) > avg(JobType::CpuIntensive),
+        "I/O-intensive group should out-I/O the CPU-intensive group: {:?}",
+        shares
+    );
+}

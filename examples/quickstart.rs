@@ -1,0 +1,70 @@
+//! Quickstart: build a small iterative application, run it on a simulated
+//! cluster under LRU and under MRD, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use refdist::prelude::*;
+
+fn main() {
+    // 1. Describe the application the way a Spark driver program would:
+    //    an input dataset, a cached parse of it, and four jobs that re-read
+    //    the cached data.
+    let mut b = AppBuilder::new("quickstart");
+    let input = b.input(
+        "hdfs://input",
+        /*partitions*/ 16,
+        /*block bytes*/ 8 << 20,
+        /*compute µs*/ 50_000,
+    );
+    let parsed = b.narrow("parsed", input, 8 << 20, 80_000);
+    b.persist(parsed, StorageLevel::MemoryAndDisk);
+    for i in 0..4 {
+        let grouped = b.shuffle(format!("grouped_{i}"), &[parsed], 16, 2 << 20, 30_000);
+        b.action(format!("job_{i}"), grouped);
+    }
+    let spec = b.build();
+
+    // 2. Plan it: the DAGScheduler splits each job into stages at shuffle
+    //    boundaries.
+    let plan = AppPlan::build(&spec);
+    println!(
+        "{}: {} jobs, {} stages, {} RDDs",
+        spec.name,
+        plan.jobs.len(),
+        plan.active_stage_count(),
+        spec.rdds.len()
+    );
+
+    // 3. Inspect the reference profile MRD will work from.
+    let profile = RefAnalyzer::new(&spec, &plan).profile();
+    for refs in profile.per_rdd.values() {
+        println!(
+            "  cached {} referenced at stages {:?}",
+            spec.rdd(refs.rdd).name,
+            refs.stages.iter().map(|s| s.0).collect::<Vec<_>>()
+        );
+    }
+
+    // 4. Simulate on a small cluster whose cache holds only part of the
+    //    working set, under LRU and under full MRD.
+    let cluster = ClusterConfig::tiny(4, /*cache per node*/ 24 << 20);
+    let cfg = SimConfig::new(cluster);
+
+    let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg);
+    let mut lru = PolicyKind::Lru.build();
+    let lru_report = sim.run(&mut *lru);
+
+    let mut mrd = MrdPolicy::full();
+    let mrd_report = sim.run(&mut mrd);
+
+    println!("\n{}", lru_report.summary());
+    println!("{}", mrd_report.summary());
+    println!(
+        "\nMRD finished in {:.0}% of LRU's time ({} prefetches, {} of them hit).",
+        mrd_report.normalized_jct(&lru_report) * 100.0,
+        mrd_report.stats.prefetches,
+        mrd_report.stats.prefetch_hits,
+    );
+}

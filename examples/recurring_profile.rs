@@ -1,0 +1,64 @@
+//! Ad-hoc vs recurring applications (paper §4.1 / §5.8).
+//!
+//! The first run of an application only sees each job's DAG as it is
+//! submitted, so cross-job references look infinitely distant. A recurring
+//! application replays with a stored whole-application profile. This example
+//! runs K-Means both ways, persists the profile through a `ProfileStore`
+//! (the AppProfiler's on-disk store), reloads it, and verifies the reloaded
+//! profile reproduces the recurring-run behaviour.
+//!
+//! ```sh
+//! cargo run --release --example recurring_profile
+//! ```
+
+use refdist::prelude::*;
+
+fn main() {
+    let params = WorkloadParams {
+        partitions: 32,
+        scale: 0.2,
+        iterations: None,
+    };
+    let spec = Workload::KMeans.build(&params);
+    let plan = AppPlan::build(&spec);
+
+    let mut cluster = ClusterConfig::main_cluster();
+    cluster.nodes = 6;
+    let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+    let cfg = SimConfig::new(cluster.with_cache((footprint as f64 * 0.5 / 6.0) as u64));
+
+    // First run: ad-hoc visibility, one job DAG at a time.
+    let adhoc = Simulation::new(&spec, &plan, ProfileMode::AdHoc, cfg.clone());
+    let mut mrd = MrdPolicy::full();
+    let first = adhoc.run(&mut mrd);
+    println!("first (ad-hoc) run:    {}", first.summary());
+
+    // The profiler stores the completed application's profile...
+    let profiler = AppProfiler::new(&spec, &plan, ProfileMode::Recurring);
+    let store = ProfileStore::new(std::env::temp_dir().join("refdist-profiles"));
+    let path = store
+        .save(&spec.name, profiler.full())
+        .expect("save profile");
+    println!("profile stored at {}", path.display());
+
+    // ...and a later run loads it and sees the whole DAG from the start.
+    let stored = store
+        .load(&spec.name)
+        .expect("read profile")
+        .expect("profile exists");
+    assert!(
+        !profiler.discrepancy(&stored),
+        "stored profile must match the DAG"
+    );
+    let recurring = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg);
+    let mut mrd = MrdPolicy::full();
+    let second = recurring.run(&mut mrd);
+    println!("recurring run:         {}", second.summary());
+
+    println!(
+        "\nrecurring vs ad-hoc: {:.0}% of the first run's JCT, hit ratio {:.1}% -> {:.1}%",
+        second.jct.micros() as f64 / first.jct.micros() as f64 * 100.0,
+        first.hit_ratio() * 100.0,
+        second.hit_ratio() * 100.0,
+    );
+}

@@ -1,0 +1,14 @@
+//! The `refdist` command-line tool: inspect workload DAGs, export Graphviz,
+//! and run cache-policy simulations from the shell. See `refdist help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match refdist::cli::parse(&args).and_then(refdist::cli::execute) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", refdist::cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

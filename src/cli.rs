@@ -1,0 +1,549 @@
+//! Command-line interface logic for the `refdist` binary.
+//!
+//! Hand-rolled argument parsing (the workspace deliberately avoids
+//! dependencies beyond the approved set), split from the binary so the
+//! parsing and command execution are unit-testable.
+
+use crate::prelude::*;
+use refdist_metrics::{human_bytes, TextTable};
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `refdist list` — all workloads with their metadata.
+    List,
+    /// `refdist inspect <workload>` — plan + reference statistics.
+    Inspect {
+        /// Workload short name (e.g. "CC").
+        workload: String,
+        /// Generation parameters.
+        params: WorkloadParams,
+    },
+    /// `refdist dot <workload> [--stages]` — Graphviz export.
+    Dot {
+        /// Workload short name.
+        workload: String,
+        /// Emit the stage DAG instead of the RDD lineage.
+        stages: bool,
+        /// Generation parameters.
+        params: WorkloadParams,
+    },
+    /// `refdist run <workload> --policy <p>` — one simulation.
+    Run {
+        /// Workload short name.
+        workload: String,
+        /// Policy name (lru|fifo|random|lrc|memtune|mrd|mrd-evict|mrd-prefetch|mrd-job).
+        policy: String,
+        /// Cache bytes per node.
+        cache_bytes: Option<u64>,
+        /// Cache as a fraction of the cached footprint.
+        cache_fraction: f64,
+        /// Cluster preset (main|lrc|memtune) and node override.
+        cluster: String,
+        /// Node-count override.
+        nodes: Option<u32>,
+        /// Ad-hoc instead of recurring profile visibility.
+        adhoc: bool,
+        /// Simulation seed.
+        seed: u64,
+        /// Generation parameters.
+        params: WorkloadParams,
+    },
+    /// `refdist compare <workload>` — every policy, ranked.
+    Compare {
+        /// Workload short name.
+        workload: String,
+        /// Cache as a fraction of the cached footprint.
+        cache_fraction: f64,
+        /// Node-count override.
+        nodes: Option<u32>,
+        /// Generation parameters.
+        params: WorkloadParams,
+    },
+    /// `refdist help`.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+refdist — reference-distance cache management (MRD) simulator
+
+USAGE:
+  refdist list
+  refdist inspect <workload> [--partitions N] [--scale F] [--iterations N]
+  refdist dot <workload> [--stages] [--partitions N] [--scale F]
+  refdist run <workload> --policy <name> [options]
+  refdist compare <workload> [options]
+  refdist help
+
+RUN/COMPARE OPTIONS:
+  --policy <name>        lru | fifo | random | lrc | memtune |
+                         mrd | mrd-evict | mrd-prefetch | mrd-job
+  --cache-mb <N>         cache per node in MiB
+  --cache-fraction <F>   cache as fraction of cached footprint (default 0.4)
+  --cluster <preset>     main | lrc | memtune (default main)
+  --nodes <N>            override the preset's node count
+  --adhoc                first-run profile visibility (default: recurring)
+  --seed <N>             simulation seed (default 42)
+  --partitions <N>       partitions per RDD (default 192)
+  --scale <F>            input scale factor (default 1.0)
+  --iterations <N>       override the workload's iteration count
+
+WORKLOADS: KM LinR LogR SVM DT MF PR TC SP LP SVD++ CC SCC PO
+           Sort WordCount TeraSort PageRank(Hi) Bayes K-Means(Hi)
+";
+
+fn find_workload(name: &str) -> Result<Workload, String> {
+    Workload::from_short_name(name)
+        .ok_or_else(|| format!("unknown workload `{name}` (try `refdist list`)"))
+}
+
+struct Flags<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.i += 1;
+        self.args
+            .get(self.i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let v = self.value(flag)?;
+        v.parse().map_err(|_| format!("{flag}: cannot parse `{v}`"))
+    }
+}
+
+/// Parse CLI arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let mut params = WorkloadParams::default();
+    let mut policy = None;
+    let mut cache_bytes = None;
+    let mut cache_fraction = 0.4;
+    let mut cluster = "main".to_string();
+    let mut nodes = None;
+    let mut adhoc = false;
+    let mut seed = 42u64;
+    let mut stages = false;
+    let mut positional: Vec<&String> = Vec::new();
+
+    let mut f = Flags { args, i: 0 };
+    while f.i + 1 < args.len() {
+        f.i += 1;
+        let arg = &args[f.i];
+        match arg.as_str() {
+            "--partitions" => params.partitions = f.parse_num("--partitions")?,
+            "--scale" => params.scale = f.parse_num("--scale")?,
+            "--iterations" => params.iterations = Some(f.parse_num("--iterations")?),
+            "--policy" => policy = Some(f.value("--policy")?.to_string()),
+            "--cache-mb" => cache_bytes = Some(f.parse_num::<u64>("--cache-mb")? << 20),
+            "--cache-fraction" => cache_fraction = f.parse_num("--cache-fraction")?,
+            "--cluster" => cluster = f.value("--cluster")?.to_string(),
+            "--nodes" => nodes = Some(f.parse_num("--nodes")?),
+            "--adhoc" => adhoc = true,
+            "--seed" => seed = f.parse_num("--seed")?,
+            "--stages" => stages = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            _ => positional.push(arg),
+        }
+    }
+
+    let workload_arg = || -> Result<String, String> {
+        positional
+            .first()
+            .map(|s| s.to_string())
+            .ok_or_else(|| "missing <workload> argument".to_string())
+    };
+
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "inspect" => Ok(Command::Inspect {
+            workload: workload_arg()?,
+            params,
+        }),
+        "dot" => Ok(Command::Dot {
+            workload: workload_arg()?,
+            stages,
+            params,
+        }),
+        "run" => Ok(Command::Run {
+            workload: workload_arg()?,
+            policy: policy.ok_or("run requires --policy")?,
+            cache_bytes,
+            cache_fraction,
+            cluster,
+            nodes,
+            adhoc,
+            seed,
+            params,
+        }),
+        "compare" => Ok(Command::Compare {
+            workload: workload_arg()?,
+            cache_fraction,
+            nodes,
+            params,
+        }),
+        other => Err(format!("unknown command `{other}` (try `refdist help`)")),
+    }
+}
+
+fn build_policy(name: &str) -> Result<Box<dyn CachePolicy>, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "lru" => PolicyKind::Lru.build(),
+        "fifo" => PolicyKind::Fifo.build(),
+        "random" => PolicyKind::Random.build(),
+        "lrc" => PolicyKind::Lrc.build(),
+        "memtune" => PolicyKind::MemTune.build(),
+        "mrd" => Box::new(MrdPolicy::full()),
+        "mrd-evict" => Box::new(MrdPolicy::new(MrdConfig {
+            mode: MrdMode::EvictOnly,
+            ..Default::default()
+        })),
+        "mrd-prefetch" => Box::new(MrdPolicy::new(MrdConfig {
+            mode: MrdMode::PrefetchOnly,
+            ..Default::default()
+        })),
+        "mrd-job" => Box::new(MrdPolicy::new(MrdConfig {
+            metric: DistanceMetric::Job,
+            ..Default::default()
+        })),
+        other => return Err(format!("unknown policy `{other}`")),
+    })
+}
+
+fn cluster_preset(name: &str) -> Result<ClusterConfig, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "main" => ClusterConfig::main_cluster(),
+        "lrc" => ClusterConfig::lrc_cluster(),
+        "memtune" => ClusterConfig::memtune_cluster(),
+        other => return Err(format!("unknown cluster preset `{other}`")),
+    })
+}
+
+/// Execute a parsed command, returning its printable output.
+pub fn execute(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::List => {
+            let mut t = TextTable::new(["Name", "Full name", "Category", "Job type", "Iterations"]);
+            for &w in Workload::sparkbench().iter().chain(Workload::hibench()) {
+                t.row([
+                    w.short_name().to_string(),
+                    w.full_name().to_string(),
+                    w.category().to_string(),
+                    w.job_type().to_string(),
+                    w.default_iterations().map_or("-".into(), |i| i.to_string()),
+                ]);
+            }
+            Ok(t.render())
+        }
+        Command::Inspect { workload, params } => {
+            let w = find_workload(&workload)?;
+            let spec = w.build(&params);
+            let plan = AppPlan::build(&spec);
+            let analyzer = RefAnalyzer::new(&spec, &plan);
+            let profile = analyzer.profile();
+            let ch = analyzer.characteristics(&profile);
+            let d = refdist_dag::RefAnalyzer::distance_stats(&profile);
+            let mut out = String::new();
+            let _ = writeln!(out, "{} ({})", w.full_name(), w.short_name());
+            let _ = writeln!(out, "  category:        {}", w.category());
+            let _ = writeln!(out, "  job type:        {}", w.job_type());
+            let _ = writeln!(out, "  input:           {}", human_bytes(ch.input_bytes));
+            let _ = writeln!(out, "  jobs:            {}", ch.jobs);
+            let _ = writeln!(
+                out,
+                "  stages:          {} ({} active)",
+                ch.stages, ch.active_stages
+            );
+            let _ = writeln!(out, "  rdds:            {}", ch.rdds);
+            let _ = writeln!(out, "  refs/rdd:        {:.2}", ch.refs_per_rdd);
+            let _ = writeln!(out, "  refs/stage:      {:.2}", ch.refs_per_stage);
+            let _ = writeln!(
+                out,
+                "  avg job dist:    {:.2} (max {})",
+                d.avg_job, d.max_job
+            );
+            let _ = writeln!(
+                out,
+                "  avg stage dist:  {:.2} (max {})",
+                d.avg_stage, d.max_stage
+            );
+            let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+            let _ = writeln!(out, "  cached footprint: {}", human_bytes(footprint));
+            let live = refdist_dag::LiveSetProfile::compute(&spec, &profile);
+            let _ = writeln!(
+                out,
+                "  peak live set:   {} at {} ({}% optimal cache savings)",
+                human_bytes(live.peak_bytes),
+                live.peak_stage,
+                (live.optimal_savings() * 100.0) as u32
+            );
+            Ok(out)
+        }
+        Command::Dot {
+            workload,
+            stages,
+            params,
+        } => {
+            let w = find_workload(&workload)?;
+            let spec = w.build(&params);
+            if stages {
+                let plan = AppPlan::build(&spec);
+                Ok(refdist_dag::dot::stage_dot(&spec, &plan))
+            } else {
+                Ok(refdist_dag::dot::lineage_dot(&spec))
+            }
+        }
+        Command::Run {
+            workload,
+            policy,
+            cache_bytes,
+            cache_fraction,
+            cluster,
+            nodes,
+            adhoc,
+            seed,
+            params,
+        } => {
+            let w = find_workload(&workload)?;
+            let spec = w.build(&params);
+            let plan = AppPlan::build(&spec);
+            let mut cl = cluster_preset(&cluster)?;
+            if let Some(n) = nodes {
+                cl.nodes = n;
+            }
+            let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+            let cache = cache_bytes
+                .unwrap_or(((footprint as f64 * cache_fraction) / cl.nodes as f64) as u64)
+                .max(1);
+            let cfg = SimConfig::new(cl.with_cache(cache)).with_seed(seed);
+            let mode = if adhoc {
+                ProfileMode::AdHoc
+            } else {
+                ProfileMode::Recurring
+            };
+            let mut p = build_policy(&policy)?;
+            let report = Simulation::new(&spec, &plan, mode, cfg).run(&mut *p);
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", report.summary());
+            let _ = writeln!(
+                out,
+                "  cache/node: {}, io {:.1}s, compute {:.1}s, tasks {}",
+                human_bytes(cache),
+                report.io_time.as_secs_f64(),
+                report.compute_time.as_secs_f64(),
+                report.tasks
+            );
+            let _ = writeln!(
+                out,
+                "  disk hits {}, recomputes {}, remote hits {}, wasted prefetches {}",
+                report.stats.disk_hits,
+                report.stats.recomputes,
+                report.stats.remote_hits,
+                report.stats.wasted_prefetches
+            );
+            Ok(out)
+        }
+        Command::Compare {
+            workload,
+            cache_fraction,
+            nodes,
+            params,
+        } => {
+            let w = find_workload(&workload)?;
+            let spec = w.build(&params);
+            let plan = AppPlan::build(&spec);
+            let mut cl = ClusterConfig::main_cluster();
+            if let Some(n) = nodes {
+                cl.nodes = n;
+            }
+            let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+            let cache = (((footprint as f64 * cache_fraction) / cl.nodes as f64) as u64).max(1);
+            let cfg = SimConfig::new(cl.with_cache(cache));
+            let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg);
+            let mut reports = Vec::new();
+            for name in [
+                "lru",
+                "fifo",
+                "random",
+                "lrc",
+                "memtune",
+                "mrd-evict",
+                "mrd-prefetch",
+                "mrd",
+            ] {
+                let mut p = build_policy(name)?;
+                reports.push(sim.run(&mut *p));
+            }
+            reports.sort_by_key(|r| r.jct);
+            let baseline = reports
+                .iter()
+                .find(|r| r.policy == "LRU")
+                .cloned()
+                .expect("LRU ran");
+            let mut t = TextTable::new([
+                "Policy",
+                "JCT (s)",
+                "vs LRU",
+                "Hit %",
+                "Evictions",
+                "Prefetches",
+            ]);
+            for r in &reports {
+                t.row([
+                    r.policy.clone(),
+                    format!("{:.2}", r.jct_secs()),
+                    format!("{:.2}", r.normalized_jct(&baseline)),
+                    format!("{:.1}", r.hit_ratio() * 100.0),
+                    (r.stats.evictions + r.stats.purges).to_string(),
+                    r.stats.prefetches.to_string(),
+                ]);
+            }
+            let mut out = format!(
+                "{} on {} nodes, cache {}/node ({}% of footprint):\n\n",
+                w.short_name(),
+                cl.nodes,
+                human_bytes(cache),
+                (cache_fraction * 100.0) as u32
+            );
+            out.push_str(&t.render());
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_list_and_help() {
+        assert_eq!(parse(&args("list")).unwrap(), Command::List);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert!(parse(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parse_run_flags() {
+        let cmd = parse(&args(
+            "run CC --policy mrd --cache-mb 64 --nodes 4 --adhoc --seed 7 --partitions 16 --scale 0.1",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                workload,
+                policy,
+                cache_bytes,
+                nodes,
+                adhoc,
+                seed,
+                params,
+                ..
+            } => {
+                assert_eq!(workload, "CC");
+                assert_eq!(policy, "mrd");
+                assert_eq!(cache_bytes, Some(64 << 20));
+                assert_eq!(nodes, Some(4));
+                assert!(adhoc);
+                assert_eq!(seed, 7);
+                assert_eq!(params.partitions, 16);
+                assert!((params.scale - 0.1).abs() < 1e-12);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&args("run CC")).is_err()); // missing --policy
+        assert!(parse(&args("run --policy mrd")).is_err()); // missing workload
+        assert!(parse(&args("run CC --policy mrd --cache-mb nope")).is_err());
+        assert!(parse(&args("inspect CC --bogus")).is_err());
+    }
+
+    #[test]
+    fn list_mentions_every_workload() {
+        let out = execute(Command::List).unwrap();
+        for &w in Workload::sparkbench() {
+            assert!(out.contains(w.short_name()), "missing {}", w.short_name());
+        }
+    }
+
+    #[test]
+    fn inspect_reports_statistics() {
+        let out = execute(parse(&args("inspect SP --partitions 8 --scale 0.05")).unwrap()).unwrap();
+        assert!(out.contains("Shortest Paths"));
+        assert!(out.contains("jobs:"));
+        assert!(out.contains("avg stage dist:"));
+    }
+
+    #[test]
+    fn inspect_unknown_workload_fails() {
+        assert!(execute(parse(&args("inspect NOPE")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out =
+            execute(parse(&args("dot TeraSort --partitions 4 --scale 0.01")).unwrap()).unwrap();
+        assert!(out.starts_with("digraph"));
+        let out =
+            execute(parse(&args("dot TeraSort --stages --partitions 4 --scale 0.01")).unwrap())
+                .unwrap();
+        assert!(out.contains("cluster_j0"));
+    }
+
+    #[test]
+    fn run_executes_a_simulation() {
+        let out = execute(
+            parse(&args(
+                "run SP --policy mrd --nodes 2 --partitions 8 --scale 0.02 --cache-fraction 0.3",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("ShortestPaths under MRD(full,stage)"));
+        assert!(out.contains("tasks"));
+    }
+
+    #[test]
+    fn run_rejects_unknown_policy() {
+        let r = execute(
+            parse(&args(
+                "run SP --policy optimal --nodes 2 --partitions 8 --scale 0.02",
+            ))
+            .unwrap(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn compare_ranks_policies() {
+        let out = execute(
+            parse(&args(
+                "compare SP --nodes 2 --partitions 8 --scale 0.02 --cache-fraction 0.3",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("LRU"));
+        assert!(out.contains("MRD(full,stage)"));
+        // The table is ranked: the first data row is the fastest policy.
+        assert!(out.contains("vs LRU"));
+    }
+}

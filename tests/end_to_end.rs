@@ -1,0 +1,256 @@
+//! End-to-end integration tests: workload generation → DAG planning →
+//! reference analysis → cluster simulation under every policy.
+
+use refdist::cluster::collect_trace;
+use refdist::policies::BeladyMinPolicy;
+use refdist::prelude::*;
+
+fn small_params() -> WorkloadParams {
+    WorkloadParams {
+        partitions: 16,
+        scale: 0.05,
+        iterations: None,
+    }
+}
+
+fn cfg(nodes: u32, cache: u64) -> SimConfig {
+    let mut c = SimConfig::new(ClusterConfig::tiny(nodes, cache));
+    c.compute_jitter = 0.0;
+    c
+}
+
+fn footprint(spec: &AppSpec) -> u64 {
+    spec.cached_rdds().map(|r| r.total_size()).sum()
+}
+
+#[test]
+fn every_workload_simulates_under_every_policy() {
+    let params = small_params();
+    for &w in Workload::sparkbench().iter().chain(Workload::hibench()) {
+        let spec = w.build(&params);
+        let plan = AppPlan::build(&spec);
+        let cache = (footprint(&spec) / 8).max(1);
+        let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg(4, cache));
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::Lrc,
+            PolicyKind::MemTune,
+        ] {
+            let mut p = kind.build();
+            let r = sim.run(&mut *p);
+            assert!(r.jct.micros() > 0, "{w}: {kind:?} produced zero JCT");
+            assert_eq!(
+                r.stats.accesses(),
+                r.stats.hits + r.stats.misses,
+                "{w}: accounting broken under {kind:?}"
+            );
+        }
+        let mut mrd = MrdPolicy::full();
+        let r = sim.run(&mut mrd);
+        assert!(r.jct.micros() > 0, "{w}: MRD produced zero JCT");
+    }
+}
+
+#[test]
+fn mrd_never_loses_badly_and_usually_wins() {
+    // Across the SparkBench suite at a constrained cache, MRD must match or
+    // beat LRU's hit ratio on the vast majority of workloads and never lose
+    // more than a whisker (ties happen when nothing is cacheable).
+    let params = small_params();
+    let mut wins = 0;
+    let mut total = 0;
+    for &w in Workload::sparkbench() {
+        let spec = w.build(&params);
+        let plan = AppPlan::build(&spec);
+        let cache = (footprint(&spec) / 6).max(1);
+        let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg(4, cache));
+        let mut lru = PolicyKind::Lru.build();
+        let r_lru = sim.run(&mut *lru);
+        let mut mrd = MrdPolicy::full();
+        let r_mrd = sim.run(&mut mrd);
+        total += 1;
+        if r_mrd.hit_ratio() > r_lru.hit_ratio() + 1e-9 {
+            wins += 1;
+        }
+        assert!(
+            r_mrd.jct.micros() as f64 <= r_lru.jct.micros() as f64 * 1.15,
+            "{w}: MRD {} vs LRU {} — losing by more than 15%",
+            r_mrd.jct,
+            r_lru.jct
+        );
+    }
+    assert!(
+        wins * 2 > total,
+        "MRD should win hit ratio on most workloads ({wins}/{total})"
+    );
+}
+
+#[test]
+fn belady_oracle_dominates_lru_hit_ratio() {
+    let params = small_params();
+    for w in [
+        Workload::ConnectedComponents,
+        Workload::KMeans,
+        Workload::SvdPlusPlus,
+    ] {
+        let spec = w.build(&params);
+        let plan = AppPlan::build(&spec);
+        let cache = (footprint(&spec) / 6).max(1);
+        let c = cfg(4, cache);
+        let trace = collect_trace(&spec, &plan, &c);
+        let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, c);
+        let mut belady = BeladyMinPolicy::from_trace(&trace);
+        let r_b = sim.run(&mut belady);
+        let mut lru = PolicyKind::Lru.build();
+        let r_l = sim.run(&mut *lru);
+        assert!(
+            r_b.hit_ratio() >= r_l.hit_ratio() - 1e-9,
+            "{w}: Belady {} < LRU {}",
+            r_b.hit_ratio(),
+            r_l.hit_ratio()
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let params = small_params();
+    let spec = Workload::PageRank.build(&params);
+    let plan = AppPlan::build(&spec);
+    let c = cfg(3, footprint(&spec) / 5);
+    let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, c);
+    let runs: Vec<RunReport> = (0..3)
+        .map(|_| {
+            let mut p = MrdPolicy::full();
+            sim.run(&mut p)
+        })
+        .collect();
+    assert_eq!(runs[0].jct, runs[1].jct);
+    assert_eq!(runs[1].jct, runs[2].jct);
+    assert_eq!(runs[0].stats, runs[1].stats);
+}
+
+#[test]
+fn adhoc_mode_never_beats_recurring_on_hits() {
+    let params = small_params();
+    for w in [Workload::KMeans, Workload::LabelPropagation] {
+        let spec = w.build(&params);
+        let plan = AppPlan::build(&spec);
+        let c = cfg(4, (footprint(&spec) / 4).max(1));
+        let mut mrd = MrdPolicy::full();
+        let rec = Simulation::new(&spec, &plan, ProfileMode::Recurring, c.clone()).run(&mut mrd);
+        let mut mrd = MrdPolicy::full();
+        let adhoc = Simulation::new(&spec, &plan, ProfileMode::AdHoc, c).run(&mut mrd);
+        assert!(
+            rec.hit_ratio() >= adhoc.hit_ratio() - 0.02,
+            "{w}: recurring {} markedly below ad-hoc {}",
+            rec.hit_ratio(),
+            adhoc.hit_ratio()
+        );
+    }
+}
+
+#[test]
+fn eviction_only_and_prefetch_only_compose_into_full() {
+    // Full MRD's hit ratio should be at least each single mode's on an
+    // I/O-heavy workload with both spills and reuse.
+    let params = small_params();
+    let spec = Workload::SvdPlusPlus.build(&params);
+    let plan = AppPlan::build(&spec);
+    // Per-node cache: ~40% of the cluster-wide cached footprint spread over
+    // 4 nodes — blocks with *near* references spill and become prefetchable.
+    let c = cfg(4, (footprint(&spec) / 10).max(1));
+    let run_mode = |mode: MrdMode| {
+        let mut p = MrdPolicy::new(MrdConfig {
+            mode,
+            ..Default::default()
+        });
+        Simulation::new(&spec, &plan, ProfileMode::Recurring, c.clone()).run(&mut p)
+    };
+    let evict = run_mode(MrdMode::EvictOnly);
+    let prefetch = run_mode(MrdMode::PrefetchOnly);
+    let full = run_mode(MrdMode::Full);
+    assert!(full.hit_ratio() + 1e-9 >= evict.hit_ratio().max(prefetch.hit_ratio()) - 0.05);
+    assert!(full.stats.prefetches > 0);
+}
+
+#[test]
+fn profile_store_roundtrips_every_workload() {
+    let params = small_params();
+    let dir = std::env::temp_dir().join(format!("refdist-it-{}", std::process::id()));
+    let store = ProfileStore::new(&dir);
+    for &w in Workload::sparkbench() {
+        let spec = w.build(&params);
+        let plan = AppPlan::build(&spec);
+        let profiler = AppProfiler::new(&spec, &plan, ProfileMode::Recurring);
+        store.save(&spec.name, profiler.full()).unwrap();
+        let loaded = store.load(&spec.name).unwrap().unwrap();
+        assert!(
+            !profiler.discrepancy(&loaded),
+            "{w}: stored profile disagrees after roundtrip"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn peak_live_set_is_sufficient_for_full_hits() {
+    // The live-set analysis claims a cache of peak_bytes suffices for a
+    // fully-hitting run under an optimal policy. Validate against the
+    // simulator: with per-node capacity of 2x the balanced peak share (the
+    // slack covers per-node placement imbalance) and no execution-memory
+    // churn, MRD never misses.
+    let params = small_params();
+    for w in [
+        Workload::ConnectedComponents,
+        Workload::KMeans,
+        Workload::SvdPlusPlus,
+    ] {
+        let spec = w.build(&params);
+        let plan = AppPlan::build(&spec);
+        let profile = RefAnalyzer::new(&spec, &plan).profile();
+        let live = refdist::dag::LiveSetProfile::compute(&spec, &profile);
+        assert!(live.peak_bytes > 0, "{w}: no live set");
+        assert!(
+            live.peak_bytes <= live.total_bytes,
+            "{w}: peak exceeds total"
+        );
+        let nodes = 4;
+        let per_node = (live.peak_bytes / nodes as u64) * 2;
+        let c = cfg(nodes, per_node.max(1));
+        let mut mrd = MrdPolicy::full();
+        let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, c).run(&mut mrd);
+        assert_eq!(
+            r.stats.misses, 0,
+            "{w}: missed with a peak-live-set cache ({} hits)",
+            r.stats.hits
+        );
+    }
+}
+
+#[test]
+fn stage_execution_respects_dependencies() {
+    let params = small_params();
+    let spec = Workload::StronglyConnectedComponents.build(&params);
+    let plan = AppPlan::build(&spec);
+    let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg(4, 1 << 30));
+    let mut lru = PolicyKind::Lru.build();
+    let r = sim.run(&mut *lru);
+    // Every executed stage must start no earlier than its parents ended.
+    for (sid, start, _end) in &r.stage_times {
+        for &p in &plan.stage(*sid).parents {
+            let parent_end = r
+                .stage_times
+                .iter()
+                .find(|(id, _, _)| *id == p)
+                .map(|(_, _, e)| *e)
+                .expect("parent stage executed");
+            assert!(
+                *start >= parent_end,
+                "{sid} started before parent {p} finished"
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests over randomly generated applications: planning,
+//! analysis and simulation invariants must hold for *any* valid DAG, not
+//! just the curated workloads.
+
+use proptest::prelude::*;
+use refdist::prelude::*;
+
+/// A compact random program: a list of operations over previously defined
+/// RDDs.
+#[derive(Debug, Clone)]
+enum Op {
+    Narrow {
+        parent: usize,
+        cache: bool,
+    },
+    Shuffle {
+        parent: usize,
+        parts: u32,
+        cache: bool,
+    },
+    Join {
+        left: usize,
+        right: usize,
+    },
+    Action {
+        target: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<prop::sample::Index>(), any::<bool>()).prop_map(|(parent, cache)| Op::Narrow {
+            parent: parent.index(usize::MAX - 1),
+            cache
+        }),
+        (any::<prop::sample::Index>(), 1u32..6, any::<bool>()).prop_map(
+            |(parent, parts, cache)| Op::Shuffle {
+                parent: parent.index(usize::MAX - 1),
+                parts,
+                cache
+            }
+        ),
+        (any::<prop::sample::Index>(), any::<prop::sample::Index>()).prop_map(|(l, r)| Op::Join {
+            left: l.index(usize::MAX - 1),
+            right: r.index(usize::MAX - 1)
+        }),
+        any::<prop::sample::Index>().prop_map(|t| Op::Action {
+            target: t.index(usize::MAX - 1)
+        }),
+    ]
+}
+
+/// Materialize a random op list into a valid AppSpec.
+fn build_spec(ops: &[Op]) -> AppSpec {
+    let mut b = AppBuilder::new("proptest-app");
+    let mut rdds = vec![b.input("in", 4, 64 << 10, 500)];
+    let mut actions = 0;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Narrow { parent, cache } => {
+                let p = rdds[parent % rdds.len()];
+                let r = b.narrow(format!("n{i}"), p, 64 << 10, 500);
+                if *cache {
+                    b.persist(r, StorageLevel::MemoryAndDisk);
+                }
+                rdds.push(r);
+            }
+            Op::Shuffle {
+                parent,
+                parts,
+                cache,
+            } => {
+                let p = rdds[parent % rdds.len()];
+                let r = b.shuffle(format!("s{i}"), &[p], *parts, 32 << 10, 500);
+                if *cache {
+                    b.persist(r, StorageLevel::MemoryAndDisk);
+                }
+                rdds.push(r);
+            }
+            Op::Join { left, right } => {
+                let l = rdds[left % rdds.len()];
+                let r = rdds[right % rdds.len()];
+                // Joining differently partitioned RDDs needs a shuffle.
+                let j = b.shuffle(format!("j{i}"), &[l, r], 4, 32 << 10, 500);
+                rdds.push(j);
+            }
+            Op::Action { target } => {
+                let t = rdds[target % rdds.len()];
+                b.action(format!("a{i}"), t);
+                actions += 1;
+            }
+        }
+    }
+    if actions == 0 {
+        let last = *rdds.last().unwrap();
+        b.action("final", last);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn planning_invariants_hold(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let spec = build_spec(&ops);
+        prop_assert!(spec.validate().is_ok());
+        let plan = AppPlan::build(&spec);
+
+        // Stage IDs are dense and parents strictly precede children.
+        for (i, stage) in plan.stages.iter().enumerate() {
+            prop_assert_eq!(stage.id.index(), i);
+            for p in &stage.parents {
+                prop_assert!(*p < stage.id);
+            }
+            // The pipelined set never crosses a shuffle boundary: all
+            // non-final members must be reachable via narrow deps only.
+            prop_assert!(stage.rdds.contains(&stage.final_rdd));
+            prop_assert!(stage.num_tasks > 0);
+        }
+        // Jobs are in submission order and stage appearances >= active.
+        prop_assert_eq!(plan.jobs.len(), spec.num_jobs());
+        prop_assert!(plan.total_stage_appearances() >= plan.active_stage_count());
+        // Each job's result stage belongs to that job.
+        for job in &plan.jobs {
+            prop_assert_eq!(plan.stage(job.result_stage).job, job.id);
+        }
+    }
+
+    #[test]
+    fn profile_references_are_ordered_and_within_bounds(
+        ops in prop::collection::vec(op_strategy(), 1..40)
+    ) {
+        let spec = build_spec(&ops);
+        let plan = AppPlan::build(&spec);
+        let profile = RefAnalyzer::new(&spec, &plan).profile();
+        for refs in profile.per_rdd.values() {
+            prop_assert!(!refs.stages.is_empty());
+            // Strictly ascending stages; non-decreasing jobs.
+            prop_assert!(refs.stages.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(refs.jobs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(refs.stages.len(), refs.jobs.len());
+            for s in &refs.stages {
+                prop_assert!(s.index() < plan.stages.len());
+            }
+            // The profiled RDD really is cached.
+            prop_assert!(spec.rdd(refs.rdd).is_cached());
+        }
+        // Ad-hoc visibility is monotone: each successive job reveals at
+        // least as many references.
+        let mut prev = 0;
+        for j in 0..spec.num_jobs() {
+            let vis = profile.visible_up_to_job(refdist::dag::JobId(j as u32));
+            let total = vis.per_rdd.values().map(|r| r.count()).sum::<usize>();
+            prop_assert!(total >= prev);
+            prev = total;
+        }
+        prop_assert_eq!(prev, profile.total_references());
+    }
+
+    #[test]
+    fn simulation_accounting_is_consistent(
+        ops in prop::collection::vec(op_strategy(), 1..25),
+        cache_kb in 1u64..512,
+        seed in 0u64..1000,
+    ) {
+        let spec = build_spec(&ops);
+        let plan = AppPlan::build(&spec);
+        let mut cfg = SimConfig::new(ClusterConfig::tiny(2, cache_kb << 10)).with_seed(seed);
+        cfg.compute_jitter = 0.0;
+        let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg);
+
+        for build in [
+            PolicyKind::Lru.build(),
+            PolicyKind::Lrc.build(),
+            PolicyKind::MemTune.build(),
+        ] {
+            let mut p = build;
+            let r = sim.run(&mut *p);
+            prop_assert_eq!(r.stats.accesses(), r.stats.hits + r.stats.misses);
+            prop_assert!(r.stats.disk_hits + r.stats.recomputes <= r.stats.misses);
+            prop_assert!(r.stats.prefetch_hits <= r.stats.hits);
+            prop_assert_eq!(
+                r.tasks,
+                plan.stages.iter().map(|s| s.num_tasks as u64).sum::<u64>()
+            );
+            // Stage times are monotone and JCT is the last stage's end.
+            for w in r.stage_times.windows(2) {
+                prop_assert!(w[0].2 <= w[1].1);
+            }
+        }
+        let mut mrd = MrdPolicy::full();
+        let r = sim.run(&mut mrd);
+        prop_assert_eq!(r.stats.accesses(), r.stats.hits + r.stats.misses);
+        prop_assert!(r.stats.wasted_prefetches <= r.stats.prefetches);
+    }
+
+    #[test]
+    fn same_seed_same_result(ops in prop::collection::vec(op_strategy(), 1..20)) {
+        let spec = build_spec(&ops);
+        let plan = AppPlan::build(&spec);
+        let cfg = SimConfig::new(ClusterConfig::tiny(3, 64 << 10)).with_seed(7);
+        let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg);
+        let mut a = MrdPolicy::full();
+        let mut b = MrdPolicy::full();
+        let ra = sim.run(&mut a);
+        let rb = sim.run(&mut b);
+        prop_assert_eq!(ra.jct, rb.jct);
+        prop_assert_eq!(ra.stats, rb.stats);
+    }
+}
