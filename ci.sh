@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Run from the repo root.
+#
+#   ./ci.sh
+#
+# Mirrors what a hosted pipeline would run; every step must pass. The
+# tier-1 subset (release build + root-package tests) comes first so the
+# cheapest signal fails fastest, then the full workspace test suite and
+# clippy with warnings promoted to errors.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all checks passed"

@@ -9,245 +9,12 @@
 //!    MEMORY_ONLY (GraphX default — misses recompute instead of re-read).
 //!
 //! All ablations run full MRD on a fixed, constrained cache and report JCT
-//! normalized against LRU at the same point.
+//! normalized against LRU at the same point. Independent configurations run
+//! on the worker pool; see [`refdist_bench::experiments::ablations_text`].
 
-use refdist_bench::{cache_for_fraction, run_one, ExpContext, PolicySpec};
-use refdist_cluster::{RunReport, SimConfig, Simulation};
-use refdist_core::{MrdConfig, MrdPolicy, ProfileMode, TieBreak};
-use refdist_dag::{AppPlan, AppSpec, StorageLevel};
-use refdist_metrics::TextTable;
-use refdist_workloads::Workload;
-
-const FRACTION: f64 = 0.4;
-
-fn run_mrd(
-    spec: &AppSpec,
-    plan: &AppPlan,
-    ctx: &ExpContext,
-    cfg: SimConfig,
-    mrd: MrdConfig,
-) -> RunReport {
-    let _ = ctx;
-    let mut p = MrdPolicy::new(mrd);
-    Simulation::new(spec, plan, ProfileMode::Recurring, cfg).run(&mut p)
-}
+use refdist_bench::{experiments, ExpContext};
 
 fn main() {
     let ctx = ExpContext::main().from_env();
-    let workloads = [
-        Workload::KMeans,
-        Workload::DecisionTree,
-        Workload::ConnectedComponents,
-        Workload::StronglyConnectedComponents,
-    ];
-
-    // --- 1. Tie-breaking -------------------------------------------------
-    println!("Ablation 1: distance tie-breaking (full MRD, normalized JCT vs LRU)\n");
-    let mut t = TextTable::new(["Workload", "MRU tiebreak", "LRU tiebreak"]);
-    for &w in &workloads {
-        let spec = w.build(&ctx.params);
-        let plan = AppPlan::build(&spec);
-        let cache = cache_for_fraction(&spec, &ctx.cluster, FRACTION).max(1);
-        let cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
-        let lru = run_one(
-            &spec,
-            &plan,
-            &ctx,
-            cache,
-            PolicySpec::Lru,
-            ProfileMode::Recurring,
-        );
-        let mru = run_mrd(&spec, &plan, &ctx, cfg.clone(), MrdConfig::default());
-        let lru_tie = run_mrd(
-            &spec,
-            &plan,
-            &ctx,
-            cfg,
-            MrdConfig {
-                tie_break: TieBreak::Lru,
-                ..Default::default()
-            },
-        );
-        t.row([
-            w.short_name().to_string(),
-            format!("{:.2}", mru.normalized_jct(&lru)),
-            format!("{:.2}", lru_tie.normalized_jct(&lru)),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("An LRU tiebreak thrashes intra-stage scans (KM/DT); MRU is Belady-consistent.\n");
-
-    // --- 2. Prefetch horizon ---------------------------------------------
-    println!("Ablation 2: prefetch horizon (full MRD on SCC, normalized JCT vs LRU)\n");
-    let spec = Workload::StronglyConnectedComponents.build(&ctx.params);
-    let plan = AppPlan::build(&spec);
-    let cache = cache_for_fraction(&spec, &ctx.cluster, 0.25).max(1);
-    let lru = run_one(
-        &spec,
-        &plan,
-        &ctx,
-        cache,
-        PolicySpec::Lru,
-        ProfileMode::Recurring,
-    );
-    let mut t = TextTable::new([
-        "Horizon",
-        "Normalized JCT",
-        "Prefetches",
-        "Prefetch hits",
-        "Wasted",
-    ]);
-    for horizon in [1u32, 3, 6, 12, 0 /* unlimited */] {
-        let cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
-        let r = run_mrd(
-            &spec,
-            &plan,
-            &ctx,
-            cfg,
-            MrdConfig {
-                prefetch_horizon: horizon,
-                ..Default::default()
-            },
-        );
-        t.row([
-            if horizon == 0 {
-                "unlimited".into()
-            } else {
-                horizon.to_string()
-            },
-            format!("{:.2}", r.normalized_jct(&lru)),
-            r.stats.prefetches.to_string(),
-            r.stats.prefetch_hits.to_string(),
-            r.stats.wasted_prefetches.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("Far horizons waste transfers on blocks the next reservation evicts.\n");
-
-    // --- 3. Execution-memory fraction --------------------------------------
-    println!("Ablation 3: execution-memory churn (full MRD on CC, normalized JCT vs LRU at same fraction)\n");
-    let spec = Workload::ConnectedComponents.build(&ctx.params);
-    let plan = AppPlan::build(&spec);
-    let cache = cache_for_fraction(&spec, &ctx.cluster, 0.5).max(1);
-    let mut t = TextTable::new(["exec fraction", "LRU JCT(s)", "MRD JCT(s)", "Normalized"]);
-    for frac in [0.0f64, 0.15, 0.3, 0.5] {
-        let mut cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
-        cfg.exec_mem_fraction = frac;
-        let mut lru_p = PolicySpec::Lru.build(None);
-        let lru =
-            Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg.clone()).run(&mut *lru_p);
-        let mrd = run_mrd(&spec, &plan, &ctx, cfg, MrdConfig::default());
-        t.row([
-            format!("{frac:.2}"),
-            format!("{:.1}", lru.jct_secs()),
-            format!("{:.1}", mrd.jct_secs()),
-            format!("{:.2}", mrd.normalized_jct(&lru)),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("More churn hurts both policies but widens MRD's edge: its victims matter more.\n");
-
-    // --- 4. Prefetch threshold: fixed sweep vs adaptive --------------------
-    // Under the default per-stage cap and horizon the force-prefetch path
-    // rarely fires, so the threshold is exercised with the prefetcher
-    // uncapped and the horizon unlimited (the paper's Algorithm 1 has
-    // neither bound) on SCC.
-    println!("Ablation 4: prefetch threshold — fixed sweep vs adaptive (paper future work)\n");
-    // The threshold only binds when a block is a sizeable fraction of the
-    // cache (otherwise \"fits in free\" decides everything); coarse
-    // partitioning makes blocks big enough to exercise the forced path.
-    let mut coarse = ctx.params;
-    coarse.partitions = 24;
-    let spec = Workload::StronglyConnectedComponents.build(&coarse);
-    let plan = AppPlan::build(&spec);
-    let cache = cache_for_fraction(&spec, &ctx.cluster, 0.12).max(1);
-    let mut t = TextTable::new(["Threshold", "JCT(s)", "Prefetches", "Wasted"]);
-    let mut base = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
-    base.max_prefetch_per_node = usize::MAX;
-    for thr in [0.05f64, 0.25, 0.6] {
-        let mut cfg = base.clone();
-        cfg.prefetch_threshold = thr;
-        let r = run_mrd(
-            &spec,
-            &plan,
-            &ctx,
-            cfg,
-            MrdConfig {
-                prefetch_horizon: 0,
-                ..Default::default()
-            },
-        );
-        t.row([
-            format!("fixed {thr:.2}"),
-            format!("{:.1}", r.jct_secs()),
-            r.stats.prefetches.to_string(),
-            r.stats.wasted_prefetches.to_string(),
-        ]);
-    }
-    for start in [0.05f64, 0.25] {
-        let mut cfg = base.clone();
-        cfg.adaptive_threshold = true;
-        cfg.prefetch_threshold = start;
-        let r = run_mrd(
-            &spec,
-            &plan,
-            &ctx,
-            cfg,
-            MrdConfig {
-                prefetch_horizon: 0,
-                ..Default::default()
-            },
-        );
-        t.row([
-            format!("adaptive (from {start:.2})"),
-            format!("{:.1}", r.jct_secs()),
-            r.stats.prefetches.to_string(),
-            r.stats.wasted_prefetches.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Lower thresholds force far more wasteful prefetch-evictions; the adaptive rule\nrecovers even from a bad initial setting — the paper's future-work item.\n"
-    );
-
-    // --- 5. Vertex storage level -------------------------------------------
-    println!("Ablation 5: MEMORY_AND_DISK vs MEMORY_ONLY cached data (CC, full MRD vs LRU)\n");
-    let mut t = TextTable::new([
-        "Storage",
-        "LRU JCT(s)",
-        "MRD JCT(s)",
-        "Normalized",
-        "LRU recomputes",
-    ]);
-    for memory_only in [false, true] {
-        let mut spec = Workload::ConnectedComponents.build(&ctx.params);
-        if memory_only {
-            for r in &mut spec.rdds {
-                if r.storage.is_cached() {
-                    r.storage = StorageLevel::MemoryOnly;
-                }
-            }
-        }
-        let plan = AppPlan::build(&spec);
-        let cache = cache_for_fraction(&spec, &ctx.cluster, 0.4).max(1);
-        let cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
-        let mut lru_p = PolicySpec::Lru.build(None);
-        let lru =
-            Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg.clone()).run(&mut *lru_p);
-        let mrd = run_mrd(&spec, &plan, &ctx, cfg, MrdConfig::default());
-        t.row([
-            if memory_only {
-                "MEMORY_ONLY"
-            } else {
-                "MEMORY_AND_DISK"
-            }
-            .to_string(),
-            format!("{:.1}", lru.jct_secs()),
-            format!("{:.1}", mrd.jct_secs()),
-            format!("{:.2}", mrd.normalized_jct(&lru)),
-            lru.stats.recomputes.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("Under MEMORY_ONLY every bad eviction becomes a recompute cascade —\nthe regime where eviction policy matters most (and prefetch least).");
+    print!("{}", experiments::ablations_text(&ctx, 0));
 }

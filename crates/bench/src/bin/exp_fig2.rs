@@ -1,91 +1,10 @@
 //! Figure 2 — Policy metric evolution across the ConnectedComponents
-//! workflow.
-//!
-//! The paper's Figure 2 is a heat map showing, per stage, each policy's
-//! metric for every cached RDD: LRU's idle time (higher evicts), LRC's
-//! remaining reference count (lower evicts), MRD's reference distance
-//! (higher evicts; `inf` for dead data). We regenerate the underlying
-//! numbers as a table over the active stages of the CC workload, for the
-//! cached RDDs with at least two references.
+//! workflow. See [`refdist_bench::experiments::fig2_text`] for the
+//! methodology; this binary only prints it.
 
-use refdist_bench::ExpContext;
-use refdist_dag::{AppPlan, RddId, RefAnalyzer, StageId};
-use refdist_metrics::TextTable;
-use refdist_workloads::Workload;
-use std::collections::HashMap;
+use refdist_bench::{experiments, ExpContext};
 
 fn main() {
-    let mut ctx = ExpContext::main().from_env();
-    // A compact CC instance keeps the table readable.
-    ctx.params.iterations = Some(4);
-    let spec = Workload::ConnectedComponents.build(&ctx.params);
-    let plan = AppPlan::build(&spec);
-    let profile = RefAnalyzer::new(&spec, &plan).profile();
-
-    // The interesting RDDs: cached, referenced at least twice.
-    let rdds: Vec<RddId> = profile
-        .per_rdd
-        .values()
-        .filter(|r| r.count() >= 2)
-        .map(|r| r.rdd)
-        .collect();
-
-    // Total references per RDD (LRC's initial count).
-    let totals: HashMap<RddId, usize> = rdds
-        .iter()
-        .map(|&r| (r, profile.refs(r).unwrap().count()))
-        .collect();
-
-    println!(
-        "Figure 2: per-stage policy metrics for {} (cached RDDs with >=2 refs)",
-        spec.name
-    );
-    println!(
-        "cell = LRU idle / LRC remaining / MRD distance ('-' = not created yet, inf = dead)\n"
-    );
-
-    let mut header: Vec<String> = vec!["Stage".into(), "Job".into()];
-    header.extend(rdds.iter().map(|r| spec.rdd(*r).name.clone()));
-    let mut t = TextTable::new(header);
-
-    for stage in &plan.stages {
-        let mut row = vec![stage.id.to_string(), stage.job.to_string()];
-        for &r in &rdds {
-            let refs = profile.refs(r).unwrap();
-            let creation = refs.stages[0];
-            if stage.id < creation {
-                row.push("-".into());
-                continue;
-            }
-            // LRU: stages since the most recent reference at or before now.
-            let last_ref = refs
-                .stages
-                .iter()
-                .rev()
-                .find(|&&s| s <= stage.id)
-                .copied()
-                .unwrap_or(creation);
-            let lru = stage.id.0 - last_ref.0;
-            // LRC: total minus references consumed so far.
-            let consumed = refs.stages.iter().filter(|&&s| s <= stage.id).count();
-            let lrc = totals[&r] - consumed;
-            // MRD: distance to the next reference strictly after now (a
-            // reference *at* the current stage is being consumed now).
-            let mrd = match refs.next_ref_at_or_after(StageId(stage.id.0 + 1)) {
-                Some(s) => (s.0 - stage.id.0).to_string(),
-                None => "inf".into(),
-            };
-            let referenced_now = refs.stages.contains(&stage.id);
-            let mark = if referenced_now { "*" } else { "" };
-            row.push(format!("{mark}{lru}/{lrc}/{mrd}"));
-        }
-        t.row(row);
-    }
-    println!("{}", t.render());
-    println!("'*' marks a stage that references the RDD.");
-    println!(
-        "Observations (paper §3.3): LRU punishes reference gaps; LRC strands\n\
-         single-reference RDDs behind high-count peers; MRD keeps whichever\n\
-         block is referenced next and marks dead data inf for eager eviction."
-    );
+    let ctx = ExpContext::main().from_env();
+    print!("{}", experiments::fig2_text(&ctx));
 }

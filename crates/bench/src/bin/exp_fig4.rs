@@ -1,110 +1,16 @@
 //! Figure 4 — Best performance of MRD against LRU on the Main cluster.
 //!
-//! For every SparkBench workload: sweep cache sizes, and report the best
-//! (lowest) JCT of each MRD mode normalized against LRU at the same cache
-//! size — exactly the paper's methodology ("executed each workload with
-//! several cache sizes ... best overall performance gain for each
-//! workload-cache combination"). Also reports the cache hit ratios of LRU
-//! and full MRD at full MRD's best point.
+//! The full (workload × MRD-mode × cache-size) grid runs on the parallel
+//! sweep engine; see [`refdist_bench::experiments::fig4_text`] for the
+//! methodology. Progress goes to stderr; stdout is deterministic.
 //!
 //! Paper headline: eviction-only 62% of LRU's JCT on average, prefetch-only
 //! 67%, full MRD 53% (as low as 20% for SCC, as high as 88% for DT).
 
-use refdist_bench::{par_map, sweep, ExpContext, PolicySpec, SWEEP_FRACTIONS};
-use refdist_core::ProfileMode;
-use refdist_metrics::{geomean, BarChart, Summary, TextTable};
-use refdist_workloads::Workload;
+use refdist_bench::{experiments, ExpContext, SweepOptions};
 
 fn main() {
     let ctx = ExpContext::main().from_env();
-    let policies = [
-        PolicySpec::Lru,
-        PolicySpec::MrdEvict,
-        PolicySpec::MrdPrefetch,
-        PolicySpec::MrdFull,
-    ];
-
-    let rows = par_map(Workload::sparkbench(), |w| {
-        let pts = sweep(w, &ctx, SWEEP_FRACTIONS, &policies, ProfileMode::Recurring);
-        // Best normalized JCT per MRD mode (against LRU at the same point).
-        let mut best = [f64::INFINITY; 3];
-        let mut best_hits = (1.0, 1.0); // (lru, full mrd) at full MRD's best
-        for p in &pts {
-            let lru = &p.reports[0];
-            for (k, r) in p.reports[1..].iter().enumerate() {
-                let norm = r.normalized_jct(lru);
-                if norm < best[k] {
-                    best[k] = norm;
-                    if k == 2 {
-                        best_hits = (lru.hit_ratio(), r.hit_ratio());
-                    }
-                }
-            }
-        }
-        (w, best, best_hits)
-    });
-
-    println!("Figure 4: Normalized JCT vs LRU (best cache point per mode)\n");
-    let mut t = TextTable::new([
-        "Workload",
-        "Evict-only",
-        "Prefetch-only",
-        "Full MRD",
-        "LRU hit%",
-        "MRD hit%",
-        "JobType",
-    ]);
-    let (mut e, mut p, mut f) = (vec![], vec![], vec![]);
-    for (w, best, hits) in &rows {
-        e.push(best[0]);
-        p.push(best[1]);
-        f.push(best[2]);
-        t.row([
-            w.short_name().to_string(),
-            format!("{:.2}", best[0]),
-            format!("{:.2}", best[1]),
-            format!("{:.2}", best[2]),
-            format!("{:.1}", hits.0 * 100.0),
-            format!("{:.1}", hits.1 * 100.0),
-            w.job_type().to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-
-    let mut chart = BarChart::new("Full MRD normalized JCT (shorter is better, 1.0 = LRU)")
-        .width(40)
-        .scale_to(1.0);
-    for (w, best, _) in &rows {
-        chart.row(w.short_name(), best[2]);
-    }
-    println!("{}", chart.render());
-
-    let mean = |v: &[f64]| Summary::of(v).map(|s| s.mean).unwrap_or(1.0);
-    println!(
-        "Average normalized JCT: evict-only {:.2} (paper 0.62), prefetch-only {:.2} (paper 0.67), full {:.2} (paper 0.53)",
-        mean(&e),
-        mean(&p),
-        mean(&f)
-    );
-    println!(
-        "Geomean normalized JCT: evict-only {:.2}, prefetch-only {:.2}, full {:.2}",
-        geomean(&e).unwrap_or(1.0),
-        geomean(&p).unwrap_or(1.0),
-        geomean(&f).unwrap_or(1.0)
-    );
-    let best_full = rows
-        .iter()
-        .min_by(|a, b| a.1[2].total_cmp(&b.1[2]))
-        .unwrap();
-    let worst_full = rows
-        .iter()
-        .max_by(|a, b| a.1[2].total_cmp(&b.1[2]))
-        .unwrap();
-    println!(
-        "Full MRD: best {} at {:.2} (paper: SCC at 0.20), weakest {} at {:.2} (paper: DT at 0.88)",
-        best_full.0.short_name(),
-        best_full.1[2],
-        worst_full.0.short_name(),
-        worst_full.1[2]
-    );
+    let opts = SweepOptions::default().progress(true);
+    print!("{}", experiments::fig4_text(&ctx, &opts));
 }

@@ -1,58 +1,14 @@
 //! Figure 5 — Comparison to the LRC policy on the LRC cluster
-//! (20 × m4.large equivalents).
+//! (20 × m4.large equivalents), on the parallel sweep engine.
 //!
 //! Paper: MRD beats LRC by up to 45% (ConnectedComponents) and by ~30% on
 //! average, because reference *distance* predicts imminence where reference
 //! *count* strands far-future-referenced blocks in the cache.
 
-use refdist_bench::{par_map, sweep, ExpContext, PolicySpec, SWEEP_FRACTIONS};
-use refdist_core::ProfileMode;
-use refdist_metrics::{Summary, TextTable};
-use refdist_workloads::Workload;
+use refdist_bench::{experiments, ExpContext, SweepOptions};
 
 fn main() {
     let ctx = ExpContext::lrc().from_env();
-    let workloads = [
-        Workload::ConnectedComponents,
-        Workload::PageRank,
-        Workload::SvdPlusPlus,
-        Workload::KMeans,
-        Workload::StronglyConnectedComponents,
-        Workload::LabelPropagation,
-    ];
-    let policies = [PolicySpec::Lru, PolicySpec::Lrc, PolicySpec::MrdFull];
-
-    let rows = par_map(&workloads, |w| {
-        let pts = sweep(w, &ctx, SWEEP_FRACTIONS, &policies, ProfileMode::Recurring);
-        // Paper methodology: best value per policy across cache sizes.
-        let mut best_lrc = f64::INFINITY;
-        let mut best_mrd = f64::INFINITY;
-        for p in &pts {
-            let lru = &p.reports[0];
-            best_lrc = best_lrc.min(p.reports[1].normalized_jct(lru));
-            best_mrd = best_mrd.min(p.reports[2].normalized_jct(lru));
-        }
-        (w, best_lrc, best_mrd)
-    });
-
-    println!("Figure 5: MRD vs LRC (normalized JCT vs LRU, LRC cluster)\n");
-    let mut t = TextTable::new(["Workload", "LRC", "MRD", "MRD vs LRC improvement"]);
-    let mut improvements = vec![];
-    for (w, lrc, mrd) in &rows {
-        let imp = 1.0 - mrd / lrc;
-        improvements.push(imp);
-        t.row([
-            w.short_name().to_string(),
-            format!("{lrc:.2}"),
-            format!("{mrd:.2}"),
-            format!("{:.0}%", imp * 100.0),
-        ]);
-    }
-    println!("{}", t.render());
-    let s = Summary::of(&improvements).unwrap();
-    println!(
-        "MRD improves on LRC by up to {:.0}% and {:.0}% on average (paper: up to 45%, avg 30%)",
-        s.max * 100.0,
-        s.mean * 100.0
-    );
+    let opts = SweepOptions::default().progress(true);
+    print!("{}", experiments::fig5_text(&ctx, &opts));
 }

@@ -2,85 +2,11 @@
 //!
 //! For all 14 SparkBench and 6 HiBench workloads: average/maximum job and
 //! stage distances measured on our synthetic DAGs, side by side with the
-//! paper's published values.
+//! paper's published values. DAG analysis runs on the worker pool.
 
-use refdist_bench::{par_map, ExpContext};
-use refdist_dag::{AppPlan, RefAnalyzer};
-use refdist_metrics::TextTable;
-use refdist_workloads::Workload;
-
-/// Paper Table 1 values: (avg job, max job, avg stage, max stage).
-fn paper(w: Workload) -> (f64, u32, f64, u32) {
-    use Workload::*;
-    match w {
-        KMeans => (5.15, 16, 5.34, 19),
-        LinearRegression => (1.24, 5, 1.76, 8),
-        LogisticRegression => (1.53, 6, 2.00, 9),
-        Svm => (1.48, 6, 1.96, 10),
-        DecisionTree => (2.71, 9, 4.38, 15),
-        MatrixFactorization => (1.56, 7, 3.31, 18),
-        PageRank => (1.74, 5, 6.08, 19),
-        TriangleCount => (0.07, 1, 1.23, 6),
-        ShortestPaths => (0.19, 1, 1.19, 4),
-        LabelPropagation => (7.19, 22, 28.37, 85),
-        SvdPlusPlus => (3.51, 11, 6.82, 23),
-        ConnectedComponents => (1.30, 4, 5.31, 16),
-        StronglyConnectedComponents => (7.77, 24, 29.96, 90),
-        PregelOperation => (1.28, 4, 5.45, 16),
-        HiSort => (0.00, 0, 0.00, 0),
-        HiWordCount => (0.00, 0, 0.00, 0),
-        HiTeraSort => (0.22, 1, 0.22, 1),
-        HiPageRank => (0.00, 0, 0.09, 2),
-        HiBayes => (2.09, 7, 3.23, 9),
-        HiKMeans => (6.08, 19, 6.60, 25),
-    }
-}
+use refdist_bench::{experiments, ExpContext};
 
 fn main() {
     let ctx = ExpContext::main().from_env();
-    let all: Vec<Workload> = Workload::sparkbench()
-        .iter()
-        .chain(Workload::hibench())
-        .copied()
-        .collect();
-
-    let rows = par_map(&all, |w| {
-        let spec = w.build(&ctx.params);
-        let plan = AppPlan::build(&spec);
-        let profile = RefAnalyzer::new(&spec, &plan).profile();
-        (w, RefAnalyzer::distance_stats(&profile))
-    });
-
-    println!("Table 1: Reference distance characteristics (measured vs paper)\n");
-    let mut t = TextTable::new([
-        "Workload",
-        "AvgJob",
-        "AvgJob(paper)",
-        "MaxJob",
-        "MaxJob(paper)",
-        "AvgStage",
-        "AvgStage(paper)",
-        "MaxStage",
-        "MaxStage(paper)",
-    ]);
-    let mut suite_break_done = false;
-    for (w, d) in &rows {
-        if !suite_break_done && Workload::hibench().contains(w) {
-            t.row(["-- HiBench --", "", "", "", "", "", "", "", ""]);
-            suite_break_done = true;
-        }
-        let (pj, pmj, ps, pms) = paper(*w);
-        t.row([
-            w.short_name().to_string(),
-            format!("{:.2}", d.avg_job),
-            format!("{pj:.2}"),
-            d.max_job.to_string(),
-            pmj.to_string(),
-            format!("{:.2}", d.avg_stage),
-            format!("{ps:.2}"),
-            d.max_stage.to_string(),
-            pms.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
+    print!("{}", experiments::table1_text(&ctx, 0));
 }

@@ -4,9 +4,16 @@
 //! `src/bin/` (`exp_table1`, `exp_fig4`, ...) built on the shared harness in
 //! this library: policy construction, cache-size sweeps sized against a
 //! workload's cached footprint, and parallel execution of independent
-//! simulations with `crossbeam` scoped threads.
+//! simulations on the bounded worker pool of the [`sweep`] engine.
 
-use parking_lot::Mutex;
+pub mod experiments;
+pub mod sweep;
+
+pub use sweep::{
+    default_threads, pool_map, run_sweep, CellResult, SweepCell, SweepGrid, SweepOptions,
+    SweepResults,
+};
+
 use refdist_cluster::{ClusterConfig, RunReport, SimConfig, Simulation};
 use refdist_core::{DistanceMetric, MrdConfig, MrdMode, MrdPolicy, ProfileMode};
 use refdist_dag::{AppPlan, AppSpec};
@@ -53,6 +60,24 @@ impl PolicySpec {
             PolicySpec::MrdJobMetric => "MRD-jobdist",
             PolicySpec::Belady => "Belady-MIN",
         }
+    }
+
+    /// Parse a CLI policy name (`lru`, `mrd`, `mrd-evict`, ...). Returns
+    /// `None` for unknown names.
+    pub fn from_cli_name(name: &str) -> Option<PolicySpec> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "lru" => PolicySpec::Lru,
+            "fifo" => PolicySpec::Fifo,
+            "random" => PolicySpec::Random,
+            "lrc" => PolicySpec::Lrc,
+            "memtune" => PolicySpec::MemTune,
+            "mrd" => PolicySpec::MrdFull,
+            "mrd-evict" => PolicySpec::MrdEvict,
+            "mrd-prefetch" => PolicySpec::MrdPrefetch,
+            "mrd-job" => PolicySpec::MrdJobMetric,
+            "belady" => PolicySpec::Belady,
+            _ => return None,
+        })
     }
 
     /// Instantiate the policy. `trace` is required for [`PolicySpec::Belady`].
@@ -156,7 +181,8 @@ pub fn cache_for_fraction(spec: &AppSpec, cluster: &ClusterConfig, fraction: f64
     ((cached_footprint(spec) as f64 * fraction) / cluster.nodes as f64) as u64
 }
 
-/// One simulated run.
+/// One simulated run. The simulation seed is taken from `ctx.seed`; the
+/// sweep engine derives that per cell (see [`sweep::SweepCell::sim_seed`]).
 pub fn run_one(
     spec: &AppSpec,
     plan: &AppPlan,
@@ -191,8 +217,9 @@ pub struct SweepPoint {
 pub const SWEEP_FRACTIONS: &[f64] = &[0.15, 0.25, 0.4, 0.6, 0.8, 1.1, 1.4];
 
 /// Sweep cache sizes for one workload, running every policy at every point.
-/// Points run in parallel (each simulation is single-threaded and
-/// independent).
+/// Cells run on the [`sweep`] engine's bounded worker pool (each simulation
+/// is single-threaded and independent); results come back grouped per
+/// fraction, reports parallel to `policies`.
 pub fn sweep(
     w: Workload,
     ctx: &ExpContext,
@@ -200,33 +227,20 @@ pub fn sweep(
     policies: &[PolicySpec],
     mode: ProfileMode,
 ) -> Vec<SweepPoint> {
-    let spec = w.build(&ctx.params);
-    let plan = AppPlan::build(&spec);
-    let results: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
-        for (i, &f) in fractions.iter().enumerate() {
-            let (spec, plan, results) = (&spec, &plan, &results);
-            s.spawn(move |_| {
-                let cache = cache_for_fraction(spec, &ctx.cluster, f).max(1);
-                let reports = policies
-                    .iter()
-                    .map(|&p| run_one(spec, plan, ctx, cache, p, mode))
-                    .collect();
-                results.lock().push((
-                    i,
-                    SweepPoint {
-                        fraction: f,
-                        cache_bytes: cache,
-                        reports,
-                    },
-                ));
-            });
-        }
-    })
-    .expect("sweep thread panicked");
-    let mut pts = results.into_inner();
-    pts.sort_by_key(|(i, _)| *i);
-    pts.into_iter().map(|(_, p)| p).collect()
+    let grid = SweepGrid::new(vec![w], policies.to_vec())
+        .fractions(fractions)
+        .seeds(&[ctx.seed]);
+    let res = run_sweep(&grid, ctx, &SweepOptions::default().mode(mode));
+    // Canonical cell order is fraction-major with policies adjacent, so the
+    // results chunk exactly into one SweepPoint per fraction.
+    res.cells
+        .chunks(policies.len().max(1))
+        .map(|chunk| SweepPoint {
+            fraction: chunk[0].cell.capacity_frac,
+            cache_bytes: chunk[0].cache_bytes,
+            reports: chunk.iter().map(|c| c.report.clone()).collect(),
+        })
+        .collect()
 }
 
 /// The paper's Figure 4 methodology: best (lowest) JCT of `policy`
@@ -251,23 +265,10 @@ pub fn best_normalized(
     best
 }
 
-/// Run a closure per workload in parallel, collecting results in input
-/// order.
+/// Run a closure per workload on the bounded worker pool, collecting
+/// results in input order.
 pub fn par_map<T: Send>(workloads: &[Workload], f: impl Fn(Workload) -> T + Sync) -> Vec<T> {
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
-        for (i, &w) in workloads.iter().enumerate() {
-            let (f, results) = (&f, &results);
-            s.spawn(move |_| {
-                let r = f(w);
-                results.lock().push((i, r));
-            });
-        }
-    })
-    .expect("par_map thread panicked");
-    let mut v = results.into_inner();
-    v.sort_by_key(|(i, _)| *i);
-    v.into_iter().map(|(_, r)| r).collect()
+    pool_map(workloads, 0, |_, &w| f(w))
 }
 
 #[cfg(test)]

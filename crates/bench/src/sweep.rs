@@ -1,0 +1,544 @@
+//! Parallel experiment sweep engine.
+//!
+//! The paper's evaluation is a grid of (workload × policy × cache capacity ×
+//! seed) simulations. This module expands such a grid declaratively
+//! ([`SweepGrid`] → [`SweepCell`]s), runs the cells across a fixed-size
+//! crossbeam worker pool, and aggregates the resulting [`RunReport`]s in
+//! canonical cell order regardless of completion order, so the output of a
+//! sweep is byte-identical whether it ran on 1 thread or N.
+//!
+//! Determinism contract (upheld by `tests/determinism.rs`):
+//!
+//! * every cell's simulation seed is derived from a hash of the cell's
+//!   *environment* key (workload, capacity fraction, replicate seed, master
+//!   seed) — never from thread identity, scheduling order, or wall clock;
+//! * the policy name is deliberately **excluded** from the seed hash, so all
+//!   policies at the same grid point share identical simulation randomness —
+//!   normalized-JCT comparisons are paired, as in the paper's methodology;
+//! * aggregated output ([`SweepResults::csv`], [`SweepResults::table`]) is
+//!   ordered by canonical cell index via [`refdist_metrics::OrderedSink`];
+//! * progress and ETA lines go to **stderr** only, leaving stdout
+//!   deterministic.
+
+use crate::{cache_for_fraction, run_one, ExpContext, PolicySpec};
+use parking_lot::Mutex;
+use refdist_cluster::RunReport;
+use refdist_core::ProfileMode;
+use refdist_dag::{AppPlan, AppSpec};
+use refdist_metrics::{CsvWriter, OrderedSink, TextTable};
+use refdist_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of worker threads to use when none is requested explicitly:
+/// `REFDIST_THREADS` from the environment if set and positive, otherwise the
+/// number of available cores.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("REFDIST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items` on a bounded worker pool, returning results in input
+/// order no matter which worker finished which item first. `threads == 0`
+/// means [`default_threads`].
+pub fn pool_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let sink: Mutex<OrderedSink<usize, R>> =
+        Mutex::new(OrderedSink::with_capacity(items.len()));
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let (next, sink, f) = (&next, &sink, &f);
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                sink.lock().push(i, r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    sink.into_inner().into_ordered()
+}
+
+/// One point of a sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// The workload to simulate.
+    pub workload: Workload,
+    /// The cache policy to drive.
+    pub policy: PolicySpec,
+    /// Per-cluster cache capacity as a fraction of the workload's cached
+    /// footprint.
+    pub capacity_frac: f64,
+    /// Replicate seed (grid-level; the simulation seed is derived from it).
+    pub seed: u64,
+}
+
+impl SweepCell {
+    /// Canonical key identifying this cell in reports and golden files.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/f{:.4}/s{}",
+            self.workload.short_name(),
+            self.policy.name(),
+            self.capacity_frac,
+            self.seed
+        )
+    }
+
+    /// The simulation seed for this cell: a hash of the cell's environment
+    /// key mixed with the context's master seed. The policy is excluded on
+    /// purpose — all policies at one grid point see identical randomness, so
+    /// their JCTs are directly comparable (paired runs).
+    pub fn sim_seed(&self, master_seed: u64) -> u64 {
+        let env_key = format!(
+            "{}|f{:.4}|s{}",
+            self.workload.short_name(),
+            self.capacity_frac,
+            self.seed
+        );
+        // FNV-1a over the key, finalized with a splitmix64 round so nearby
+        // keys land far apart in seed space.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ master_seed;
+        for &b in env_key.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A declarative grid of sweep cells: the cross product of workloads,
+/// policies, capacity fractions, and replicate seeds.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Workloads to sweep.
+    pub workloads: Vec<Workload>,
+    /// Policies to run at every point.
+    pub policies: Vec<PolicySpec>,
+    /// Capacity fractions (of the cached footprint).
+    pub fractions: Vec<f64>,
+    /// Replicate seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// Grid over `workloads` × `policies` with the standard
+    /// [`crate::SWEEP_FRACTIONS`] and a single replicate (seed 42).
+    pub fn new(
+        workloads: impl Into<Vec<Workload>>,
+        policies: impl Into<Vec<PolicySpec>>,
+    ) -> Self {
+        SweepGrid {
+            workloads: workloads.into(),
+            policies: policies.into(),
+            fractions: crate::SWEEP_FRACTIONS.to_vec(),
+            seeds: vec![42],
+        }
+    }
+
+    /// Replace the capacity fractions.
+    pub fn fractions(mut self, fractions: &[f64]) -> Self {
+        self.fractions = fractions.to_vec();
+        self
+    }
+
+    /// Replace the replicate seeds.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.fractions.len() * self.seeds.len() * self.policies.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand to cells in canonical order: workload, then fraction, then
+    /// seed, then policy. All reports are aggregated in this order.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut out = Vec::with_capacity(self.len());
+        for &workload in &self.workloads {
+            for &capacity_frac in &self.fractions {
+                for &seed in &self.seeds {
+                    for &policy in &self.policies {
+                        out.push(SweepCell {
+                            workload,
+                            policy,
+                            capacity_frac,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Execution options for [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means [`default_threads`].
+    pub threads: usize,
+    /// Profile visibility mode for every cell.
+    pub mode: ProfileMode,
+    /// Emit per-cell progress with elapsed/ETA to stderr.
+    pub progress: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 0,
+            mode: ProfileMode::Recurring,
+            progress: false,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Set the worker thread count (0 = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the profile mode.
+    pub fn mode(mut self, mode: ProfileMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enable or disable progress reporting.
+    pub fn progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+}
+
+/// One completed cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: SweepCell,
+    /// Per-node cache bytes the fraction resolved to.
+    pub cache_bytes: u64,
+    /// The simulation report.
+    pub report: RunReport,
+}
+
+/// All results of a sweep, in canonical cell order.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// Completed cells, ordered as [`SweepGrid::cells`] expanded them.
+    pub cells: Vec<CellResult>,
+    /// Wall-clock time of the whole sweep (excluded from all deterministic
+    /// output).
+    pub wall: Duration,
+}
+
+impl SweepResults {
+    /// The result for one exact cell, if it was part of the grid.
+    pub fn get(
+        &self,
+        workload: Workload,
+        policy: PolicySpec,
+        capacity_frac: f64,
+        seed: u64,
+    ) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.cell.workload == workload
+                && c.cell.policy == policy
+                && c.cell.capacity_frac == capacity_frac
+                && c.cell.seed == seed
+        })
+    }
+
+    /// Best (lowest) JCT of `policy` normalized against `baseline` at the
+    /// same grid point, over all fractions and seeds of `workload`. Returns
+    /// `(best normalized JCT, baseline hit ratio, policy hit ratio)` at the
+    /// best point — the paper's Figure 4/5 methodology.
+    pub fn best_normalized(
+        &self,
+        workload: Workload,
+        baseline: PolicySpec,
+        policy: PolicySpec,
+    ) -> Option<(f64, f64, f64)> {
+        let mut best: Option<(f64, f64, f64)> = None;
+        for c in self.cells.iter().filter(|c| {
+            c.cell.workload == workload && c.cell.policy == policy
+        }) {
+            let base = self.get(workload, baseline, c.cell.capacity_frac, c.cell.seed)?;
+            let norm = c.report.normalized_jct(&base.report);
+            if best.is_none_or(|(b, _, _)| norm < b) {
+                best = Some((norm, base.report.hit_ratio(), c.report.hit_ratio()));
+            }
+        }
+        best
+    }
+
+    /// Human-readable table of every cell, in canonical order.
+    pub fn table(&self) -> String {
+        let mut t = TextTable::new([
+            "Workload",
+            "Policy",
+            "Frac",
+            "Seed",
+            "Cache/node",
+            "JCT (s)",
+            "Hit %",
+            "Evictions",
+            "Prefetches",
+        ]);
+        for c in &self.cells {
+            t.row([
+                c.cell.workload.short_name().to_string(),
+                c.cell.policy.name().to_string(),
+                format!("{:.2}", c.cell.capacity_frac),
+                c.cell.seed.to_string(),
+                refdist_metrics::human_bytes(c.cache_bytes),
+                format!("{:.2}", c.report.jct_secs()),
+                format!("{:.1}", c.report.hit_ratio() * 100.0),
+                (c.report.stats.evictions + c.report.stats.purges).to_string(),
+                c.report.stats.prefetches.to_string(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Machine-readable CSV of every cell, in canonical order. All values
+    /// are exact integers or fixed-precision decimals, so equal sweeps
+    /// produce byte-identical CSV.
+    pub fn csv(&self) -> String {
+        let mut w = CsvWriter::new([
+            "workload",
+            "policy",
+            "fraction",
+            "seed",
+            "cache_bytes",
+            "jct_us",
+            "hits",
+            "misses",
+            "hit_ratio",
+            "evictions",
+            "purges",
+            "prefetches",
+            "prefetch_hits",
+            "wasted_prefetches",
+            "disk_hits",
+            "recomputes",
+            "tasks",
+        ]);
+        for c in &self.cells {
+            let s = &c.report.stats;
+            w.row([
+                c.cell.workload.short_name().to_string(),
+                c.cell.policy.name().to_string(),
+                format!("{:.4}", c.cell.capacity_frac),
+                c.cell.seed.to_string(),
+                c.cache_bytes.to_string(),
+                c.report.jct.micros().to_string(),
+                s.hits.to_string(),
+                s.misses.to_string(),
+                format!("{:.4}", c.report.hit_ratio()),
+                s.evictions.to_string(),
+                s.purges.to_string(),
+                s.prefetches.to_string(),
+                s.prefetch_hits.to_string(),
+                s.wasted_prefetches.to_string(),
+                s.disk_hits.to_string(),
+                s.recomputes.to_string(),
+                c.report.tasks.to_string(),
+            ]);
+        }
+        w.finish().to_string()
+    }
+}
+
+/// Per-cell progress reporting with elapsed/ETA, stderr only.
+struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    enabled: bool,
+}
+
+impl Progress {
+    fn new(total: usize, enabled: bool) -> Self {
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            enabled,
+        }
+    }
+
+    fn cell_done(&self, key: &str, cell_wall: Duration) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = elapsed / done as f64 * (self.total.saturating_sub(done)) as f64;
+        eprintln!(
+            "[{done}/{}] {key} in {:.1}s (elapsed {:.0}s, eta {:.0}s)",
+            self.total,
+            cell_wall.as_secs_f64(),
+            elapsed,
+            eta
+        );
+    }
+}
+
+/// Run every cell of `grid` on a worker pool and aggregate the reports in
+/// canonical cell order. See the module docs for the determinism contract.
+pub fn run_sweep(grid: &SweepGrid, ctx: &ExpContext, opts: &SweepOptions) -> SweepResults {
+    let started = Instant::now();
+
+    // Build each workload's spec and plan once, shared read-only by every
+    // cell of that workload.
+    let prepared: Vec<(Workload, AppSpec, AppPlan)> = pool_map(
+        &grid.workloads,
+        opts.threads,
+        |_, &w| {
+            let spec = w.build(&ctx.params);
+            let plan = AppPlan::build(&spec);
+            (w, spec, plan)
+        },
+    );
+
+    let cells = grid.cells();
+    let progress = Progress::new(cells.len(), opts.progress);
+    let cells = pool_map(&cells, opts.threads, |_, cell| {
+        let (_, spec, plan) = prepared
+            .iter()
+            .find(|(w, _, _)| *w == cell.workload)
+            .expect("workload prepared");
+        let cache_bytes = cache_for_fraction(spec, &ctx.cluster, cell.capacity_frac).max(1);
+        let mut cell_ctx = ctx.clone();
+        cell_ctx.seed = cell.sim_seed(ctx.seed);
+        let cell_started = Instant::now();
+        let report = run_one(spec, plan, &cell_ctx, cache_bytes, cell.policy, opts.mode);
+        progress.cell_done(&cell.key(), cell_started.elapsed());
+        CellResult {
+            cell: *cell,
+            cache_bytes,
+            report,
+        }
+    });
+
+    SweepResults {
+        cells,
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExpContext {
+        let mut ctx = ExpContext::main().quick();
+        ctx.params.partitions = 8;
+        ctx.params.scale = 0.02;
+        ctx.cluster.nodes = 4;
+        ctx
+    }
+
+    #[test]
+    fn grid_expands_in_canonical_order() {
+        let grid = SweepGrid::new(
+            vec![Workload::KMeans, Workload::PageRank],
+            vec![PolicySpec::Lru, PolicySpec::MrdFull],
+        )
+        .fractions(&[0.3, 0.6])
+        .seeds(&[1, 2]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.len());
+        assert_eq!(cells.len(), 16);
+        // First workload's cells come first; within one (workload, fraction,
+        // seed) the policies are adjacent.
+        assert_eq!(cells[0].key(), "KM/LRU/f0.3000/s1");
+        assert_eq!(cells[1].key(), "KM/MRD/f0.3000/s1");
+        assert_eq!(cells[2].key(), "KM/LRU/f0.3000/s2");
+        assert!(cells[..8].iter().all(|c| c.workload == Workload::KMeans));
+        assert!(cells[8..].iter().all(|c| c.workload == Workload::PageRank));
+    }
+
+    #[test]
+    fn sim_seed_ignores_policy_but_not_environment() {
+        let mk = |policy, frac, seed| SweepCell {
+            workload: Workload::KMeans,
+            policy,
+            capacity_frac: frac,
+            seed,
+        };
+        let a = mk(PolicySpec::Lru, 0.4, 42).sim_seed(42);
+        let b = mk(PolicySpec::MrdFull, 0.4, 42).sim_seed(42);
+        assert_eq!(a, b, "policies at one grid point must share randomness");
+        assert_ne!(a, mk(PolicySpec::Lru, 0.6, 42).sim_seed(42));
+        assert_ne!(a, mk(PolicySpec::Lru, 0.4, 43).sim_seed(42));
+        assert_ne!(a, mk(PolicySpec::Lru, 0.4, 42).sim_seed(7));
+    }
+
+    #[test]
+    fn pool_map_orders_results_at_any_width() {
+        let items: Vec<usize> = (0..25).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * i).collect();
+        for threads in [1, 2, 7, 64] {
+            let got = pool_map(&items, threads, |_, &i| i * i);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        assert!(pool_map(&[] as &[usize], 4, |_, &i| i).is_empty());
+    }
+
+    #[test]
+    fn sweep_runs_and_aggregates() {
+        let ctx = tiny_ctx();
+        let grid = SweepGrid::new(
+            vec![Workload::ShortestPaths],
+            vec![PolicySpec::Lru, PolicySpec::MrdFull],
+        )
+        .fractions(&[0.3, 0.9]);
+        let res = run_sweep(&grid, &ctx, &SweepOptions::default().threads(2));
+        assert_eq!(res.cells.len(), 4);
+        assert!(res.cells.iter().all(|c| c.report.jct.micros() > 0));
+        let (norm, lru_hits, mrd_hits) = res
+            .best_normalized(Workload::ShortestPaths, PolicySpec::Lru, PolicySpec::MrdFull)
+            .unwrap();
+        assert!(norm > 0.0);
+        assert!((0.0..=1.0).contains(&lru_hits));
+        assert!((0.0..=1.0).contains(&mrd_hits));
+        let csv = res.csv();
+        assert_eq!(csv.lines().count(), 5, "header + one row per cell");
+        assert!(res.table().contains("SP"));
+    }
+}

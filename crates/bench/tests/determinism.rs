@@ -1,0 +1,72 @@
+//! Determinism-under-concurrency regression tests: the contract the sweep
+//! engine must uphold is that the *aggregated* output of a grid is
+//! byte-identical no matter how many worker threads ran it (ISSUE 1).
+
+use refdist_bench::{run_sweep, ExpContext, PolicySpec, SweepGrid, SweepOptions};
+use refdist_workloads::Workload;
+
+fn tiny_ctx() -> ExpContext {
+    let mut ctx = ExpContext::main().quick();
+    ctx.params.partitions = 8;
+    ctx.params.scale = 0.02;
+    ctx.cluster.nodes = 4;
+    ctx
+}
+
+fn tiny_grid() -> SweepGrid {
+    SweepGrid::new(
+        vec![Workload::ShortestPaths, Workload::ConnectedComponents],
+        vec![PolicySpec::Lru, PolicySpec::MrdFull],
+    )
+    .fractions(&[0.3, 0.7])
+    .seeds(&[42, 7])
+}
+
+#[test]
+fn aggregated_output_is_byte_identical_across_thread_counts() {
+    let ctx = tiny_ctx();
+    let grid = tiny_grid();
+    let sequential = run_sweep(&grid, &ctx, &SweepOptions::default().threads(1));
+    for threads in [2, 4, 8] {
+        let parallel = run_sweep(&grid, &ctx, &SweepOptions::default().threads(threads));
+        assert_eq!(
+            sequential.csv(),
+            parallel.csv(),
+            "CSV diverged at {threads} threads"
+        );
+        assert_eq!(
+            sequential.table(),
+            parallel.table(),
+            "table diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Not just 1-vs-N: two N-thread runs must agree with each other too
+    // (guards against any residual order- or time-dependence).
+    let ctx = tiny_ctx();
+    let grid = tiny_grid();
+    let a = run_sweep(&grid, &ctx, &SweepOptions::default().threads(4));
+    let b = run_sweep(&grid, &ctx, &SweepOptions::default().threads(4));
+    assert_eq!(a.csv(), b.csv());
+}
+
+#[test]
+fn cells_come_back_in_canonical_order() {
+    let ctx = tiny_ctx();
+    let grid = tiny_grid();
+    let res = run_sweep(&grid, &ctx, &SweepOptions::default().threads(4));
+    let expected: Vec<String> = grid.cells().iter().map(|c| c.key()).collect();
+    let got: Vec<String> = res.cells.iter().map(|c| c.cell.key()).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn master_seed_changes_every_cell_seed() {
+    let grid = tiny_grid();
+    for cell in grid.cells() {
+        assert_ne!(cell.sim_seed(42), cell.sim_seed(43));
+    }
+}

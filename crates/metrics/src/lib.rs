@@ -1,11 +1,13 @@
 //! Metrics and reporting utilities for the evaluation harness.
 
+pub mod agg;
 pub mod chart;
 pub mod csv;
 pub mod regression;
 pub mod summary;
 pub mod table;
 
+pub use agg::OrderedSink;
 pub use chart::BarChart;
 pub use csv::CsvWriter;
 pub use regression::{linear_fit, LinearFit};

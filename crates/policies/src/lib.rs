@@ -42,7 +42,11 @@ use refdist_store::NodeId;
 /// prefetching. All hooks are infallible and must be cheap: the paper's §4.4
 /// argues MRD's bookkeeping is comparable to LRU's, and the criterion
 /// benches in `refdist-bench` verify that claim for this implementation.
-pub trait CachePolicy {
+///
+/// `Send` is a supertrait so boxed policies can move into the worker threads
+/// of the parallel sweep engine (`refdist-bench`'s `sweep` module); every
+/// policy is plain owned data, so this costs implementors nothing.
+pub trait CachePolicy: Send {
     /// Human-readable policy name for reports.
     fn name(&self) -> String;
 

@@ -1,0 +1,121 @@
+//! Offline stand-in for `crossbeam`, covering the scoped-thread API this
+//! workspace uses (`crossbeam::scope`, `Scope::spawn`), implemented on
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantics match crossbeam 0.8: `scope` joins every spawned thread before
+//! returning, and returns `Err` with the first panic payload if any child
+//! panicked (instead of unwinding into the caller).
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    //! `crossbeam::thread` — scoped threads.
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+/// Error type carried by a panicked scope: the panic payload.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`]'s closure and to spawned threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. As in crossbeam, the closure receives the
+    /// scope again so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        let handle = inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        });
+        ScopedJoinHandle {
+            handle,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    handle: std::thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread and return its result (`Err` on panic).
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.handle.join()
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns. Returns
+/// `Err(payload)` if any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    // std::thread::scope resumes child panics in the parent at the end of
+    // the scope; catch that to reproduce crossbeam's Result-based contract.
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("child failed"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        scope(|s| {
+            let h = s.spawn(|_| 6 * 7);
+            assert_eq!(h.join().unwrap(), 42);
+        })
+        .unwrap();
+    }
+}

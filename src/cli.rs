@@ -61,6 +61,32 @@ pub enum Command {
         /// Generation parameters.
         params: WorkloadParams,
     },
+    /// `refdist sweep` — a (workload × policy × capacity × seed) grid on
+    /// the parallel sweep engine.
+    Sweep {
+        /// Workload short names.
+        workloads: Vec<String>,
+        /// Policy names (see `--policy`).
+        policies: Vec<String>,
+        /// Capacity fractions of the cached footprint.
+        fractions: Vec<f64>,
+        /// Replicate seeds.
+        seeds: Vec<u64>,
+        /// Worker threads (0 = available cores / REFDIST_THREADS).
+        threads: usize,
+        /// Emit CSV instead of a table.
+        csv: bool,
+        /// Cluster preset (main|lrc|memtune).
+        cluster: String,
+        /// Node-count override.
+        nodes: Option<u32>,
+        /// Ad-hoc instead of recurring profile visibility.
+        adhoc: bool,
+        /// Master seed (mixed into every cell's derived seed).
+        seed: u64,
+        /// Generation parameters.
+        params: WorkloadParams,
+    },
     /// `refdist help`.
     Help,
 }
@@ -75,6 +101,7 @@ USAGE:
   refdist dot <workload> [--stages] [--partitions N] [--scale F]
   refdist run <workload> --policy <name> [options]
   refdist compare <workload> [options]
+  refdist sweep [sweep options]
   refdist help
 
 RUN/COMPARE OPTIONS:
@@ -89,6 +116,17 @@ RUN/COMPARE OPTIONS:
   --partitions <N>       partitions per RDD (default 192)
   --scale <F>            input scale factor (default 1.0)
   --iterations <N>       override the workload's iteration count
+
+SWEEP OPTIONS (in addition to the applicable options above):
+  --workloads <a,b,..>   comma-separated workload short names (default CC)
+  --policies <a,b,..>    comma-separated policy names (default lru,mrd)
+  --fractions <f,f,..>   capacity fractions (default the standard sweep)
+  --seeds <n,n,..>       replicate seeds (default 42)
+  --threads <N>          worker threads (default: cores, or REFDIST_THREADS)
+  --csv                  emit CSV instead of a table
+
+  Cells run in parallel; aggregated output is in canonical grid order and
+  byte-identical for any thread count. Progress/ETA goes to stderr.
 
 WORKLOADS: KM LinR LogR SVM DT MF PR TC SP LP SVD++ CC SCC PO
            Sort WordCount TeraSort PageRank(Hi) Bayes K-Means(Hi)
@@ -117,6 +155,21 @@ impl<'a> Flags<'a> {
         let v = self.value(flag)?;
         v.parse().map_err(|_| format!("{flag}: cannot parse `{v}`"))
     }
+
+    fn parse_list<T: std::str::FromStr>(&mut self, flag: &str) -> Result<Vec<T>, String> {
+        let v = self.value(flag)?;
+        let items: Result<Vec<T>, String> = v
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().map_err(|_| format!("{flag}: cannot parse `{s}`")))
+            .collect();
+        let items = items?;
+        if items.is_empty() {
+            return Err(format!("{flag} needs at least one value"));
+        }
+        Ok(items)
+    }
 }
 
 /// Parse CLI arguments (without the program name).
@@ -133,6 +186,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut adhoc = false;
     let mut seed = 42u64;
     let mut stages = false;
+    let mut workloads: Vec<String> = vec!["CC".into()];
+    let mut policies: Vec<String> = vec!["lru".into(), "mrd".into()];
+    let mut fractions: Vec<f64> = refdist_bench::SWEEP_FRACTIONS.to_vec();
+    let mut seeds: Vec<u64> = vec![42];
+    let mut threads = 0usize;
+    let mut csv = false;
     let mut positional: Vec<&String> = Vec::new();
 
     let mut f = Flags { args, i: 0 };
@@ -151,6 +210,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--adhoc" => adhoc = true,
             "--seed" => seed = f.parse_num("--seed")?,
             "--stages" => stages = true,
+            "--workloads" => workloads = f.parse_list("--workloads")?,
+            "--policies" => policies = f.parse_list("--policies")?,
+            "--fractions" => fractions = f.parse_list("--fractions")?,
+            "--seeds" => seeds = f.parse_list("--seeds")?,
+            "--threads" => threads = f.parse_num("--threads")?,
+            "--csv" => csv = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             _ => positional.push(arg),
         }
@@ -190,6 +255,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             workload: workload_arg()?,
             cache_fraction,
             nodes,
+            params,
+        }),
+        "sweep" => Ok(Command::Sweep {
+            workloads,
+            policies,
+            fractions,
+            seeds,
+            threads,
+            csv,
+            cluster,
+            nodes,
+            adhoc,
+            seed,
             params,
         }),
         other => Err(format!("unknown command `{other}` (try `refdist help`)")),
@@ -419,6 +497,61 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             out.push_str(&t.render());
             Ok(out)
         }
+        Command::Sweep {
+            workloads,
+            policies,
+            fractions,
+            seeds,
+            threads,
+            csv,
+            cluster,
+            nodes,
+            adhoc,
+            seed,
+            params,
+        } => {
+            let ws: Vec<Workload> = workloads
+                .iter()
+                .map(|w| find_workload(w))
+                .collect::<Result<_, _>>()?;
+            let ps: Vec<refdist_bench::PolicySpec> = policies
+                .iter()
+                .map(|p| {
+                    refdist_bench::PolicySpec::from_cli_name(p)
+                        .ok_or_else(|| format!("unknown policy `{p}`"))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut cl = cluster_preset(&cluster)?;
+            if let Some(n) = nodes {
+                cl.nodes = n;
+            }
+            let ctx = refdist_bench::ExpContext {
+                cluster: cl,
+                params,
+                seed,
+            };
+            let grid = refdist_bench::SweepGrid::new(ws, ps)
+                .fractions(&fractions)
+                .seeds(&seeds);
+            let mode = if adhoc {
+                ProfileMode::AdHoc
+            } else {
+                ProfileMode::Recurring
+            };
+            let opts = refdist_bench::SweepOptions::default()
+                .threads(threads)
+                .mode(mode)
+                .progress(true);
+            let res = refdist_bench::run_sweep(&grid, &ctx, &opts);
+            // Wall time is nondeterministic: stderr only, keeping stdout
+            // byte-identical for any worker count.
+            eprintln!(
+                "{} cells in {:.1}s",
+                res.cells.len(),
+                res.wall.as_secs_f64()
+            );
+            Ok(if csv { res.csv() } else { res.table() })
+        }
     }
 }
 
@@ -530,6 +663,83 @@ mod tests {
             .unwrap(),
         );
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn parse_sweep_flags() {
+        let cmd = parse(&args(
+            "sweep --workloads SP,CC --policies lru,mrd --fractions 0.3,0.6 --seeds 1,2 --threads 3 --csv --partitions 8",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sweep {
+                workloads,
+                policies,
+                fractions,
+                seeds,
+                threads,
+                csv,
+                params,
+                ..
+            } => {
+                assert_eq!(workloads, vec!["SP", "CC"]);
+                assert_eq!(policies, vec!["lru", "mrd"]);
+                assert_eq!(fractions, vec![0.3, 0.6]);
+                assert_eq!(seeds, vec![1, 2]);
+                assert_eq!(threads, 3);
+                assert!(csv);
+                assert_eq!(params.partitions, 8);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_defaults_are_sane() {
+        match parse(&args("sweep")).unwrap() {
+            Command::Sweep {
+                workloads,
+                policies,
+                fractions,
+                seeds,
+                threads,
+                csv,
+                ..
+            } => {
+                assert_eq!(workloads, vec!["CC"]);
+                assert_eq!(policies, vec!["lru", "mrd"]);
+                assert_eq!(fractions, refdist_bench::SWEEP_FRACTIONS);
+                assert_eq!(seeds, vec![42]);
+                assert_eq!(threads, 0);
+                assert!(!csv);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_executes_a_tiny_grid_as_csv() {
+        let out = execute(
+            parse(&args(
+                "sweep --workloads SP --policies lru,mrd --fractions 0.3 --nodes 2 --partitions 8 --scale 0.02 --threads 2 --csv",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 cells: {out}");
+        assert!(lines[0].starts_with("workload,policy,fraction,seed"));
+        assert!(lines[1].starts_with("SP,LRU,0.3000,42"));
+        assert!(lines[2].starts_with("SP,MRD,0.3000,42"));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_names() {
+        let r = execute(parse(&args("sweep --workloads NOPE")).unwrap());
+        assert!(r.is_err());
+        let r = execute(parse(&args("sweep --policies optimal")).unwrap());
+        assert!(r.is_err());
+        assert!(parse(&args("sweep --fractions ,")).is_err());
     }
 
     #[test]

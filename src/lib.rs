@@ -24,6 +24,7 @@
 
 pub mod cli;
 
+pub use refdist_bench as bench;
 pub use refdist_cluster as cluster;
 pub use refdist_core as core;
 pub use refdist_dag as dag;

@@ -1,0 +1,77 @@
+//! Golden-file tests for experiment text output.
+//!
+//! Two small experiments (Table 1 reference-distance stats and the Figure 5
+//! graph-workload sweep) are rendered on a tiny fixed configuration and
+//! compared byte-for-byte against checked-in snapshots under
+//! `tests/golden/`. Any change to workload DAGs, the simulator, policy
+//! behaviour, or table formatting shows up here as a diff.
+//!
+//! To regenerate the snapshots after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_experiments
+//! ```
+//!
+//! then review the diff of `tests/golden/*.txt` before committing.
+
+use refdist::bench::{experiments, ExpContext, SweepOptions};
+use refdist::cluster::ClusterConfig;
+use std::fs;
+use std::path::PathBuf;
+
+/// The fixed context used for snapshots. Deliberately NOT `from_env()`:
+/// golden output must not move when `REFDIST_QUICK` or other env knobs are
+/// set in the surrounding shell.
+fn golden_ctx() -> ExpContext {
+    let mut ctx = ExpContext::main().quick();
+    ctx.params.partitions = 8;
+    ctx.params.scale = 0.02;
+    ctx.cluster.nodes = 4;
+    ctx
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, actual).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_experiments`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "output diverged from {}; if the change is intentional, regenerate \
+         with `UPDATE_GOLDEN=1 cargo test --test golden_experiments`",
+        path.display()
+    );
+}
+
+#[test]
+fn table1_matches_golden() {
+    // Thread count is explicit (not 0 = auto) so REFDIST_THREADS cannot
+    // influence the run; the sweep engine guarantees the text is identical
+    // at any width regardless.
+    let out = experiments::table1_text(&golden_ctx(), 2);
+    check_golden("table1.txt", &out);
+}
+
+#[test]
+fn fig5_matches_golden() {
+    let mut ctx = golden_ctx();
+    ctx.cluster = ClusterConfig::lrc_cluster();
+    ctx.cluster.nodes = 4;
+    let out = experiments::fig5_text(&ctx, &SweepOptions::default().threads(2));
+    check_golden("fig5.txt", &out);
+}
