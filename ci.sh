@@ -22,4 +22,19 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Bench smoke: every criterion suite runs each benchmark body once
+# (--test mode). Guards against bit-rotted bench code; timing is NOT
+# checked, so this cannot flake on a noisy machine.
+for suite in policy_overhead dag_planning sim_throughput victim_selection; do
+  echo "==> cargo bench -p refdist-bench --bench $suite -- --test"
+  cargo bench -q -p refdist-bench --bench "$suite" -- --test
+done
+
+# Show hot-path deltas when both recorded benchmark files are present
+# (informational; bench_diff only fails on missing/corrupt files).
+if [[ -f BENCH_baseline.json && -f BENCH_pr2.json ]]; then
+  echo "==> bench_diff BENCH_baseline.json BENCH_pr2.json"
+  cargo run --release -q -p refdist-bench --bin bench_diff
+fi
+
 echo "ci.sh: all checks passed"

@@ -1,0 +1,194 @@
+//! Cache hot-path benchmark (ISSUE 2): measures victim selection under the
+//! pre-index protocol (`NaiveScan`) and the maintained ordered indexes, and
+//! writes both sides to machine-readable files:
+//!
+//! * `BENCH_baseline.json` — the naive re-scan protocol (the pre-change
+//!   `evict_one` cost profile).
+//! * `BENCH_pr2.json` — the indexed `select_victims` path the runtime uses
+//!   now.
+//!
+//! One record per line: micro records report `ns_per_evict` for one churn
+//! step (access + insert-under-pressure + one eviction) at a given cache
+//! population; macro records report `ms_total` for a complete eviction-heavy
+//! simulation. `bench_diff` joins the two files and prints speedups.
+//!
+//! `REFDIST_QUICK=1` shrinks populations and measurement windows for smoke
+//! runs (the output files are still written).
+
+use refdist_bench::{bench_policies, cache_for_fraction, Churn, ExpContext, NaiveScan, PolicySpec};
+use refdist_cluster::{SimConfig, Simulation};
+use refdist_core::ProfileMode;
+use refdist_dag::AppPlan;
+use refdist_policies::CachePolicy;
+use refdist_workloads::Workload;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Record {
+    suite: &'static str,
+    bench: String,
+    policy: String,
+    blocks: usize,
+    protocol: &'static str,
+    metric: &'static str,
+    value: f64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"bench\":\"{}\",\"policy\":\"{}\",\"blocks\":{},\"protocol\":\"{}\",\"{}\":{:.2}}}",
+            self.suite, self.bench, self.policy, self.blocks, self.protocol, self.metric, self.value
+        )
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("REFDIST_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Mean ns per churn step, measured over a time-boxed window after warmup.
+fn time_churn(build: fn() -> Box<dyn CachePolicy>, blocks: usize, naive: bool) -> f64 {
+    let mut churn = Churn::new(build, blocks, naive);
+    let budget_ms: u64 = if quick() { 40 } else { 400 };
+    let warmup = (blocks / 8).clamp(32, 2_000);
+    for _ in 0..warmup {
+        churn.step();
+    }
+    let mut steps: u64 = 0;
+    let start = Instant::now();
+    loop {
+        for _ in 0..32 {
+            std::hint::black_box(churn.step());
+        }
+        steps += 32;
+        if start.elapsed().as_millis() as u64 >= budget_ms || steps >= 200_000 {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e9 / steps as f64
+}
+
+/// One eviction-heavy simulation workload; returns (best-of-reps wall ms,
+/// hit ratio). Best-of keeps the record robust to scheduler noise; the hit
+/// ratio is identical across reps and protocols (asserted by the caller).
+fn time_macro(policy: PolicySpec, naive: bool) -> (f64, f64) {
+    let mut ctx = ExpContext::main().quick();
+    if quick() {
+        ctx.params.partitions = 32;
+        ctx.params.scale = 0.1;
+    } else {
+        // Larger than the CI-quick scale so eviction churn, not fixed setup
+        // cost, dominates the wall time.
+        ctx.params.partitions = 256;
+        ctx.params.scale = 1.0;
+    }
+    let spec = Workload::ConnectedComponents.build(&ctx.params);
+    let plan = AppPlan::build(&spec);
+    // A cache covering 20% of the cached footprint keeps the runtime under
+    // constant eviction pressure — the free_up hot path dominates.
+    let cache = cache_for_fraction(&spec, &ctx.cluster, 0.2).max(1);
+    let reps = if quick() { 1 } else { 3 };
+    let mut best_ms = f64::INFINITY;
+    let mut hits = 0.0;
+    for _ in 0..reps {
+        let cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
+        let mut p: Box<dyn CachePolicy> = if naive {
+            Box::new(NaiveScan::new(policy.build(None)))
+        } else {
+            policy.build(None)
+        };
+        let start = Instant::now();
+        let report = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut *p);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        hits = report.hit_ratio();
+    }
+    (best_ms, hits)
+}
+
+fn main() {
+    let mut baseline: Vec<Record> = Vec::new();
+    let mut current: Vec<Record> = Vec::new();
+
+    let populations: &[usize] = if quick() {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    println!("== micro: evict_churn (ns/evict, lower is better) ==");
+    println!("{:<10} {:>8} {:>14} {:>14} {:>9}", "policy", "blocks", "naive", "indexed", "speedup");
+    for &blocks in populations {
+        for (name, build) in bench_policies() {
+            let naive_ns = time_churn(build, blocks, true);
+            let indexed_ns = time_churn(build, blocks, false);
+            println!(
+                "{:<10} {:>8} {:>11.0} ns {:>11.0} ns {:>8.1}x",
+                name,
+                blocks,
+                naive_ns,
+                indexed_ns,
+                naive_ns / indexed_ns
+            );
+            for (protocol, value, out) in [
+                ("naive", naive_ns, &mut baseline),
+                ("indexed", indexed_ns, &mut current),
+            ] {
+                out.push(Record {
+                    suite: "micro",
+                    bench: "evict_churn".into(),
+                    policy: name.into(),
+                    blocks,
+                    protocol,
+                    metric: "ns_per_evict",
+                    value,
+                });
+            }
+        }
+    }
+
+    println!();
+    println!("== macro: ConnectedComponents @ 20% cache (ms, lower is better) ==");
+    println!("{:<10} {:>12} {:>12} {:>9}", "policy", "naive", "indexed", "speedup");
+    for policy in [PolicySpec::Lru, PolicySpec::MrdFull] {
+        let (naive_ms, naive_hits) = time_macro(policy, true);
+        let (indexed_ms, indexed_hits) = time_macro(policy, false);
+        assert!(
+            (naive_hits - indexed_hits).abs() < 1e-12,
+            "protocols disagree on behavior for {}: hit ratio {naive_hits} vs {indexed_hits}",
+            policy.name()
+        );
+        println!(
+            "{:<10} {:>9.0} ms {:>9.0} ms {:>8.2}x",
+            policy.name(),
+            naive_ms,
+            indexed_ms,
+            naive_ms / indexed_ms
+        );
+        for (protocol, value, out) in [
+            ("naive", naive_ms, &mut baseline),
+            ("indexed", indexed_ms, &mut current),
+        ] {
+            out.push(Record {
+                suite: "macro",
+                bench: "cc_sweep".into(),
+                policy: policy.name().into(),
+                blocks: 0,
+                protocol,
+                metric: "ms_total",
+                value,
+            });
+        }
+    }
+
+    for (path, records) in [("BENCH_baseline.json", &baseline), ("BENCH_pr2.json", &current)] {
+        let mut out = String::from("[\n");
+        for (i, r) in records.iter().enumerate() {
+            let sep = if i + 1 == records.len() { "\n" } else { ",\n" };
+            let _ = write!(out, "{}{}", r.to_json(), sep);
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path} ({} records)", records.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Prints baseline-vs-current deltas for the cache hot-path benchmarks.
+//!
+//!     bench_diff [BASELINE] [CURRENT]
+//!
+//! Defaults to `BENCH_baseline.json` vs `BENCH_pr2.json` in the working
+//! directory. Records are joined on (suite, bench, policy, blocks); the
+//! protocol field is informational (baseline records are the naive scan,
+//! current records the indexed path). Exits non-zero only when a file is
+//! missing or unparseable — never on timing, so CI stays robust to noisy
+//! machines.
+
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    suite: String,
+    bench: String,
+    policy: String,
+    blocks: u64,
+    protocol: String,
+    metric: String,
+    value: f64,
+}
+
+/// Pull `"key":"value"` out of a flat one-line JSON object.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Pull `"key":number` out of a flat one-line JSON object.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut records = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"suite\"") {
+            continue;
+        }
+        let (metric, value) = if let Some(v) = num_field(line, "ns_per_evict") {
+            ("ns_per_evict".to_string(), v)
+        } else if let Some(v) = num_field(line, "ms_total") {
+            ("ms_total".to_string(), v)
+        } else {
+            return Err(format!("{path}: record without a metric: {line}"));
+        };
+        records.push(Record {
+            suite: str_field(line, "suite").ok_or_else(|| format!("{path}: no suite: {line}"))?,
+            bench: str_field(line, "bench").ok_or_else(|| format!("{path}: no bench: {line}"))?,
+            policy: str_field(line, "policy").ok_or_else(|| format!("{path}: no policy: {line}"))?,
+            blocks: num_field(line, "blocks").unwrap_or(0.0) as u64,
+            protocol: str_field(line, "protocol").unwrap_or_default(),
+            metric,
+            value,
+        });
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no records found"));
+    }
+    Ok(records)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let base_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".into());
+    let cur_path = args.next().unwrap_or_else(|| "BENCH_pr2.json".into());
+    let (base, cur) = match (parse(&base_path), parse(&cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("bench_diff: {e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:<7} {:<12} {:<10} {:>8} {:>14} {:>14} {:>9}",
+        "suite", "bench", "policy", "blocks", base_path, cur_path, "speedup"
+    );
+    let mut unmatched = 0usize;
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| {
+            (&c.suite, &c.bench, &c.policy, c.blocks) == (&b.suite, &b.bench, &b.policy, b.blocks)
+        }) else {
+            unmatched += 1;
+            continue;
+        };
+        let unit = if b.metric == "ns_per_evict" { "ns" } else { "ms" };
+        println!(
+            "{:<7} {:<12} {:<10} {:>8} {:>11.1} {:>2} {:>11.1} {:>2} {:>8.2}x",
+            b.suite,
+            b.bench,
+            b.policy,
+            b.blocks,
+            b.value,
+            unit,
+            c.value,
+            unit,
+            b.value / c.value
+        );
+    }
+    if unmatched > 0 {
+        println!("({unmatched} baseline records had no counterpart in {cur_path})");
+    }
+    ExitCode::SUCCESS
+}

@@ -6,9 +6,11 @@
 //! workload's cached footprint, and parallel execution of independent
 //! simulations on the bounded worker pool of the [`sweep`] engine.
 
+pub mod cachebench;
 pub mod experiments;
 pub mod sweep;
 
+pub use cachebench::{bench_policies, Churn, NaiveScan};
 pub use sweep::{
     default_threads, pool_map, run_sweep, CellResult, SweepCell, SweepGrid, SweepOptions,
     SweepResults,

@@ -207,11 +207,10 @@ impl<'a> Engine<'a> {
             let exec_bytes = (self.cfg.cluster.cache_bytes as f64
                 * self.cfg.exec_mem_fraction.clamp(0.0, 1.0)) as u64;
             for node in 0..self.nodes {
-                while self.managers[node].memory.used() + exec_bytes > self.cfg.cluster.cache_bytes
-                {
-                    if !self.evict_one(node, policy) {
-                        break;
-                    }
+                let used = self.managers[node].memory.used();
+                if used + exec_bytes > self.cfg.cluster.cache_bytes {
+                    let shortfall = used + exec_bytes - self.cfg.cluster.cache_bytes;
+                    self.free_up(node, shortfall, policy);
                 }
                 self.managers[node].memory.set_reserved(exec_bytes);
             }
@@ -558,8 +557,8 @@ impl<'a> Engine<'a> {
                     return true;
                 }
                 Err(InsertError::TooLarge) => return false,
-                Err(InsertError::NeedsEviction { .. }) => {
-                    if !self.evict_one(node, policy) {
+                Err(InsertError::NeedsEviction { shortfall }) => {
+                    if !self.free_up(node, shortfall, policy) {
                         return false;
                     }
                 }
@@ -567,35 +566,40 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Evict one block chosen by the policy from `node`'s memory. Returns
-    /// false if nothing evictable remains (or the policy declines).
-    fn evict_one(&mut self, node: usize, policy: &mut dyn CachePolicy) -> bool {
-        let mut cands: Vec<BlockId> = self.managers[node]
-            .memory
-            .evictable()
-            .map(|(c, _)| c)
-            .collect();
-        cands.sort_unstable();
-        let Some(victim) = policy.pick_victim(NodeId(node as u32), &cands) else {
-            return false;
-        };
-        let spill = self.spec.rdd(victim.rdd).storage.spills_to_disk();
-        if self.managers[node].evict(victim, spill).is_none() {
-            // Policy chose something not evictable: give up rather than loop
-            // forever.
-            debug_assert!(false, "policy picked non-resident victim {victim}");
-            return false;
+    /// Free at least `shortfall` bytes on `node` by evicting a policy-chosen
+    /// victim batch. The candidate set is the store's maintained sorted
+    /// evictable map — no per-pressure-event collect + sort — and indexed
+    /// policies pop the whole batch in O(log n) per victim. Returns whether
+    /// the shortfall was covered; false aborts the pending insert, exactly
+    /// like the old one-victim-at-a-time protocol did when the policy ran
+    /// out of candidates.
+    fn free_up(&mut self, node: usize, shortfall: u64, policy: &mut dyn CachePolicy) -> bool {
+        let victims = policy.select_victims(
+            NodeId(node as u32),
+            shortfall,
+            self.managers[node].memory.evictable_set(),
+        );
+        let mut freed = 0u64;
+        for victim in victims {
+            let spill = self.spec.rdd(victim.rdd).storage.spills_to_disk();
+            let Some(size) = self.managers[node].evict(victim, spill) else {
+                // Policy chose something not evictable: give up rather than
+                // loop forever.
+                debug_assert!(false, "policy selected non-resident victim {victim}");
+                return false;
+            };
+            self.master.unregister_memory(victim, NodeId(node as u32));
+            if spill {
+                self.master.register_disk(victim, NodeId(node as u32));
+            }
+            self.pending.remove(&(node, victim));
+            if self.prefetched_unused.remove(&(node, victim)) {
+                self.managers[node].stats.wasted_prefetches += 1;
+            }
+            policy.on_remove(NodeId(node as u32), victim);
+            freed += size;
         }
-        self.master.unregister_memory(victim, NodeId(node as u32));
-        if spill {
-            self.master.register_disk(victim, NodeId(node as u32));
-        }
-        self.pending.remove(&(node, victim));
-        if self.prefetched_unused.remove(&(node, victim)) {
-            self.managers[node].stats.wasted_prefetches += 1;
-        }
-        policy.on_remove(NodeId(node as u32), victim);
-        true
+        freed >= shortfall
     }
 
     /// Background prefetching for the stages ahead (Algorithm 1, prefetching

@@ -9,8 +9,15 @@
 use crate::distance::{DistanceMetric, RefDistance};
 use crate::table::MrdTable;
 use refdist_dag::BlockId;
+use refdist_policies::OrderedIndex;
 use refdist_store::NodeId;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap};
+
+/// The monitor's eviction rank, ascending = eviction order: largest
+/// reference distance first, then the tie-break recency encoding (see
+/// [`CacheMonitor::enc`]), then lowest block id (supplied by the index).
+type MrdKey = (Reverse<RefDistance>, Reverse<u64>);
 
 /// How distance ties are broken during victim selection (ablation knob —
 /// the paper does not specify; see [`CacheMonitor::pick_victim`]).
@@ -35,11 +42,28 @@ pub struct CacheMonitor {
     syncs: u64,
     clock: u64,
     last_touch: HashMap<BlockId, u64>,
+    /// Tie-break rule baked into the index keys.
+    tie: TieBreak,
+    /// Ordered victim index over the locally tracked blocks. Its keys embed
+    /// reference distances, which all shift when a new table replica arrives
+    /// — so the index is only rebuilt lazily, on the first victim selection
+    /// after a sync bumped `synced_version` past `index_version`. Between
+    /// syncs, `touch`/`forget` maintain it incrementally in O(log n).
+    index: OrderedIndex<MrdKey>,
+    /// Table version the index keys were computed against.
+    index_version: Option<u64>,
 }
 
 impl CacheMonitor {
-    /// New monitor for `node` with an empty (unsynced) replica.
+    /// New monitor for `node` with an empty (unsynced) replica and the
+    /// default (MRU) tie-break.
     pub fn new(node: NodeId) -> Self {
+        Self::with_tie(node, TieBreak::Mru)
+    }
+
+    /// New monitor with an explicit tie-break rule (the rule is baked into
+    /// the victim index keys, so it is fixed per monitor).
+    pub fn with_tie(node: NodeId, tie: TieBreak) -> Self {
         CacheMonitor {
             node,
             table: MrdTable::new(DistanceMetric::Stage),
@@ -47,7 +71,47 @@ impl CacheMonitor {
             syncs: 0,
             clock: 0,
             last_touch: HashMap::new(),
+            tie,
+            index: OrderedIndex::new(),
+            index_version: None,
         }
+    }
+
+    /// Recency encoding for index keys: under MRU ties the *largest* touch
+    /// evicts first, under LRU the smallest — both expressed as "larger
+    /// encoding evicts first" so one `Reverse<u64>` covers both.
+    fn enc(&self, touch: u64) -> u64 {
+        match self.tie {
+            TieBreak::Mru => touch,
+            TieBreak::Lru => !touch,
+        }
+    }
+
+    fn key_for(&self, block: BlockId) -> MrdKey {
+        let touch = self.last_touch.get(&block).copied().unwrap_or(0);
+        (Reverse(self.distance(block)), Reverse(self.enc(touch)))
+    }
+
+    /// Whether incremental index updates are valid (keys match the current
+    /// replica). False after a sync until the next rebuild.
+    fn index_fresh(&self) -> bool {
+        self.index_version == self.synced_version
+    }
+
+    /// Rebuild the index from scratch against the current replica.
+    fn ensure_index(&mut self) {
+        if self.index_fresh() {
+            return;
+        }
+        self.index.clear();
+        let mut entries: Vec<(BlockId, MrdKey)> = Vec::with_capacity(self.last_touch.len());
+        for (&b, &touch) in &self.last_touch {
+            entries.push((b, (Reverse(self.distance(b)), Reverse(self.enc(touch)))));
+        }
+        for (b, k) in entries {
+            self.index.upsert(b, k);
+        }
+        self.index_version = self.synced_version;
     }
 
     /// The node this monitor runs on.
@@ -81,11 +145,32 @@ impl CacheMonitor {
     pub fn touch(&mut self, block: BlockId) {
         self.clock += 1;
         self.last_touch.insert(block, self.clock);
+        if self.index_fresh() {
+            let key = self.key_for(block);
+            self.index.upsert(block, key);
+        }
     }
 
     /// Forget a block that left this node's memory.
     pub fn forget(&mut self, block: BlockId) {
         self.last_touch.remove(&block);
+        if self.index_fresh() {
+            self.index.remove(block);
+        }
+    }
+
+    /// Batched victim selection on this node: pop blocks in eviction order
+    /// (largest distance first, per the tie-break rule) until `shortfall`
+    /// bytes of `resident` blocks are covered. Identical victim sequence to
+    /// repeated [`CacheMonitor::pick_victim`] calls over a shrinking
+    /// candidate list, in O(log n) per victim.
+    pub fn select_victims(
+        &mut self,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        self.ensure_index();
+        self.index.select_until(shortfall, resident)
     }
 
     /// Choose the eviction victim among `candidates`: the block with the

@@ -13,9 +13,9 @@ use crate::distance::DistanceMetric;
 use crate::manager::MrdManager;
 use crate::monitor::{CacheMonitor, TieBreak};
 use refdist_dag::{AppProfile, BlockId, JobId, RddId, StageId};
-use refdist_policies::CachePolicy;
+use refdist_policies::{CachePolicy, VictimIndex};
 use refdist_store::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Which halves of MRD are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,6 +67,9 @@ pub struct MrdPolicy {
     /// policy.
     lru_clock: u64,
     lru_touch: HashMap<BlockId, u64>,
+    /// Ordered LRU victim index, maintained only in `PrefetchOnly` mode
+    /// (MRD modes select victims through the node monitors instead).
+    lru_index: VictimIndex<u64>,
 }
 
 impl MrdPolicy {
@@ -78,6 +81,7 @@ impl MrdPolicy {
             monitors: HashMap::new(),
             lru_clock: 0,
             lru_touch: HashMap::new(),
+            lru_index: VictimIndex::new(),
         }
     }
 
@@ -107,17 +111,19 @@ impl MrdPolicy {
     }
 
     fn monitor_synced(&mut self, node: NodeId) -> &mut CacheMonitor {
+        let tie = self.cfg.tie_break;
         let mon = self
             .monitors
             .entry(node)
-            .or_insert_with(|| CacheMonitor::new(node));
+            .or_insert_with(|| CacheMonitor::with_tie(node, tie));
         self.manager.sync_monitor(mon);
         mon
     }
 
-    fn lru_touch(&mut self, block: BlockId) {
+    fn lru_touch(&mut self, block: BlockId) -> u64 {
         self.lru_clock += 1;
         self.lru_touch.insert(block, self.lru_clock);
+        self.lru_clock
     }
 
     fn uses_mrd_eviction(&self) -> bool {
@@ -144,17 +150,27 @@ impl CachePolicy for MrdPolicy {
     }
 
     fn on_insert(&mut self, node: NodeId, block: BlockId) {
-        self.lru_touch(block);
+        let key = self.lru_touch(block);
+        if !self.uses_mrd_eviction() {
+            self.lru_index.insert(node, block, key);
+            self.lru_index.rekey(block, key);
+        }
         self.monitor_synced(node).touch(block);
     }
 
     fn on_access(&mut self, node: NodeId, block: BlockId) {
-        self.lru_touch(block);
+        let key = self.lru_touch(block);
+        if !self.uses_mrd_eviction() {
+            self.lru_index.rekey(block, key);
+        }
         self.monitor_synced(node).touch(block);
     }
 
     fn on_remove(&mut self, node: NodeId, block: BlockId) {
         self.lru_touch.remove(&block);
+        if !self.uses_mrd_eviction() {
+            self.lru_index.remove(node, block, 0);
+        }
         if let Some(mon) = self.monitors.get_mut(&node) {
             mon.forget(block);
         }
@@ -170,6 +186,19 @@ impl CachePolicy for MrdPolicy {
                 .iter()
                 .copied()
                 .min_by_key(|b| (self.lru_touch.get(b).copied().unwrap_or(0), *b))
+        }
+    }
+
+    fn select_victims(
+        &mut self,
+        node: NodeId,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        if self.uses_mrd_eviction() {
+            self.monitor_synced(node).select_victims(shortfall, resident)
+        } else {
+            self.lru_index.select(node, shortfall, resident)
         }
     }
 

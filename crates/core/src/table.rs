@@ -14,7 +14,7 @@
 
 use crate::distance::{DistanceMetric, RefDistance};
 use refdist_dag::{AppProfile, RddId};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// The reference-distance table maintained by the MRDmanager and replicated
 /// to each CacheMonitor.
@@ -23,10 +23,15 @@ pub struct MrdTable {
     metric: DistanceMetric,
     /// Future reference points per RDD, ascending.
     refs: BTreeMap<RddId, VecDeque<u32>>,
+    /// The front (lowest) reference point of every non-empty queue, so an
+    /// advance pops only the queues that actually consumed a point instead
+    /// of scanning all of them.
+    fronts: BTreeSet<(u32, RddId)>,
     /// Current execution point (stage or job ID per `metric`).
     current: u32,
-    /// Monotone version; bumped on every mutation so monitors can detect
-    /// staleness cheaply.
+    /// Monotone version; bumped only on mutations that change observable
+    /// distances, so monitors can detect staleness cheaply and identical
+    /// profile re-merges (recurring runs) cost no re-broadcast.
     version: u64,
 }
 
@@ -36,6 +41,7 @@ impl MrdTable {
         MrdTable {
             metric,
             refs: BTreeMap::new(),
+            fronts: BTreeSet::new(),
             current: 0,
             version: 0,
         }
@@ -83,28 +89,75 @@ impl MrdTable {
     /// the past relative to the current execution point are discarded.
     /// Used both at startup and when an ad-hoc run reveals a new job's DAG
     /// (`updateReferenceDistance`).
+    ///
+    /// RDDs whose surviving points are already stored verbatim are skipped
+    /// without allocating, and the version is bumped only when something
+    /// changed — a recurring run re-submitting the same whole-application
+    /// profile every job costs no queue rebuilds and no monitor
+    /// re-broadcasts.
     pub fn merge_profile(&mut self, profile: &AppProfile) {
-        for (&rdd, r) in &profile.per_rdd {
-            let pts: VecDeque<u32> = match self.metric {
-                DistanceMetric::Stage => r.stages.iter().map(|s| s.0).collect(),
-                DistanceMetric::Job => r.jobs.iter().map(|j| j.0).collect(),
-            };
-            let future: VecDeque<u32> = pts.into_iter().filter(|&p| p >= self.current).collect();
-            self.refs.insert(rdd, future);
+        let mut changed = false;
+        match self.metric {
+            DistanceMetric::Stage => {
+                for (&rdd, r) in &profile.per_rdd {
+                    changed |= self.merge_rdd(rdd, r.stages.iter().map(|s| s.0));
+                }
+            }
+            DistanceMetric::Job => {
+                for (&rdd, r) in &profile.per_rdd {
+                    changed |= self.merge_rdd(rdd, r.jobs.iter().map(|j| j.0));
+                }
+            }
         }
-        self.version += 1;
+        if changed {
+            self.version += 1;
+        }
+    }
+
+    /// Replace one RDD's reference points with the still-future subset of
+    /// `pts`, keeping the `fronts` index consistent. Returns whether the
+    /// stored queue changed (the comparison runs without allocating).
+    fn merge_rdd(&mut self, rdd: RddId, pts: impl Iterator<Item = u32> + Clone) -> bool {
+        let current = self.current;
+        let future = pts.filter(|&p| p >= current);
+        if let Some(q) = self.refs.get(&rdd) {
+            if q.iter().copied().eq(future.clone()) {
+                return false;
+            }
+            if let Some(&f) = q.front() {
+                self.fronts.remove(&(f, rdd));
+            }
+        }
+        let future: VecDeque<u32> = future.collect();
+        if let Some(&f) = future.front() {
+            self.fronts.insert((f, rdd));
+        }
+        self.refs.insert(rdd, future);
+        true
     }
 
     /// Advance execution to `point` (`newReferenceDistance`): consume all
-    /// reference points strictly before it.
+    /// reference points strictly before it. Only queues whose front is
+    /// behind `point` are touched, via the `fronts` index.
     pub fn advance_to(&mut self, point: u32) {
-        if point < self.current {
-            return; // never move backwards
+        if point <= self.current {
+            return; // never move backwards; same point is a no-op
         }
         self.current = point;
-        for q in self.refs.values_mut() {
+        while let Some(&(f, rdd)) = self.fronts.first() {
+            if f >= point {
+                break;
+            }
+            self.fronts.remove(&(f, rdd));
+            let q = self
+                .refs
+                .get_mut(&rdd)
+                .expect("fronts entry without a queue");
             while q.front().is_some_and(|&p| p < point) {
                 q.pop_front();
+            }
+            if let Some(&nf) = q.front() {
+                self.fronts.insert((nf, rdd));
             }
         }
         self.version += 1;
@@ -118,6 +171,10 @@ impl MrdTable {
         if let Some(q) = self.refs.get_mut(&rdd) {
             if q.front() == Some(&self.current) {
                 q.pop_front();
+                self.fronts.remove(&(self.current, rdd));
+                if let Some(&nf) = q.front() {
+                    self.fronts.insert((nf, rdd));
+                }
                 self.version += 1;
             }
         }

@@ -3,16 +3,18 @@
 //! Not in the paper's comparison set; included as an ablation baseline that
 //! isolates how much of LRU's benefit comes from recency tracking at all.
 
+use crate::index::VictimIndex;
 use crate::CachePolicy;
 use refdist_dag::BlockId;
 use refdist_store::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// FIFO eviction.
 #[derive(Debug, Default)]
 pub struct FifoPolicy {
     clock: u64,
     inserted_at: HashMap<BlockId, u64>,
+    index: VictimIndex<u64>,
 }
 
 impl FifoPolicy {
@@ -27,14 +29,21 @@ impl CachePolicy for FifoPolicy {
         "FIFO".into()
     }
 
-    fn on_insert(&mut self, _node: NodeId, block: BlockId) {
+    fn on_insert(&mut self, node: NodeId, block: BlockId) {
         self.clock += 1;
         // Keep the original insertion time on re-insert.
-        self.inserted_at.entry(block).or_insert(self.clock);
+        let key = *self.inserted_at.entry(block).or_insert(self.clock);
+        self.index.insert(node, block, key);
+        // The insertion time is global: if the block was re-inserted after a
+        // removal elsewhere reset it, surviving copies re-rank to the new
+        // time (no-op when the time was unchanged).
+        self.index.rekey(block, key);
     }
 
-    fn on_remove(&mut self, _node: NodeId, block: BlockId) {
+    fn on_remove(&mut self, node: NodeId, block: BlockId) {
         self.inserted_at.remove(&block);
+        // Surviving copies lose the global insertion time: rank as key 0.
+        self.index.remove(node, block, 0);
     }
 
     fn pick_victim(&mut self, _node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
@@ -42,6 +51,15 @@ impl CachePolicy for FifoPolicy {
             .iter()
             .copied()
             .min_by_key(|b| (self.inserted_at.get(b).copied().unwrap_or(0), *b))
+    }
+
+    fn select_victims(
+        &mut self,
+        node: NodeId,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        self.index.select(node, shortfall, resident)
     }
 }
 

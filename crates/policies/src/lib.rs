@@ -19,6 +19,7 @@
 
 pub mod belady;
 pub mod fifo;
+pub mod index;
 pub mod lrc;
 pub mod lru;
 pub mod memtune;
@@ -26,6 +27,7 @@ pub mod random;
 
 pub use belady::BeladyMinPolicy;
 pub use fifo::FifoPolicy;
+pub use index::{OrderedIndex, VictimIndex};
 pub use lrc::LrcPolicy;
 pub use lru::LruPolicy;
 pub use memtune::MemTunePolicy;
@@ -33,6 +35,7 @@ pub use random::RandomPolicy;
 
 use refdist_dag::{AppProfile, BlockId, JobId, StageId};
 use refdist_store::NodeId;
+use std::collections::BTreeMap;
 
 /// A cache management policy, driven by the cluster runtime.
 ///
@@ -83,6 +86,50 @@ pub trait CachePolicy: Send {
     /// Returning `None` aborts the insert (nothing evictable is worth less
     /// than the incoming block, or the candidate list is empty).
     fn pick_victim(&mut self, node: NodeId, candidates: &[BlockId]) -> Option<BlockId>;
+
+    /// Batched victim selection: under memory pressure on `node`, choose
+    /// victims (in eviction order) whose sizes cover at least `shortfall`
+    /// bytes. `resident` maps the node's unpinned resident blocks to their
+    /// sizes; every entry was previously reported via [`on_insert`] for this
+    /// node. The runtime evicts the returned blocks in order and calls
+    /// [`on_remove`] for each — implementations must not mutate their own
+    /// bookkeeping for the victims here.
+    ///
+    /// A result covering less than `shortfall` means eviction alone cannot
+    /// make room (the runtime aborts the pending insert after evicting what
+    /// was returned, matching the one-at-a-time protocol).
+    ///
+    /// The default delegates to repeated [`pick_victim`] over a shrinking
+    /// sorted candidate list, so existing policies keep their exact victim
+    /// sequence. Policies with an incremental index override this with an
+    /// O(log n)-per-victim pop; the differential property tests assert both
+    /// paths produce byte-identical sequences.
+    ///
+    /// [`on_insert`]: CachePolicy::on_insert
+    /// [`on_remove`]: CachePolicy::on_remove
+    /// [`pick_victim`]: CachePolicy::pick_victim
+    fn select_victims(
+        &mut self,
+        node: NodeId,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        let mut candidates: Vec<BlockId> = resident.keys().copied().collect();
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        while freed < shortfall && !candidates.is_empty() {
+            let Some(victim) = self.pick_victim(node, &candidates) else {
+                break;
+            };
+            let Ok(pos) = candidates.binary_search(&victim) else {
+                break; // policy returned a non-candidate; abort like None
+            };
+            candidates.remove(pos);
+            freed += resident[&victim];
+            victims.push(victim);
+        }
+        victims
+    }
 
     /// Among `in_memory` blocks cluster-wide, those that should be purged
     /// proactively (MRD's "all-out purge" of infinite-distance data, §4.2).

@@ -11,10 +11,14 @@
 //! This implementation follows the LRC paper's mechanism so that weakness is
 //! faithfully reproduced (see `lrc_keeps_far_future_block` below).
 
+use crate::index::VictimIndex;
 use crate::CachePolicy;
 use refdist_dag::{AppProfile, BlockId, JobId, RddId, StageId};
 use refdist_store::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// LRC's eviction rank: lowest remaining count, then least recent, then id.
+type LrcKey = (u32, u64);
 
 /// Least Reference Count eviction.
 #[derive(Debug, Default)]
@@ -26,6 +30,7 @@ pub struct LrcPolicy {
     /// Logical clock for LRU tie-breaking among equal counts.
     clock: u64,
     last_touch: HashMap<BlockId, u64>,
+    index: VictimIndex<LrcKey>,
 }
 
 impl LrcPolicy {
@@ -39,6 +44,13 @@ impl LrcPolicy {
         let total = self.total_refs.get(&block.rdd).copied().unwrap_or(0);
         let used = self.consumed.get(&block).copied().unwrap_or(0);
         total.saturating_sub(used)
+    }
+
+    fn key(&self, block: BlockId) -> LrcKey {
+        (
+            self.remaining(block),
+            self.last_touch.get(&block).copied().unwrap_or(0),
+        )
     }
 
     fn consume(&mut self, block: BlockId) {
@@ -59,24 +71,45 @@ impl CachePolicy for LrcPolicy {
         for (&rdd, refs) in &visible.per_rdd {
             self.total_refs.insert(rdd, refs.count() as u32);
         }
+        // A profile refresh can change every block's remaining count at once.
+        let total_refs = &self.total_refs;
+        let consumed = &self.consumed;
+        let last_touch = &self.last_touch;
+        self.index.rekey_all(|b| {
+            let total = total_refs.get(&b.rdd).copied().unwrap_or(0);
+            let used = consumed.get(&b).copied().unwrap_or(0);
+            (
+                total.saturating_sub(used),
+                last_touch.get(&b).copied().unwrap_or(0),
+            )
+        });
     }
 
     fn on_stage_start(&mut self, _stage: StageId, _visible: &AppProfile) {}
 
-    fn on_insert(&mut self, _node: NodeId, block: BlockId) {
+    fn on_insert(&mut self, node: NodeId, block: BlockId) {
         // Creation is the block's first reference; it is consumed by the act
         // of computing the block.
         self.consume(block);
+        let key = self.key(block);
+        self.index.insert(node, block, key);
+        // Consuming a reference changes the rank of every copy of the block.
+        self.index.rekey(block, key);
     }
 
     fn on_access(&mut self, _node: NodeId, block: BlockId) {
         self.consume(block);
+        let key = self.key(block);
+        self.index.rekey(block, key);
     }
 
-    fn on_remove(&mut self, _node: NodeId, block: BlockId) {
+    fn on_remove(&mut self, node: NodeId, block: BlockId) {
         self.last_touch.remove(&block);
         // `consumed` is retained: if the block is recomputed later its past
-        // references are still spent.
+        // references are still spent. A surviving copy keeps its remaining
+        // count but loses recency.
+        let orphan = (self.remaining(block), 0);
+        self.index.remove(node, block, orphan);
     }
 
     fn pick_victim(&mut self, _node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
@@ -87,6 +120,15 @@ impl CachePolicy for LrcPolicy {
                 *b,
             )
         })
+    }
+
+    fn select_victims(
+        &mut self,
+        node: NodeId,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        self.index.select(node, shortfall, resident)
     }
 
     fn purge_candidates(&mut self, in_memory: &[BlockId]) -> Vec<BlockId> {

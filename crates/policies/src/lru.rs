@@ -4,16 +4,22 @@
 //! block idle the longest. This is the baseline every figure in the paper
 //! normalizes against.
 
+use crate::index::VictimIndex;
 use crate::CachePolicy;
 use refdist_dag::BlockId;
 use refdist_store::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// LRU eviction.
+///
+/// The recency clock is global (one logical clock across nodes, matching how
+/// `pick_victim` ranks any candidate list it is handed); the [`VictimIndex`]
+/// mirrors it per node so batched selection pops victims in O(log n).
 #[derive(Debug, Default)]
 pub struct LruPolicy {
     clock: u64,
     last_touch: HashMap<BlockId, u64>,
+    index: VictimIndex<u64>,
 }
 
 impl LruPolicy {
@@ -22,9 +28,10 @@ impl LruPolicy {
         Self::default()
     }
 
-    fn touch(&mut self, block: BlockId) {
+    fn touch(&mut self, block: BlockId) -> u64 {
         self.clock += 1;
         self.last_touch.insert(block, self.clock);
+        self.clock
     }
 }
 
@@ -33,16 +40,23 @@ impl CachePolicy for LruPolicy {
         "LRU".into()
     }
 
-    fn on_insert(&mut self, _node: NodeId, block: BlockId) {
-        self.touch(block);
+    fn on_insert(&mut self, node: NodeId, block: BlockId) {
+        let key = self.touch(block);
+        self.index.insert(node, block, key);
+        // The recency clock is global: a copy on another node re-ranks too.
+        self.index.rekey(block, key);
     }
 
     fn on_access(&mut self, _node: NodeId, block: BlockId) {
-        self.touch(block);
+        let key = self.touch(block);
+        self.index.rekey(block, key);
     }
 
-    fn on_remove(&mut self, _node: NodeId, block: BlockId) {
+    fn on_remove(&mut self, node: NodeId, block: BlockId) {
         self.last_touch.remove(&block);
+        // A surviving copy on another node loses its recency (the clock is
+        // global), so it re-ranks as untracked: key 0.
+        self.index.remove(node, block, 0);
     }
 
     fn pick_victim(&mut self, _node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
@@ -50,6 +64,15 @@ impl CachePolicy for LruPolicy {
             .iter()
             .copied()
             .min_by_key(|b| (self.last_touch.get(b).copied().unwrap_or(0), *b))
+    }
+
+    fn select_victims(
+        &mut self,
+        node: NodeId,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        self.index.select(node, shortfall, resident)
     }
 }
 

@@ -14,12 +14,22 @@
 //! MemTune's dynamic resizing of Spark's storage/execution memory regions is
 //! out of scope (see DESIGN.md §"Known deviations").
 
+use crate::index::VictimIndex;
 use crate::CachePolicy;
 use refdist_dag::{AppProfile, BlockId, RddId, StageId};
 use refdist_store::NodeId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// MemTune's eviction rank: un-needed first (`false < true`), LRU within
+/// each class, then id.
+type MemTuneKey = (bool, u64);
 
 /// MemTune-style list-based eviction and prefetching.
+///
+/// The needed/un-needed partition is *maintained* across stage starts: only
+/// blocks of RDDs whose window membership actually flipped are re-ranked in
+/// the victim index, instead of re-classifying the entire resident list on
+/// every `pick_victim` call.
 #[derive(Debug, Default)]
 pub struct MemTunePolicy {
     /// RDDs needed by the runnable window (current + next stage).
@@ -28,6 +38,9 @@ pub struct MemTunePolicy {
     needed_now: HashSet<RddId>,
     clock: u64,
     last_touch: HashMap<BlockId, u64>,
+    index: VictimIndex<MemTuneKey>,
+    /// Tracked blocks per RDD, so a window flip re-ranks only that RDD.
+    rdd_blocks: HashMap<RddId, Vec<BlockId>>,
 }
 
 impl MemTunePolicy {
@@ -36,9 +49,10 @@ impl MemTunePolicy {
         Self::default()
     }
 
-    fn touch(&mut self, block: BlockId) {
+    fn touch(&mut self, block: BlockId) -> MemTuneKey {
         self.clock += 1;
         self.last_touch.insert(block, self.clock);
+        (self.needed.contains(&block.rdd), self.clock)
     }
 }
 
@@ -48,7 +62,7 @@ impl CachePolicy for MemTunePolicy {
     }
 
     fn on_stage_start(&mut self, stage: StageId, visible: &AppProfile) {
-        self.needed.clear();
+        let old_needed = std::mem::take(&mut self.needed);
         self.needed_now.clear();
         // Window = this stage and the next: the "runnable tasks" horizon.
         for (off, set) in [(0usize, true), (1usize, false)] {
@@ -61,18 +75,44 @@ impl CachePolicy for MemTunePolicy {
                 }
             }
         }
+        // Re-rank only the RDDs that entered or left the window.
+        for rdd in old_needed.symmetric_difference(&self.needed) {
+            let Some(blocks) = self.rdd_blocks.get(rdd) else {
+                continue;
+            };
+            let needed = self.needed.contains(rdd);
+            for &b in blocks {
+                let key = (needed, self.last_touch.get(&b).copied().unwrap_or(0));
+                self.index.rekey(b, key);
+            }
+        }
     }
 
-    fn on_insert(&mut self, _node: NodeId, block: BlockId) {
-        self.touch(block);
+    fn on_insert(&mut self, node: NodeId, block: BlockId) {
+        let key = self.touch(block);
+        if !self.index.is_tracked(block) {
+            self.rdd_blocks.entry(block.rdd).or_default().push(block);
+        }
+        self.index.insert(node, block, key);
+        self.index.rekey(block, key);
     }
 
     fn on_access(&mut self, _node: NodeId, block: BlockId) {
-        self.touch(block);
+        let key = self.touch(block);
+        self.index.rekey(block, key);
     }
 
-    fn on_remove(&mut self, _node: NodeId, block: BlockId) {
+    fn on_remove(&mut self, node: NodeId, block: BlockId) {
         self.last_touch.remove(&block);
+        let orphan = (self.needed.contains(&block.rdd), 0);
+        if self.index.remove(node, block, orphan) {
+            if let Some(blocks) = self.rdd_blocks.get_mut(&block.rdd) {
+                blocks.retain(|&b| b != block);
+                if blocks.is_empty() {
+                    self.rdd_blocks.remove(&block.rdd);
+                }
+            }
+        }
     }
 
     fn pick_victim(&mut self, _node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
@@ -85,6 +125,15 @@ impl CachePolicy for MemTunePolicy {
                 *b,
             )
         })
+    }
+
+    fn select_victims(
+        &mut self,
+        node: NodeId,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        self.index.select(node, shortfall, resident)
     }
 
     fn prefetch_order(&mut self, _node: NodeId, missing: &[BlockId]) -> Vec<BlockId> {

@@ -6,7 +6,7 @@
 //! driven by the cluster runtime.
 
 use refdist_dag::BlockId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Why an insert was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +33,10 @@ pub struct MemoryStore {
     reserved: u64,
     blocks: HashMap<BlockId, u64>,
     pins: HashMap<BlockId, u32>,
+    /// Unpinned resident blocks with sizes, kept sorted by id so the
+    /// eviction hot path gets its candidate set without a per-pressure-event
+    /// collect + sort. Maintained on insert/remove/pin/unpin/drain.
+    evictable: BTreeMap<BlockId, u64>,
 }
 
 impl MemoryStore {
@@ -44,6 +48,7 @@ impl MemoryStore {
             reserved: 0,
             blocks: HashMap::new(),
             pins: HashMap::new(),
+            evictable: BTreeMap::new(),
         }
     }
 
@@ -117,6 +122,7 @@ impl MemoryStore {
             });
         }
         self.blocks.insert(block, size);
+        self.evictable.insert(block, size);
         self.used += size;
         Ok(())
     }
@@ -129,6 +135,7 @@ impl MemoryStore {
     pub fn remove(&mut self, block: BlockId) -> Option<u64> {
         if let Some(size) = self.blocks.remove(&block) {
             assert!(!self.is_pinned(block), "evicting pinned block {block}");
+            self.evictable.remove(&block);
             self.used -= size;
             Some(size)
         } else {
@@ -140,6 +147,7 @@ impl MemoryStore {
     pub fn pin(&mut self, block: BlockId) {
         debug_assert!(self.contains(block), "pinning non-resident {block}");
         *self.pins.entry(block).or_insert(0) += 1;
+        self.evictable.remove(&block);
     }
 
     /// Release one pin.
@@ -148,6 +156,9 @@ impl MemoryStore {
             Some(c) if *c > 1 => *c -= 1,
             Some(_) => {
                 self.pins.remove(&block);
+                if let Some(&size) = self.blocks.get(&block) {
+                    self.evictable.insert(block, size);
+                }
             }
             None => debug_assert!(false, "unpinning unpinned {block}"),
         }
@@ -171,6 +182,7 @@ impl MemoryStore {
         let mut all: Vec<(BlockId, u64)> = self.blocks.drain().collect();
         all.sort_unstable();
         self.used = 0;
+        self.evictable.clear();
         all
     }
 
@@ -179,9 +191,16 @@ impl MemoryStore {
         self.blocks.iter().map(|(&b, &s)| (b, s))
     }
 
-    /// Resident blocks that are evictable (not pinned), arbitrary order.
+    /// Resident blocks that are evictable (not pinned), ascending by id.
     pub fn evictable(&self) -> impl Iterator<Item = (BlockId, u64)> + '_ {
-        self.iter().filter(|(b, _)| !self.is_pinned(*b))
+        self.evictable.iter().map(|(&b, &s)| (b, s))
+    }
+
+    /// The maintained evictable set (unpinned resident blocks → sizes),
+    /// sorted by id — the candidate map handed to
+    /// `CachePolicy::select_victims` with no per-call allocation.
+    pub fn evictable_set(&self) -> &BTreeMap<BlockId, u64> {
+        &self.evictable
     }
 }
 
@@ -272,6 +291,29 @@ mod tests {
         m.pin(blk(0, 0));
         let ev: Vec<_> = m.evictable().map(|(b, _)| b).collect();
         assert_eq!(ev, vec![blk(0, 1)]);
+    }
+
+    #[test]
+    fn evictable_set_tracks_pins_and_removals() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(1, 0), 30).unwrap();
+        m.insert(blk(0, 0), 20).unwrap();
+        // Sorted by id, with sizes.
+        let set: Vec<_> = m.evictable_set().iter().map(|(&b, &s)| (b, s)).collect();
+        assert_eq!(set, vec![(blk(0, 0), 20), (blk(1, 0), 30)]);
+        // Pinning hides a block; unpinning the last pin restores it.
+        m.pin(blk(0, 0));
+        m.pin(blk(0, 0));
+        assert!(!m.evictable_set().contains_key(&blk(0, 0)));
+        m.unpin(blk(0, 0));
+        assert!(!m.evictable_set().contains_key(&blk(0, 0)));
+        m.unpin(blk(0, 0));
+        assert_eq!(m.evictable_set().get(&blk(0, 0)), Some(&20));
+        // Removal and drain clear entries.
+        m.remove(blk(1, 0));
+        assert!(!m.evictable_set().contains_key(&blk(1, 0)));
+        m.drain();
+        assert!(m.evictable_set().is_empty());
     }
 
     #[test]
