@@ -37,4 +37,20 @@ if [[ -f BENCH_baseline.json && -f BENCH_pr2.json ]]; then
   cargo run --release -q -p refdist-bench --bin bench_diff
 fi
 
+# Bench regression guard: compare the two newest recorded BENCH_pr*.json
+# files and fail if any joined metric regressed more than 10%. The files
+# are recorded on one machine by one bench_cache invocation, so the
+# comparison is apples-to-apples. Set REFDIST_SKIP_BENCH_GUARD=1 to skip
+# (e.g. when re-recording baselines on different hardware).
+if [[ "${REFDIST_SKIP_BENCH_GUARD:-0}" != "1" ]]; then
+  mapfile -t bench_files < <(ls BENCH_pr*.json 2>/dev/null | sort -V)
+  if (( ${#bench_files[@]} >= 2 )); then
+    prev="${bench_files[-2]}"
+    newest="${bench_files[-1]}"
+    echo "==> bench_diff --check --max-regress 10 $prev $newest"
+    cargo run --release -q -p refdist-bench --bin bench_diff -- \
+      --check --max-regress 10 "$prev" "$newest"
+  fi
+fi
+
 echo "ci.sh: all checks passed"

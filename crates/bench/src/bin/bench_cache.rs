@@ -1,16 +1,20 @@
-//! Cache hot-path benchmark (ISSUE 2): measures victim selection under the
-//! pre-index protocol (`NaiveScan`) and the maintained ordered indexes, and
-//! writes both sides to machine-readable files:
+//! Cache hot-path benchmark (ISSUEs 2 and 3): measures the eviction /
+//! simulation hot path under three protocols and writes each side to a
+//! machine-readable file:
 //!
-//! * `BENCH_baseline.json` — the naive re-scan protocol (the pre-change
-//!   `evict_one` cost profile).
-//! * `BENCH_pr2.json` — the indexed `select_victims` path the runtime uses
-//!   now.
+//! * `BENCH_baseline.json` — `naive`: the pre-index re-scan protocol
+//!   (`NaiveScan`) on hash-backed engine state (the original cost profile).
+//! * `BENCH_pr2.json` — `indexed`: the ordered-index `select_victims` path,
+//!   still on hash-backed engine state (`SimConfig::reference_state`).
+//! * `BENCH_pr3.json` — `dense`: the indexed path on dense slot-addressed
+//!   per-block state (the configuration the runtime uses now).
 //!
-//! One record per line: micro records report `ns_per_evict` for one churn
-//! step (access + insert-under-pressure + one eviction) at a given cache
-//! population; macro records report `ms_total` for a complete eviction-heavy
-//! simulation. `bench_diff` joins the two files and prints speedups.
+//! All three files come from one invocation on one machine, so any pair is
+//! comparable. One record per line: micro records report `ns_per_evict` for
+//! one churn step (access + insert-under-pressure + one eviction) at a given
+//! cache population; macro records report `ms_total` for a complete
+//! eviction-heavy simulation. `bench_diff` joins two files and prints
+//! speedups (and gates CI regressions with `--check`).
 //!
 //! `REFDIST_QUICK=1` shrinks populations and measurement windows for smoke
 //! runs (the output files are still written).
@@ -23,6 +27,14 @@ use refdist_policies::CachePolicy;
 use refdist_workloads::Workload;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Measurement protocols, in historical order: (name, naive wrapper, dense
+/// engine/policy state).
+const PROTOCOLS: [(&str, bool, bool); 3] = [
+    ("naive", true, false),
+    ("indexed", false, false),
+    ("dense", false, true),
+];
 
 struct Record {
     suite: &'static str,
@@ -48,8 +60,8 @@ fn quick() -> bool {
 }
 
 /// Mean ns per churn step, measured over a time-boxed window after warmup.
-fn time_churn(build: fn() -> Box<dyn CachePolicy>, blocks: usize, naive: bool) -> f64 {
-    let mut churn = Churn::new(build, blocks, naive);
+fn time_churn(build: fn() -> Box<dyn CachePolicy>, blocks: usize, naive: bool, dense: bool) -> f64 {
+    let mut churn = Churn::with_mode(build, blocks, naive, dense);
     let budget_ms: u64 = if quick() { 40 } else { 400 };
     let warmup = (blocks / 8).clamp(32, 2_000);
     for _ in 0..warmup {
@@ -72,7 +84,7 @@ fn time_churn(build: fn() -> Box<dyn CachePolicy>, blocks: usize, naive: bool) -
 /// One eviction-heavy simulation workload; returns (best-of-reps wall ms,
 /// hit ratio). Best-of keeps the record robust to scheduler noise; the hit
 /// ratio is identical across reps and protocols (asserted by the caller).
-fn time_macro(policy: PolicySpec, naive: bool) -> (f64, f64) {
+fn time_macro(policy: PolicySpec, naive: bool, dense: bool) -> (f64, f64) {
     let mut ctx = ExpContext::main().quick();
     if quick() {
         ctx.params.partitions = 32;
@@ -92,7 +104,8 @@ fn time_macro(policy: PolicySpec, naive: bool) -> (f64, f64) {
     let mut best_ms = f64::INFINITY;
     let mut hits = 0.0;
     for _ in 0..reps {
-        let cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
+        let mut cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
+        cfg.reference_state = !dense;
         let mut p: Box<dyn CachePolicy> = if naive {
             Box::new(NaiveScan::new(policy.build(None)))
         } else {
@@ -107,8 +120,8 @@ fn time_macro(policy: PolicySpec, naive: bool) -> (f64, f64) {
 }
 
 fn main() {
-    let mut baseline: Vec<Record> = Vec::new();
-    let mut current: Vec<Record> = Vec::new();
+    // One record vector per output file, index-aligned with PROTOCOLS.
+    let mut records: [Vec<Record>; 3] = [Vec::new(), Vec::new(), Vec::new()];
 
     let populations: &[usize] = if quick() {
         &[1_000, 10_000]
@@ -117,29 +130,43 @@ fn main() {
     };
 
     println!("== micro: evict_churn (ns/evict, lower is better) ==");
-    println!("{:<10} {:>8} {:>14} {:>14} {:>9}", "policy", "blocks", "naive", "indexed", "speedup");
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>14} {:>9}",
+        "policy", "blocks", "naive", "indexed", "dense", "speedup"
+    );
     for &blocks in populations {
         for (name, build) in bench_policies() {
-            let naive_ns = time_churn(build, blocks, true);
-            let indexed_ns = time_churn(build, blocks, false);
+            let naive_ns = time_churn(build, blocks, true, false);
+            let indexed_ns = time_churn(build, blocks, false, false);
+            // The baseline policies keep no slot-indexed state of their own
+            // (`attach_slots` is a no-op for them), so their dense churn is
+            // the indexed code path verbatim — reuse the measurement rather
+            // than re-sampling the same code and reporting noise as a delta.
+            let dense_ns = if name == "MRD" {
+                time_churn(build, blocks, false, true)
+            } else {
+                indexed_ns
+            };
             println!(
-                "{:<10} {:>8} {:>11.0} ns {:>11.0} ns {:>8.1}x",
+                "{:<10} {:>8} {:>11.0} ns {:>11.0} ns {:>11.0} ns {:>8.1}x",
                 name,
                 blocks,
                 naive_ns,
                 indexed_ns,
-                naive_ns / indexed_ns
+                dense_ns,
+                naive_ns / dense_ns
             );
-            for (protocol, value, out) in [
-                ("naive", naive_ns, &mut baseline),
-                ("indexed", indexed_ns, &mut current),
-            ] {
+            for (i, (out, value)) in records
+                .iter_mut()
+                .zip([naive_ns, indexed_ns, dense_ns])
+                .enumerate()
+            {
                 out.push(Record {
                     suite: "micro",
                     bench: "evict_churn".into(),
                     policy: name.into(),
                     blocks,
-                    protocol,
+                    protocol: PROTOCOLS[i].0,
                     metric: "ns_per_evict",
                     value,
                 });
@@ -149,39 +176,48 @@ fn main() {
 
     println!();
     println!("== macro: ConnectedComponents @ 20% cache (ms, lower is better) ==");
-    println!("{:<10} {:>12} {:>12} {:>9}", "policy", "naive", "indexed", "speedup");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>9}",
+        "policy", "naive", "indexed", "dense", "speedup"
+    );
     for policy in [PolicySpec::Lru, PolicySpec::MrdFull] {
-        let (naive_ms, naive_hits) = time_macro(policy, true);
-        let (indexed_ms, indexed_hits) = time_macro(policy, false);
-        assert!(
-            (naive_hits - indexed_hits).abs() < 1e-12,
-            "protocols disagree on behavior for {}: hit ratio {naive_hits} vs {indexed_hits}",
-            policy.name()
-        );
+        let mut row: Vec<(f64, f64)> = Vec::new();
+        for &(_, naive, dense) in &PROTOCOLS {
+            row.push(time_macro(policy, naive, dense));
+        }
+        let (naive_ms, naive_hits) = row[0];
+        let (indexed_ms, _) = row[1];
+        let (dense_ms, _) = row[2];
+        for &(_, hits) in &row {
+            assert!(
+                (naive_hits - hits).abs() < 1e-12,
+                "protocols disagree on behavior for {}: hit ratio {naive_hits} vs {hits}",
+                policy.name()
+            );
+        }
         println!(
-            "{:<10} {:>9.0} ms {:>9.0} ms {:>8.2}x",
+            "{:<10} {:>9.0} ms {:>9.0} ms {:>9.0} ms {:>8.2}x",
             policy.name(),
             naive_ms,
             indexed_ms,
-            naive_ms / indexed_ms
+            dense_ms,
+            naive_ms / dense_ms
         );
-        for (protocol, value, out) in [
-            ("naive", naive_ms, &mut baseline),
-            ("indexed", indexed_ms, &mut current),
-        ] {
+        for (i, (out, (ms, _))) in records.iter_mut().zip(&row).enumerate() {
             out.push(Record {
                 suite: "macro",
                 bench: "cc_sweep".into(),
                 policy: policy.name().into(),
                 blocks: 0,
-                protocol,
+                protocol: PROTOCOLS[i].0,
                 metric: "ms_total",
-                value,
+                value: *ms,
             });
         }
     }
 
-    for (path, records) in [("BENCH_baseline.json", &baseline), ("BENCH_pr2.json", &current)] {
+    let paths = ["BENCH_baseline.json", "BENCH_pr2.json", "BENCH_pr3.json"];
+    for (path, records) in paths.iter().zip(&records) {
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {
             let sep = if i + 1 == records.len() { "\n" } else { ",\n" };

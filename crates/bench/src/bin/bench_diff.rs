@@ -1,13 +1,19 @@
 //! Prints baseline-vs-current deltas for the cache hot-path benchmarks.
 //!
-//!     bench_diff [BASELINE] [CURRENT]
+//!     bench_diff [--check] [--max-regress PCT] [BASELINE] [CURRENT]
 //!
 //! Defaults to `BENCH_baseline.json` vs `BENCH_pr2.json` in the working
 //! directory. Records are joined on (suite, bench, policy, blocks); the
-//! protocol field is informational (baseline records are the naive scan,
-//! current records the indexed path). Exits non-zero only when a file is
-//! missing or unparseable — never on timing, so CI stays robust to noisy
-//! machines.
+//! protocol field is informational (e.g. baseline records are the naive
+//! scan, current records the indexed or dense path).
+//!
+//! Without `--check`, exits non-zero only when a file is missing or
+//! unparseable — never on timing, so informational diffs stay robust to
+//! noisy machines. With `--check`, any joined metric whose current value is
+//! more than `PCT` percent above the baseline (default 10) is printed as a
+//! regression and the exit code is non-zero — the CI bench-regression guard
+//! (`ci.sh` compares the two newest `BENCH_pr*.json` this way; set
+//! `REFDIST_SKIP_BENCH_GUARD=1` to opt out).
 
 use std::process::ExitCode;
 
@@ -72,9 +78,28 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
 }
 
 fn main() -> ExitCode {
+    let mut check = false;
+    let mut max_regress = 10.0f64;
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let base_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".into());
-    let cur_path = args.next().unwrap_or_else(|| "BENCH_pr2.json".into());
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--max-regress" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("bench_diff: --max-regress needs a numeric percentage");
+                    return ExitCode::FAILURE;
+                };
+                max_regress = v;
+            }
+            _ => positional.push(a),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let base_path = positional
+        .next()
+        .unwrap_or_else(|| "BENCH_baseline.json".into());
+    let cur_path = positional.next().unwrap_or_else(|| "BENCH_pr2.json".into());
     let (base, cur) = match (parse(&base_path), parse(&cur_path)) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
@@ -92,6 +117,7 @@ fn main() -> ExitCode {
         "suite", "bench", "policy", "blocks", base_path, cur_path, "speedup"
     );
     let mut unmatched = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
     for b in &base {
         let Some(c) = cur.iter().find(|c| {
             (&c.suite, &c.bench, &c.policy, c.blocks) == (&b.suite, &b.bench, &b.policy, b.blocks)
@@ -112,9 +138,31 @@ fn main() -> ExitCode {
             unit,
             b.value / c.value
         );
+        if check && b.value > 0.0 && c.value > b.value * (1.0 + max_regress / 100.0) {
+            regressions.push(format!(
+                "{}/{}/{}/blocks={}: {:.1} {unit} -> {:.1} {unit} (+{:.1}%, limit {max_regress}%)",
+                b.suite,
+                b.bench,
+                b.policy,
+                b.blocks,
+                b.value,
+                c.value,
+                (c.value / b.value - 1.0) * 100.0,
+            ));
+        }
     }
     if unmatched > 0 {
         println!("({unmatched} baseline records had no counterpart in {cur_path})");
+    }
+    if check && !regressions.is_empty() {
+        eprintln!(
+            "bench_diff: {} metric(s) regressed more than {max_regress}% vs {base_path}:",
+            regressions.len()
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -16,10 +16,11 @@
 //!   O(log n)-index gap directly.
 
 use refdist_core::{DistanceMetric, MrdConfig, MrdMode, MrdPolicy};
-use refdist_dag::{AppProfile, BlockId, JobId, RddId, RddRefs, StageId, StageTouches};
+use refdist_dag::{AppProfile, BlockId, BlockSlots, JobId, RddId, RddRefs, StageId, StageTouches};
 use refdist_policies::{CachePolicy, PolicyKind};
 use refdist_store::NodeId;
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// The single node the churn driver runs on.
 pub const NODE: NodeId = NodeId(0);
@@ -78,6 +79,10 @@ impl NaiveScan {
 impl CachePolicy for NaiveScan {
     fn name(&self) -> String {
         self.inner.name()
+    }
+
+    fn attach_slots(&mut self, slots: &Arc<BlockSlots>) {
+        self.inner.attach_slots(slots);
     }
 
     fn on_job_submit(&mut self, job: JobId, visible: &AppProfile) {
@@ -197,11 +202,30 @@ impl Churn {
     /// A churn driver over `n` resident blocks (plus an `n/4` spare pool).
     /// `naive` wraps the policy in [`NaiveScan`].
     pub fn new(build: fn() -> Box<dyn CachePolicy>, n: usize, naive: bool) -> Self {
+        Self::with_mode(build, n, naive, false)
+    }
+
+    /// [`Churn::new`] with an explicit state mode: `dense` offers the policy
+    /// a [`BlockSlots`] arena covering the whole churn universe before any
+    /// other hook, exactly as the runtime does in dense mode. Policies
+    /// without slot-indexed state ignore it.
+    pub fn with_mode(
+        build: fn() -> Box<dyn CachePolicy>,
+        n: usize,
+        naive: bool,
+        dense: bool,
+    ) -> Self {
         let mut policy = if naive {
             Box::new(NaiveScan::new(build())) as Box<dyn CachePolicy>
         } else {
             build()
         };
+        if dense {
+            let universe = n + (n / 4).max(1);
+            let parts = universe.div_ceil(RDDS as usize) as u32;
+            let arena = Arc::new(BlockSlots::from_counts((0..RDDS).map(|r| (RddId(r), parts))));
+            policy.attach_slots(&arena);
+        }
         let profile = churn_profile();
         policy.on_job_submit(JobId(0), &profile);
         policy.on_stage_start(StageId(0), &profile);
@@ -306,6 +330,19 @@ mod tests {
             for i in 0..512 {
                 let a = naive.step();
                 let b = indexed.step();
+                assert_eq!(a, b, "victim diverged at step {i} for {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_state_matches_hashed_for_every_policy() {
+        for (name, build) in bench_policies() {
+            let mut hashed = Churn::with_mode(build, 64, false, false);
+            let mut dense = Churn::with_mode(build, 64, false, true);
+            for i in 0..512 {
+                let a = hashed.step();
+                let b = dense.step();
                 assert_eq!(a, b, "victim diverged at step {i} for {name}");
             }
         }

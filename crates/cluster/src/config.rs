@@ -155,6 +155,12 @@ pub struct SimConfig {
     /// noisy-neighbour effects on the paper's virtualized testbed). Pairs
     /// with `delay_scheduling_us`, which lets tasks route around it.
     pub slow_node: Option<(u32, f64)>,
+    /// Run the engine on its original hash-backed per-block state instead of
+    /// the dense slot-indexed tables. The hash path is kept as the reference
+    /// implementation: the differential tests run every simulation both ways
+    /// and require byte-identical reports, and the benches use it as the
+    /// honest "before" baseline. Off (dense) by default.
+    pub reference_state: bool,
 }
 
 impl SimConfig {
@@ -173,6 +179,7 @@ impl SimConfig {
             adaptive_threshold: false,
             delay_scheduling_us: None,
             slow_node: None,
+            reference_state: false,
         }
     }
 
@@ -235,6 +242,7 @@ mod tests {
         assert!(s.node_failure.is_none());
         assert!(!s.adaptive_threshold);
         assert!(s.delay_scheduling_us.is_none());
+        assert!(!s.reference_state);
         assert_eq!(s.with_seed(7).seed, 7);
     }
 }

@@ -78,9 +78,12 @@ impl RunReport {
         }
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. A nonzero bad-victim count (the
+    /// policy selected non-evictable victims; see
+    /// [`CacheStats::bad_victims`]) is appended so the divergence is visible
+    /// even in release builds.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} under {}: JCT {:.3}s, hit ratio {:.1}%, {} hits / {} misses, {} evictions, {} prefetches",
             self.app,
             self.policy,
@@ -90,7 +93,14 @@ impl RunReport {
             self.stats.misses,
             self.stats.evictions + self.stats.purges,
             self.stats.prefetches,
-        )
+        );
+        if self.stats.bad_victims > 0 {
+            s.push_str(&format!(
+                ", {} BAD victim selections",
+                self.stats.bad_victims
+            ));
+        }
+        s
     }
 }
 
@@ -135,6 +145,14 @@ mod tests {
         let s = report(2_000_000).summary();
         assert!(s.contains("2.000s"));
         assert!(s.contains("90.0%"));
+        assert!(!s.contains("BAD"));
+    }
+
+    #[test]
+    fn summary_surfaces_bad_victims() {
+        let mut r = report(1);
+        r.stats.bad_victims = 2;
+        assert!(r.summary().contains("2 BAD victim selections"));
     }
 
     #[test]

@@ -26,17 +26,32 @@
 //! so prefetching genuinely overlaps computation and contends for the same
 //! disk/NIC bandwidth (Algorithm 1's prefetching phase, threshold rule
 //! included).
+//!
+//! ## Dense block-slot state
+//!
+//! The engine's per-block bookkeeping (materialization, in-flight arrival
+//! times, unused prefetches, the per-node "prefetchable" set) lives in dense
+//! vectors and bitsets indexed by [`BlockSlots`] — every cached-RDD block
+//! maps to a `u32` slot, in `BlockId` sort order, so the hot path does no
+//! hashing and the prefetcher reads an incrementally maintained bitset
+//! instead of rescanning every cached RDD × partition each stage. The
+//! original hash-backed representation is preserved behind
+//! [`SimConfig::reference_state`] as the reference implementation; the
+//! differential tests run both and require byte-identical reports.
 
 use crate::config::SimConfig;
 use crate::report::RunReport;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use refdist_core::{AppProfiler, ProfileMode};
-use refdist_dag::{AppPlan, AppProfile, AppSpec, BlockId, JobId, RddId, Stage, StageKind};
+use refdist_dag::{
+    AppPlan, AppProfile, AppSpec, BlockId, BlockSlots, JobId, RddId, SlotSet, Stage, StageKind,
+};
 use refdist_policies::{CachePolicy, LruPolicy};
 use refdist_simcore::{FifoResource, SimDuration, SimTime};
 use refdist_store::{BlockManager, BlockMaster, CacheStats, InsertError, NodeId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A configured simulation of one application on one cluster.
 pub struct Simulation<'a> {
@@ -101,12 +116,40 @@ struct Engine<'a> {
     /// Per node, per core: time the slot becomes free.
     slots: Vec<Vec<SimTime>>,
 
+    /// Block → dense slot mapping over the cached RDDs.
+    arena: Arc<BlockSlots>,
+    /// Hash-backed reference state (`cfg.reference_state`).
+    reference: bool,
+
+    // --- reference (hash-backed) per-block state ---
     /// Blocks whose bytes are still in flight: usable only after the time.
     pending: HashMap<(usize, BlockId), SimTime>,
     /// Prefetched blocks not yet used (for wasted-prefetch accounting).
     prefetched_unused: HashSet<(usize, BlockId)>,
     /// Blocks that have been computed at least once this run.
     materialized: HashSet<BlockId>,
+    /// Per-task de-duplication of lineage walks (reference mode allocates a
+    /// fresh set per task, matching the original cost profile).
+    visited_ref: HashSet<RddId>,
+
+    // --- dense (slot-indexed) per-block state ---
+    /// Per node, per slot: in-flight arrival time; `SimTime::ZERO` = not
+    /// pending (real entries are always strictly later than the insert
+    /// time, so the sentinel is unambiguous and `max()` with it is a no-op).
+    pending_d: Vec<Vec<SimTime>>,
+    /// Slots computed at least once this run.
+    materialized_d: SlotSet,
+    /// Per node: prefetched slots not yet used.
+    prefetched_d: Vec<SlotSet>,
+    /// Per node: slots that are materialized, homed on this node, and not
+    /// resident in its memory — exactly the prefetcher's candidate set,
+    /// maintained incrementally at every residency/materialization
+    /// transition instead of rescanned each stage.
+    prefetchable: Vec<SlotSet>,
+    /// Per RDD: the epoch it was last visited in (epoch-stamped `visited`
+    /// set — no per-task allocation).
+    visited_epoch: Vec<u64>,
+    epoch: u64,
 
     /// Per-node prefetch thresholds (adaptive when configured).
     thresholds: Vec<f64>,
@@ -129,6 +172,9 @@ impl<'a> Engine<'a> {
         cfg: &'a SimConfig,
     ) -> Self {
         let n = cfg.cluster.nodes as usize;
+        let reference = cfg.reference_state;
+        let arena = Arc::new(BlockSlots::new(spec));
+        let nslots = if reference { 0 } else { arena.len() };
         Engine {
             spec,
             plan,
@@ -136,9 +182,20 @@ impl<'a> Engine<'a> {
             cfg,
             nodes: n,
             managers: (0..n)
-                .map(|i| BlockManager::new(NodeId(i as u32), cfg.cluster.cache_bytes))
+                .map(|i| {
+                    let node = NodeId(i as u32);
+                    if reference {
+                        BlockManager::new(node, cfg.cluster.cache_bytes)
+                    } else {
+                        BlockManager::with_slots(node, cfg.cluster.cache_bytes, Arc::clone(&arena))
+                    }
+                })
                 .collect(),
-            master: BlockMaster::new(),
+            master: if reference {
+                BlockMaster::new()
+            } else {
+                BlockMaster::with_slots(Arc::clone(&arena))
+            },
             disk: (0..n)
                 .map(|_| FifoResource::new(cfg.cluster.disk_bw))
                 .collect(),
@@ -148,9 +205,22 @@ impl<'a> Engine<'a> {
             slots: (0..n)
                 .map(|_| vec![SimTime::ZERO; cfg.cluster.cores_per_node as usize])
                 .collect(),
+            reference,
             pending: HashMap::new(),
             prefetched_unused: HashSet::new(),
             materialized: HashSet::new(),
+            visited_ref: HashSet::new(),
+            pending_d: (0..n).map(|_| vec![SimTime::ZERO; nslots]).collect(),
+            materialized_d: SlotSet::new(nslots),
+            prefetched_d: (0..n).map(|_| SlotSet::new(nslots)).collect(),
+            prefetchable: (0..n).map(|_| SlotSet::new(nslots)).collect(),
+            visited_epoch: if reference {
+                Vec::new()
+            } else {
+                vec![0; spec.rdds.len()]
+            },
+            epoch: 0,
+            arena,
             thresholds: vec![cfg.prefetch_threshold; n],
             adapt_baseline: vec![(0, 0); n],
             now: SimTime::ZERO,
@@ -176,7 +246,132 @@ impl<'a> Engine<'a> {
         bytes * self.cfg.deser_us_per_mb / (1 << 20)
     }
 
+    /// Dense slot of a cached-RDD block (dense mode only; every block the
+    /// engine tracks belongs to a cached RDD, so the arena covers it).
+    fn slot(&self, b: BlockId) -> u32 {
+        self.arena
+            .slot(b)
+            .expect("engine-tracked blocks belong to cached RDDs")
+    }
+
+    /// Start a task's lineage walk: reset the visited set.
+    fn begin_task(&mut self) {
+        if self.reference {
+            self.visited_ref = HashSet::new();
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Mark `rdd` visited in the current task; true on first visit.
+    fn visit(&mut self, rdd: RddId) -> bool {
+        if self.reference {
+            self.visited_ref.insert(rdd)
+        } else {
+            let e = &mut self.visited_epoch[rdd.index()];
+            if *e == self.epoch {
+                false
+            } else {
+                *e = self.epoch;
+                true
+            }
+        }
+    }
+
+    /// When `b`'s bytes are still in flight to `node`: the arrival time,
+    /// else `SimTime::ZERO` (callers `max()` it into their start time, and
+    /// `max` with `ZERO` is the identity).
+    fn pending_avail(&self, node: usize, b: BlockId) -> SimTime {
+        if self.reference {
+            self.pending
+                .get(&(node, b))
+                .copied()
+                .unwrap_or(SimTime::ZERO)
+        } else {
+            self.pending_d[node][self.slot(b) as usize]
+        }
+    }
+
+    fn set_pending(&mut self, node: usize, b: BlockId, at: SimTime) {
+        if self.reference {
+            self.pending.insert((node, b), at);
+        } else {
+            let s = self.slot(b) as usize;
+            self.pending_d[node][s] = at;
+        }
+    }
+
+    fn clear_pending(&mut self, node: usize, b: BlockId) {
+        if self.reference {
+            self.pending.remove(&(node, b));
+        } else {
+            let s = self.slot(b) as usize;
+            self.pending_d[node][s] = SimTime::ZERO;
+        }
+    }
+
+    fn is_materialized(&self, b: BlockId) -> bool {
+        if self.reference {
+            self.materialized.contains(&b)
+        } else {
+            self.materialized_d.contains(self.slot(b))
+        }
+    }
+
+    fn mark_materialized(&mut self, b: BlockId) {
+        if self.reference {
+            self.materialized.insert(b);
+        } else {
+            let s = self.slot(b);
+            self.materialized_d.insert(s);
+            self.sync_prefetchable(b);
+        }
+    }
+
+    fn mark_prefetched(&mut self, node: usize, b: BlockId) {
+        if self.reference {
+            self.prefetched_unused.insert((node, b));
+        } else {
+            let s = self.slot(b);
+            self.prefetched_d[node].insert(s);
+        }
+    }
+
+    /// Clear `b`'s unused-prefetch mark on `node`; true if it was set.
+    fn take_prefetched(&mut self, node: usize, b: BlockId) -> bool {
+        if self.reference {
+            self.prefetched_unused.remove(&(node, b))
+        } else {
+            let s = self.slot(b);
+            self.prefetched_d[node].remove(s)
+        }
+    }
+
+    /// Recompute `b`'s membership in its home node's prefetchable set
+    /// (materialized and not resident in the home memory). Idempotent;
+    /// called at every transition that can change either input.
+    fn sync_prefetchable(&mut self, b: BlockId) {
+        if self.reference {
+            return;
+        }
+        let home = self.home(b.partition);
+        let s = self.slot(b);
+        let on = self.materialized_d.contains(s) && !self.managers[home].memory.contains(b);
+        if on {
+            self.prefetchable[home].insert(s);
+        } else {
+            self.prefetchable[home].remove(s);
+        }
+    }
+
     fn run(&mut self, policy: &mut dyn CachePolicy) -> RunReport {
+        if !self.reference {
+            // Offer the arena before any other hook so policies can switch
+            // their per-block state to slot-indexed tables. The reference
+            // path never attaches: hash-backed policy state is part of the
+            // reference implementation.
+            policy.attach_slots(&self.arena);
+        }
         let mut submitted: Option<JobId> = None;
         let mut visible: AppProfile = self.profiler.visible_at_job(JobId(0));
 
@@ -258,8 +453,9 @@ impl<'a> Engine<'a> {
         let lost_mem = self.managers[node].memory.drain();
         for (b, _) in &lost_mem {
             self.master.unregister_memory(*b, NodeId(node as u32));
-            self.pending.remove(&(node, *b));
-            self.prefetched_unused.remove(&(node, *b));
+            self.clear_pending(node, *b);
+            self.take_prefetched(node, *b);
+            self.sync_prefetchable(*b);
             policy.on_remove(NodeId(node as u32), *b);
         }
         let lost_disk = self.managers[node].disk.drain();
@@ -315,10 +511,11 @@ impl<'a> Engine<'a> {
                     m.purge(b);
                     if had_mem {
                         self.master.unregister_memory(b, NodeId(node as u32));
-                        self.pending.remove(&(node, b));
-                        if self.prefetched_unused.remove(&(node, b)) {
+                        self.clear_pending(node, b);
+                        if self.take_prefetched(node, b) {
                             self.managers[node].stats.wasted_prefetches += 1;
                         }
+                        self.sync_prefetchable(b);
                         policy.on_remove(NodeId(node as u32), b);
                     }
                     if had_disk {
@@ -363,9 +560,8 @@ impl<'a> Engine<'a> {
             }
             let start = slot_free.max(stage_start);
 
-            let mut visited = HashSet::new();
-            let (io_done, compute_us) =
-                self.acquire(stage.final_rdd, p, node, start, &mut visited, policy);
+            self.begin_task();
+            let (io_done, compute_us) = self.acquire(stage.final_rdd, p, node, start, policy);
 
             let mut jitter = if self.cfg.compute_jitter > 0.0 {
                 1.0 + self
@@ -405,22 +601,21 @@ impl<'a> Engine<'a> {
         part: u32,
         node: usize,
         at: SimTime,
-        visited: &mut HashSet<RddId>,
         policy: &mut dyn CachePolicy,
     ) -> (SimTime, u64) {
-        if !visited.insert(rdd) {
+        if !self.visit(rdd) {
             return (at, 0);
         }
         let r = self.spec.rdd(rdd);
         let b = BlockId::new(rdd, part);
-        if r.is_cached() && self.materialized.contains(&b) {
-            return self.access(b, node, at, visited, policy);
+        if r.is_cached() && self.is_materialized(b) {
+            return self.access(b, node, at, policy);
         }
         // Compute path (also the creation path for cached RDDs).
-        let (io, mut compute_us) = self.compute_inputs(rdd, part, node, at, visited, policy);
+        let (io, mut compute_us) = self.compute_inputs(rdd, part, node, at, policy);
         compute_us += r.compute_us;
         if r.is_cached() {
-            self.materialized.insert(b);
+            self.mark_materialized(b);
             if self.cfg.collect_trace {
                 self.trace.push(b);
             }
@@ -437,23 +632,25 @@ impl<'a> Engine<'a> {
         part: u32,
         node: usize,
         at: SimTime,
-        visited: &mut HashSet<RddId>,
         policy: &mut dyn CachePolicy,
     ) -> (SimTime, u64) {
-        let r = self.spec.rdd(rdd);
+        // The spec reference outlives `&mut self`, so the dependency list is
+        // borrowed across the recursion — no per-call clone.
+        let spec = self.spec;
+        let r = spec.rdd(rdd);
         let mut io = at;
         let mut compute_us = 0u64;
-        for dep in r.deps.clone() {
-            match dep {
+        for dep in &r.deps {
+            match *dep {
                 refdist_dag::Dependency::Narrow(p) => {
-                    let (i, c) = self.acquire(p, part, node, at, visited, policy);
+                    let (i, c) = self.acquire(p, part, node, at, policy);
                     io = io.max(i);
                     compute_us += c;
                 }
                 refdist_dag::Dependency::Shuffle(p) => {
                     // Shuffle files persist on the map-side disks; the read
                     // crosses the network (all-to-all).
-                    let bytes = self.spec.rdd(p).total_size() / r.num_partitions.max(1) as u64;
+                    let bytes = spec.rdd(p).total_size() / r.num_partitions.max(1) as u64;
                     let done = self.net[node].request(at, bytes);
                     io = io.max(done);
                 }
@@ -472,7 +669,6 @@ impl<'a> Engine<'a> {
         b: BlockId,
         node: usize,
         at: SimTime,
-        visited: &mut HashSet<RddId>,
         policy: &mut dyn CachePolicy,
     ) -> (SimTime, u64) {
         if self.cfg.collect_trace {
@@ -481,9 +677,9 @@ impl<'a> Engine<'a> {
         let size = self.block_size(b);
         // Local memory hit.
         if self.managers[node].memory.contains(b) {
-            let avail = self.pending.get(&(node, b)).copied().unwrap_or(at);
+            let avail = self.pending_avail(node, b);
             self.managers[node].stats.hits += 1;
-            if self.prefetched_unused.remove(&(node, b)) {
+            if self.take_prefetched(node, b) {
                 self.managers[node].stats.prefetch_hits += 1;
             }
             policy.on_access(NodeId(node as u32), b);
@@ -494,11 +690,11 @@ impl<'a> Engine<'a> {
                 // Remote memory: pay the reader's NIC; no local copy is kept
                 // (Spark reads remote blocks without replicating them).
                 let src_i = src.index();
-                let avail = self.pending.get(&(src_i, b)).copied().unwrap_or(at);
+                let avail = self.pending_avail(src_i, b);
                 let done = self.net[node].request(at.max(avail), size);
                 self.managers[node].stats.hits += 1;
                 self.managers[node].stats.remote_hits += 1;
-                if self.prefetched_unused.remove(&(src_i, b)) {
+                if self.take_prefetched(src_i, b) {
                     self.managers[src_i].stats.prefetch_hits += 1;
                 }
                 policy.on_access(src, b);
@@ -522,7 +718,7 @@ impl<'a> Engine<'a> {
                 self.managers[node].stats.misses += 1;
                 self.managers[node].stats.recomputes += 1;
                 let (io, mut compute_us) =
-                    self.compute_inputs(b.rdd, b.partition, node, at, visited, policy);
+                    self.compute_inputs(b.rdd, b.partition, node, at, policy);
                 compute_us += self.spec.rdd(b.rdd).compute_us;
                 self.try_insert(node, b, io, false, policy);
                 (io, compute_us)
@@ -546,13 +742,14 @@ impl<'a> Engine<'a> {
                 Ok(()) => {
                     self.master.register_memory(b, NodeId(node as u32));
                     if available_at > self.now {
-                        self.pending.insert((node, b), available_at);
+                        self.set_pending(node, b, available_at);
                     } else {
-                        self.pending.remove(&(node, b));
+                        self.clear_pending(node, b);
                     }
                     if prefetched {
-                        self.prefetched_unused.insert((node, b));
+                        self.mark_prefetched(node, b);
                     }
+                    self.sync_prefetchable(b);
                     policy.on_insert(NodeId(node as u32), b);
                     return true;
                 }
@@ -583,19 +780,23 @@ impl<'a> Engine<'a> {
         for victim in victims {
             let spill = self.spec.rdd(victim.rdd).storage.spills_to_disk();
             let Some(size) = self.managers[node].evict(victim, spill) else {
-                // Policy chose something not evictable: give up rather than
-                // loop forever.
-                debug_assert!(false, "policy selected non-resident victim {victim}");
+                // Policy chose something not evictable (not resident, or
+                // pinned): its bookkeeping diverged from the store. Count it
+                // and abort the insert rather than loop forever — the
+                // counter surfaces in the run report, so the failure is
+                // visible in release builds too.
+                self.managers[node].stats.bad_victims += 1;
                 return false;
             };
             self.master.unregister_memory(victim, NodeId(node as u32));
             if spill {
                 self.master.register_disk(victim, NodeId(node as u32));
             }
-            self.pending.remove(&(node, victim));
-            if self.prefetched_unused.remove(&(node, victim)) {
+            self.clear_pending(node, victim);
+            if self.take_prefetched(node, victim) {
                 self.managers[node].stats.wasted_prefetches += 1;
             }
+            self.sync_prefetchable(victim);
             policy.on_remove(NodeId(node as u32), victim);
             freed += size;
         }
@@ -618,22 +819,39 @@ impl<'a> Engine<'a> {
             if self.cfg.adaptive_threshold {
                 self.adapt_threshold(node);
             }
-            let mut missing: Vec<BlockId> = Vec::new();
-            for r in self.spec.cached_rdds() {
-                if current.contains(&r.id) {
-                    continue;
-                }
-                for p in 0..r.num_partitions {
-                    if self.home(p) != node {
+            let missing: Vec<BlockId> = if self.reference {
+                // Reference path: rescan every cached RDD × partition (the
+                // original candidate collection, kept for honest baselining).
+                let mut missing = Vec::new();
+                for r in self.spec.cached_rdds() {
+                    if current.contains(&r.id) {
                         continue;
                     }
-                    let b = BlockId::new(r.id, p);
-                    if self.materialized.contains(&b) && !self.managers[node].memory.contains(b) {
-                        missing.push(b);
+                    for p in 0..r.num_partitions {
+                        if self.home(p) != node {
+                            continue;
+                        }
+                        let b = BlockId::new(r.id, p);
+                        if self.materialized.contains(&b)
+                            && !self.managers[node].memory.contains(b)
+                        {
+                            missing.push(b);
+                        }
                     }
                 }
-            }
-            missing.sort_unstable();
+                missing.sort_unstable();
+                missing
+            } else {
+                // Dense path: the maintained per-node bitset already holds
+                // exactly the materialized-but-not-resident home blocks;
+                // ascending slots are ascending `BlockId`s, so the order
+                // matches the reference path's sorted scan.
+                self.prefetchable[node]
+                    .ones()
+                    .map(|s| self.arena.block(s))
+                    .filter(|b| !current.contains(&b.rdd))
+                    .collect()
+            };
             let mut order = policy.prefetch_order(NodeId(node as u32), &missing);
             order.truncate(self.cfg.max_prefetch_per_node);
             for b in order {
@@ -650,7 +868,7 @@ impl<'a> Engine<'a> {
                 let src_i = src.index();
                 let done = if in_mem {
                     // Pull from a remote node's memory over the network.
-                    let avail = self.pending.get(&(src_i, b)).copied().unwrap_or(self.now);
+                    let avail = self.pending_avail(src_i, b);
                     self.net[node].request(self.now.max(avail), size)
                 } else {
                     let mut d = self.disk[src_i].request(self.now, size);

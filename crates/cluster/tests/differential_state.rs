@@ -1,0 +1,303 @@
+//! Differential property test for the dense block-slot engine state.
+//!
+//! The engine keeps its per-block bookkeeping in two interchangeable
+//! representations: the original hash-backed tables
+//! (`SimConfig::reference_state = true`, kept as the reference
+//! implementation) and the dense slot-indexed tables that replaced them on
+//! the hot path. For randomized applications × cluster configurations ×
+//! every policy, the two must be *indistinguishable*: byte-identical
+//! `RunReport`s (including the full access trace) and identical
+//! victim/purge decision sequences as observed through the policy
+//! interface.
+
+use proptest::prelude::*;
+use refdist_cluster::{ClusterConfig, RunReport, SimConfig, Simulation};
+use refdist_core::{DistanceMetric, MrdConfig, MrdMode, MrdPolicy, ProfileMode};
+use refdist_dag::{AppPlan, AppSpec, AppBuilder, BlockId, BlockSlots, StorageLevel};
+use refdist_policies::{CachePolicy, PolicyKind};
+use refdist_store::NodeId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Wraps a policy and logs every eviction batch and purge decision, so the
+/// reference and dense runs can be compared on their *decision sequences*,
+/// not just the aggregate report.
+struct Recorder {
+    inner: Box<dyn CachePolicy>,
+    victims: Vec<(NodeId, Vec<BlockId>)>,
+    purges: Vec<Vec<BlockId>>,
+}
+
+impl Recorder {
+    fn new(inner: Box<dyn CachePolicy>) -> Self {
+        Recorder {
+            inner,
+            victims: Vec::new(),
+            purges: Vec::new(),
+        }
+    }
+}
+
+impl CachePolicy for Recorder {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn attach_slots(&mut self, slots: &Arc<BlockSlots>) {
+        self.inner.attach_slots(slots);
+    }
+    fn on_job_submit(&mut self, job: refdist_dag::JobId, visible: &refdist_dag::AppProfile) {
+        self.inner.on_job_submit(job, visible);
+    }
+    fn on_stage_start(&mut self, stage: refdist_dag::StageId, visible: &refdist_dag::AppProfile) {
+        self.inner.on_stage_start(stage, visible);
+    }
+    fn on_insert(&mut self, node: NodeId, block: BlockId) {
+        self.inner.on_insert(node, block);
+    }
+    fn on_access(&mut self, node: NodeId, block: BlockId) {
+        self.inner.on_access(node, block);
+    }
+    fn on_remove(&mut self, node: NodeId, block: BlockId) {
+        self.inner.on_remove(node, block);
+    }
+    fn pick_victim(&mut self, node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
+        self.inner.pick_victim(node, candidates)
+    }
+    fn select_victims(
+        &mut self,
+        node: NodeId,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        let v = self.inner.select_victims(node, shortfall, resident);
+        self.victims.push((node, v.clone()));
+        v
+    }
+    fn purge_candidates(&mut self, in_memory: &[BlockId]) -> Vec<BlockId> {
+        let p = self.inner.purge_candidates(in_memory);
+        self.purges.push(p.clone());
+        p
+    }
+    fn prefetch_order(&mut self, node: NodeId, missing: &[BlockId]) -> Vec<BlockId> {
+        self.inner.prefetch_order(node, missing)
+    }
+    fn wants_prefetch(&self) -> bool {
+        self.inner.wants_prefetch()
+    }
+}
+
+/// Parameters of a randomized iterative application.
+#[derive(Debug, Clone)]
+struct AppParams {
+    iters: usize,
+    parts: u32,
+    block_kb: u64,
+    mem_only: bool,
+    two_rdds: bool,
+}
+
+fn build_app(p: &AppParams) -> AppSpec {
+    let block = p.block_kb * 256 * 1024;
+    let level = if p.mem_only {
+        StorageLevel::MemoryOnly
+    } else {
+        StorageLevel::MemoryAndDisk
+    };
+    let mut b = AppBuilder::new("diff-app");
+    let input = b.input("in", p.parts, block, 2_000);
+    let hot = b.narrow("hot", input, block, 5_000);
+    b.persist(hot, level);
+    if p.two_rdds {
+        let cold = b.narrow("cold", input, block, 5_000);
+        b.persist(cold, level);
+        let both = b.narrow_multi("both", &[hot, cold], 1024, 100);
+        b.action("create", both);
+        for i in 0..p.iters {
+            let s = b.shuffle(format!("hot{i}"), &[hot], p.parts, 1024, 500);
+            b.action(format!("jh{i}"), s);
+        }
+        let s = b.shuffle("coldref", &[cold], p.parts, 1024, 500);
+        b.action("jc", s);
+    } else {
+        for i in 0..p.iters {
+            let s = b.shuffle(format!("agg{i}"), &[hot], p.parts, block / 4, 1_000);
+            b.action(format!("job{i}"), s);
+        }
+    }
+    b.build()
+}
+
+/// Parameters of a randomized cluster configuration.
+#[derive(Debug, Clone)]
+struct CfgParams {
+    nodes: u32,
+    cache_frac: f64,
+    exec_mem: f64,
+    jitter: f64,
+    seed: u64,
+    adaptive: bool,
+    failure: bool,
+    delay: Option<u64>,
+}
+
+fn build_cfg(c: &CfgParams, spec: &AppSpec) -> SimConfig {
+    let footprint: u64 = spec
+        .cached_rdds()
+        .map(|r| r.num_partitions as u64 * r.block_size)
+        .sum();
+    let per_node = ((footprint as f64 * c.cache_frac) / c.nodes as f64) as u64;
+    let mut cfg = SimConfig::new(ClusterConfig::tiny(c.nodes, per_node));
+    cfg.seed = c.seed;
+    cfg.compute_jitter = c.jitter;
+    cfg.exec_mem_fraction = c.exec_mem;
+    cfg.adaptive_threshold = c.adaptive;
+    cfg.delay_scheduling_us = c.delay;
+    cfg.collect_trace = true;
+    if c.failure {
+        cfg.node_failure = Some((c.nodes - 1, 2));
+    }
+    cfg
+}
+
+type Build = Box<dyn Fn() -> Box<dyn CachePolicy>>;
+
+/// Every policy family: the five baselines plus MRD in all three modes and
+/// with job-granular distances.
+fn all_policies() -> Vec<(&'static str, Build)> {
+    let mut v: Vec<(&'static str, Build)> = vec![
+        ("lru", Box::new(|| PolicyKind::Lru.build())),
+        ("fifo", Box::new(|| PolicyKind::Fifo.build())),
+        ("random", Box::new(|| PolicyKind::Random.build())),
+        ("lrc", Box::new(|| PolicyKind::Lrc.build())),
+        ("memtune", Box::new(|| PolicyKind::MemTune.build())),
+    ];
+    for (name, mode, metric) in [
+        ("mrd-evict", MrdMode::EvictOnly, DistanceMetric::Stage),
+        ("mrd-prefetch", MrdMode::PrefetchOnly, DistanceMetric::Stage),
+        ("mrd-full", MrdMode::Full, DistanceMetric::Stage),
+        ("mrd-full-job", MrdMode::Full, DistanceMetric::Job),
+    ] {
+        v.push((
+            name,
+            Box::new(move || {
+                Box::new(MrdPolicy::new(MrdConfig {
+                    mode,
+                    metric,
+                    ..Default::default()
+                }))
+            }),
+        ));
+    }
+    v
+}
+
+fn run_once(spec: &AppSpec, plan: &AppPlan, cfg: SimConfig, build: &Build) -> (RunReport, Recorder) {
+    let mut rec = Recorder::new(build());
+    let report = Simulation::new(spec, plan, ProfileMode::Recurring, cfg).run(&mut rec);
+    (report, rec)
+}
+
+fn assert_equivalent(p: &AppParams, c: &CfgParams) {
+    let spec = build_app(p);
+    let plan = AppPlan::build(&spec);
+    for (name, build) in all_policies() {
+        let mut ref_cfg = build_cfg(c, &spec);
+        ref_cfg.reference_state = true;
+        let mut dense_cfg = build_cfg(c, &spec);
+        dense_cfg.reference_state = false;
+        let (ref_report, ref_rec) = run_once(&spec, &plan, ref_cfg, &build);
+        let (dense_report, dense_rec) = run_once(&spec, &plan, dense_cfg, &build);
+        assert_eq!(
+            format!("{ref_report:?}"),
+            format!("{dense_report:?}"),
+            "report diverged for {name} on {p:?} {c:?}"
+        );
+        assert_eq!(
+            ref_rec.victims, dense_rec.victims,
+            "victim sequence diverged for {name} on {p:?} {c:?}"
+        );
+        assert_eq!(
+            ref_rec.purges, dense_rec.purges,
+            "purge sequence diverged for {name} on {p:?} {c:?}"
+        );
+    }
+}
+
+fn app_strategy() -> impl Strategy<Value = AppParams> {
+    (1usize..4, 1u32..8, 1u64..4, any::<bool>(), any::<bool>()).prop_map(
+        |(iters, parts, block_kb, mem_only, two_rdds)| AppParams {
+            iters,
+            parts,
+            block_kb,
+            mem_only,
+            two_rdds,
+        },
+    )
+}
+
+fn cfg_strategy() -> impl Strategy<Value = CfgParams> {
+    (
+        (
+            1u32..4,
+            prop_oneof![Just(0.0), Just(0.3), Just(0.6), Just(2.0)],
+            prop_oneof![Just(0.0), Just(0.3)],
+            prop_oneof![Just(0.0), Just(0.1)],
+        ),
+        (
+            any::<u16>(),
+            any::<bool>(),
+            any::<bool>(),
+            prop_oneof![Just(None), Just(Some(0u64)), Just(Some(10_000u64))],
+        ),
+    )
+        .prop_map(
+            |((nodes, cache_frac, exec_mem, jitter), (seed, adaptive, failure, delay))| {
+                CfgParams {
+                    nodes,
+                    cache_frac,
+                    exec_mem,
+                    jitter,
+                    seed: seed as u64,
+                    adaptive,
+                    failure,
+                    delay,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn dense_state_is_indistinguishable_from_reference(
+        app in app_strategy(),
+        cfg in cfg_strategy(),
+    ) {
+        assert_equivalent(&app, &cfg);
+    }
+}
+
+/// Deterministic spot-check of the pressure-heavy corner (cache far smaller
+/// than the working set, execution-memory churn on, prefetching active), so
+/// the differential claim does not rest on random sampling alone.
+#[test]
+fn dense_state_matches_reference_under_heavy_pressure() {
+    let app = AppParams {
+        iters: 3,
+        parts: 7,
+        block_kb: 2,
+        mem_only: false,
+        two_rdds: true,
+    };
+    let cfg = CfgParams {
+        nodes: 2,
+        cache_frac: 0.3,
+        exec_mem: 0.3,
+        jitter: 0.1,
+        seed: 7,
+        adaptive: true,
+        failure: true,
+        delay: Some(10_000),
+    };
+    assert_equivalent(&app, &cfg);
+}

@@ -5,14 +5,23 @@
 //! path (the paper's communication-overhead argument in §4.4). The monitor
 //! also tracks local block recency, used only to break ties between blocks
 //! whose reference distances are equal.
+//!
+//! When the runtime attaches a [`BlockSlots`] arena
+//! ([`CacheMonitor::attach_slots`]), the recency table becomes a dense
+//! per-slot vector and per-RDD reference distances are cached in a flat
+//! vector rebuilt on each table sync — the per-touch hot path then does no
+//! hashing and no tree walks. Behavior is identical to the hash-backed
+//! reference path (enforced by the differential tests in
+//! `refdist-cluster`).
 
 use crate::distance::{DistanceMetric, RefDistance};
 use crate::table::MrdTable;
-use refdist_dag::BlockId;
+use refdist_dag::{BlockId, BlockSlots, SlotMap};
 use refdist_policies::OrderedIndex;
 use refdist_store::NodeId;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The monitor's eviction rank, ascending = eviction order: largest
 /// reference distance first, then the tie-break recency encoding (see
@@ -41,7 +50,11 @@ pub struct CacheMonitor {
     /// Times this monitor received a table replica.
     syncs: u64,
     clock: u64,
-    last_touch: HashMap<BlockId, u64>,
+    last_touch: SlotMap<u64>,
+    /// Attached slot arena (dense mode) and the per-RDD distance cache
+    /// rebuilt from the replica on every sync; empty in hash mode.
+    slots: Option<Arc<BlockSlots>>,
+    dist_by_rdd: Vec<RefDistance>,
     /// Tie-break rule baked into the index keys.
     tie: TieBreak,
     /// Ordered victim index over the locally tracked blocks. Its keys embed
@@ -52,6 +65,8 @@ pub struct CacheMonitor {
     index: OrderedIndex<MrdKey>,
     /// Table version the index keys were computed against.
     index_version: Option<u64>,
+    /// Reusable `(distance, block)` buffer for `prefetch_order`.
+    scratch: Vec<(u32, BlockId)>,
 }
 
 impl CacheMonitor {
@@ -70,10 +85,39 @@ impl CacheMonitor {
             synced_version: None,
             syncs: 0,
             clock: 0,
-            last_touch: HashMap::new(),
+            last_touch: SlotMap::hashed(),
+            slots: None,
+            dist_by_rdd: Vec::new(),
             tie,
             index: OrderedIndex::new(),
             index_version: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Switch per-block state to dense slot-indexed tables over `slots`.
+    /// Existing recency entries are migrated; behavior is unchanged.
+    pub fn attach_slots(&mut self, slots: &Arc<BlockSlots>) {
+        let mut dense = SlotMap::dense(Arc::clone(slots));
+        for (b, &t) in self.last_touch.iter() {
+            dense.insert(b, t);
+        }
+        self.last_touch = dense;
+        self.slots = Some(Arc::clone(slots));
+        self.rebuild_dist();
+    }
+
+    /// Refill the per-RDD distance cache from the current replica (dense
+    /// mode only; hash mode reads the table directly).
+    fn rebuild_dist(&mut self) {
+        let Some(slots) = &self.slots else { return };
+        self.dist_by_rdd.clear();
+        self.dist_by_rdd
+            .resize(slots.num_rdds(), RefDistance::Infinite);
+        for (r, d) in self.table.distances() {
+            if let Some(slot) = self.dist_by_rdd.get_mut(r.index()) {
+                *slot = d;
+            }
         }
     }
 
@@ -88,7 +132,7 @@ impl CacheMonitor {
     }
 
     fn key_for(&self, block: BlockId) -> MrdKey {
-        let touch = self.last_touch.get(&block).copied().unwrap_or(0);
+        let touch = self.last_touch.get(block).copied().unwrap_or(0);
         (Reverse(self.distance(block)), Reverse(self.enc(touch)))
     }
 
@@ -104,12 +148,29 @@ impl CacheMonitor {
             return;
         }
         self.index.clear();
-        let mut entries: Vec<(BlockId, MrdKey)> = Vec::with_capacity(self.last_touch.len());
-        for (&b, &touch) in &self.last_touch {
-            entries.push((b, (Reverse(self.distance(b)), Reverse(self.enc(touch)))));
-        }
-        for (b, k) in entries {
-            self.index.upsert(b, k);
+        let CacheMonitor {
+            last_touch,
+            index,
+            table,
+            slots,
+            dist_by_rdd,
+            tie,
+            ..
+        } = self;
+        for (b, &touch) in last_touch.iter() {
+            let d = if slots.is_some() {
+                dist_by_rdd
+                    .get(b.rdd.index())
+                    .copied()
+                    .unwrap_or(RefDistance::Infinite)
+            } else {
+                table.distance(b.rdd)
+            };
+            let e = match tie {
+                TieBreak::Mru => touch,
+                TieBreak::Lru => !touch,
+            };
+            index.upsert(b, (Reverse(d), Reverse(e)));
         }
         self.index_version = self.synced_version;
     }
@@ -134,11 +195,19 @@ impl CacheMonitor {
         self.synced_version = Some(table.version());
         self.table = table;
         self.syncs += 1;
+        self.rebuild_dist();
     }
 
     /// Reference distance of a block per the local replica.
     pub fn distance(&self, block: BlockId) -> RefDistance {
-        self.table.distance(block.rdd)
+        if self.slots.is_some() {
+            self.dist_by_rdd
+                .get(block.rdd.index())
+                .copied()
+                .unwrap_or(RefDistance::Infinite)
+        } else {
+            self.table.distance(block.rdd)
+        }
     }
 
     /// Record a local insert/access (for tie-breaking recency).
@@ -153,7 +222,7 @@ impl CacheMonitor {
 
     /// Forget a block that left this node's memory.
     pub fn forget(&mut self, block: BlockId) {
-        self.last_touch.remove(&block);
+        self.last_touch.remove(block);
         if self.index_fresh() {
             self.index.remove(block);
         }
@@ -189,14 +258,15 @@ impl CacheMonitor {
     }
 
     /// [`CacheMonitor::pick_victim`] with an explicit tie-breaking rule
-    /// (for the tie-break ablation).
+    /// (for the tie-break ablation). Scans the candidate slice directly —
+    /// no per-call collection.
     pub fn pick_victim_with(&self, candidates: &[BlockId], tie: TieBreak) -> Option<BlockId> {
         candidates.iter().copied().max_by(|a, b| {
             self.distance(*a)
                 .cmp(&self.distance(*b))
                 .then_with(|| {
-                    let ta = self.last_touch.get(a).copied().unwrap_or(0);
-                    let tb = self.last_touch.get(b).copied().unwrap_or(0);
+                    let ta = self.last_touch.get(*a).copied().unwrap_or(0);
+                    let tb = self.last_touch.get(*b).copied().unwrap_or(0);
                     match tie {
                         // Newer touch wins the max: MRU evicts first.
                         TieBreak::Mru => ta.cmp(&tb),
@@ -210,15 +280,22 @@ impl CacheMonitor {
 
     /// Rank `missing` blocks for prefetching (`prefetchBlock`): smallest
     /// finite distance first; infinite-distance blocks are never prefetched,
-    /// and blocks beyond `horizon` (when non-zero) are skipped.
-    pub fn prefetch_order(&self, missing: &[BlockId], horizon: u32) -> Vec<BlockId> {
-        let mut finite: Vec<(u32, BlockId)> = missing
-            .iter()
-            .filter_map(|&b| self.distance(b).finite().map(|d| (d, b)))
-            .filter(|&(d, _)| horizon == 0 || d <= horizon)
-            .collect();
+    /// and blocks beyond `horizon` (when non-zero) are skipped. The
+    /// `(distance, block)` sort pairs live in a reusable scratch buffer, so
+    /// the only allocation is the returned order itself.
+    pub fn prefetch_order(&mut self, missing: &[BlockId], horizon: u32) -> Vec<BlockId> {
+        let mut finite = std::mem::take(&mut self.scratch);
+        finite.clear();
+        finite.extend(missing.iter().filter_map(|&b| {
+            self.distance(b)
+                .finite()
+                .filter(|&d| horizon == 0 || d <= horizon)
+                .map(|d| (d, b))
+        }));
         finite.sort_unstable();
-        finite.into_iter().map(|(_, b)| b).collect()
+        let order = finite.iter().map(|&(_, b)| b).collect();
+        self.scratch = finite;
+        order
     }
 }
 
@@ -261,6 +338,15 @@ mod tests {
         m
     }
 
+    /// Same monitor, but slot-attached over rdds 0..10 × 4 partitions.
+    fn synced_dense(entries: &[(u32, &[u32])], current: u32) -> CacheMonitor {
+        let mut m = CacheMonitor::new(NodeId(0));
+        let slots = Arc::new(BlockSlots::from_counts((0..10).map(|r| (RddId(r), 4))));
+        m.attach_slots(&slots);
+        m.receive_table(table(entries, current));
+        m
+    }
+
     #[test]
     fn evicts_largest_distance() {
         let m = synced(&[(0, &[5]), (1, &[20]), (2, &[8])], 0);
@@ -289,7 +375,7 @@ mod tests {
 
     #[test]
     fn prefetch_orders_by_smallest_distance() {
-        let m = synced(&[(0, &[9]), (1, &[3]), (2, &[])], 0);
+        let mut m = synced(&[(0, &[9]), (1, &[3]), (2, &[])], 0);
         let order = m.prefetch_order(&[blk(0, 0), blk(1, 0), blk(2, 0)], 0);
         // Infinite (rdd2) excluded; rdd1 (3) before rdd0 (9).
         assert_eq!(order, vec![blk(1, 0), blk(0, 0)]);
@@ -320,7 +406,7 @@ mod tests {
 
     #[test]
     fn empty_candidates_none() {
-        let m = synced(&[], 0);
+        let mut m = synced(&[], 0);
         assert_eq!(m.pick_victim(&[]), None);
         assert!(m.prefetch_order(&[], 0).is_empty());
     }
@@ -330,5 +416,43 @@ mod tests {
         let m = synced(&[(0, &[5]), (1, &[5])], 0);
         // No touches at all: equal distance, equal recency -> lowest id.
         assert_eq!(m.pick_victim(&[blk(1, 0), blk(0, 0)]), Some(blk(0, 0)));
+    }
+
+    #[test]
+    fn dense_monitor_matches_hash_monitor() {
+        let entries: &[(u32, &[u32])] = &[(0, &[5]), (1, &[20]), (2, &[8]), (3, &[])];
+        let mut h = synced(entries, 0);
+        let mut d = synced_dense(entries, 0);
+        let blocks = [blk(0, 0), blk(1, 0), blk(2, 1), blk(3, 0), blk(2, 0)];
+        for &b in &blocks {
+            h.touch(b);
+            d.touch(b);
+        }
+        assert_eq!(h.pick_victim(&blocks), d.pick_victim(&blocks));
+        assert_eq!(
+            h.prefetch_order(&blocks, 0),
+            d.prefetch_order(&blocks, 0)
+        );
+        let resident: BTreeMap<BlockId, u64> = blocks.iter().map(|&b| (b, 2)).collect();
+        assert_eq!(h.select_victims(5, &resident), d.select_victims(5, &resident));
+        // Distances advance identically across a re-sync.
+        h.receive_table(table(entries, 4));
+        d.receive_table(table(entries, 4));
+        for &b in &blocks {
+            assert_eq!(h.distance(b), d.distance(b));
+        }
+        assert_eq!(h.select_victims(7, &resident), d.select_victims(7, &resident));
+    }
+
+    #[test]
+    fn attach_slots_migrates_existing_recency() {
+        let mut m = synced(&[(0, &[5]), (1, &[5])], 0);
+        m.touch(blk(0, 0));
+        m.touch(blk(1, 0));
+        m.touch(blk(0, 0));
+        let slots = Arc::new(BlockSlots::from_counts((0..4).map(|r| (RddId(r), 2))));
+        m.attach_slots(&slots);
+        // MRU tiebreak still sees rdd0's block as most recent.
+        assert_eq!(m.pick_victim(&[blk(0, 0), blk(1, 0)]), Some(blk(0, 0)));
     }
 }

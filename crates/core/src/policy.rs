@@ -12,10 +12,11 @@
 use crate::distance::DistanceMetric;
 use crate::manager::MrdManager;
 use crate::monitor::{CacheMonitor, TieBreak};
-use refdist_dag::{AppProfile, BlockId, JobId, RddId, StageId};
+use refdist_dag::{AppProfile, BlockId, BlockSlots, JobId, RddId, SlotMap, StageId};
 use refdist_policies::{CachePolicy, VictimIndex};
 use refdist_store::NodeId;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Which halves of MRD are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,12 +65,16 @@ pub struct MrdPolicy {
     manager: MrdManager,
     monitors: HashMap<NodeId, CacheMonitor>,
     /// LRU state used when `PrefetchOnly` leaves eviction to the default
-    /// policy.
+    /// policy; not maintained in the MRD eviction modes (nothing reads it
+    /// there).
     lru_clock: u64,
-    lru_touch: HashMap<BlockId, u64>,
+    lru_touch: SlotMap<u64>,
     /// Ordered LRU victim index, maintained only in `PrefetchOnly` mode
     /// (MRD modes select victims through the node monitors instead).
     lru_index: VictimIndex<u64>,
+    /// The runtime's slot arena, when attached; handed to every monitor so
+    /// their per-block state is slot-indexed.
+    slots: Option<Arc<BlockSlots>>,
 }
 
 impl MrdPolicy {
@@ -80,8 +85,9 @@ impl MrdPolicy {
             manager: MrdManager::new(cfg.metric),
             monitors: HashMap::new(),
             lru_clock: 0,
-            lru_touch: HashMap::new(),
+            lru_touch: SlotMap::hashed(),
             lru_index: VictimIndex::new(),
+            slots: None,
         }
     }
 
@@ -112,10 +118,14 @@ impl MrdPolicy {
 
     fn monitor_synced(&mut self, node: NodeId) -> &mut CacheMonitor {
         let tie = self.cfg.tie_break;
-        let mon = self
-            .monitors
-            .entry(node)
-            .or_insert_with(|| CacheMonitor::with_tie(node, tie));
+        let slots = &self.slots;
+        let mon = self.monitors.entry(node).or_insert_with(|| {
+            let mut m = CacheMonitor::with_tie(node, tie);
+            if let Some(s) = slots {
+                m.attach_slots(s);
+            }
+            m
+        });
         self.manager.sync_monitor(mon);
         mon
     }
@@ -124,6 +134,10 @@ impl MrdPolicy {
         self.lru_clock += 1;
         self.lru_touch.insert(block, self.lru_clock);
         self.lru_clock
+    }
+
+    fn uses_lru_eviction(&self) -> bool {
+        !self.uses_mrd_eviction()
     }
 
     fn uses_mrd_eviction(&self) -> bool {
@@ -149,9 +163,21 @@ impl CachePolicy for MrdPolicy {
         self.manager.on_stage_start(stage);
     }
 
+    fn attach_slots(&mut self, slots: &Arc<BlockSlots>) {
+        let mut dense = SlotMap::dense(Arc::clone(slots));
+        for (b, &t) in self.lru_touch.iter() {
+            dense.insert(b, t);
+        }
+        self.lru_touch = dense;
+        for mon in self.monitors.values_mut() {
+            mon.attach_slots(slots);
+        }
+        self.slots = Some(Arc::clone(slots));
+    }
+
     fn on_insert(&mut self, node: NodeId, block: BlockId) {
-        let key = self.lru_touch(block);
-        if !self.uses_mrd_eviction() {
+        if self.uses_lru_eviction() {
+            let key = self.lru_touch(block);
             self.lru_index.insert(node, block, key);
             self.lru_index.rekey(block, key);
         }
@@ -159,16 +185,16 @@ impl CachePolicy for MrdPolicy {
     }
 
     fn on_access(&mut self, node: NodeId, block: BlockId) {
-        let key = self.lru_touch(block);
-        if !self.uses_mrd_eviction() {
+        if self.uses_lru_eviction() {
+            let key = self.lru_touch(block);
             self.lru_index.rekey(block, key);
         }
         self.monitor_synced(node).touch(block);
     }
 
     fn on_remove(&mut self, node: NodeId, block: BlockId) {
-        self.lru_touch.remove(&block);
-        if !self.uses_mrd_eviction() {
+        if self.uses_lru_eviction() {
+            self.lru_touch.remove(block);
             self.lru_index.remove(node, block, 0);
         }
         if let Some(mon) = self.monitors.get_mut(&node) {
@@ -185,7 +211,7 @@ impl CachePolicy for MrdPolicy {
             candidates
                 .iter()
                 .copied()
-                .min_by_key(|b| (self.lru_touch.get(b).copied().unwrap_or(0), *b))
+                .min_by_key(|&b| (self.lru_touch.get(b).copied().unwrap_or(0), b))
         }
     }
 

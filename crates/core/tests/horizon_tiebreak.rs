@@ -120,7 +120,7 @@ fn horizon_one_keeps_only_imminent_blocks() {
 fn monitor_applies_horizon_per_call() {
     // The same monitor state filtered at different horizons: the window is a
     // pure function of the argument, not cached state.
-    let m = monitor(&[(0, &[2]), (1, &[4]), (2, &[8])]);
+    let mut m = monitor(&[(0, &[2]), (1, &[4]), (2, &[8])]);
     let all = [blk(0, 0), blk(1, 0), blk(2, 0)];
     assert_eq!(m.prefetch_order(&all, 0), vec![blk(0, 0), blk(1, 0), blk(2, 0)]);
     assert_eq!(m.prefetch_order(&all, 4), vec![blk(0, 0), blk(1, 0)]);

@@ -43,6 +43,7 @@ pub mod dot;
 pub mod ids;
 pub mod plan;
 pub mod rdd;
+pub mod slots;
 
 pub use analyze::{
     AppProfile, DistanceStats, RddRefs, RefAnalyzer, StageTouches, WorkloadCharacteristics,
@@ -52,3 +53,4 @@ pub use capacity::LiveSetProfile;
 pub use ids::{BlockId, JobId, RddId, StageId};
 pub use plan::{AppPlan, JobPlan, Stage, StageKind};
 pub use rdd::{Dependency, Rdd, StorageLevel};
+pub use slots::{BlockSlots, SlotMap, SlotSet};

@@ -1,0 +1,502 @@
+//! Dense block-slot addressing for the simulator hot path.
+//!
+//! Every block is `(RddId, partition)` with partition counts fixed at plan
+//! time, so the set of blocks that can ever be cached is known up front: the
+//! partitions of the cached RDDs. [`BlockSlots`] assigns each such block a
+//! dense `u32` *slot* by prefix-summing partition counts over the cached
+//! RDDs, letting all per-block runtime state (residency, pending
+//! availability, recency, prefetch candidacy) live in flat vectors and
+//! bitsets instead of `HashMap<BlockId, _>` — no hashing on the per-access
+//! path.
+//!
+//! Slot order equals `BlockId` order (ascending rdd id, then partition),
+//! because bases are assigned in increasing rdd order. Iterating slots
+//! ascending therefore visits blocks in exactly the order the hash-backed
+//! code obtained by sorting, which is what keeps the dense path
+//! byte-identical to the reference implementation.
+
+use crate::app::AppSpec;
+use crate::ids::{BlockId, RddId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sentinel base for RDDs with no slots (not cached, or zero partitions).
+const NO_SLOT: u32 = u32::MAX;
+
+/// Prefix-sum slot arena over the cached RDDs of one application.
+#[derive(Debug, Clone, Default)]
+pub struct BlockSlots {
+    /// Per rdd id: first slot of that RDD, or `NO_SLOT`.
+    base: Vec<u32>,
+    /// Per rdd id: number of slotted partitions (0 when not covered).
+    parts: Vec<u32>,
+    /// Reverse lookup: slot -> block, ascending by `BlockId`.
+    blocks: Vec<BlockId>,
+}
+
+impl BlockSlots {
+    /// Slots for every partition of every cached RDD in `spec`.
+    pub fn new(spec: &AppSpec) -> Self {
+        Self::from_counts(
+            spec.rdds
+                .iter()
+                .map(|r| (r.id, if r.is_cached() { r.num_partitions } else { 0 })),
+        )
+    }
+
+    /// Slots from explicit `(rdd, partition_count)` pairs, in ascending rdd
+    /// order (benches and tests build synthetic universes this way). A count
+    /// of 0 leaves the RDD uncovered; rdd ids may be sparse.
+    pub fn from_counts(counts: impl IntoIterator<Item = (RddId, u32)>) -> Self {
+        let mut base = Vec::new();
+        let mut parts = Vec::new();
+        let mut blocks = Vec::new();
+        let mut next = 0u32;
+        for (rdd, count) in counts {
+            assert!(
+                rdd.index() >= base.len(),
+                "rdd ids must be ascending and unique"
+            );
+            base.resize(rdd.index() + 1, NO_SLOT);
+            parts.resize(rdd.index() + 1, 0);
+            if count == 0 {
+                continue;
+            }
+            base[rdd.index()] = next;
+            parts[rdd.index()] = count;
+            next = next
+                .checked_add(count)
+                .expect("slot space exceeds u32::MAX blocks");
+            blocks.extend((0..count).map(|p| BlockId::new(rdd, p)));
+        }
+        BlockSlots {
+            base,
+            parts,
+            blocks,
+        }
+    }
+
+    /// Total number of slots (= addressable blocks).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the arena covers no blocks at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of rdd ids the arena spans (covered or not).
+    #[inline]
+    pub fn num_rdds(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether `rdd` has any slots.
+    #[inline]
+    pub fn covers(&self, rdd: RddId) -> bool {
+        self.base.get(rdd.index()).is_some_and(|&b| b != NO_SLOT)
+    }
+
+    /// The dense slot of `block`, or `None` when the block is outside the
+    /// arena (non-cached RDD, partition past the count, unknown rdd).
+    #[inline]
+    pub fn slot(&self, block: BlockId) -> Option<u32> {
+        let i = block.rdd.index();
+        let &b = self.base.get(i)?;
+        if b == NO_SLOT || block.partition >= self.parts[i] {
+            return None;
+        }
+        Some(b + block.partition)
+    }
+
+    /// Reverse lookup: the block occupying `slot`.
+    ///
+    /// # Panics
+    /// Panics when `slot` is out of range.
+    #[inline]
+    pub fn block(&self, slot: u32) -> BlockId {
+        self.blocks[slot as usize]
+    }
+
+    /// All covered blocks, ascending by slot (= ascending by `BlockId`).
+    pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks.iter().copied()
+    }
+}
+
+/// A map keyed by `BlockId`, backed either by a `HashMap` (the reference
+/// implementation, kept for the hash-vs-dense differential tests) or by a
+/// dense per-slot vector over a [`BlockSlots`] arena.
+///
+/// Behavior is identical across backings; only iteration order differs
+/// (dense iterates ascending by slot, hash arbitrarily), so callers that
+/// need a canonical order must sort — exactly as they already did for the
+/// `HashMap`.
+#[derive(Debug, Clone)]
+pub struct SlotMap<V> {
+    repr: SlotMapRepr<V>,
+}
+
+#[derive(Debug, Clone)]
+enum SlotMapRepr<V> {
+    Hash(HashMap<BlockId, V>),
+    Dense {
+        slots: Arc<BlockSlots>,
+        vals: Vec<Option<V>>,
+        len: usize,
+    },
+}
+
+impl<V> SlotMap<V> {
+    /// Hash-backed map (the reference path).
+    pub fn hashed() -> Self {
+        SlotMap {
+            repr: SlotMapRepr::Hash(HashMap::new()),
+        }
+    }
+
+    /// Dense map over `slots`.
+    pub fn dense(slots: Arc<BlockSlots>) -> Self {
+        let mut vals = Vec::new();
+        vals.resize_with(slots.len(), || None);
+        SlotMap {
+            repr: SlotMapRepr::Dense {
+                slots,
+                vals,
+                len: 0,
+            },
+        }
+    }
+
+    fn dense_idx(slots: &BlockSlots, block: BlockId) -> usize {
+        slots
+            .slot(block)
+            .unwrap_or_else(|| panic!("block {block} outside the slot arena")) as usize
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            SlotMapRepr::Hash(m) => m.len(),
+            SlotMapRepr::Dense { len, .. } => *len,
+        }
+    }
+
+    /// Whether the map has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `block` has an entry.
+    #[inline]
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.get(block).is_some()
+    }
+
+    /// The value for `block`, if any.
+    #[inline]
+    pub fn get(&self, block: BlockId) -> Option<&V> {
+        match &self.repr {
+            SlotMapRepr::Hash(m) => m.get(&block),
+            SlotMapRepr::Dense { slots, vals, .. } => {
+                vals[Self::dense_idx(slots, block)].as_ref()
+            }
+        }
+    }
+
+    /// Mutable access to the value for `block`, if any.
+    #[inline]
+    pub fn get_mut(&mut self, block: BlockId) -> Option<&mut V> {
+        match &mut self.repr {
+            SlotMapRepr::Hash(m) => m.get_mut(&block),
+            SlotMapRepr::Dense { slots, vals, .. } => {
+                vals[Self::dense_idx(slots, block)].as_mut()
+            }
+        }
+    }
+
+    /// Insert or overwrite, returning the previous value.
+    pub fn insert(&mut self, block: BlockId, value: V) -> Option<V> {
+        match &mut self.repr {
+            SlotMapRepr::Hash(m) => m.insert(block, value),
+            SlotMapRepr::Dense { slots, vals, len } => {
+                let old = vals[Self::dense_idx(slots, block)].replace(value);
+                if old.is_none() {
+                    *len += 1;
+                }
+                old
+            }
+        }
+    }
+
+    /// Remove the entry for `block`, returning its value.
+    pub fn remove(&mut self, block: BlockId) -> Option<V> {
+        match &mut self.repr {
+            SlotMapRepr::Hash(m) => m.remove(&block),
+            SlotMapRepr::Dense { slots, vals, len } => {
+                let old = vals[Self::dense_idx(slots, block)].take();
+                if old.is_some() {
+                    *len -= 1;
+                }
+                old
+            }
+        }
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            SlotMapRepr::Hash(m) => m.clear(),
+            SlotMapRepr::Dense { vals, len, .. } => {
+                vals.iter_mut().for_each(|v| *v = None);
+                *len = 0;
+            }
+        }
+    }
+
+    /// Iterate entries (dense: ascending by slot; hash: arbitrary).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &V)> + '_ {
+        let (hash, dense) = match &self.repr {
+            SlotMapRepr::Hash(m) => (Some(m.iter().map(|(&b, v)| (b, v))), None),
+            SlotMapRepr::Dense { slots, vals, .. } => (
+                None,
+                Some(
+                    vals.iter()
+                        .enumerate()
+                        .filter_map(move |(i, v)| v.as_ref().map(|v| (slots.block(i as u32), v))),
+                ),
+            ),
+        };
+        hash.into_iter().flatten().chain(dense.into_iter().flatten())
+    }
+}
+
+/// A plain dense bitset over the slots of a [`BlockSlots`] arena. Used for
+/// per-run block flags (materialized, prefetched-unused, prefetchable) on
+/// the dense path; the hash-backed reference path keeps its `HashSet`s.
+#[derive(Debug, Clone, Default)]
+pub struct SlotSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SlotSet {
+    /// An empty set over `slots` slots.
+    pub fn new(slots: usize) -> Self {
+        SlotSet {
+            words: vec![0; slots.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of set slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `slot` is set.
+    #[inline]
+    pub fn contains(&self, slot: u32) -> bool {
+        let (w, b) = (slot as usize / 64, slot as usize % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Set `slot`; returns whether it was newly set.
+    #[inline]
+    pub fn insert(&mut self, slot: u32) -> bool {
+        let (w, b) = (slot as usize / 64, slot as usize % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        self.len += newly as usize;
+        newly
+    }
+
+    /// Clear `slot`; returns whether it was set.
+    #[inline]
+    pub fn remove(&mut self, slot: u32) -> bool {
+        let (w, b) = (slot as usize / 64, slot as usize % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        self.len -= was as usize;
+        was
+    }
+
+    /// Set slots in ascending order.
+    pub fn ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(i as u32 * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Action, AppBuilder};
+    use crate::rdd::StorageLevel;
+
+    fn arena() -> BlockSlots {
+        // rdd0: input (not cached, 4 parts), rdd1: cached 4 parts,
+        // rdd2: not cached, rdd3: cached 3 parts (shuffle output).
+        let mut b = AppBuilder::new("slots");
+        let input = b.input("in", 4, 1024, 100);
+        let data = b.narrow("data", input, 1024, 100);
+        b.cache(data);
+        let other = b.narrow("other", input, 1024, 100);
+        let agg = b.shuffle("agg", &[other], 3, 512, 100);
+        b.persist(agg, StorageLevel::MemoryAndDisk);
+        b.action("j0", agg);
+        BlockSlots::new(&b.build())
+    }
+
+    #[test]
+    fn prefix_sums_cover_cached_rdds_only() {
+        let s = arena();
+        assert_eq!(s.len(), 7); // 4 (rdd1) + 3 (rdd3)
+        assert!(!s.covers(RddId(0)));
+        assert!(s.covers(RddId(1)));
+        assert!(!s.covers(RddId(2)));
+        assert!(s.covers(RddId(3)));
+        assert_eq!(s.slot(BlockId::new(RddId(1), 0)), Some(0));
+        assert_eq!(s.slot(BlockId::new(RddId(1), 3)), Some(3));
+        assert_eq!(s.slot(BlockId::new(RddId(3), 0)), Some(4));
+        assert_eq!(s.slot(BlockId::new(RddId(3), 2)), Some(6));
+    }
+
+    #[test]
+    fn non_cached_and_out_of_range_blocks_have_no_slot() {
+        let s = arena();
+        assert_eq!(s.slot(BlockId::new(RddId(0), 0)), None); // input rdd
+        assert_eq!(s.slot(BlockId::new(RddId(2), 1)), None); // uncached
+        assert_eq!(s.slot(BlockId::new(RddId(1), 4)), None); // partition OOR
+        assert_eq!(s.slot(BlockId::new(RddId(99), 0)), None); // unknown rdd
+    }
+
+    #[test]
+    fn slot_block_round_trip_in_blockid_order() {
+        let s = arena();
+        let mut prev: Option<BlockId> = None;
+        for slot in 0..s.len() as u32 {
+            let b = s.block(slot);
+            assert_eq!(s.slot(b), Some(slot));
+            if let Some(p) = prev {
+                assert!(p < b, "slot order must equal BlockId order");
+            }
+            prev = Some(b);
+        }
+    }
+
+    #[test]
+    fn zero_partition_rdd_is_uncovered() {
+        // `AppSpec::validate` rejects zero-partition RDDs, but the arena must
+        // tolerate them (raw specs appear in property tests); build one
+        // directly from counts and from a raw spec.
+        let s = BlockSlots::from_counts([(RddId(0), 0), (RddId(1), 2)]);
+        assert!(!s.covers(RddId(0)));
+        assert_eq!(s.slot(BlockId::new(RddId(0), 0)), None);
+        assert_eq!(s.slot(BlockId::new(RddId(1), 1)), Some(1));
+        assert_eq!(s.len(), 2);
+
+        let mut b = AppBuilder::new("raw");
+        let input = b.input("in", 2, 64, 1);
+        let data = b.narrow("data", input, 64, 1);
+        b.cache(data);
+        b.action("j", data);
+        let mut spec = b.build();
+        spec.rdds[1].num_partitions = 0; // invalid per validate(), tolerated here
+        spec.actions.push(Action {
+            target: data,
+            name: "extra".into(),
+        });
+        let s = BlockSlots::new(&spec);
+        assert!(s.is_empty());
+        assert_eq!(s.slot(BlockId::new(data, 0)), None);
+    }
+
+    #[test]
+    fn sparse_counts_skip_gaps() {
+        let s = BlockSlots::from_counts([(RddId(2), 1), (RddId(5), 2)]);
+        assert_eq!(s.num_rdds(), 6);
+        assert_eq!(s.slot(BlockId::new(RddId(2), 0)), Some(0));
+        assert_eq!(s.slot(BlockId::new(RddId(5), 1)), Some(2));
+        assert_eq!(s.slot(BlockId::new(RddId(3), 0)), None);
+        let all: Vec<BlockId> = s.iter().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], BlockId::new(RddId(2), 0));
+    }
+
+    #[test]
+    fn slotmap_backings_agree() {
+        let slots = Arc::new(arena());
+        let mut hash: SlotMap<u64> = SlotMap::hashed();
+        let mut dense: SlotMap<u64> = SlotMap::dense(Arc::clone(&slots));
+        let blocks: Vec<BlockId> = slots.iter().collect();
+        for (i, &b) in blocks.iter().enumerate() {
+            assert_eq!(hash.insert(b, i as u64), dense.insert(b, i as u64));
+        }
+        // Overwrite returns the old value on both.
+        assert_eq!(hash.insert(blocks[0], 99), Some(0));
+        assert_eq!(dense.insert(blocks[0], 99), Some(0));
+        for &b in &blocks {
+            assert_eq!(hash.get(b), dense.get(b));
+            assert_eq!(hash.contains(b), dense.contains(b));
+        }
+        assert_eq!(hash.len(), dense.len());
+        // Dense iteration is sorted; sort the hash side to compare.
+        let mut h: Vec<(BlockId, u64)> = hash.iter().map(|(b, &v)| (b, v)).collect();
+        h.sort_unstable();
+        let d: Vec<(BlockId, u64)> = dense.iter().map(|(b, &v)| (b, v)).collect();
+        assert_eq!(h, d);
+        assert_eq!(hash.remove(blocks[2]), dense.remove(blocks[2]));
+        assert_eq!(hash.remove(blocks[2]), None);
+        assert_eq!(dense.remove(blocks[2]), None);
+        assert_eq!(hash.len(), dense.len());
+        hash.clear();
+        dense.clear();
+        assert!(hash.is_empty() && dense.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the slot arena")]
+    fn dense_slotmap_rejects_foreign_blocks() {
+        let mut m: SlotMap<u32> = SlotMap::dense(Arc::new(arena()));
+        m.insert(BlockId::new(RddId(0), 0), 1);
+    }
+
+    #[test]
+    fn slotset_tracks_membership_and_order() {
+        let mut s = SlotSet::new(130);
+        assert!(s.insert(129));
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(!s.insert(64));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 129]);
+        assert_eq!(s.len(), 2);
+    }
+}

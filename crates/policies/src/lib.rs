@@ -33,9 +33,10 @@ pub use lru::LruPolicy;
 pub use memtune::MemTunePolicy;
 pub use random::RandomPolicy;
 
-use refdist_dag::{AppProfile, BlockId, JobId, StageId};
+use refdist_dag::{AppProfile, BlockId, BlockSlots, JobId, StageId};
 use refdist_store::NodeId;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A cache management policy, driven by the cluster runtime.
 ///
@@ -52,6 +53,16 @@ use std::collections::BTreeMap;
 pub trait CachePolicy: Send {
     /// Human-readable policy name for reports.
     fn name(&self) -> String;
+
+    /// The runtime's dense block-slot arena for the application about to
+    /// run, offered once before any other hook. Policies that keep
+    /// per-block state may switch it to slot-indexed tables; the default
+    /// ignores the arena and keeps hash-backed state. Must not change
+    /// observable behavior — only representation (the hash-vs-dense
+    /// differential tests drive both paths).
+    fn attach_slots(&mut self, slots: &Arc<BlockSlots>) {
+        let _ = slots;
+    }
 
     /// A job's DAG has been submitted; `visible` is the reference profile
     /// known so far (whole application for recurring runs, everything up to

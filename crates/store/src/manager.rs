@@ -41,6 +41,21 @@ impl BlockManager {
         }
     }
 
+    /// Like [`BlockManager::new`], but the memory store's residency tables
+    /// are dense vectors over `slots`.
+    pub fn with_slots(
+        node: NodeId,
+        memory_capacity: u64,
+        slots: std::sync::Arc<refdist_dag::BlockSlots>,
+    ) -> Self {
+        BlockManager {
+            node,
+            memory: MemoryStore::with_slots(memory_capacity, slots),
+            disk: DiskStore::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
     /// Locate a block on this node (memory preferred).
     pub fn locate(&self, block: BlockId) -> BlockWhere {
         if self.memory.contains(block) {

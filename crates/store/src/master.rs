@@ -1,100 +1,137 @@
 //! Cluster-wide block location registry (Spark's `BlockManagerMaster`).
 //!
 //! Nodes report block placement changes here; tasks resolving a remote read
-//! and the MRD prefetcher resolving a source copy query it. Locations are
-//! kept in ordered sets so lookups are deterministic.
+//! and the MRD prefetcher resolving a source copy query it. Each block's
+//! holders are a small sorted `Vec<NodeId>` so lookups are deterministic
+//! (lowest node id wins a remote-source tie, exactly as the previous
+//! `BTreeSet` representation ordered them); the per-block tables are
+//! [`SlotMap`]s — dense vectors when built over a [`BlockSlots`] arena
+//! ([`BlockMaster::with_slots`]), hash maps otherwise.
 
 use crate::NodeId;
-use refdist_dag::BlockId;
-use std::collections::{BTreeSet, HashMap};
+use refdist_dag::{BlockId, BlockSlots, SlotMap};
+use std::sync::Arc;
+
+/// A block's holders: ascending node ids, no duplicates.
+type NodeVec = Vec<NodeId>;
+
+fn insert_node(set: &mut NodeVec, node: NodeId) {
+    if let Err(pos) = set.binary_search(&node) {
+        set.insert(pos, node);
+    }
+}
 
 /// Tracks which nodes hold each block in memory and on disk.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BlockMaster {
-    memory: HashMap<BlockId, BTreeSet<NodeId>>,
-    disk: HashMap<BlockId, BTreeSet<NodeId>>,
+    memory: SlotMap<NodeVec>,
+    disk: SlotMap<NodeVec>,
+}
+
+impl Default for BlockMaster {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl BlockMaster {
-    /// Empty registry.
+    /// Empty hash-backed registry.
     pub fn new() -> Self {
-        Self::default()
+        BlockMaster {
+            memory: SlotMap::hashed(),
+            disk: SlotMap::hashed(),
+        }
+    }
+
+    /// Empty registry with dense per-slot tables over `slots`.
+    pub fn with_slots(slots: Arc<BlockSlots>) -> Self {
+        BlockMaster {
+            memory: SlotMap::dense(Arc::clone(&slots)),
+            disk: SlotMap::dense(slots),
+        }
+    }
+
+    fn register(table: &mut SlotMap<NodeVec>, block: BlockId, node: NodeId) {
+        match table.get_mut(block) {
+            Some(set) => insert_node(set, node),
+            None => {
+                table.insert(block, vec![node]);
+            }
+        }
+    }
+
+    fn unregister(table: &mut SlotMap<NodeVec>, block: BlockId, node: NodeId) {
+        if let Some(set) = table.get_mut(block) {
+            if let Ok(pos) = set.binary_search(&node) {
+                set.remove(pos);
+            }
+            if set.is_empty() {
+                table.remove(block);
+            }
+        }
     }
 
     /// Record that `node` holds `block` in memory.
     pub fn register_memory(&mut self, block: BlockId, node: NodeId) {
-        self.memory.entry(block).or_default().insert(node);
+        Self::register(&mut self.memory, block, node);
     }
 
     /// Record that `node` holds `block` on disk.
     pub fn register_disk(&mut self, block: BlockId, node: NodeId) {
-        self.disk.entry(block).or_default().insert(node);
+        Self::register(&mut self.disk, block, node);
     }
 
     /// Record that `node` no longer holds `block` in memory.
     pub fn unregister_memory(&mut self, block: BlockId, node: NodeId) {
-        if let Some(set) = self.memory.get_mut(&block) {
-            set.remove(&node);
-            if set.is_empty() {
-                self.memory.remove(&block);
-            }
-        }
+        Self::unregister(&mut self.memory, block, node);
     }
 
     /// Record that `node` no longer holds `block` on disk.
     pub fn unregister_disk(&mut self, block: BlockId, node: NodeId) {
-        if let Some(set) = self.disk.get_mut(&block) {
-            set.remove(&node);
-            if set.is_empty() {
-                self.disk.remove(&block);
-            }
-        }
+        Self::unregister(&mut self.disk, block, node);
     }
 
-    /// Nodes holding `block` in memory.
+    /// Nodes holding `block` in memory, ascending.
     pub fn memory_locations(&self, block: BlockId) -> impl Iterator<Item = NodeId> + '_ {
-        self.memory.get(&block).into_iter().flatten().copied()
+        self.memory.get(block).into_iter().flatten().copied()
     }
 
-    /// Nodes holding `block` on disk.
+    /// Nodes holding `block` on disk, ascending.
     pub fn disk_locations(&self, block: BlockId) -> impl Iterator<Item = NodeId> + '_ {
-        self.disk.get(&block).into_iter().flatten().copied()
+        self.disk.get(block).into_iter().flatten().copied()
     }
 
     /// Whether any node holds `block` in memory.
     pub fn in_memory_anywhere(&self, block: BlockId) -> bool {
-        self.memory.contains_key(&block)
+        self.memory.contains(block)
     }
 
     /// Whether any node holds `block` at all.
     pub fn anywhere(&self, block: BlockId) -> bool {
-        self.memory.contains_key(&block) || self.disk.contains_key(&block)
+        self.memory.contains(block) || self.disk.contains(block)
     }
 
     /// Best source to read `block` from, from `reader`'s point of view:
     /// local memory, then local disk, then remote memory, then remote disk.
     /// Returns the chosen node and whether that copy is in memory.
     pub fn best_source(&self, block: BlockId, reader: NodeId) -> Option<(NodeId, bool)> {
-        let mem = self.memory.get(&block);
+        let mem = self.memory.get(block);
         if let Some(set) = mem {
-            if set.contains(&reader) {
+            if set.binary_search(&reader).is_ok() {
                 return Some((reader, true));
             }
         }
-        if let Some(set) = self.disk.get(&block) {
-            if set.contains(&reader) {
+        let disk = self.disk.get(block);
+        if let Some(set) = disk {
+            if set.binary_search(&reader).is_ok() {
                 return Some((reader, false));
             }
         }
-        if let Some(set) = mem {
-            if let Some(&n) = set.iter().next() {
-                return Some((n, true));
-            }
+        if let Some(&n) = mem.and_then(|set| set.first()) {
+            return Some((n, true));
         }
-        if let Some(set) = self.disk.get(&block) {
-            if let Some(&n) = set.iter().next() {
-                return Some((n, false));
-            }
+        if let Some(&n) = disk.and_then(|set| set.first()) {
+            return Some((n, false));
         }
         None
     }
@@ -109,78 +146,104 @@ mod tests {
         BlockId::new(RddId(r), p)
     }
 
+    /// Run a test body against both backings; the dense arena covers rdds
+    /// 0..1 × partitions 0..4.
+    fn both(f: impl Fn(BlockMaster)) {
+        f(BlockMaster::new());
+        let slots = Arc::new(BlockSlots::from_counts([(RddId(0), 4)]));
+        f(BlockMaster::with_slots(slots));
+    }
+
     #[test]
     fn register_and_lookup() {
-        let mut m = BlockMaster::new();
-        m.register_memory(blk(0, 0), NodeId(1));
-        m.register_disk(blk(0, 0), NodeId(2));
-        assert_eq!(
-            m.memory_locations(blk(0, 0)).collect::<Vec<_>>(),
-            vec![NodeId(1)]
-        );
-        assert_eq!(
-            m.disk_locations(blk(0, 0)).collect::<Vec<_>>(),
-            vec![NodeId(2)]
-        );
-        assert!(m.in_memory_anywhere(blk(0, 0)));
-        assert!(m.anywhere(blk(0, 0)));
+        both(|mut m| {
+            m.register_memory(blk(0, 0), NodeId(1));
+            m.register_disk(blk(0, 0), NodeId(2));
+            assert_eq!(
+                m.memory_locations(blk(0, 0)).collect::<Vec<_>>(),
+                vec![NodeId(1)]
+            );
+            assert_eq!(
+                m.disk_locations(blk(0, 0)).collect::<Vec<_>>(),
+                vec![NodeId(2)]
+            );
+            assert!(m.in_memory_anywhere(blk(0, 0)));
+            assert!(m.anywhere(blk(0, 0)));
+        });
     }
 
     #[test]
     fn unregister_cleans_up() {
-        let mut m = BlockMaster::new();
-        m.register_memory(blk(0, 0), NodeId(1));
-        m.unregister_memory(blk(0, 0), NodeId(1));
-        assert!(!m.in_memory_anywhere(blk(0, 0)));
-        assert!(!m.anywhere(blk(0, 0)));
-        // Unregistering again is harmless.
-        m.unregister_memory(blk(0, 0), NodeId(1));
+        both(|mut m| {
+            m.register_memory(blk(0, 0), NodeId(1));
+            m.unregister_memory(blk(0, 0), NodeId(1));
+            assert!(!m.in_memory_anywhere(blk(0, 0)));
+            assert!(!m.anywhere(blk(0, 0)));
+            // Unregistering again is harmless.
+            m.unregister_memory(blk(0, 0), NodeId(1));
+        });
+    }
+
+    #[test]
+    fn double_register_keeps_one_entry() {
+        both(|mut m| {
+            m.register_memory(blk(0, 0), NodeId(1));
+            m.register_memory(blk(0, 0), NodeId(1));
+            assert_eq!(m.memory_locations(blk(0, 0)).count(), 1);
+            m.unregister_memory(blk(0, 0), NodeId(1));
+            assert!(!m.in_memory_anywhere(blk(0, 0)));
+        });
     }
 
     #[test]
     fn best_source_prefers_local_memory() {
-        let mut m = BlockMaster::new();
-        m.register_memory(blk(0, 0), NodeId(0));
-        m.register_memory(blk(0, 0), NodeId(1));
-        assert_eq!(m.best_source(blk(0, 0), NodeId(1)), Some((NodeId(1), true)));
+        both(|mut m| {
+            m.register_memory(blk(0, 0), NodeId(0));
+            m.register_memory(blk(0, 0), NodeId(1));
+            assert_eq!(m.best_source(blk(0, 0), NodeId(1)), Some((NodeId(1), true)));
+        });
     }
 
     #[test]
     fn best_source_prefers_local_disk_over_remote_memory() {
-        let mut m = BlockMaster::new();
-        m.register_memory(blk(0, 0), NodeId(2));
-        m.register_disk(blk(0, 0), NodeId(1));
-        assert_eq!(
-            m.best_source(blk(0, 0), NodeId(1)),
-            Some((NodeId(1), false))
-        );
+        both(|mut m| {
+            m.register_memory(blk(0, 0), NodeId(2));
+            m.register_disk(blk(0, 0), NodeId(1));
+            assert_eq!(
+                m.best_source(blk(0, 0), NodeId(1)),
+                Some((NodeId(1), false))
+            );
+        });
     }
 
     #[test]
     fn best_source_falls_back_to_remote() {
-        let mut m = BlockMaster::new();
-        m.register_disk(blk(0, 0), NodeId(3));
-        assert_eq!(
-            m.best_source(blk(0, 0), NodeId(0)),
-            Some((NodeId(3), false))
-        );
-        assert_eq!(m.best_source(blk(9, 9), NodeId(0)), None);
+        both(|mut m| {
+            m.register_disk(blk(0, 0), NodeId(3));
+            assert_eq!(
+                m.best_source(blk(0, 0), NodeId(0)),
+                Some((NodeId(3), false))
+            );
+            assert_eq!(m.best_source(blk(0, 3), NodeId(0)), None);
+        });
     }
 
     #[test]
     fn remote_memory_beats_remote_disk() {
-        let mut m = BlockMaster::new();
-        m.register_disk(blk(0, 0), NodeId(1));
-        m.register_memory(blk(0, 0), NodeId(2));
-        assert_eq!(m.best_source(blk(0, 0), NodeId(0)), Some((NodeId(2), true)));
+        both(|mut m| {
+            m.register_disk(blk(0, 0), NodeId(1));
+            m.register_memory(blk(0, 0), NodeId(2));
+            assert_eq!(m.best_source(blk(0, 0), NodeId(0)), Some((NodeId(2), true)));
+        });
     }
 
     #[test]
     fn deterministic_remote_choice() {
-        let mut m = BlockMaster::new();
-        m.register_memory(blk(0, 0), NodeId(5));
-        m.register_memory(blk(0, 0), NodeId(3));
-        // BTreeSet ordering: the lowest node id wins.
-        assert_eq!(m.best_source(blk(0, 0), NodeId(0)), Some((NodeId(3), true)));
+        both(|mut m| {
+            m.register_memory(blk(0, 0), NodeId(5));
+            m.register_memory(blk(0, 0), NodeId(3));
+            // Sorted holder list: the lowest node id wins.
+            assert_eq!(m.best_source(blk(0, 0), NodeId(0)), Some((NodeId(3), true)));
+        });
     }
 }

@@ -4,9 +4,17 @@
 //! policy-free: it tracks sizes, capacity and pins, and refuses inserts that
 //! do not fit — choosing *what* to evict to make space is the policy's job,
 //! driven by the cluster runtime.
+//!
+//! Residency and pin tables are [`SlotMap`]s: dense per-slot vectors when
+//! the store is built over a [`BlockSlots`] arena
+//! ([`MemoryStore::with_slots`]), a plain `HashMap` otherwise. The dense
+//! backing removes hashing from every `contains`/`insert`/`remove` on the
+//! simulator's per-access path; behavior is identical either way (the
+//! hash-vs-dense differential tests in `refdist-cluster` enforce it).
 
-use refdist_dag::BlockId;
-use std::collections::{BTreeMap, HashMap};
+use refdist_dag::{BlockId, BlockSlots, SlotMap};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Why an insert was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,8 +39,8 @@ pub struct MemoryStore {
     /// Bytes reserved by execution memory (Spark's unified memory manager:
     /// shuffles borrow from the storage region for the duration of a stage).
     reserved: u64,
-    blocks: HashMap<BlockId, u64>,
-    pins: HashMap<BlockId, u32>,
+    blocks: SlotMap<u64>,
+    pins: SlotMap<u32>,
     /// Unpinned resident blocks with sizes, kept sorted by id so the
     /// eviction hot path gets its candidate set without a per-pressure-event
     /// collect + sort. Maintained on insert/remove/pin/unpin/drain.
@@ -40,14 +48,26 @@ pub struct MemoryStore {
 }
 
 impl MemoryStore {
-    /// A store with the given byte capacity.
+    /// A hash-backed store with the given byte capacity.
     pub fn new(capacity: u64) -> Self {
         MemoryStore {
             capacity,
             used: 0,
             reserved: 0,
-            blocks: HashMap::new(),
-            pins: HashMap::new(),
+            blocks: SlotMap::hashed(),
+            pins: SlotMap::hashed(),
+            evictable: BTreeMap::new(),
+        }
+    }
+
+    /// A store whose residency tables are dense vectors over `slots`.
+    pub fn with_slots(capacity: u64, slots: Arc<BlockSlots>) -> Self {
+        MemoryStore {
+            capacity,
+            used: 0,
+            reserved: 0,
+            blocks: SlotMap::dense(Arc::clone(&slots)),
+            pins: SlotMap::dense(slots),
             evictable: BTreeMap::new(),
         }
     }
@@ -98,19 +118,19 @@ impl MemoryStore {
     /// Whether `block` is resident.
     #[inline]
     pub fn contains(&self, block: BlockId) -> bool {
-        self.blocks.contains_key(&block)
+        self.blocks.contains(block)
     }
 
     /// Size of a resident block.
     #[inline]
     pub fn size_of(&self, block: BlockId) -> Option<u64> {
-        self.blocks.get(&block).copied()
+        self.blocks.get(block).copied()
     }
 
     /// Insert a block. Re-inserting a resident block is a no-op (Spark keeps
     /// the existing entry).
     pub fn insert(&mut self, block: BlockId, size: u64) -> Result<(), InsertError> {
-        if self.blocks.contains_key(&block) {
+        if self.blocks.contains(block) {
             return Ok(());
         }
         if size > self.capacity {
@@ -133,7 +153,7 @@ impl MemoryStore {
     /// Panics if the block is pinned — evicting a block a task is reading is
     /// a runtime bug.
     pub fn remove(&mut self, block: BlockId) -> Option<u64> {
-        if let Some(size) = self.blocks.remove(&block) {
+        if let Some(size) = self.blocks.remove(block) {
             assert!(!self.is_pinned(block), "evicting pinned block {block}");
             self.evictable.remove(&block);
             self.used -= size;
@@ -146,17 +166,22 @@ impl MemoryStore {
     /// Pin a resident block against eviction (counted; pins nest).
     pub fn pin(&mut self, block: BlockId) {
         debug_assert!(self.contains(block), "pinning non-resident {block}");
-        *self.pins.entry(block).or_insert(0) += 1;
+        match self.pins.get_mut(block) {
+            Some(c) => *c += 1,
+            None => {
+                self.pins.insert(block, 1);
+            }
+        }
         self.evictable.remove(&block);
     }
 
     /// Release one pin.
     pub fn unpin(&mut self, block: BlockId) {
-        match self.pins.get_mut(&block) {
+        match self.pins.get_mut(block) {
             Some(c) if *c > 1 => *c -= 1,
             Some(_) => {
-                self.pins.remove(&block);
-                if let Some(&size) = self.blocks.get(&block) {
+                self.pins.remove(block);
+                if let Some(&size) = self.blocks.get(block) {
                     self.evictable.insert(block, size);
                 }
             }
@@ -167,7 +192,7 @@ impl MemoryStore {
     /// Whether the block is currently pinned.
     #[inline]
     pub fn is_pinned(&self, block: BlockId) -> bool {
-        self.pins.contains_key(&block)
+        self.pins.contains(block)
     }
 
     /// Remove every resident block (node failure), returning them sorted by
@@ -179,8 +204,9 @@ impl MemoryStore {
     /// boundaries).
     pub fn drain(&mut self) -> Vec<(BlockId, u64)> {
         assert!(self.pins.is_empty(), "draining store with pinned blocks");
-        let mut all: Vec<(BlockId, u64)> = self.blocks.drain().collect();
+        let mut all: Vec<(BlockId, u64)> = self.blocks.iter().map(|(b, &s)| (b, s)).collect();
         all.sort_unstable();
+        self.blocks.clear();
         self.used = 0;
         self.evictable.clear();
         all
@@ -188,7 +214,7 @@ impl MemoryStore {
 
     /// Iterate over resident blocks and their sizes (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, u64)> + '_ {
-        self.blocks.iter().map(|(&b, &s)| (b, s))
+        self.blocks.iter().map(|(b, &s)| (b, s))
     }
 
     /// Resident blocks that are evictable (not pinned), ascending by id.
@@ -213,65 +239,79 @@ mod tests {
         BlockId::new(RddId(r), p)
     }
 
+    /// Run a test body against both backings; the dense arena covers rdds
+    /// 0..4 × partitions 0..4 (every block the tests touch).
+    fn both(f: impl Fn(MemoryStore)) {
+        f(MemoryStore::new(100));
+        let slots = Arc::new(BlockSlots::from_counts((0..4).map(|r| (RddId(r), 4))));
+        f(MemoryStore::with_slots(100, slots));
+    }
+
     #[test]
     fn insert_and_accounting() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(0, 0), 40).unwrap();
-        m.insert(blk(0, 1), 30).unwrap();
-        assert_eq!(m.used(), 70);
-        assert_eq!(m.free(), 30);
-        assert_eq!(m.len(), 2);
-        assert!(m.contains(blk(0, 0)));
-        assert_eq!(m.size_of(blk(0, 1)), Some(30));
+        both(|mut m| {
+            m.insert(blk(0, 0), 40).unwrap();
+            m.insert(blk(0, 1), 30).unwrap();
+            assert_eq!(m.used(), 70);
+            assert_eq!(m.free(), 30);
+            assert_eq!(m.len(), 2);
+            assert!(m.contains(blk(0, 0)));
+            assert_eq!(m.size_of(blk(0, 1)), Some(30));
+        });
     }
 
     #[test]
     fn insert_reports_shortfall() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(0, 0), 80).unwrap();
-        assert_eq!(
-            m.insert(blk(0, 1), 50),
-            Err(InsertError::NeedsEviction { shortfall: 30 })
-        );
-        // Store unchanged on failure.
-        assert_eq!(m.used(), 80);
-        assert!(!m.contains(blk(0, 1)));
+        both(|mut m| {
+            m.insert(blk(0, 0), 80).unwrap();
+            assert_eq!(
+                m.insert(blk(0, 1), 50),
+                Err(InsertError::NeedsEviction { shortfall: 30 })
+            );
+            // Store unchanged on failure.
+            assert_eq!(m.used(), 80);
+            assert!(!m.contains(blk(0, 1)));
+        });
     }
 
     #[test]
     fn oversized_block_is_too_large() {
-        let mut m = MemoryStore::new(100);
-        assert_eq!(m.insert(blk(0, 0), 101), Err(InsertError::TooLarge));
+        both(|mut m| {
+            assert_eq!(m.insert(blk(0, 0), 101), Err(InsertError::TooLarge));
+        });
     }
 
     #[test]
     fn reinsert_is_noop() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(0, 0), 40).unwrap();
-        m.insert(blk(0, 0), 40).unwrap();
-        assert_eq!(m.used(), 40);
-        assert_eq!(m.len(), 1);
+        both(|mut m| {
+            m.insert(blk(0, 0), 40).unwrap();
+            m.insert(blk(0, 0), 40).unwrap();
+            assert_eq!(m.used(), 40);
+            assert_eq!(m.len(), 1);
+        });
     }
 
     #[test]
     fn remove_returns_size() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(0, 0), 40).unwrap();
-        assert_eq!(m.remove(blk(0, 0)), Some(40));
-        assert_eq!(m.remove(blk(0, 0)), None);
-        assert_eq!(m.used(), 0);
+        both(|mut m| {
+            m.insert(blk(0, 0), 40).unwrap();
+            assert_eq!(m.remove(blk(0, 0)), Some(40));
+            assert_eq!(m.remove(blk(0, 0)), None);
+            assert_eq!(m.used(), 0);
+        });
     }
 
     #[test]
     fn pins_nest() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(0, 0), 40).unwrap();
-        m.pin(blk(0, 0));
-        m.pin(blk(0, 0));
-        m.unpin(blk(0, 0));
-        assert!(m.is_pinned(blk(0, 0)));
-        m.unpin(blk(0, 0));
-        assert!(!m.is_pinned(blk(0, 0)));
+        both(|mut m| {
+            m.insert(blk(0, 0), 40).unwrap();
+            m.pin(blk(0, 0));
+            m.pin(blk(0, 0));
+            m.unpin(blk(0, 0));
+            assert!(m.is_pinned(blk(0, 0)));
+            m.unpin(blk(0, 0));
+            assert!(!m.is_pinned(blk(0, 0)));
+        });
     }
 
     #[test]
@@ -285,53 +325,57 @@ mod tests {
 
     #[test]
     fn evictable_excludes_pinned() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(0, 0), 40).unwrap();
-        m.insert(blk(0, 1), 40).unwrap();
-        m.pin(blk(0, 0));
-        let ev: Vec<_> = m.evictable().map(|(b, _)| b).collect();
-        assert_eq!(ev, vec![blk(0, 1)]);
+        both(|mut m| {
+            m.insert(blk(0, 0), 40).unwrap();
+            m.insert(blk(0, 1), 40).unwrap();
+            m.pin(blk(0, 0));
+            let ev: Vec<_> = m.evictable().map(|(b, _)| b).collect();
+            assert_eq!(ev, vec![blk(0, 1)]);
+        });
     }
 
     #[test]
     fn evictable_set_tracks_pins_and_removals() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(1, 0), 30).unwrap();
-        m.insert(blk(0, 0), 20).unwrap();
-        // Sorted by id, with sizes.
-        let set: Vec<_> = m.evictable_set().iter().map(|(&b, &s)| (b, s)).collect();
-        assert_eq!(set, vec![(blk(0, 0), 20), (blk(1, 0), 30)]);
-        // Pinning hides a block; unpinning the last pin restores it.
-        m.pin(blk(0, 0));
-        m.pin(blk(0, 0));
-        assert!(!m.evictable_set().contains_key(&blk(0, 0)));
-        m.unpin(blk(0, 0));
-        assert!(!m.evictable_set().contains_key(&blk(0, 0)));
-        m.unpin(blk(0, 0));
-        assert_eq!(m.evictable_set().get(&blk(0, 0)), Some(&20));
-        // Removal and drain clear entries.
-        m.remove(blk(1, 0));
-        assert!(!m.evictable_set().contains_key(&blk(1, 0)));
-        m.drain();
-        assert!(m.evictable_set().is_empty());
+        both(|mut m| {
+            m.insert(blk(1, 0), 30).unwrap();
+            m.insert(blk(0, 0), 20).unwrap();
+            // Sorted by id, with sizes.
+            let set: Vec<_> = m.evictable_set().iter().map(|(&b, &s)| (b, s)).collect();
+            assert_eq!(set, vec![(blk(0, 0), 20), (blk(1, 0), 30)]);
+            // Pinning hides a block; unpinning the last pin restores it.
+            m.pin(blk(0, 0));
+            m.pin(blk(0, 0));
+            assert!(!m.evictable_set().contains_key(&blk(0, 0)));
+            m.unpin(blk(0, 0));
+            assert!(!m.evictable_set().contains_key(&blk(0, 0)));
+            m.unpin(blk(0, 0));
+            assert_eq!(m.evictable_set().get(&blk(0, 0)), Some(&20));
+            // Removal and drain clear entries.
+            m.remove(blk(1, 0));
+            assert!(!m.evictable_set().contains_key(&blk(1, 0)));
+            m.drain();
+            assert!(m.evictable_set().is_empty());
+        });
     }
 
     #[test]
     fn exact_fit_succeeds() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(0, 0), 100).unwrap();
-        assert_eq!(m.free(), 0);
+        both(|mut m| {
+            m.insert(blk(0, 0), 100).unwrap();
+            assert_eq!(m.free(), 0);
+        });
     }
 
     #[test]
     fn drain_empties_the_store() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(1, 0), 30).unwrap();
-        m.insert(blk(0, 1), 20).unwrap();
-        let drained = m.drain();
-        assert_eq!(drained, vec![(blk(0, 1), 20), (blk(1, 0), 30)]);
-        assert_eq!(m.used(), 0);
-        assert!(m.is_empty());
+        both(|mut m| {
+            m.insert(blk(1, 0), 30).unwrap();
+            m.insert(blk(0, 1), 20).unwrap();
+            let drained = m.drain();
+            assert_eq!(drained, vec![(blk(0, 1), 20), (blk(1, 0), 30)]);
+            assert_eq!(m.used(), 0);
+            assert!(m.is_empty());
+        });
     }
 
     #[test]
@@ -345,28 +389,30 @@ mod tests {
 
     #[test]
     fn reservation_shrinks_free_space() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(0, 0), 40).unwrap();
-        m.set_reserved(30);
-        assert_eq!(m.free(), 30);
-        assert_eq!(
-            m.insert(blk(0, 1), 50),
-            Err(InsertError::NeedsEviction { shortfall: 20 })
-        );
-        m.set_reserved(0);
-        assert!(m.insert(blk(0, 1), 50).is_ok());
+        both(|mut m| {
+            m.insert(blk(0, 0), 40).unwrap();
+            m.set_reserved(30);
+            assert_eq!(m.free(), 30);
+            assert_eq!(
+                m.insert(blk(0, 1), 50),
+                Err(InsertError::NeedsEviction { shortfall: 20 })
+            );
+            m.set_reserved(0);
+            assert!(m.insert(blk(0, 1), 50).is_ok());
+        });
     }
 
     #[test]
     fn over_reservation_saturates_free() {
-        let mut m = MemoryStore::new(100);
-        m.insert(blk(0, 0), 80).unwrap();
-        m.set_reserved(90); // blocks still occupy the span; free saturates
-        assert_eq!(m.free(), 0);
-        assert_eq!(m.reserved(), 90);
-        // Reservations are capped at capacity.
-        m.set_reserved(500);
-        assert_eq!(m.reserved(), 100);
+        both(|mut m| {
+            m.insert(blk(0, 0), 80).unwrap();
+            m.set_reserved(90); // blocks still occupy the span; free saturates
+            assert_eq!(m.free(), 0);
+            assert_eq!(m.reserved(), 90);
+            // Reservations are capped at capacity.
+            m.set_reserved(500);
+            assert_eq!(m.reserved(), 100);
+        });
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub struct CacheStats {
     pub wasted_prefetches: u64,
     /// Blocks lost to injected node failures.
     pub lost_blocks: u64,
+    /// Eviction victims selected by the policy that were not actually
+    /// evictable (not resident / pinned). Each one aborts the insert that
+    /// triggered the pressure event; a nonzero count means the policy's
+    /// bookkeeping diverged from the store and is surfaced in the run
+    /// report so the failure is diagnosable in release builds.
+    pub bad_victims: u64,
 }
 
 impl CacheStats {
@@ -65,6 +71,7 @@ impl CacheStats {
         self.prefetches += other.prefetches;
         self.wasted_prefetches += other.wasted_prefetches;
         self.lost_blocks += other.lost_blocks;
+        self.bad_victims += other.bad_victims;
     }
 }
 
@@ -97,6 +104,7 @@ mod tests {
             prefetches: 4,
             wasted_prefetches: 1,
             lost_blocks: 2,
+            bad_victims: 1,
         };
         let b = a;
         a.merge(&b);
@@ -105,5 +113,6 @@ mod tests {
         assert_eq!(a.bytes_evicted, 200);
         assert_eq!(a.wasted_prefetches, 2);
         assert_eq!(a.lost_blocks, 4);
+        assert_eq!(a.bad_victims, 2);
     }
 }
