@@ -25,10 +25,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Bench smoke: every criterion suite runs each benchmark body once
 # (--test mode). Guards against bit-rotted bench code; timing is NOT
 # checked, so this cannot flake on a noisy machine.
-for suite in policy_overhead dag_planning sim_throughput victim_selection; do
+for suite in policy_overhead dag_planning sim_throughput victim_selection sched_scaling; do
   echo "==> cargo bench -p refdist-bench --bench $suite -- --test"
   cargo bench -q -p refdist-bench --bench "$suite" -- --test
 done
+
+# Protocol-bench smoke: run the recorded-bench binaries in quick mode in a
+# scratch dir so the checked-in BENCH_*.json files are not clobbered. This
+# exercises the full record-and-write path, including the linear-vs-indexed
+# scheduler equivalence assertions inside bench_sched.
+( bench_tmp="$(mktemp -d)"
+  trap 'rm -rf "$bench_tmp"' EXIT
+  cd "$bench_tmp"
+  echo "==> REFDIST_QUICK=1 bench_sched (scratch dir)"
+  REFDIST_QUICK=1 cargo run --release -q -p refdist-bench --bin bench_sched \
+    --manifest-path "$OLDPWD/Cargo.toml" --target-dir "$OLDPWD/target"
+)
 
 # Show hot-path deltas when both recorded benchmark files are present
 # (informational; bench_diff only fails on missing/corrupt files).

@@ -1,0 +1,207 @@
+//! Task-scheduler scaling benchmark (ISSUE 4): measures end-to-end
+//! simulation wall time under the two interchangeable schedulers as the
+//! cluster grows, and writes each side to a machine-readable file:
+//!
+//! * `BENCH_sched_linear.json` — `linear`: the original per-task linear
+//!   scans (`SimConfig::linear_sched`), including the full nodes×cores scan
+//!   per task that delay scheduling performs.
+//! * `BENCH_pr4.json` — `indexed`: the incrementally maintained
+//!   [`SlotIndex`](refdist_cluster) ordered-set scheduler (the default).
+//!
+//! The workload is a wide iterative app — 8 partitions per node, so every
+//! stage runs multiple task waves per node — with delay scheduling on and a
+//! straggler injected, the regime where the linear global scan dominates
+//! large clusters. Reports from both schedulers are asserted byte-identical
+//! before any timing is recorded.
+//!
+//! `BENCH_pr4.json` additionally re-measures the `bench_cache` macro
+//! protocol (`cc_sweep` on dense state) so `ci.sh`'s regression guard can
+//! join it against `BENCH_pr3.json` from the same machine.
+//!
+//! `REFDIST_QUICK=1` shrinks cluster sizes and repetitions for smoke runs
+//! (the output files are still written).
+
+use refdist_bench::{cache_for_fraction, ExpContext, PolicySpec};
+use refdist_cluster::{ClusterConfig, RunReport, SimConfig, Simulation};
+use refdist_core::ProfileMode;
+use refdist_dag::{AppBuilder, AppPlan, AppSpec, StorageLevel};
+use refdist_workloads::Workload;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Record {
+    suite: &'static str,
+    bench: &'static str,
+    policy: String,
+    blocks: usize,
+    protocol: &'static str,
+    metric: &'static str,
+    value: f64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"bench\":\"{}\",\"policy\":\"{}\",\"blocks\":{},\"protocol\":\"{}\",\"{}\":{:.2}}}",
+            self.suite, self.bench, self.policy, self.blocks, self.protocol, self.metric, self.value
+        )
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("REFDIST_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// A wide iterative app: 8 partitions per node, one cached dataset reused by
+/// every job, so each stage schedules several task waves per node.
+fn sched_app(nodes: u32) -> AppSpec {
+    let parts = nodes * 8;
+    let block = 256 * 1024;
+    let mut b = AppBuilder::new("sched-bench");
+    let input = b.input("in", parts, block, 2_000);
+    let data = b.narrow("data", input, block, 5_000);
+    b.persist(data, StorageLevel::MemoryAndDisk);
+    for i in 0..8 {
+        let s = b.shuffle(format!("agg{i}"), &[data], parts, block / 4, 1_000);
+        b.action(format!("job{i}"), s);
+    }
+    b.build()
+}
+
+fn sched_cfg(nodes: u32, linear: bool) -> SimConfig {
+    // A cache that holds the whole dataset keeps eviction churn out of the
+    // measurement; the per-task costs left are scheduling and cache hits.
+    let mut cfg = SimConfig::new(ClusterConfig::tiny(nodes, 1 << 40));
+    cfg.cluster.cores_per_node = 4;
+    // Delay scheduling is what makes the linear scheduler scan every slot in
+    // the cluster per task; the straggler guarantees migrations happen.
+    cfg.delay_scheduling_us = Some(5_000);
+    cfg.slow_node = Some((0, 4.0));
+    cfg.linear_sched = linear;
+    cfg
+}
+
+/// Best-of-reps wall ms for one scheduler, plus the report for equivalence
+/// checking (identical across reps — the simulation is deterministic).
+fn time_sched(spec: &AppSpec, plan: &AppPlan, nodes: u32, linear: bool) -> (f64, RunReport) {
+    let reps = if quick() { 1 } else { 3 };
+    let mut best_ms = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps {
+        let cfg = sched_cfg(nodes, linear);
+        let sim = Simulation::new(spec, plan, ProfileMode::Recurring, cfg);
+        let mut lru = refdist_policies::PolicyKind::Lru.build();
+        let start = Instant::now();
+        let r = sim.run(&mut *lru);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        report = Some(r);
+    }
+    (best_ms, report.expect("at least one rep"))
+}
+
+/// The `bench_cache` macro protocol on dense state, re-measured so
+/// `BENCH_pr4.json` joins against `BENCH_pr3.json` from this machine.
+fn time_macro(policy: PolicySpec) -> f64 {
+    let mut ctx = ExpContext::main().quick();
+    if quick() {
+        ctx.params.partitions = 32;
+        ctx.params.scale = 0.1;
+    } else {
+        ctx.params.partitions = 256;
+        ctx.params.scale = 1.0;
+    }
+    let spec = Workload::ConnectedComponents.build(&ctx.params);
+    let plan = AppPlan::build(&spec);
+    let cache = cache_for_fraction(&spec, &ctx.cluster, 0.2).max(1);
+    let reps = if quick() { 1 } else { 3 };
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
+        let mut p = policy.build(None);
+        let start = Instant::now();
+        let report = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut *p);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(report);
+    }
+    best_ms
+}
+
+fn main() {
+    let mut linear_records: Vec<Record> = Vec::new();
+    let mut indexed_records: Vec<Record> = Vec::new();
+
+    let node_counts: &[u32] = if quick() { &[8, 32] } else { &[8, 32, 128, 256] };
+
+    println!("== sched: wide app, delay scheduling on (ms, lower is better) ==");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>9}",
+        "nodes", "tasks", "linear", "indexed", "speedup"
+    );
+    for &nodes in node_counts {
+        let spec = sched_app(nodes);
+        let plan = AppPlan::build(&spec);
+        let (linear_ms, linear_report) = time_sched(&spec, &plan, nodes, true);
+        let (indexed_ms, indexed_report) = time_sched(&spec, &plan, nodes, false);
+        assert_eq!(
+            format!("{linear_report:?}"),
+            format!("{indexed_report:?}"),
+            "schedulers disagree at {nodes} nodes"
+        );
+        assert!(
+            linear_report.sched.remote_placements > 0,
+            "no migrations at {nodes} nodes — the global-scan path went unmeasured"
+        );
+        println!(
+            "{:<8} {:>8} {:>9.1} ms {:>9.1} ms {:>8.2}x",
+            nodes,
+            linear_report.tasks,
+            linear_ms,
+            indexed_ms,
+            linear_ms / indexed_ms
+        );
+        for (out, protocol, value) in [
+            (&mut linear_records, "linear", linear_ms),
+            (&mut indexed_records, "indexed", indexed_ms),
+        ] {
+            out.push(Record {
+                suite: "sched",
+                bench: "task_placement",
+                policy: "LRU".into(),
+                blocks: nodes as usize,
+                protocol,
+                metric: "ms_total",
+                value,
+            });
+        }
+    }
+
+    println!();
+    println!("== macro: ConnectedComponents @ 20% cache, dense (ms) ==");
+    for policy in [PolicySpec::Lru, PolicySpec::MrdFull] {
+        let ms = time_macro(policy);
+        println!("{:<10} {:>9.0} ms", policy.name(), ms);
+        indexed_records.push(Record {
+            suite: "macro",
+            bench: "cc_sweep",
+            policy: policy.name().into(),
+            blocks: 0,
+            protocol: "indexed",
+            metric: "ms_total",
+            value: ms,
+        });
+    }
+
+    for (path, records) in [
+        ("BENCH_sched_linear.json", &linear_records),
+        ("BENCH_pr4.json", &indexed_records),
+    ] {
+        let mut out = String::from("[\n");
+        for (i, r) in records.iter().enumerate() {
+            let sep = if i + 1 == records.len() { "\n" } else { ",\n" };
+            let _ = write!(out, "{}{}", r.to_json(), sep);
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path} ({} records)", records.len());
+    }
+}

@@ -11,16 +11,18 @@ pub mod experiments;
 pub mod sweep;
 
 pub use cachebench::{bench_policies, Churn, NaiveScan};
+pub use refdist_cluster::EngineScratch;
 pub use sweep::{
     default_threads, pool_map, run_sweep, CellResult, SweepCell, SweepGrid, SweepOptions,
     SweepResults,
 };
 
 use refdist_cluster::{ClusterConfig, RunReport, SimConfig, Simulation};
-use refdist_core::{DistanceMetric, MrdConfig, MrdMode, MrdPolicy, ProfileMode};
-use refdist_dag::{AppPlan, AppSpec};
+use refdist_core::{AppProfiler, DistanceMetric, MrdConfig, MrdMode, MrdPolicy, ProfileMode};
+use refdist_dag::{AppPlan, AppSpec, BlockSlots};
 use refdist_policies::{BeladyMinPolicy, CachePolicy, PolicyKind};
 use refdist_workloads::{Workload, WorkloadParams};
+use std::sync::Arc;
 
 /// Every policy configuration the experiments compare.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +205,76 @@ pub fn run_one(
     Simulation::new(spec, plan, mode, cfg).run(&mut *p)
 }
 
+/// A workload's run-independent artifacts, built once per sweep and shared
+/// read-only by every cell of that workload: the generated spec and plan,
+/// the [`AppProfiler`] (a function of `(spec, plan, mode)`), and the dense
+/// [`BlockSlots`] arena (a function of `spec`). A W×P×F×S grid previously
+/// re-profiled the DAG and rebuilt the arena in every one of its
+/// P×F×S cells per workload; sharing builds each exactly once.
+#[derive(Debug)]
+pub struct PreparedWorkload {
+    /// The workload these artifacts were generated from.
+    pub workload: Workload,
+    /// The generated application.
+    pub spec: AppSpec,
+    /// Its execution plan.
+    pub plan: AppPlan,
+    /// Profile-visibility mode the profiler was built with.
+    pub mode: ProfileMode,
+    profiler: Arc<AppProfiler>,
+    arena: Arc<BlockSlots>,
+}
+
+impl PreparedWorkload {
+    /// Generate `workload` and build its shared artifacts.
+    pub fn new(workload: Workload, params: &WorkloadParams, mode: ProfileMode) -> Self {
+        let spec = workload.build(params);
+        let plan = AppPlan::build(&spec);
+        let profiler = Arc::new(AppProfiler::new(&spec, &plan, mode));
+        let arena = Arc::new(BlockSlots::new(&spec));
+        PreparedWorkload {
+            workload,
+            spec,
+            plan,
+            mode,
+            profiler,
+            arena,
+        }
+    }
+
+    /// A simulation of this workload under `cfg`, sharing the prepared
+    /// artifacts instead of rebuilding them.
+    pub fn simulation(&self, cfg: SimConfig) -> Simulation<'_> {
+        Simulation::with_artifacts(
+            &self.spec,
+            &self.plan,
+            Arc::clone(&self.profiler),
+            Arc::clone(&self.arena),
+            cfg,
+        )
+    }
+}
+
+/// [`run_one`] over a [`PreparedWorkload`]: shares the prepared artifacts
+/// and recycles `scratch`'s engine buffers across calls. Produces reports
+/// identical to `run_one` with the prepared mode.
+pub fn run_one_prepared(
+    prep: &PreparedWorkload,
+    ctx: &ExpContext,
+    cache_bytes: u64,
+    policy: PolicySpec,
+    scratch: &mut EngineScratch,
+) -> RunReport {
+    let cfg = SimConfig::new(ctx.cluster.with_cache(cache_bytes)).with_seed(ctx.seed);
+    let trace = if policy == PolicySpec::Belady {
+        Some(refdist_cluster::collect_trace(&prep.spec, &prep.plan, &cfg))
+    } else {
+        None
+    };
+    let mut p = policy.build(trace.as_deref());
+    prep.simulation(cfg).run_with_scratch(&mut *p, scratch)
+}
+
 /// Result of one (workload, cache-size) sweep point.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
@@ -351,6 +423,35 @@ mod tests {
         ];
         let names = par_map(&ws, |w| w.short_name().to_string());
         assert_eq!(names, vec!["Sort", "WordCount", "TeraSort"]);
+    }
+
+    #[test]
+    fn prepared_runs_match_run_one() {
+        // Shared artifacts + recycled scratch must be invisible in results,
+        // including for Belady (trace collection) across repeated cells.
+        let ctx = tiny_ctx();
+        let prep =
+            PreparedWorkload::new(Workload::ShortestPaths, &ctx.params, ProfileMode::Recurring);
+        let mut scratch = EngineScratch::default();
+        for frac in [0.3, 0.9] {
+            let cache = cache_for_fraction(&prep.spec, &ctx.cluster, frac).max(1);
+            for policy in [PolicySpec::Lru, PolicySpec::MrdFull, PolicySpec::Belady] {
+                let plain = run_one(
+                    &prep.spec,
+                    &prep.plan,
+                    &ctx,
+                    cache,
+                    policy,
+                    ProfileMode::Recurring,
+                );
+                let prepared = run_one_prepared(&prep, &ctx, cache, policy, &mut scratch);
+                assert_eq!(
+                    format!("{plain:?}"),
+                    format!("{prepared:?}"),
+                    "{policy:?} at f{frac}"
+                );
+            }
+        }
     }
 
     #[test]

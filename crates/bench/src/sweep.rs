@@ -20,13 +20,13 @@
 //! * progress and ETA lines go to **stderr** only, leaving stdout
 //!   deterministic.
 
-use crate::{cache_for_fraction, run_one, ExpContext, PolicySpec};
+use crate::{cache_for_fraction, run_one_prepared, ExpContext, PolicySpec, PreparedWorkload};
 use parking_lot::Mutex;
-use refdist_cluster::RunReport;
+use refdist_cluster::{EngineScratch, RunReport};
 use refdist_core::ProfileMode;
-use refdist_dag::{AppPlan, AppSpec};
 use refdist_metrics::{CsvWriter, OrderedSink, TextTable};
 use refdist_workloads::Workload;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -423,30 +423,33 @@ impl Progress {
 pub fn run_sweep(grid: &SweepGrid, ctx: &ExpContext, opts: &SweepOptions) -> SweepResults {
     let started = Instant::now();
 
-    // Build each workload's spec and plan once, shared read-only by every
-    // cell of that workload.
-    let prepared: Vec<(Workload, AppSpec, AppPlan)> = pool_map(
-        &grid.workloads,
-        opts.threads,
-        |_, &w| {
-            let spec = w.build(&ctx.params);
-            let plan = AppPlan::build(&spec);
-            (w, spec, plan)
-        },
-    );
+    // Build each workload's run-independent artifacts — spec, plan, profiler
+    // and block-slot arena — exactly once, shared read-only by every cell of
+    // that workload (cross-cell artifact sharing).
+    let prepared: Vec<PreparedWorkload> = pool_map(&grid.workloads, opts.threads, |_, &w| {
+        PreparedWorkload::new(w, &ctx.params, opts.mode)
+    });
+
+    // Per worker thread: engine buffers recycled across that worker's cells.
+    thread_local! {
+        static SCRATCH: RefCell<EngineScratch> = RefCell::new(EngineScratch::default());
+    }
 
     let cells = grid.cells();
     let progress = Progress::new(cells.len(), opts.progress);
     let cells = pool_map(&cells, opts.threads, |_, cell| {
-        let (_, spec, plan) = prepared
+        let prep = prepared
             .iter()
-            .find(|(w, _, _)| *w == cell.workload)
+            .find(|p| p.workload == cell.workload)
             .expect("workload prepared");
-        let cache_bytes = cache_for_fraction(spec, &ctx.cluster, cell.capacity_frac).max(1);
+        let cache_bytes =
+            cache_for_fraction(&prep.spec, &ctx.cluster, cell.capacity_frac).max(1);
         let mut cell_ctx = ctx.clone();
         cell_ctx.seed = cell.sim_seed(ctx.seed);
         let cell_started = Instant::now();
-        let report = run_one(spec, plan, &cell_ctx, cache_bytes, cell.policy, opts.mode);
+        let report = SCRATCH.with(|s| {
+            run_one_prepared(prep, &cell_ctx, cache_bytes, cell.policy, &mut s.borrow_mut())
+        });
         progress.cell_done(&cell.key(), cell_started.elapsed());
         CellResult {
             cell: *cell,

@@ -161,6 +161,18 @@ pub struct SimConfig {
     /// and require byte-identical reports, and the benches use it as the
     /// honest "before" baseline. Off (dense) by default.
     pub reference_state: bool,
+    /// Schedule tasks with the original linear slot scans (per-task
+    /// `min_by_key` over the home node's cores, plus a full nodes×cores scan
+    /// per task when delay scheduling is on) instead of the incrementally
+    /// maintained slot index. Kept as the scheduler's reference
+    /// implementation — the differential tests require identical placement
+    /// sequences from both, and `bench_sched` measures the gap. Implied by
+    /// [`reference_state`](Self::reference_state). Off (indexed) by default.
+    pub linear_sched: bool,
+    /// Record every task placement as `(node, slot, start)` in
+    /// [`RunReport::placements`](crate::RunReport::placements). Used by the
+    /// scheduler-equivalence tests; off by default.
+    pub collect_placements: bool,
 }
 
 impl SimConfig {
@@ -180,6 +192,8 @@ impl SimConfig {
             delay_scheduling_us: None,
             slow_node: None,
             reference_state: false,
+            linear_sched: false,
+            collect_placements: false,
         }
     }
 
@@ -243,6 +257,8 @@ mod tests {
         assert!(!s.adaptive_threshold);
         assert!(s.delay_scheduling_us.is_none());
         assert!(!s.reference_state);
+        assert!(!s.linear_sched);
+        assert!(!s.collect_placements);
         assert_eq!(s.with_seed(7).seed, 7);
     }
 }

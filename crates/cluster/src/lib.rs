@@ -53,7 +53,8 @@
 pub mod config;
 pub mod report;
 pub mod runtime;
+mod sched;
 
 pub use config::{ClusterConfig, SimConfig};
-pub use report::RunReport;
-pub use runtime::{collect_trace, Simulation};
+pub use report::{RunReport, SchedStats};
+pub use runtime::{collect_trace, EngineScratch, Simulation};

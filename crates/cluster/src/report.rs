@@ -4,6 +4,19 @@ use refdist_dag::{BlockId, StageId};
 use refdist_simcore::{SimDuration, SimTime};
 use refdist_store::CacheStats;
 
+/// Task-placement counters for one run: where the scheduler put tasks
+/// relative to their data's home node. Remote placements only happen under
+/// delay scheduling ([`crate::SimConfig::delay_scheduling_us`]) — a task
+/// migrates off its home node only when the home queue keeps it waiting past
+/// the delay bound, so a migration target is never the home node itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Tasks that ran on their partition's home node.
+    pub home_placements: u64,
+    /// Tasks delay-scheduled onto another node (paying remote reads).
+    pub remote_placements: u64,
+}
+
 /// Everything the evaluation harness needs from one simulated run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -15,6 +28,8 @@ pub struct RunReport {
     pub jct: SimDuration,
     /// Cluster-aggregated cache statistics.
     pub stats: CacheStats,
+    /// Task-placement counters (home vs delay-scheduled remote).
+    pub sched: SchedStats,
     /// Per-node cache statistics.
     pub per_node: Vec<CacheStats>,
     /// Total task time spent waiting on input I/O.
@@ -28,6 +43,9 @@ pub struct RunReport {
     /// Global cached-block access trace, when requested
     /// ([`crate::SimConfig::collect_trace`]).
     pub trace: Option<Vec<BlockId>>,
+    /// Per-task `(node, slot, start)` placements in execution order, when
+    /// requested ([`crate::SimConfig::collect_placements`]).
+    pub placements: Option<Vec<(u32, u32, SimTime)>>,
 }
 
 impl RunReport {
@@ -78,10 +96,11 @@ impl RunReport {
         }
     }
 
-    /// One-line human-readable summary. A nonzero bad-victim count (the
-    /// policy selected non-evictable victims; see
-    /// [`CacheStats::bad_victims`]) is appended so the divergence is visible
-    /// even in release builds.
+    /// One-line human-readable summary. Delay-scheduled remote placements
+    /// (when any happened) and a nonzero bad-victim count (the policy
+    /// selected non-evictable victims; see [`CacheStats::bad_victims`]) are
+    /// appended so scheduling behaviour and divergences are visible even in
+    /// release builds.
     pub fn summary(&self) -> String {
         let mut s = format!(
             "{} under {}: JCT {:.3}s, hit ratio {:.1}%, {} hits / {} misses, {} evictions, {} prefetches",
@@ -94,6 +113,13 @@ impl RunReport {
             self.stats.evictions + self.stats.purges,
             self.stats.prefetches,
         );
+        if self.sched.remote_placements > 0 {
+            s.push_str(&format!(
+                ", {} of {} tasks delay-scheduled remotely",
+                self.sched.remote_placements,
+                self.sched.home_placements + self.sched.remote_placements
+            ));
+        }
         if self.stats.bad_victims > 0 {
             s.push_str(&format!(
                 ", {} BAD victim selections",
@@ -118,12 +144,14 @@ mod tests {
                 misses: 1,
                 ..Default::default()
             },
+            sched: SchedStats::default(),
             per_node: vec![],
             io_time: SimDuration(0),
             compute_time: SimDuration(0),
             stage_times: vec![],
             tasks: 0,
             trace: None,
+            placements: None,
         }
     }
 
@@ -146,6 +174,17 @@ mod tests {
         assert!(s.contains("2.000s"));
         assert!(s.contains("90.0%"));
         assert!(!s.contains("BAD"));
+        assert!(!s.contains("delay-scheduled"));
+    }
+
+    #[test]
+    fn summary_surfaces_remote_placements() {
+        let mut r = report(1);
+        r.sched.home_placements = 7;
+        r.sched.remote_placements = 3;
+        assert!(r
+            .summary()
+            .contains("3 of 10 tasks delay-scheduled remotely"));
     }
 
     #[test]

@@ -38,9 +38,22 @@
 //! original hash-backed representation is preserved behind
 //! [`SimConfig::reference_state`] as the reference implementation; the
 //! differential tests run both and require byte-identical reports.
+//!
+//! ## Scheduler index and shared artifacts
+//!
+//! Task placement runs off an incrementally maintained slot index
+//! ([`crate::sched::SlotIndex`]) instead of linear scans over every core;
+//! the original scans are kept behind [`SimConfig::linear_sched`] with the
+//! same byte-identical-placements guarantee (`tests/differential_sched.rs`).
+//! Run-independent artifacts — the [`AppProfiler`] and the [`BlockSlots`]
+//! arena — are held as `Arc`s on [`Simulation`] so sweeps can build them
+//! once per workload ([`Simulation::with_artifacts`]) and every run of the
+//! same cell shares them; per-run engine allocations can likewise be
+//! recycled across runs through [`EngineScratch`].
 
 use crate::config::SimConfig;
-use crate::report::RunReport;
+use crate::report::{RunReport, SchedStats};
+use crate::sched::SlotIndex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use refdist_core::{AppProfiler, ProfileMode};
@@ -57,21 +70,48 @@ use std::sync::Arc;
 pub struct Simulation<'a> {
     spec: &'a AppSpec,
     plan: &'a AppPlan,
-    profiler: AppProfiler,
+    profiler: Arc<AppProfiler>,
+    arena: Arc<BlockSlots>,
     cfg: SimConfig,
 }
 
 impl<'a> Simulation<'a> {
-    /// Create a simulation. The profiler decides how much of the DAG each
-    /// policy sees at each point (ad-hoc vs recurring, paper §5.8).
+    /// Create a simulation, building its shared artifacts (profiler and
+    /// block-slot arena) from scratch. The profiler decides how much of the
+    /// DAG each policy sees at each point (ad-hoc vs recurring, paper §5.8).
     pub fn new(spec: &'a AppSpec, plan: &'a AppPlan, mode: ProfileMode, cfg: SimConfig) -> Self {
+        Self::with_artifacts(
+            spec,
+            plan,
+            Arc::new(AppProfiler::new(spec, plan, mode)),
+            Arc::new(BlockSlots::new(spec)),
+            cfg,
+        )
+    }
+
+    /// Create a simulation around pre-built shared artifacts. The profiler
+    /// depends only on `(spec, plan, mode)` and the arena only on `spec`, so
+    /// a sweep that runs one workload under many `(policy, fraction, seed)`
+    /// cells builds each exactly once and shares the `Arc`s across cells
+    /// instead of re-profiling the DAG and rebuilding the arena per run.
+    ///
+    /// `profiler` and `arena` must have been built from this same
+    /// `(spec, plan)` — the engine trusts the arena's slot mapping.
+    pub fn with_artifacts(
+        spec: &'a AppSpec,
+        plan: &'a AppPlan,
+        profiler: Arc<AppProfiler>,
+        arena: Arc<BlockSlots>,
+        cfg: SimConfig,
+    ) -> Self {
         cfg.cluster
             .validate()
             .unwrap_or_else(|e| panic!("invalid cluster config: {e}"));
         Simulation {
             spec,
             plan,
-            profiler: AppProfiler::new(spec, plan, mode),
+            profiler,
+            arena,
             cfg,
         }
     }
@@ -81,10 +121,71 @@ impl<'a> Simulation<'a> {
         &self.profiler
     }
 
+    /// Shared handles to the run-independent artifacts, for reuse in another
+    /// simulation of the same workload ([`Simulation::with_artifacts`]).
+    pub fn artifacts(&self) -> (Arc<AppProfiler>, Arc<BlockSlots>) {
+        (Arc::clone(&self.profiler), Arc::clone(&self.arena))
+    }
+
     /// Execute the application under `policy` and report.
     pub fn run(&self, policy: &mut dyn CachePolicy) -> RunReport {
-        let mut engine = Engine::new(self.spec, self.plan, &self.profiler, &self.cfg);
-        engine.run(policy)
+        self.run_with_scratch(policy, &mut EngineScratch::default())
+    }
+
+    /// Execute the application under `policy`, recycling `scratch`'s buffers
+    /// for the engine's per-run state and leaving them in `scratch` for the
+    /// next run. Results are identical to [`Simulation::run`] — the engine
+    /// resets every recycled buffer to its fresh state — but back-to-back
+    /// runs (sweep cells on one worker thread) skip the allocations.
+    pub fn run_with_scratch(
+        &self,
+        policy: &mut dyn CachePolicy,
+        scratch: &mut EngineScratch,
+    ) -> RunReport {
+        let mut engine = Engine::new(self, std::mem::take(scratch));
+        let report = engine.run(policy);
+        *scratch = engine.into_scratch();
+        report
+    }
+}
+
+/// Reusable engine allocations, recycled across runs via
+/// [`Simulation::run_with_scratch`]. Holds the per-run tables whose shapes
+/// depend only on the cluster and workload sizes: slot free times, dense
+/// per-block state, the lineage-walk epoch stamps, and the purge candidate
+/// buffer. A default-constructed scratch is simply "no buffers yet".
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    slots: Vec<Vec<SimTime>>,
+    pending_d: Vec<Vec<SimTime>>,
+    materialized_d: SlotSet,
+    prefetched_d: Vec<SlotSet>,
+    prefetchable: Vec<SlotSet>,
+    visited_epoch: Vec<u64>,
+    purge_buf: Vec<BlockId>,
+}
+
+/// Shape `rows` into `outer` rows of `inner` copies of `fill`, reusing row
+/// allocations from a previous run.
+fn reset_rows(rows: &mut Vec<Vec<SimTime>>, outer: usize, inner: usize, fill: SimTime) {
+    rows.truncate(outer);
+    for row in rows.iter_mut() {
+        row.clear();
+        row.resize(inner, fill);
+    }
+    while rows.len() < outer {
+        rows.push(vec![fill; inner]);
+    }
+}
+
+/// Shape `sets` into `outer` empty bitsets over `nslots` slots.
+fn reset_sets(sets: &mut Vec<SlotSet>, outer: usize, nslots: usize) {
+    sets.truncate(outer);
+    for s in sets.iter_mut() {
+        s.reset(nslots);
+    }
+    while sets.len() < outer {
+        sets.push(SlotSet::new(nslots));
     }
 }
 
@@ -113,8 +214,16 @@ struct Engine<'a> {
     master: BlockMaster,
     disk: Vec<FifoResource>,
     net: Vec<FifoResource>,
-    /// Per node, per core: time the slot becomes free.
+    /// Per node, per core: time the slot becomes free (authoritative).
     slots: Vec<Vec<SimTime>>,
+    /// Ordered mirror of `slots` for O(log n) placement; `None` when the
+    /// linear reference scheduler is in use (`cfg.linear_sched` or
+    /// `cfg.reference_state`).
+    sched: Option<SlotIndex>,
+    /// Home vs delay-scheduled-remote placement counters.
+    sched_stats: SchedStats,
+    /// Per-task `(node, slot, start)` log (`cfg.collect_placements`).
+    placements: Vec<(u32, u32, SimTime)>,
 
     /// Block → dense slot mapping over the cached RDDs.
     arena: Arc<BlockSlots>,
@@ -150,6 +259,8 @@ struct Engine<'a> {
     /// set — no per-task allocation).
     visited_epoch: Vec<u64>,
     epoch: u64,
+    /// Purge candidate buffer, reused across stages (and runs, via scratch).
+    purge_buf: Vec<BlockId>,
 
     /// Per-node prefetch thresholds (adaptive when configured).
     thresholds: Vec<f64>,
@@ -165,20 +276,37 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(
-        spec: &'a AppSpec,
-        plan: &'a AppPlan,
-        profiler: &'a AppProfiler,
-        cfg: &'a SimConfig,
-    ) -> Self {
+    fn new(sim: &'a Simulation<'_>, mut s: EngineScratch) -> Self {
+        let spec = sim.spec;
+        let cfg = &sim.cfg;
         let n = cfg.cluster.nodes as usize;
         let reference = cfg.reference_state;
-        let arena = Arc::new(BlockSlots::new(spec));
+        let arena = Arc::clone(&sim.arena);
         let nslots = if reference { 0 } else { arena.len() };
+        // Shape the recycled scratch buffers into exactly the state fresh
+        // allocations would have — run_with_scratch feeds a previous run's
+        // buffers back in, possibly from a different cluster/workload size.
+        reset_rows(
+            &mut s.slots,
+            n,
+            cfg.cluster.cores_per_node as usize,
+            SimTime::ZERO,
+        );
+        reset_rows(&mut s.pending_d, n, nslots, SimTime::ZERO);
+        s.materialized_d.reset(nslots);
+        reset_sets(&mut s.prefetched_d, n, nslots);
+        reset_sets(&mut s.prefetchable, n, nslots);
+        s.visited_epoch.clear();
+        if !reference {
+            s.visited_epoch.resize(spec.rdds.len(), 0);
+        }
+        s.purge_buf.clear();
+        let sched = (!reference && !cfg.linear_sched)
+            .then(|| SlotIndex::new(&s.slots, cfg.delay_scheduling_us.is_some()));
         Engine {
             spec,
-            plan,
-            profiler,
+            plan: sim.plan,
+            profiler: &sim.profiler,
             cfg,
             nodes: n,
             managers: (0..n)
@@ -202,24 +330,22 @@ impl<'a> Engine<'a> {
             net: (0..n)
                 .map(|_| FifoResource::new(cfg.cluster.net_bw))
                 .collect(),
-            slots: (0..n)
-                .map(|_| vec![SimTime::ZERO; cfg.cluster.cores_per_node as usize])
-                .collect(),
+            slots: s.slots,
+            sched,
+            sched_stats: SchedStats::default(),
+            placements: Vec::new(),
             reference,
             pending: HashMap::new(),
             prefetched_unused: HashSet::new(),
             materialized: HashSet::new(),
             visited_ref: HashSet::new(),
-            pending_d: (0..n).map(|_| vec![SimTime::ZERO; nslots]).collect(),
-            materialized_d: SlotSet::new(nslots),
-            prefetched_d: (0..n).map(|_| SlotSet::new(nslots)).collect(),
-            prefetchable: (0..n).map(|_| SlotSet::new(nslots)).collect(),
-            visited_epoch: if reference {
-                Vec::new()
-            } else {
-                vec![0; spec.rdds.len()]
-            },
+            pending_d: s.pending_d,
+            materialized_d: s.materialized_d,
+            prefetched_d: s.prefetched_d,
+            prefetchable: s.prefetchable,
+            visited_epoch: s.visited_epoch,
             epoch: 0,
+            purge_buf: s.purge_buf,
             arena,
             thresholds: vec![cfg.prefetch_threshold; n],
             adapt_baseline: vec![(0, 0); n],
@@ -230,6 +356,19 @@ impl<'a> Engine<'a> {
             stage_times: Vec::new(),
             trace: Vec::new(),
             rng: SmallRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    /// Hand the reusable buffers back for the next run.
+    fn into_scratch(self) -> EngineScratch {
+        EngineScratch {
+            slots: self.slots,
+            pending_d: self.pending_d,
+            materialized_d: self.materialized_d,
+            prefetched_d: self.prefetched_d,
+            prefetchable: self.prefetchable,
+            visited_epoch: self.visited_epoch,
+            purge_buf: self.purge_buf,
         }
     }
 
@@ -373,13 +512,15 @@ impl<'a> Engine<'a> {
             policy.attach_slots(&self.arena);
         }
         let mut submitted: Option<JobId> = None;
-        let mut visible: AppProfile = self.profiler.visible_at_job(JobId(0));
+        // Shared handle: recurring mode hands out the one full profile per
+        // job instead of cloning it.
+        let mut visible: Arc<AppProfile> = self.profiler.visible_at_job_shared(JobId(0));
 
         for stage in &self.plan.stages {
             // Submit any jobs up to this stage's job.
             let next = submitted.map_or(0, |j| j.0 + 1);
             for j in next..=stage.job.0 {
-                visible = self.profiler.visible_at_job(JobId(j));
+                visible = self.profiler.visible_at_job_shared(JobId(j));
                 policy.on_job_submit(JobId(j), &visible);
                 submitted = Some(JobId(j));
             }
@@ -434,6 +575,7 @@ impl<'a> Engine<'a> {
             policy: policy.name(),
             jct: self.now - SimTime::ZERO,
             stats: agg,
+            sched: self.sched_stats,
             per_node: self.managers.iter().map(|m| m.stats).collect(),
             io_time: self.io_accum,
             compute_time: self.compute_accum,
@@ -441,6 +583,11 @@ impl<'a> Engine<'a> {
             tasks: self.tasks_run,
             trace: if self.cfg.collect_trace {
                 Some(std::mem::take(&mut self.trace))
+            } else {
+                None
+            },
+            placements: if self.cfg.collect_placements {
+                Some(std::mem::take(&mut self.placements))
             } else {
                 None
             },
@@ -490,19 +637,38 @@ impl<'a> Engine<'a> {
 
     /// Cluster-wide proactive purge (Algorithm 1, eviction phase part 1).
     fn run_purge(&mut self, policy: &mut dyn CachePolicy) {
-        let mut in_memory: Vec<BlockId> = self
-            .managers
-            .iter()
-            .flat_map(|m| m.memory.iter().map(|(b, _)| b))
-            .collect();
-        in_memory.sort_unstable();
-        in_memory.dedup();
-        if in_memory.is_empty() {
+        if !policy.wants_purge() {
+            // Purge-free policies (LRU, FIFO, Random, MemTune): their
+            // `purge_candidates` is an empty no-op, so skip the cluster-wide
+            // residency collection entirely.
+            return;
+        }
+        self.purge_buf.clear();
+        if self.reference {
+            // Reference path: collect every node's residents and
+            // canonicalize (the original per-stage cost profile).
+            let buf = &mut self.purge_buf;
+            buf.extend(
+                self.managers
+                    .iter()
+                    .flat_map(|m| m.memory.iter().map(|(b, _)| b)),
+            );
+            buf.sort_unstable();
+            buf.dedup();
+        } else {
+            // Dense path: the master registry mirrors every node's memory
+            // residency and its dense table iterates ascending by `BlockId`,
+            // so it already *is* the sorted, deduped candidate list — no
+            // per-stage collect + sort over all nodes.
+            let master = &self.master;
+            self.purge_buf.extend(master.memory_resident());
+        }
+        if self.purge_buf.is_empty() {
             // Still let the policy refresh its purge bookkeeping.
             let _ = policy.purge_candidates(&[]);
             return;
         }
-        for b in policy.purge_candidates(&in_memory) {
+        for b in policy.purge_candidates(&self.purge_buf) {
             for node in 0..self.nodes {
                 let m = &mut self.managers[node];
                 let had_mem = m.memory.contains(b) && !m.memory.is_pinned(b);
@@ -532,33 +698,52 @@ impl<'a> Engine<'a> {
         let mut stage_end = stage_start;
         for p in 0..stage.num_tasks {
             let home = self.home(p);
-            // Earliest-free slot on the home node.
-            let (mut node, mut slot_idx, mut slot_free) = {
-                let (i, &t) = self.slots[home]
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(i, &t)| (t, *i))
-                    .expect("nodes have at least one core");
-                (home, i, t)
+            // Earliest-free slot on the home node: O(log cores) from the
+            // index, or the reference linear scan. Both break free-time ties
+            // on the lowest slot index.
+            let (mut node, mut slot_idx, mut slot_free) = match &self.sched {
+                Some(idx) => {
+                    let (i, t) = idx.earliest_on(home);
+                    (home, i, t)
+                }
+                None => {
+                    let (i, &t) = self.slots[home]
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, &t)| (t, *i))
+                        .expect("nodes have at least one core");
+                    (home, i, t)
+                }
             };
             // Delay scheduling: if enabled and the home node keeps the task
             // waiting too long past the globally earliest slot, run it
             // remotely and pay remote reads instead.
             if let Some(delay) = self.cfg.delay_scheduling_us {
-                let (gn, gi, gt) = (0..self.nodes)
-                    .flat_map(|n| {
-                        self.slots[n]
-                            .iter()
-                            .enumerate()
-                            .map(move |(i, &t)| (n, i, t))
-                    })
-                    .min_by_key(|&(n, i, t)| (t, n, i))
-                    .expect("cluster has slots");
+                let (gn, gi, gt) = match &self.sched {
+                    Some(idx) => idx.earliest_global(),
+                    None => (0..self.nodes)
+                        .flat_map(|n| {
+                            self.slots[n]
+                                .iter()
+                                .enumerate()
+                                .map(move |(i, &t)| (n, i, t))
+                        })
+                        .min_by_key(|&(n, i, t)| (t, n, i))
+                        .expect("cluster has slots"),
+                };
                 if slot_free.max(stage_start).micros() > gt.max(stage_start).micros() + delay {
                     (node, slot_idx, slot_free) = (gn, gi, gt);
                 }
             }
             let start = slot_free.max(stage_start);
+            if node == home {
+                self.sched_stats.home_placements += 1;
+            } else {
+                self.sched_stats.remote_placements += 1;
+            }
+            if self.cfg.collect_placements {
+                self.placements.push((node as u32, slot_idx as u32, start));
+            }
 
             self.begin_task();
             let (io_done, compute_us) = self.acquire(stage.final_rdd, p, node, start, policy);
@@ -584,7 +769,10 @@ impl<'a> Engine<'a> {
                 task_end = self.disk[node].request(task_end, out);
             }
 
-            self.slots[node][slot_idx] = task_end;
+            let old = std::mem::replace(&mut self.slots[node][slot_idx], task_end);
+            if let Some(idx) = &mut self.sched {
+                idx.commit(node, slot_idx, old, task_end);
+            }
             self.io_accum += io_done - start;
             self.compute_accum += compute;
             self.tasks_run += 1;
@@ -1265,6 +1453,69 @@ mod tests {
         assert!(r.stats.remote_hits > 0, "no remote hits: {:?}", r.stats);
         // Remote hits are still hits.
         assert!(r.stats.remote_hits <= r.stats.hits);
+        // The migrations show up in the placement counters and the summary.
+        assert!(r.sched.remote_placements > 0, "no migrations: {:?}", r.sched);
+        assert_eq!(
+            r.sched.home_placements + r.sched.remote_placements,
+            r.tasks
+        );
+        assert!(r.summary().contains("delay-scheduled remotely"));
+    }
+
+    #[test]
+    fn placements_collected_only_on_request() {
+        let spec = iterative_app(3, 8, 256 * 1024);
+        let plan = AppPlan::build(&spec);
+        let mut cfg = sim_cfg(2, 1 << 30);
+        cfg.collect_placements = true;
+        let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg)
+            .run(&mut *PolicyKind::Lru.build());
+        let placements = r.placements.expect("placements were requested");
+        assert_eq!(placements.len(), r.tasks as usize);
+        // Without delay scheduling every task runs at home: node = p % nodes
+        // in task order, stage by stage.
+        assert!(placements.iter().all(|&(n, _, _)| n < 2));
+
+        let r = run(&spec, sim_cfg(2, 1 << 30), &mut *PolicyKind::Lru.build());
+        assert!(r.placements.is_none());
+        assert_eq!(r.sched.home_placements, r.tasks);
+        assert_eq!(r.sched.remote_placements, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_across_cells() {
+        // One scratch threaded through runs of different shapes (cluster
+        // sizes, policies, even another workload) must not change any result.
+        let spec_a = iterative_app(4, 8, 512 * 1024);
+        let plan_a = AppPlan::build(&spec_a);
+        let spec_b = iterative_app(2, 6, 256 * 1024);
+        let plan_b = AppPlan::build(&spec_b);
+        let mut scratch = EngineScratch::default();
+        for (spec, plan) in [(&spec_a, &plan_a), (&spec_b, &plan_b)] {
+            for nodes in [2u32, 3] {
+                for kind in [PolicyKind::Lru, PolicyKind::Fifo] {
+                    let mut cfg = sim_cfg(nodes, 1024 * 1024);
+                    cfg.delay_scheduling_us = Some(1_000);
+                    let sim = Simulation::new(spec, plan, ProfileMode::Recurring, cfg);
+                    let fresh = sim.run(&mut *kind.build());
+                    let reused = sim.run_with_scratch(&mut *kind.build(), &mut scratch);
+                    assert_eq!(format!("{fresh:?}"), format!("{reused:?}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_artifacts_match_freshly_built() {
+        let spec = iterative_app(4, 8, 512 * 1024);
+        let plan = AppPlan::build(&spec);
+        let cfg = sim_cfg(3, 2 * 1024 * 1024);
+        let base = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg.clone());
+        let (profiler, arena) = base.artifacts();
+        let shared = Simulation::with_artifacts(&spec, &plan, profiler, arena, cfg);
+        let r1 = base.run(&mut *PolicyKind::Lru.build());
+        let r2 = shared.run(&mut *PolicyKind::Lru.build());
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
     }
 
     #[test]

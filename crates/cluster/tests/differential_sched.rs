@@ -1,0 +1,175 @@
+//! Differential property test for the indexed task scheduler.
+//!
+//! The engine places tasks with two interchangeable schedulers: the original
+//! linear scans (`SimConfig::linear_sched = true`, kept as the reference
+//! implementation — a per-task `min_by_key` over the home node's cores plus
+//! a full nodes×cores scan per task under delay scheduling) and the
+//! incrementally maintained `SlotIndex`. For randomized applications ×
+//! cluster shapes (nodes, cores, jitter, stragglers, delay bounds, node
+//! failures), the two must produce *byte-identical placement sequences* —
+//! every task's `(node, slot, start)` — and byte-identical `RunReport`s.
+
+use proptest::prelude::*;
+use refdist_cluster::{ClusterConfig, RunReport, SimConfig, Simulation};
+use refdist_core::{MrdPolicy, ProfileMode};
+use refdist_dag::{AppBuilder, AppPlan, AppSpec, StorageLevel};
+use refdist_policies::PolicyKind;
+
+/// Parameters of a randomized iterative application.
+#[derive(Debug, Clone)]
+struct AppParams {
+    iters: usize,
+    parts: u32,
+    block_kb: u64,
+}
+
+fn build_app(p: &AppParams) -> AppSpec {
+    let block = p.block_kb * 256 * 1024;
+    let mut b = AppBuilder::new("sched-app");
+    let input = b.input("in", p.parts, block, 2_000);
+    let data = b.narrow("data", input, block, 5_000);
+    b.persist(data, StorageLevel::MemoryAndDisk);
+    for i in 0..p.iters {
+        let s = b.shuffle(format!("agg{i}"), &[data], p.parts, block / 4, 1_000);
+        b.action(format!("job{i}"), s);
+    }
+    b.build()
+}
+
+/// Parameters of a randomized cluster/scheduling configuration.
+#[derive(Debug, Clone)]
+struct CfgParams {
+    nodes: u32,
+    cores: u32,
+    cache_frac: f64,
+    jitter: f64,
+    seed: u64,
+    slow: bool,
+    failure: bool,
+    delay: Option<u64>,
+}
+
+fn build_cfg(c: &CfgParams, spec: &AppSpec) -> SimConfig {
+    let footprint: u64 = spec
+        .cached_rdds()
+        .map(|r| r.num_partitions as u64 * r.block_size)
+        .sum();
+    let per_node = ((footprint as f64 * c.cache_frac) / c.nodes as f64) as u64;
+    let mut cfg = SimConfig::new(ClusterConfig::tiny(c.nodes, per_node));
+    cfg.cluster.cores_per_node = c.cores;
+    cfg.seed = c.seed;
+    cfg.compute_jitter = c.jitter;
+    cfg.delay_scheduling_us = c.delay;
+    cfg.collect_placements = true;
+    if c.slow {
+        cfg.slow_node = Some((0, 8.0));
+    }
+    if c.failure {
+        cfg.node_failure = Some((c.nodes - 1, 2));
+    }
+    cfg
+}
+
+fn run_once(spec: &AppSpec, plan: &AppPlan, cfg: SimConfig, kind: &str) -> RunReport {
+    let sim = Simulation::new(spec, plan, ProfileMode::Recurring, cfg);
+    match kind {
+        "lru" => sim.run(&mut *PolicyKind::Lru.build()),
+        _ => sim.run(&mut MrdPolicy::full()),
+    }
+}
+
+fn assert_equivalent(p: &AppParams, c: &CfgParams) {
+    let spec = build_app(p);
+    let plan = AppPlan::build(&spec);
+    for kind in ["lru", "mrd"] {
+        let mut linear_cfg = build_cfg(c, &spec);
+        linear_cfg.linear_sched = true;
+        let indexed_cfg = build_cfg(c, &spec);
+        let linear = run_once(&spec, &plan, linear_cfg, kind);
+        let indexed = run_once(&spec, &plan, indexed_cfg, kind);
+        assert_eq!(
+            linear.placements, indexed.placements,
+            "placement sequence diverged for {kind} on {p:?} {c:?}"
+        );
+        assert_eq!(
+            format!("{linear:?}"),
+            format!("{indexed:?}"),
+            "report diverged for {kind} on {p:?} {c:?}"
+        );
+    }
+}
+
+fn app_strategy() -> impl Strategy<Value = AppParams> {
+    (1usize..4, 1u32..16, 1u64..4).prop_map(|(iters, parts, block_kb)| AppParams {
+        iters,
+        parts,
+        block_kb,
+    })
+}
+
+fn cfg_strategy() -> impl Strategy<Value = CfgParams> {
+    (
+        (
+            1u32..6,
+            1u32..5,
+            prop_oneof![Just(0.3), Just(2.0)],
+            prop_oneof![Just(0.0), Just(0.1)],
+        ),
+        (
+            any::<u16>(),
+            any::<bool>(),
+            any::<bool>(),
+            // None exercises the home-only path; 0 migrates aggressively
+            // (maximum index churn); 5 ms sits at the decision boundary.
+            prop_oneof![Just(None), Just(Some(0u64)), Just(Some(5_000u64))],
+        ),
+    )
+        .prop_map(
+            |((nodes, cores, cache_frac, jitter), (seed, slow, failure, delay))| CfgParams {
+                nodes,
+                cores,
+                cache_frac,
+                jitter,
+                seed: seed as u64,
+                slow,
+                failure,
+                delay,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn indexed_scheduler_is_indistinguishable_from_linear(
+        app in app_strategy(),
+        cfg in cfg_strategy(),
+    ) {
+        assert_equivalent(&app, &cfg);
+    }
+}
+
+/// Deterministic spot-check of the migration-heavy corner: a straggler, many
+/// task waves per node, a tight delay bound, and free-time ties from jitter
+/// being off — the regime where tie-breaking mistakes actually surface.
+#[test]
+fn indexed_scheduler_matches_linear_under_migration_pressure() {
+    let app = AppParams {
+        iters: 4,
+        parts: 13,
+        block_kb: 2,
+    };
+    for delay in [Some(0), Some(5_000), Some(50_000)] {
+        let cfg = CfgParams {
+            nodes: 3,
+            cores: 2,
+            cache_frac: 2.0,
+            jitter: 0.0,
+            seed: 7,
+            slow: true,
+            failure: false,
+            delay,
+        };
+        assert_equivalent(&app, &cfg);
+    }
+}

@@ -84,6 +84,9 @@ impl CachePolicy for Recorder {
     fn wants_prefetch(&self) -> bool {
         self.inner.wants_prefetch()
     }
+    fn wants_purge(&self) -> bool {
+        self.inner.wants_purge()
+    }
 }
 
 /// Parameters of a randomized iterative application.

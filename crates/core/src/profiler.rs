@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Whether the profiler may use a whole-application profile from a previous
 /// run, or must build knowledge one job at a time.
@@ -34,17 +35,22 @@ pub enum ProfileMode {
 
 /// Produces the reference profile visible to the MRDmanager at each point of
 /// the run.
+///
+/// The full profile is held behind an `Arc`: one profiler can be shared by
+/// many concurrent simulations (the sweep engine builds it once per
+/// workload), and recurring-mode visibility queries hand out the shared
+/// profile instead of cloning it per job.
 #[derive(Debug, Clone)]
 pub struct AppProfiler {
     mode: ProfileMode,
     name: String,
-    full: AppProfile,
+    full: Arc<AppProfile>,
 }
 
 impl AppProfiler {
     /// Profile an application by parsing its planned DAG (`parseDAG`).
     pub fn new(spec: &AppSpec, plan: &AppPlan, mode: ProfileMode) -> Self {
-        let full = RefAnalyzer::new(spec, plan).profile();
+        let full = Arc::new(RefAnalyzer::new(spec, plan).profile());
         AppProfiler {
             mode,
             name: spec.name.clone(),
@@ -58,7 +64,7 @@ impl AppProfiler {
         AppProfiler {
             mode: ProfileMode::Recurring,
             name: name.into(),
-            full: profile,
+            full: Arc::new(profile),
         }
     }
 
@@ -80,8 +86,21 @@ impl AppProfiler {
     /// The profile visible when `job` is submitted.
     pub fn visible_at_job(&self, job: JobId) -> AppProfile {
         match self.mode {
-            ProfileMode::Recurring => self.full.clone(),
+            ProfileMode::Recurring => (*self.full).clone(),
             ProfileMode::AdHoc => self.full.visible_up_to_job(job),
+        }
+    }
+
+    /// Shared-ownership variant of [`visible_at_job`]: recurring mode hands
+    /// out the stored profile without copying it (the per-job clone of the
+    /// whole profile was a measurable per-run cost); ad-hoc mode still
+    /// materializes the truncated view.
+    ///
+    /// [`visible_at_job`]: AppProfiler::visible_at_job
+    pub fn visible_at_job_shared(&self, job: JobId) -> Arc<AppProfile> {
+        match self.mode {
+            ProfileMode::Recurring => Arc::clone(&self.full),
+            ProfileMode::AdHoc => Arc::new(self.full.visible_up_to_job(job)),
         }
     }
 
@@ -328,6 +347,25 @@ mod tests {
         let p = AppProfiler::new(&spec, &plan, ProfileMode::Recurring);
         let v = p.visible_at_job(JobId(0));
         assert_eq!(v.refs(RddId(1)).unwrap().count(), 3);
+    }
+
+    #[test]
+    fn shared_visibility_matches_owned() {
+        let (spec, plan) = sample();
+        for mode in [ProfileMode::Recurring, ProfileMode::AdHoc] {
+            let p = AppProfiler::new(&spec, &plan, mode);
+            for j in 0..3 {
+                let owned = p.visible_at_job(JobId(j));
+                let shared = p.visible_at_job_shared(JobId(j));
+                assert_eq!(owned.per_rdd, shared.per_rdd, "{mode:?} job {j}");
+                assert_eq!(owned.stage_job, shared.stage_job);
+            }
+        }
+        // Recurring mode shares, not clones.
+        let p = AppProfiler::new(&spec, &plan, ProfileMode::Recurring);
+        let a = p.visible_at_job_shared(JobId(0));
+        let b = p.visible_at_job_shared(JobId(2));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

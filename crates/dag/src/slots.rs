@@ -333,6 +333,14 @@ impl SlotSet {
         was
     }
 
+    /// Reset to an empty set over `slots` slots, reusing the word buffer.
+    /// Equivalent to `*self = SlotSet::new(slots)` without the allocation.
+    pub fn reset(&mut self, slots: usize) {
+        self.words.clear();
+        self.words.resize(slots.div_ceil(64), 0);
+        self.len = 0;
+    }
+
     /// Set slots in ascending order.
     pub fn ones(&self) -> impl Iterator<Item = u32> + '_ {
         self.words.iter().enumerate().flat_map(|(i, &w)| {
@@ -498,5 +506,22 @@ mod tests {
         assert!(!s.remove(64));
         assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 129]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn slotset_reset_matches_fresh() {
+        let mut s = SlotSet::new(130);
+        s.insert(0);
+        s.insert(129);
+        s.reset(70);
+        assert!(s.is_empty());
+        assert_eq!(s.ones().count(), 0);
+        assert!(!s.contains(0));
+        s.insert(69);
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![69]);
+        // Growing past the old capacity also works.
+        s.reset(300);
+        assert!(s.insert(299));
+        assert_eq!(s.len(), 1);
     }
 }

@@ -61,6 +61,10 @@ impl CachePolicy for FifoPolicy {
     ) -> Vec<BlockId> {
         self.index.select(node, shortfall, resident)
     }
+
+    fn wants_purge(&self) -> bool {
+        false // insertion-order only: never purges proactively
+    }
 }
 
 #[cfg(test)]

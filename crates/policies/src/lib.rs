@@ -149,6 +149,16 @@ pub trait CachePolicy: Send {
         Vec::new()
     }
 
+    /// Whether [`purge_candidates`] can ever return candidates or has side
+    /// effects worth triggering. Policies that keep the default (empty,
+    /// side-effect-free) implementation override this to `false`, letting
+    /// the runtime skip the per-stage residency collection entirely.
+    ///
+    /// [`purge_candidates`]: CachePolicy::purge_candidates
+    fn wants_purge(&self) -> bool {
+        true
+    }
+
     /// Rank `missing` blocks (cached-RDD blocks not in `node`'s memory) in
     /// prefetch priority order, best first. Empty means "prefetch nothing".
     fn prefetch_order(&mut self, node: NodeId, missing: &[BlockId]) -> Vec<BlockId> {
@@ -231,5 +241,17 @@ mod tests {
         assert!(!p.wants_prefetch());
         assert!(p.purge_candidates(&[]).is_empty());
         assert!(p.prefetch_order(NodeId(0), &[]).is_empty());
+        // Defaults conservatively assume purge_candidates matters.
+        assert!(p.wants_purge());
+    }
+
+    #[test]
+    fn baselines_opt_out_of_purging() {
+        // These keep the default (empty) purge_candidates, so the runtime
+        // may skip the per-stage residency collection for them entirely.
+        for &k in PolicyKind::all() {
+            let expected = k == PolicyKind::Lrc;
+            assert_eq!(k.build().wants_purge(), expected, "{k:?}");
+        }
     }
 }

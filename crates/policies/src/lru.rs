@@ -74,6 +74,10 @@ impl CachePolicy for LruPolicy {
     ) -> Vec<BlockId> {
         self.index.select(node, shortfall, resident)
     }
+
+    fn wants_purge(&self) -> bool {
+        false // recency-only: never purges proactively
+    }
 }
 
 #[cfg(test)]

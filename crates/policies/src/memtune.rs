@@ -151,6 +151,10 @@ impl CachePolicy for MemTunePolicy {
     fn wants_prefetch(&self) -> bool {
         true
     }
+
+    fn wants_purge(&self) -> bool {
+        false // evicts outside the need-lists only under pressure
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,10 @@ impl CachePolicy for RandomPolicy {
             Some(candidates[i])
         }
     }
+
+    fn wants_purge(&self) -> bool {
+        false // evicts only under pressure
+    }
 }
 
 #[cfg(test)]

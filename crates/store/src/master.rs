@@ -106,6 +106,15 @@ impl BlockMaster {
         self.memory.contains(block)
     }
 
+    /// Every block resident in at least one node's memory, one entry per
+    /// block. Dense registries iterate ascending by `BlockId` (slot order);
+    /// hash-backed ones in arbitrary order — callers needing canonical order
+    /// there must sort, exactly like the per-manager collection they
+    /// replace.
+    pub fn memory_resident(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.memory.iter().map(|(b, _)| b)
+    }
+
     /// Whether any node holds `block` at all.
     pub fn anywhere(&self, block: BlockId) -> bool {
         self.memory.contains(block) || self.disk.contains(block)
@@ -234,6 +243,21 @@ mod tests {
             m.register_disk(blk(0, 0), NodeId(1));
             m.register_memory(blk(0, 0), NodeId(2));
             assert_eq!(m.best_source(blk(0, 0), NodeId(0)), Some((NodeId(2), true)));
+        });
+    }
+
+    #[test]
+    fn memory_resident_is_deduped_across_nodes() {
+        both(|mut m| {
+            m.register_memory(blk(0, 1), NodeId(0));
+            m.register_memory(blk(0, 1), NodeId(1));
+            m.register_memory(blk(0, 0), NodeId(1));
+            m.register_disk(blk(0, 2), NodeId(0)); // disk-only: not resident
+            let mut got: Vec<BlockId> = m.memory_resident().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![blk(0, 0), blk(0, 1)]);
+            m.unregister_memory(blk(0, 0), NodeId(1));
+            assert_eq!(m.memory_resident().count(), 1);
         });
     }
 
