@@ -19,6 +19,13 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Fault-injection suites, run explicitly so a chaos regression is named in
+# the CI log even though the workspace pass above already covers them:
+# randomized FaultPlans (termination + conserved accounting + replay
+# determinism) and the empty-plan byte-invisibility differential.
+echo "==> cargo test -q -p refdist-cluster --test proptest_faults --test differential_faults"
+cargo test -q -p refdist-cluster --test proptest_faults --test differential_faults
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -40,6 +47,15 @@ done
   echo "==> REFDIST_QUICK=1 bench_sched (scratch dir)"
   REFDIST_QUICK=1 cargo run --release -q -p refdist-bench --bin bench_sched \
     --manifest-path "$OLDPWD/Cargo.toml" --target-dir "$OLDPWD/target"
+
+  # Chaos CLI smoke: a tiny resilience curve must run end-to-end (fault
+  # injection -> sweep -> degradation table) and exit zero.
+  echo "==> refdist chaos smoke (scratch dir)"
+  "$OLDPWD/target/release/refdist" chaos SP --policies lru,lrc,mrd \
+    --rates 0.05 --nodes 2 --partitions 8 --scale 0.02 --threads 2 \
+    --csv > chaos_smoke.csv
+  grep -q '^0.0500,MRD' chaos_smoke.csv \
+    || { echo "chaos smoke: missing chaotic MRD row"; exit 1; }
 )
 
 # Show hot-path deltas when both recorded benchmark files are present

@@ -43,7 +43,7 @@ fn bench_sched_scaling(c: &mut Criterion) {
             let mut cfg = SimConfig::new(ClusterConfig::tiny(nodes, 1 << 40));
             cfg.cluster.cores_per_node = 4;
             cfg.delay_scheduling_us = Some(5_000);
-            cfg.slow_node = Some((0, 4.0));
+            cfg.faults.slow_node(0, 4.0);
             cfg.linear_sched = linear;
             let sim = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg);
             group.throughput(Throughput::Elements(tasks));

@@ -5,7 +5,7 @@
 //! * `BENCH_sched_linear.json` — `linear`: the original per-task linear
 //!   scans (`SimConfig::linear_sched`), including the full nodes×cores scan
 //!   per task that delay scheduling performs.
-//! * `BENCH_pr4.json` — `indexed`: the incrementally maintained
+//! * `BENCH_pr5.json` — `indexed`: the incrementally maintained
 //!   [`SlotIndex`](refdist_cluster) ordered-set scheduler (the default).
 //!
 //! The workload is a wide iterative app — 8 partitions per node, so every
@@ -14,9 +14,13 @@
 //! large clusters. Reports from both schedulers are asserted byte-identical
 //! before any timing is recorded.
 //!
-//! `BENCH_pr4.json` additionally re-measures the `bench_cache` macro
+//! `BENCH_pr5.json` additionally re-measures the `bench_cache` macro
 //! protocol (`cc_sweep` on dense state) so `ci.sh`'s regression guard can
-//! join it against `BENCH_pr3.json` from the same machine.
+//! join it against `BENCH_pr4.json` from the same machine — the fault
+//! subsystem threads through the task hot loop, and this is the check that
+//! an empty `FaultPlan` costs nothing there. A `chaos` protocol record
+//! (same macro run under `FaultPlan::chaos(0.05)`) baselines the *faulted*
+//! path for future PRs; it has no pr4 counterpart so the guard skips it.
 //!
 //! `REFDIST_QUICK=1` shrinks cluster sizes and repetitions for smoke runs
 //! (the output files are still written).
@@ -76,7 +80,7 @@ fn sched_cfg(nodes: u32, linear: bool) -> SimConfig {
     // Delay scheduling is what makes the linear scheduler scan every slot in
     // the cluster per task; the straggler guarantees migrations happen.
     cfg.delay_scheduling_us = Some(5_000);
-    cfg.slow_node = Some((0, 4.0));
+    cfg.faults.slow_node(0, 4.0);
     cfg.linear_sched = linear;
     cfg
 }
@@ -100,9 +104,10 @@ fn time_sched(spec: &AppSpec, plan: &AppPlan, nodes: u32, linear: bool) -> (f64,
 }
 
 /// The `bench_cache` macro protocol on dense state, re-measured so
-/// `BENCH_pr4.json` joins against `BENCH_pr3.json` from this machine.
-fn time_macro(policy: PolicySpec) -> f64 {
+/// `BENCH_pr5.json` joins against `BENCH_pr4.json` from this machine.
+fn time_macro(policy: PolicySpec, faults: refdist_cluster::FaultPlan) -> f64 {
     let mut ctx = ExpContext::main().quick();
+    ctx.faults = faults;
     if quick() {
         ctx.params.partitions = 32;
         ctx.params.scale = 0.1;
@@ -116,7 +121,8 @@ fn time_macro(policy: PolicySpec) -> f64 {
     let reps = if quick() { 1 } else { 3 };
     let mut best_ms = f64::INFINITY;
     for _ in 0..reps {
-        let cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
+        let mut cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
+        cfg.faults = ctx.faults.clone();
         let mut p = policy.build(None);
         let start = Instant::now();
         let report = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut *p);
@@ -178,7 +184,7 @@ fn main() {
     println!();
     println!("== macro: ConnectedComponents @ 20% cache, dense (ms) ==");
     for policy in [PolicySpec::Lru, PolicySpec::MrdFull] {
-        let ms = time_macro(policy);
+        let ms = time_macro(policy, refdist_cluster::FaultPlan::default());
         println!("{:<10} {:>9.0} ms", policy.name(), ms);
         indexed_records.push(Record {
             suite: "macro",
@@ -191,9 +197,27 @@ fn main() {
         });
     }
 
+    println!();
+    println!("== macro: same run under FaultPlan::chaos(0.05) (ms) ==");
+    {
+        let ms = time_macro(PolicySpec::Lru, refdist_cluster::FaultPlan::chaos(0.05));
+        println!("{:<10} {:>9.0} ms", "LRU", ms);
+        // Distinct bench name: bench_diff joins on (suite, bench, policy,
+        // blocks), and this run must not shadow the fault-free record.
+        indexed_records.push(Record {
+            suite: "macro",
+            bench: "cc_sweep_chaos",
+            policy: "LRU".into(),
+            blocks: 0,
+            protocol: "chaos",
+            metric: "ms_total",
+            value: ms,
+        });
+    }
+
     for (path, records) in [
         ("BENCH_sched_linear.json", &linear_records),
-        ("BENCH_pr4.json", &indexed_records),
+        ("BENCH_pr5.json", &indexed_records),
     ] {
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {

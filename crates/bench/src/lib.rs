@@ -17,7 +17,7 @@ pub use sweep::{
     SweepResults,
 };
 
-use refdist_cluster::{ClusterConfig, RunReport, SimConfig, Simulation};
+use refdist_cluster::{ClusterConfig, FaultPlan, RunReport, SimConfig, Simulation};
 use refdist_core::{AppProfiler, DistanceMetric, MrdConfig, MrdMode, MrdPolicy, ProfileMode};
 use refdist_dag::{AppPlan, AppSpec, BlockSlots};
 use refdist_policies::{BeladyMinPolicy, CachePolicy, PolicyKind};
@@ -128,6 +128,9 @@ pub struct ExpContext {
     pub params: WorkloadParams,
     /// Master seed.
     pub seed: u64,
+    /// Fault-injection plan applied to every run. The default (empty) plan
+    /// is byte-invisible: runs are identical to a context without it.
+    pub faults: FaultPlan,
 }
 
 impl ExpContext {
@@ -137,6 +140,7 @@ impl ExpContext {
             cluster: ClusterConfig::main_cluster(),
             params: WorkloadParams::default(),
             seed: 42,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -195,7 +199,8 @@ pub fn run_one(
     policy: PolicySpec,
     mode: ProfileMode,
 ) -> RunReport {
-    let cfg = SimConfig::new(ctx.cluster.with_cache(cache_bytes)).with_seed(ctx.seed);
+    let mut cfg = SimConfig::new(ctx.cluster.with_cache(cache_bytes)).with_seed(ctx.seed);
+    cfg.faults = ctx.faults.clone();
     let trace = if policy == PolicySpec::Belady {
         Some(refdist_cluster::collect_trace(spec, plan, &cfg))
     } else {
@@ -265,7 +270,8 @@ pub fn run_one_prepared(
     policy: PolicySpec,
     scratch: &mut EngineScratch,
 ) -> RunReport {
-    let cfg = SimConfig::new(ctx.cluster.with_cache(cache_bytes)).with_seed(ctx.seed);
+    let mut cfg = SimConfig::new(ctx.cluster.with_cache(cache_bytes)).with_seed(ctx.seed);
+    cfg.faults = ctx.faults.clone();
     let trace = if policy == PolicySpec::Belady {
         Some(refdist_cluster::collect_trace(&prep.spec, &prep.plan, &cfg))
     } else {

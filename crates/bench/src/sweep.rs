@@ -91,31 +91,47 @@ pub struct SweepCell {
     pub capacity_frac: f64,
     /// Replicate seed (grid-level; the simulation seed is derived from it).
     pub seed: u64,
+    /// Chaos fault rate applied via [`FaultPlan::chaos`]; `0.0` means no
+    /// fault injection (the historical cell shape — its key and seed are
+    /// unchanged from grids that predate the chaos axis).
+    ///
+    /// [`FaultPlan::chaos`]: refdist_cluster::FaultPlan::chaos
+    pub chaos: f64,
 }
 
 impl SweepCell {
     /// Canonical key identifying this cell in reports and golden files.
+    /// Fault-free cells keep the pre-chaos key shape.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{}/f{:.4}/s{}",
             self.workload.short_name(),
             self.policy.name(),
             self.capacity_frac,
             self.seed
-        )
+        );
+        if self.chaos != 0.0 {
+            key.push_str(&format!("/c{:.4}", self.chaos));
+        }
+        key
     }
 
     /// The simulation seed for this cell: a hash of the cell's environment
     /// key mixed with the context's master seed. The policy is excluded on
-    /// purpose — all policies at one grid point see identical randomness, so
-    /// their JCTs are directly comparable (paired runs).
+    /// purpose — all policies at one grid point see identical simulation
+    /// *and fault* randomness, so their JCTs are directly comparable
+    /// (paired runs). Fault-free cells hash the pre-chaos key shape, so
+    /// their seeds are stable across the axis's introduction.
     pub fn sim_seed(&self, master_seed: u64) -> u64 {
-        let env_key = format!(
+        let mut env_key = format!(
             "{}|f{:.4}|s{}",
             self.workload.short_name(),
             self.capacity_frac,
             self.seed
         );
+        if self.chaos != 0.0 {
+            env_key.push_str(&format!("|c{:.4}", self.chaos));
+        }
         // FNV-1a over the key, finalized with a splitmix64 round so nearby
         // keys land far apart in seed space.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ master_seed;
@@ -142,6 +158,8 @@ pub struct SweepGrid {
     pub fractions: Vec<f64>,
     /// Replicate seeds.
     pub seeds: Vec<u64>,
+    /// Chaos fault rates; the default `[0.0]` runs fault-free.
+    pub chaos: Vec<f64>,
 }
 
 impl SweepGrid {
@@ -156,6 +174,7 @@ impl SweepGrid {
             policies: policies.into(),
             fractions: crate::SWEEP_FRACTIONS.to_vec(),
             seeds: vec![42],
+            chaos: vec![0.0],
         }
     }
 
@@ -171,9 +190,19 @@ impl SweepGrid {
         self
     }
 
+    /// Replace the chaos fault rates (`0.0` = fault-free).
+    pub fn chaos(mut self, chaos: &[f64]) -> Self {
+        self.chaos = chaos.to_vec();
+        self
+    }
+
     /// Number of cells the grid expands to.
     pub fn len(&self) -> usize {
-        self.workloads.len() * self.fractions.len() * self.seeds.len() * self.policies.len()
+        self.workloads.len()
+            * self.fractions.len()
+            * self.seeds.len()
+            * self.chaos.len()
+            * self.policies.len()
     }
 
     /// Whether the grid is empty.
@@ -182,19 +211,23 @@ impl SweepGrid {
     }
 
     /// Expand to cells in canonical order: workload, then fraction, then
-    /// seed, then policy. All reports are aggregated in this order.
+    /// seed, then chaos rate, then policy. All reports are aggregated in
+    /// this order.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut out = Vec::with_capacity(self.len());
         for &workload in &self.workloads {
             for &capacity_frac in &self.fractions {
                 for &seed in &self.seeds {
-                    for &policy in &self.policies {
-                        out.push(SweepCell {
-                            workload,
-                            policy,
-                            capacity_frac,
-                            seed,
-                        });
+                    for &chaos in &self.chaos {
+                        for &policy in &self.policies {
+                            out.push(SweepCell {
+                                workload,
+                                policy,
+                                capacity_frac,
+                                seed,
+                                chaos,
+                            });
+                        }
                     }
                 }
             }
@@ -446,6 +479,9 @@ pub fn run_sweep(grid: &SweepGrid, ctx: &ExpContext, opts: &SweepOptions) -> Swe
             cache_for_fraction(&prep.spec, &ctx.cluster, cell.capacity_frac).max(1);
         let mut cell_ctx = ctx.clone();
         cell_ctx.seed = cell.sim_seed(ctx.seed);
+        if cell.chaos > 0.0 {
+            cell_ctx.faults = refdist_cluster::FaultPlan::chaos(cell.chaos);
+        }
         let cell_started = Instant::now();
         let report = SCRATCH.with(|s| {
             run_one_prepared(prep, &cell_ctx, cache_bytes, cell.policy, &mut s.borrow_mut())
@@ -503,6 +539,7 @@ mod tests {
             policy,
             capacity_frac: frac,
             seed,
+            chaos: 0.0,
         };
         let a = mk(PolicySpec::Lru, 0.4, 42).sim_seed(42);
         let b = mk(PolicySpec::MrdFull, 0.4, 42).sim_seed(42);
@@ -510,6 +547,44 @@ mod tests {
         assert_ne!(a, mk(PolicySpec::Lru, 0.6, 42).sim_seed(42));
         assert_ne!(a, mk(PolicySpec::Lru, 0.4, 43).sim_seed(42));
         assert_ne!(a, mk(PolicySpec::Lru, 0.4, 42).sim_seed(7));
+    }
+
+    #[test]
+    fn chaos_axis_is_invisible_at_rate_zero() {
+        let base = SweepCell {
+            workload: Workload::KMeans,
+            policy: PolicySpec::Lru,
+            capacity_frac: 0.4,
+            seed: 42,
+            chaos: 0.0,
+        };
+        let chaotic = SweepCell { chaos: 0.02, ..base };
+        // Rate 0 keeps the pre-chaos key and seed shapes (golden files and
+        // paired baselines stay stable); nonzero rates extend both.
+        assert_eq!(base.key(), "KM/LRU/f0.4000/s42");
+        assert_eq!(chaotic.key(), "KM/LRU/f0.4000/s42/c0.0200");
+        assert_ne!(base.sim_seed(42), chaotic.sim_seed(42));
+        assert_ne!(chaotic.sim_seed(42), SweepCell { chaos: 0.04, ..base }.sim_seed(42));
+    }
+
+    #[test]
+    fn chaos_cells_inject_faults_and_clean_cells_do_not() {
+        let ctx = tiny_ctx();
+        let grid = SweepGrid::new(vec![Workload::KMeans], vec![PolicySpec::Lru])
+            .fractions(&[0.5])
+            .chaos(&[0.0, 0.08]);
+        let res = run_sweep(&grid, &ctx, &SweepOptions::default().threads(2));
+        assert_eq!(res.cells.len(), 2);
+        let clean = &res.cells[0];
+        let chaotic = &res.cells[1];
+        assert_eq!(clean.cell.chaos, 0.0);
+        assert!(clean.report.faults.is_empty(), "{:?}", clean.report.faults);
+        assert!(
+            chaotic.report.faults.task_failures + chaotic.report.faults.fetch_failures > 0,
+            "{:?}",
+            chaotic.report.faults
+        );
+        assert!(chaotic.report.aborted.is_none());
     }
 
     #[test]

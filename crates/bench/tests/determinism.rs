@@ -72,6 +72,44 @@ fn master_seed_changes_every_cell_seed() {
 }
 
 #[test]
+fn chaos_cells_are_byte_identical_across_thread_counts() {
+    // The chaos axis injects stochastic faults, drawn from a per-cell
+    // fault stream — the resilience curve must be as thread-count-proof
+    // as the fault-free grid, and actually exercise the fault machinery.
+    let ctx = tiny_ctx();
+    let grid = SweepGrid::new(
+        vec![Workload::ShortestPaths],
+        vec![PolicySpec::Lru, PolicySpec::Lrc, PolicySpec::MrdFull],
+    )
+    .fractions(&[0.3])
+    .chaos(&[0.0, 0.05, 0.1]);
+    let sequential = run_sweep(&grid, &ctx, &SweepOptions::default().threads(1));
+    for threads in [2, 4, 8] {
+        let parallel = run_sweep(&grid, &ctx, &SweepOptions::default().threads(threads));
+        assert_eq!(
+            sequential.csv(),
+            parallel.csv(),
+            "chaos CSV diverged at {threads} threads"
+        );
+        for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+            assert_eq!(
+                format!("{:?}", a.report),
+                format!("{:?}", b.report),
+                "chaos report diverged at {threads} threads for {}",
+                a.cell.key()
+            );
+        }
+    }
+    let faulted = sequential
+        .cells
+        .iter()
+        .filter(|c| c.cell.chaos > 0.0)
+        .filter(|c| !c.report.faults.is_empty())
+        .count();
+    assert!(faulted > 0, "no chaos cell drew a single fault");
+}
+
+#[test]
 fn churn_victim_sequences_match_across_protocols() {
     // ISSUE 2: the indexed select_victims path must reproduce the naive
     // re-scan protocol's victim sequence exactly — here end-to-end through

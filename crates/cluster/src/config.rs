@@ -1,5 +1,7 @@
 //! Cluster and simulation configuration, with the paper's Table 4 presets.
 
+use crate::faults::FaultPlan;
+
 /// Static description of a cluster: homogeneous worker nodes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -134,12 +136,17 @@ pub struct SimConfig {
     pub deser_us_per_mb: u64,
     /// Record the global cached-block access trace (for the Belady oracle).
     pub collect_trace: bool,
-    /// Inject a worker failure: at the start of stage `.1`, node `.0` loses
-    /// its memory cache and local disk (the executor is replaced; shuffle
-    /// files are modelled as externally replicated). Exercises the paper's
-    /// §4.4 fault-tolerance path: lost blocks are recomputed or re-read and
-    /// the MRDmanager re-issues the table replica to the new monitor.
-    pub node_failure: Option<(u32, u32)>,
+    /// Fault injection: scripted crashes/slowdowns plus stochastic task,
+    /// fetch and disk failures, retries, and speculative execution (see
+    /// [`FaultPlan`]). The default plan is empty — no fault machinery runs
+    /// and results are byte-identical to a fault-free build. The legacy
+    /// single-failure knobs are available as sugar:
+    /// [`FaultPlan::node_failure`] (a worker loses its memory cache and
+    /// local disk at a stage start; shuffle files are modelled as externally
+    /// replicated — the paper's §4.4 path, where lost blocks are recomputed
+    /// or re-read and the MRDmanager re-issues the table replica) and
+    /// [`FaultPlan::slow_node`] (a permanent straggler).
+    pub faults: FaultPlan,
     /// Adapt the prefetch threshold per node at runtime (the paper's stated
     /// future work: "modifying the prefetching memory threshold to be
     /// dynamic and automated"). When enabled, a node that wastes prefetches
@@ -151,10 +158,6 @@ pub struct SimConfig {
     /// earliest slot (paying remote reads). `None` = always run at home,
     /// which is the calibrated default.
     pub delay_scheduling_us: Option<u64>,
-    /// Straggler injection: node `.0`'s compute runs `.1`× slower (VM
-    /// noisy-neighbour effects on the paper's virtualized testbed). Pairs
-    /// with `delay_scheduling_us`, which lets tasks route around it.
-    pub slow_node: Option<(u32, f64)>,
     /// Run the engine on its original hash-backed per-block state instead of
     /// the dense slot-indexed tables. The hash path is kept as the reference
     /// implementation: the differential tests run every simulation both ways
@@ -187,10 +190,9 @@ impl SimConfig {
             max_prefetch_per_node: 8,
             deser_us_per_mb: 12_000,
             collect_trace: false,
-            node_failure: None,
+            faults: FaultPlan::default(),
             adaptive_threshold: false,
             delay_scheduling_us: None,
-            slow_node: None,
             reference_state: false,
             linear_sched: false,
             collect_placements: false,
@@ -253,7 +255,7 @@ mod tests {
         let s = SimConfig::new(ClusterConfig::tiny(2, 100));
         assert_eq!(s.prefetch_threshold, 0.25);
         assert!(!s.collect_trace);
-        assert!(s.node_failure.is_none());
+        assert!(s.faults.is_empty());
         assert!(!s.adaptive_threshold);
         assert!(s.delay_scheduling_us.is_none());
         assert!(!s.reference_state);

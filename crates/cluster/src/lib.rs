@@ -51,10 +51,12 @@
 //! ```
 
 pub mod config;
+pub mod faults;
 pub mod report;
 pub mod runtime;
 mod sched;
 
 pub use config::{ClusterConfig, SimConfig};
+pub use faults::{CrashEvent, FaultPlan, FaultStats, Slowdown, StageAbort};
 pub use report::{RunReport, SchedStats};
 pub use runtime::{collect_trace, EngineScratch, Simulation};

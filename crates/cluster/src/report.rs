@@ -1,5 +1,6 @@
 //! Simulation run reports.
 
+use crate::faults::{FaultStats, StageAbort};
 use refdist_dag::{BlockId, StageId};
 use refdist_simcore::{SimDuration, SimTime};
 use refdist_store::CacheStats;
@@ -40,6 +41,14 @@ pub struct RunReport {
     pub stage_times: Vec<(StageId, SimTime, SimTime)>,
     /// Number of tasks executed.
     pub tasks: u64,
+    /// Fault accounting: retries, backoff time, fault-forced recomputes,
+    /// crashes/rejoins, speculative wins/losses. All-zero when the run's
+    /// [`crate::FaultPlan`] never fired.
+    pub faults: FaultStats,
+    /// Set when some task exhausted its retry budget and the run stopped at
+    /// that stage; later stages never executed and the report covers only
+    /// the completed prefix.
+    pub aborted: Option<StageAbort>,
     /// Global cached-block access trace, when requested
     /// ([`crate::SimConfig::collect_trace`]).
     pub trace: Option<Vec<BlockId>>,
@@ -126,6 +135,27 @@ impl RunReport {
                 self.stats.bad_victims
             ));
         }
+        if !self.faults.is_empty() {
+            let f = &self.faults;
+            s.push_str(&format!(
+                ", faults: {} task failures / {} retries, {} fetch + {} disk read failures, {} fault recomputes, {} crashes / {} rejoins, {} speculative ({} won)",
+                f.task_failures,
+                f.retries,
+                f.fetch_failures,
+                f.disk_failures,
+                f.fault_recomputes,
+                f.crashes,
+                f.rejoins,
+                f.spec_launched,
+                f.spec_wins,
+            ));
+        }
+        if let Some(a) = &self.aborted {
+            s.push_str(&format!(
+                " — ABORTED at stage {} (task {} failed {} attempts)",
+                a.stage.0, a.task, a.attempts
+            ));
+        }
         s
     }
 }
@@ -150,6 +180,8 @@ mod tests {
             compute_time: SimDuration(0),
             stage_times: vec![],
             tasks: 0,
+            faults: FaultStats::default(),
+            aborted: None,
             trace: None,
             placements: None,
         }
@@ -192,6 +224,30 @@ mod tests {
         let mut r = report(1);
         r.stats.bad_victims = 2;
         assert!(r.summary().contains("2 BAD victim selections"));
+    }
+
+    #[test]
+    fn summary_stays_clean_without_faults() {
+        let s = report(1).summary();
+        assert!(!s.contains("faults:"));
+        assert!(!s.contains("ABORTED"));
+    }
+
+    #[test]
+    fn summary_surfaces_faults_and_aborts() {
+        let mut r = report(1);
+        r.faults.task_failures = 3;
+        r.faults.retries = 2;
+        r.faults.crashes = 1;
+        r.aborted = Some(StageAbort {
+            stage: StageId(4),
+            task: 7,
+            attempts: 4,
+        });
+        let s = r.summary();
+        assert!(s.contains("3 task failures / 2 retries"));
+        assert!(s.contains("1 crashes / 0 rejoins"));
+        assert!(s.contains("ABORTED at stage 4 (task 7 failed 4 attempts)"));
     }
 
     #[test]

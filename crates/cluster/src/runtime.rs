@@ -52,6 +52,7 @@
 //! recycled across runs through [`EngineScratch`].
 
 use crate::config::SimConfig;
+use crate::faults::{FaultStats, StageAbort};
 use crate::report::{RunReport, SchedStats};
 use crate::sched::SlotIndex;
 use rand::rngs::SmallRng;
@@ -273,7 +274,25 @@ struct Engine<'a> {
     stage_times: Vec<(refdist_dag::StageId, SimTime, SimTime)>,
     trace: Vec<BlockId>,
     rng: SmallRng,
+
+    // --- fault injection (`cfg.faults`) ---
+    /// Per node: currently down (crashed with a pending rejoin). Tasks homed
+    /// on a down node run on the cluster-wide earliest slot instead.
+    down: Vec<bool>,
+    /// Per node: stage id at which a downed node rejoins.
+    rejoin_at: Vec<Option<u32>>,
+    /// Dedicated stream for the stochastic fault draws, derived from the
+    /// master seed but separate from the compute-jitter stream (`rng`) so an
+    /// empty plan draws nothing and fault-free runs stay byte-identical.
+    frng: SmallRng,
+    fstats: FaultStats,
+    aborted: Option<StageAbort>,
 }
+
+/// Slot free time marking an unavailable (down) node's cores: later than any
+/// reachable simulated time, so ordered scans and the slot index never pick
+/// them.
+const NODE_DOWN: SimTime = SimTime(u64::MAX);
 
 impl<'a> Engine<'a> {
     fn new(sim: &'a Simulation<'_>, mut s: EngineScratch) -> Self {
@@ -301,8 +320,12 @@ impl<'a> Engine<'a> {
             s.visited_epoch.resize(spec.rdds.len(), 0);
         }
         s.purge_buf.clear();
-        let sched = (!reference && !cfg.linear_sched)
-            .then(|| SlotIndex::new(&s.slots, cfg.delay_scheduling_us.is_some()));
+        let sched = (!reference && !cfg.linear_sched).then(|| {
+            SlotIndex::new(
+                &s.slots,
+                cfg.delay_scheduling_us.is_some() || cfg.faults.needs_global_slots(),
+            )
+        });
         Engine {
             spec,
             plan: sim.plan,
@@ -356,7 +379,22 @@ impl<'a> Engine<'a> {
             stage_times: Vec::new(),
             trace: Vec::new(),
             rng: SmallRng::seed_from_u64(cfg.seed),
+            down: vec![false; n],
+            rejoin_at: vec![None; n],
+            // Splitmix of the master seed: decorrelated from the jitter
+            // stream but still fully determined by `cfg.seed`.
+            frng: SmallRng::seed_from_u64(
+                (cfg.seed ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+            ),
+            fstats: FaultStats::default(),
+            aborted: None,
         }
+    }
+
+    /// One stochastic fault draw. Draws from the fault stream only when the
+    /// probability is positive, so an empty plan consumes nothing.
+    fn fault_draw(&mut self, p: f64) -> bool {
+        p > 0.0 && self.frng.random_bool(p.min(1.0))
     }
 
     /// Hand the reusable buffers back for the next run.
@@ -527,14 +565,8 @@ impl<'a> Engine<'a> {
 
             policy.on_stage_start(stage.id, &visible);
 
-            // Injected worker failure: the node's stores are wiped; the
-            // replacement executor starts cold and the MRDmanager re-issues
-            // the table replica on the next interaction (§4.4).
-            if let Some((node, at_stage)) = self.cfg.node_failure {
-                if at_stage == stage.id.0 && (node as usize) < self.nodes {
-                    self.fail_node(node as usize, policy);
-                }
-            }
+            // Scripted faults: rejoins due at this stage, then crashes.
+            self.process_fault_events(stage.id.0, policy);
 
             self.run_purge(policy);
 
@@ -543,6 +575,9 @@ impl<'a> Engine<'a> {
             let exec_bytes = (self.cfg.cluster.cache_bytes as f64
                 * self.cfg.exec_mem_fraction.clamp(0.0, 1.0)) as u64;
             for node in 0..self.nodes {
+                if self.down[node] {
+                    continue;
+                }
                 let used = self.managers[node].memory.used();
                 if used + exec_bytes > self.cfg.cluster.cache_bytes {
                     let shortfall = used + exec_bytes - self.cfg.cluster.cache_bytes;
@@ -559,11 +594,16 @@ impl<'a> Engine<'a> {
             for node in 0..self.nodes {
                 self.managers[node].memory.set_reserved(0);
             }
-            if policy.wants_prefetch() {
+            if self.aborted.is_none() && policy.wants_prefetch() {
                 self.run_prefetch(stage, &visible, policy);
             }
             self.stage_times.push((stage.id, start, end));
             self.now = end;
+            if self.aborted.is_some() {
+                // A task exhausted its retry budget: the driver gives up on
+                // the application; later stages never run.
+                break;
+            }
         }
 
         let mut agg = CacheStats::new();
@@ -581,6 +621,8 @@ impl<'a> Engine<'a> {
             compute_time: self.compute_accum,
             stage_times: std::mem::take(&mut self.stage_times),
             tasks: self.tasks_run,
+            faults: self.fstats,
+            aborted: self.aborted,
             trace: if self.cfg.collect_trace {
                 Some(std::mem::take(&mut self.trace))
             } else {
@@ -594,22 +636,77 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Fire the scripted fault events due at the start of stage `stage`:
+    /// first rejoins of nodes whose downtime expired, then crashes. Crashes
+    /// on out-of-range nodes are ignored, as is a downtime crash that would
+    /// take the last live node (the cluster must keep at least one).
+    fn process_fault_events(&mut self, stage: u32, policy: &mut dyn CachePolicy) {
+        for node in 0..self.nodes {
+            if self.rejoin_at[node] == Some(stage) {
+                self.rejoin_node(node, policy);
+            }
+        }
+        for i in 0..self.cfg.faults.crashes.len() {
+            let c = self.cfg.faults.crashes[i];
+            let node = c.node as usize;
+            if c.at_stage != stage || node >= self.nodes || self.down[node] {
+                continue;
+            }
+            if let Some(downtime) = c.rejoin_after {
+                if self.down.iter().filter(|d| !**d).count() <= 1 {
+                    continue;
+                }
+                self.fail_node(node, policy);
+                self.down[node] = true;
+                self.rejoin_at[node] = Some(stage.saturating_add(downtime.max(1)));
+                for slot in 0..self.slots[node].len() {
+                    let old = std::mem::replace(&mut self.slots[node][slot], NODE_DOWN);
+                    if let Some(idx) = &mut self.sched {
+                        idx.commit(node, slot, old, NODE_DOWN);
+                    }
+                }
+            } else {
+                // Legacy shape: storage wiped, the replacement executor is
+                // up immediately and the MRDmanager re-issues the table
+                // replica on the next interaction (§4.4).
+                self.fail_node(node, policy);
+            }
+        }
+    }
+
+    /// A downed node's replacement executor registers: slots become free
+    /// from now, caches are cold, and the policy is told so it can re-issue
+    /// per-node state (for MRD, the distance-table replica — §4.4).
+    fn rejoin_node(&mut self, node: usize, policy: &mut dyn CachePolicy) {
+        self.down[node] = false;
+        self.rejoin_at[node] = None;
+        for slot in 0..self.slots[node].len() {
+            let old = std::mem::replace(&mut self.slots[node][slot], self.now);
+            if let Some(idx) = &mut self.sched {
+                idx.commit(node, slot, old, self.now);
+            }
+        }
+        policy.on_node_join(NodeId(node as u32));
+        self.fstats.rejoins += 1;
+    }
+
     /// Wipe one node's memory and disk (executor loss). Lost cached blocks
     /// will be recomputed or re-read from surviving copies on access.
     fn fail_node(&mut self, node: usize, policy: &mut dyn CachePolicy) {
         let lost_mem = self.managers[node].memory.drain();
         for (b, _) in &lost_mem {
-            self.master.unregister_memory(*b, NodeId(node as u32));
             self.clear_pending(node, *b);
             self.take_prefetched(node, *b);
-            self.sync_prefetchable(*b);
             policy.on_remove(NodeId(node as u32), *b);
         }
         let lost_disk = self.managers[node].disk.drain();
-        for (b, _) in &lost_disk {
-            self.master.unregister_disk(*b, NodeId(node as u32));
+        // One sweep de-registers every copy the node held (memory and disk).
+        self.master.unregister_node(NodeId(node as u32));
+        for (b, _) in &lost_mem {
+            self.sync_prefetchable(*b);
         }
         self.managers[node].stats.lost_blocks += (lost_mem.len() + lost_disk.len()) as u64;
+        self.fstats.crashes += 1;
     }
 
     /// Adapt a node's prefetch threshold from its recent prefetch economy
@@ -692,47 +789,67 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Cluster-wide earliest free slot `(node, slot, free_time)`: O(log n)
+    /// from the index, or the reference flat scan. Down nodes carry the
+    /// `NODE_DOWN` free time, so neither path ever picks one while any live
+    /// slot exists.
+    fn earliest_global_slot(&self) -> (usize, usize, SimTime) {
+        match &self.sched {
+            Some(idx) => idx.earliest_global(),
+            None => (0..self.nodes)
+                .flat_map(|n| {
+                    self.slots[n]
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, &t)| (n, i, t))
+                })
+                .min_by_key(|&(n, i, t)| (t, n, i))
+                .expect("cluster has slots"),
+        }
+    }
+
     /// Run all tasks of a stage; returns the stage end time.
     fn run_stage_tasks(&mut self, stage: &Stage, policy: &mut dyn CachePolicy) -> SimTime {
         let stage_start = self.now;
         let mut stage_end = stage_start;
+        let speculating = self.cfg.faults.speculation_quantile > 0.0;
+        // Per task `(finish, partition, node, slot, start)`, kept only when
+        // speculation needs the stage's completion profile (the placement is
+        // needed to free a loser attempt's slot when its copy wins).
+        let mut task_ends: Vec<(SimTime, u32, usize, usize, SimTime)> = Vec::new();
         for p in 0..stage.num_tasks {
             let home = self.home(p);
             // Earliest-free slot on the home node: O(log cores) from the
             // index, or the reference linear scan. Both break free-time ties
-            // on the lowest slot index.
-            let (mut node, mut slot_idx, mut slot_free) = match &self.sched {
-                Some(idx) => {
-                    let (i, t) = idx.earliest_on(home);
-                    (home, i, t)
-                }
-                None => {
-                    let (i, &t) = self.slots[home]
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(i, &t)| (t, *i))
-                        .expect("nodes have at least one core");
-                    (home, i, t)
+            // on the lowest slot index. A down home node has no slots to
+            // offer; its tasks run on the cluster-wide earliest slot.
+            let (mut node, mut slot_idx, mut slot_free) = if self.down[home] {
+                self.earliest_global_slot()
+            } else {
+                match &self.sched {
+                    Some(idx) => {
+                        let (i, t) = idx.earliest_on(home);
+                        (home, i, t)
+                    }
+                    None => {
+                        let (i, &t) = self.slots[home]
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(i, &t)| (t, *i))
+                            .expect("nodes have at least one core");
+                        (home, i, t)
+                    }
                 }
             };
             // Delay scheduling: if enabled and the home node keeps the task
             // waiting too long past the globally earliest slot, run it
             // remotely and pay remote reads instead.
             if let Some(delay) = self.cfg.delay_scheduling_us {
-                let (gn, gi, gt) = match &self.sched {
-                    Some(idx) => idx.earliest_global(),
-                    None => (0..self.nodes)
-                        .flat_map(|n| {
-                            self.slots[n]
-                                .iter()
-                                .enumerate()
-                                .map(move |(i, &t)| (n, i, t))
-                        })
-                        .min_by_key(|&(n, i, t)| (t, n, i))
-                        .expect("cluster has slots"),
-                };
-                if slot_free.max(stage_start).micros() > gt.max(stage_start).micros() + delay {
-                    (node, slot_idx, slot_free) = (gn, gi, gt);
+                if node == home {
+                    let (gn, gi, gt) = self.earliest_global_slot();
+                    if slot_free.max(stage_start).micros() > gt.max(stage_start).micros() + delay {
+                        (node, slot_idx, slot_free) = (gn, gi, gt);
+                    }
                 }
             }
             let start = slot_free.max(stage_start);
@@ -745,38 +862,149 @@ impl<'a> Engine<'a> {
                 self.placements.push((node as u32, slot_idx as u32, start));
             }
 
-            self.begin_task();
-            let (io_done, compute_us) = self.acquire(stage.final_rdd, p, node, start, policy);
-
-            let mut jitter = if self.cfg.compute_jitter > 0.0 {
-                1.0 + self
-                    .rng
-                    .random_range(-self.cfg.compute_jitter..=self.cfg.compute_jitter)
-            } else {
-                1.0
-            };
-            if let Some((slow, factor)) = self.cfg.slow_node {
-                if slow as usize == node {
-                    jitter *= factor.max(1.0);
+            // Attempt loop: each failed attempt occupies the slot for its
+            // full duration, then retries after a capped exponential backoff
+            // until it succeeds or the retry budget is spent (stage abort).
+            let task_fail_p = self.cfg.faults.task_failure_p;
+            let max_attempts = self.cfg.faults.max_task_attempts.max(1);
+            let mut attempt_start = start;
+            let mut attempts = 0u32;
+            let task_end = loop {
+                attempts += 1;
+                let end = self.run_attempt(stage, p, node, attempt_start, policy);
+                if !self.fault_draw(task_fail_p) {
+                    break end;
                 }
-            }
-            let compute = SimDuration::from_secs_f64(compute_us as f64 * jitter / 1e6);
-            let mut task_end = io_done + compute;
-
-            if let StageKind::ShuffleMap { .. } = stage.kind {
-                // Write this task's map output to local disk.
-                let out = self.spec.rdd(stage.final_rdd).block_size;
-                task_end = self.disk[node].request(task_end, out);
-            }
+                self.fstats.task_failures += 1;
+                if attempts >= max_attempts {
+                    self.aborted = Some(StageAbort {
+                        stage: stage.id,
+                        task: p,
+                        attempts,
+                    });
+                    break end;
+                }
+                let backoff = self.cfg.faults.backoff_us(attempts);
+                self.fstats.retries += 1;
+                self.fstats.backoff_us += backoff;
+                attempt_start = end + SimDuration::from_micros(backoff);
+            };
 
             let old = std::mem::replace(&mut self.slots[node][slot_idx], task_end);
             if let Some(idx) = &mut self.sched {
                 idx.commit(node, slot_idx, old, task_end);
             }
-            self.io_accum += io_done - start;
-            self.compute_accum += compute;
             self.tasks_run += 1;
             stage_end = stage_end.max(task_end);
+            if self.aborted.is_some() {
+                return stage_end;
+            }
+            if speculating {
+                task_ends.push((task_end, p, node, slot_idx, attempt_start));
+            }
+        }
+        if speculating && !task_ends.is_empty() {
+            stage_end = self.run_speculation(stage, &task_ends, policy);
+        }
+        stage_end
+    }
+
+    /// One task attempt on `node` starting at `start`: input acquisition,
+    /// jittered (and possibly slowed-down) compute, shuffle write. Returns
+    /// the attempt's finish time. Placement counters, the slot table, and
+    /// `tasks_run` belong to the caller — retries and speculative copies
+    /// share one placement.
+    fn run_attempt(
+        &mut self,
+        stage: &Stage,
+        p: u32,
+        node: usize,
+        start: SimTime,
+        policy: &mut dyn CachePolicy,
+    ) -> SimTime {
+        self.begin_task();
+        let (io_done, compute_us) = self.acquire(stage.final_rdd, p, node, start, policy);
+
+        let mut jitter = if self.cfg.compute_jitter > 0.0 {
+            1.0 + self
+                .rng
+                .random_range(-self.cfg.compute_jitter..=self.cfg.compute_jitter)
+        } else {
+            1.0
+        };
+        for s in &self.cfg.faults.slowdowns {
+            if s.node as usize == node && s.active_at(stage.id.0) {
+                jitter *= s.factor.max(1.0);
+            }
+        }
+        let compute = SimDuration::from_secs_f64(compute_us as f64 * jitter / 1e6);
+        let mut task_end = io_done + compute;
+
+        if let StageKind::ShuffleMap { .. } = stage.kind {
+            // Write this task's map output to local disk.
+            let out = self.spec.rdd(stage.final_rdd).block_size;
+            task_end = self.disk[node].request(task_end, out);
+        }
+        self.io_accum += io_done - start;
+        self.compute_accum += compute;
+        task_end
+    }
+
+    /// Speculative execution over one finished stage schedule: once the
+    /// fastest `speculation_quantile` fraction of tasks has completed, each
+    /// still-running straggler gets a copy on the cluster-wide earliest free
+    /// slot; the first finisher defines the task's completion and the losing
+    /// attempt is killed — when the loser was the last occupant of its slot,
+    /// that slot is released at the winner's finish, so a straggler node
+    /// stops dragging later stages (Spark's `spark.speculation` semantics).
+    /// Returns the corrected stage end.
+    fn run_speculation(
+        &mut self,
+        stage: &Stage,
+        task_ends: &[(SimTime, u32, usize, usize, SimTime)],
+        policy: &mut dyn CachePolicy,
+    ) -> SimTime {
+        let q = self.cfg.faults.speculation_quantile.clamp(0.0, 1.0);
+        let mut sorted: Vec<SimTime> = task_ends.iter().map(|&(e, ..)| e).collect();
+        sorted.sort_unstable();
+        let k = ((sorted.len() as f64) * q).ceil() as usize;
+        let threshold = sorted[k.clamp(1, sorted.len()) - 1];
+        let mut stage_end = SimTime::ZERO;
+        for &(end, p, onode, oslot, ostart) in task_ends {
+            if end <= threshold {
+                stage_end = stage_end.max(end);
+                continue;
+            }
+            let (node, slot_idx, free) = self.earliest_global_slot();
+            if free == NODE_DOWN {
+                // No live slot to speculate on; keep the original attempt.
+                stage_end = stage_end.max(end);
+                continue;
+            }
+            self.fstats.spec_launched += 1;
+            let copy_start = free.max(threshold);
+            let copy_end = self.run_attempt(stage, p, node, copy_start, policy);
+            let old = std::mem::replace(&mut self.slots[node][slot_idx], copy_end);
+            if let Some(idx) = &mut self.sched {
+                idx.commit(node, slot_idx, old, copy_end);
+            }
+            if copy_end < end {
+                self.fstats.spec_wins += 1;
+                stage_end = stage_end.max(copy_end);
+                // Kill the original attempt. If it was the last occupant of
+                // its slot, the slot frees at the kill (never before the
+                // attempt began — a kill cannot rewind the schedule).
+                if self.slots[onode][oslot] == end {
+                    let kill = copy_end.max(ostart);
+                    let prev = std::mem::replace(&mut self.slots[onode][oslot], kill);
+                    if let Some(idx) = &mut self.sched {
+                        idx.commit(onode, oslot, prev, kill);
+                    }
+                }
+            } else {
+                self.fstats.spec_losses += 1;
+                stage_end = stage_end.max(end);
+            }
         }
         stage_end
     }
@@ -880,6 +1108,12 @@ impl<'a> Engine<'a> {
                 let src_i = src.index();
                 let avail = self.pending_avail(src_i, b);
                 let done = self.net[node].request(at.max(avail), size);
+                if self.fault_draw(self.cfg.faults.fetch_failure_p) {
+                    // The fetch died mid-flight: the attempted transfer time
+                    // is sunk, then the reader recovers through lineage.
+                    self.fstats.fetch_failures += 1;
+                    return self.recompute_fallback(b, node, done, policy);
+                }
                 self.managers[node].stats.hits += 1;
                 self.managers[node].stats.remote_hits += 1;
                 if self.take_prefetched(src_i, b) {
@@ -892,12 +1126,16 @@ impl<'a> Engine<'a> {
                 // On disk (local spill or remote): read it and promote back
                 // into the reader's memory.
                 let src_i = src.index();
-                self.managers[node].stats.misses += 1;
-                self.managers[node].stats.disk_hits += 1;
                 let mut done = self.disk[src_i].request(at, size);
                 if src_i != node {
                     done = self.net[node].request(done, size);
                 }
+                if self.fault_draw(self.cfg.faults.disk_failure_p) {
+                    self.fstats.disk_failures += 1;
+                    return self.recompute_fallback(b, node, done, policy);
+                }
+                self.managers[node].stats.misses += 1;
+                self.managers[node].stats.disk_hits += 1;
                 self.try_insert(node, b, done, false, policy);
                 (done, self.deser_us(size))
             }
@@ -912,6 +1150,25 @@ impl<'a> Engine<'a> {
                 (io, compute_us)
             }
         }
+    }
+
+    /// Recovery path for a failed fetch or disk read: the access becomes a
+    /// lineage recomputation starting when the failure was detected (`at`),
+    /// exactly like a MEMORY_ONLY miss (paper §4.4).
+    fn recompute_fallback(
+        &mut self,
+        b: BlockId,
+        node: usize,
+        at: SimTime,
+        policy: &mut dyn CachePolicy,
+    ) -> (SimTime, u64) {
+        self.managers[node].stats.misses += 1;
+        self.managers[node].stats.recomputes += 1;
+        self.fstats.fault_recomputes += 1;
+        let (io, mut compute_us) = self.compute_inputs(b.rdd, b.partition, node, at, policy);
+        compute_us += self.spec.rdd(b.rdd).compute_us;
+        self.try_insert(node, b, io, false, policy);
+        (io, compute_us)
     }
 
     /// Insert `b` into `node`'s memory, evicting per the policy as needed.
@@ -1004,6 +1261,9 @@ impl<'a> Engine<'a> {
             .unwrap_or_default();
 
         for node in 0..self.nodes {
+            if self.down[node] {
+                continue;
+            }
             if self.cfg.adaptive_threshold {
                 self.adapt_threshold(node);
             }
@@ -1065,6 +1325,22 @@ impl<'a> Engine<'a> {
                     }
                     d
                 };
+                // Background transfers fail like demand ones; a failed
+                // prefetch is simply dropped (no retry, no recompute — the
+                // block stays wherever it was).
+                let fail_p = if in_mem {
+                    self.cfg.faults.fetch_failure_p
+                } else {
+                    self.cfg.faults.disk_failure_p
+                };
+                if self.fault_draw(fail_p) {
+                    if in_mem {
+                        self.fstats.fetch_failures += 1;
+                    } else {
+                        self.fstats.disk_failures += 1;
+                    }
+                    continue;
+                }
                 // The prefetched bytes are deserialized off the critical
                 // path, before the block becomes usable.
                 let done = done + refdist_simcore::SimDuration::from_micros(self.deser_us(size));
@@ -1342,7 +1618,7 @@ mod tests {
         assert_eq!(healthy.stats.lost_blocks, 0);
 
         let mut cfg = sim_cfg(2, 1 << 30);
-        cfg.node_failure = Some((0, 4)); // node 0 dies at stage 4
+        cfg.faults.node_failure(0, 4); // node 0 dies at stage 4
         let failed = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg)
             .run(&mut *PolicyKind::Lru.build());
         assert!(failed.stats.lost_blocks > 0);
@@ -1357,13 +1633,158 @@ mod tests {
         let spec = iterative_app(5, 8, 1024 * 1024);
         let plan = AppPlan::build(&spec);
         let mut cfg = sim_cfg(2, 2 * 1024 * 1024);
-        cfg.node_failure = Some((1, 6));
+        cfg.faults.node_failure(1, 6);
         let mut mrd = MrdPolicy::full();
         let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut mrd);
         assert!(r.stats.lost_blocks > 0);
         assert!(r.jct.micros() > 0);
         // The manager kept broadcasting table replicas after the failure.
         assert!(mrd.sync_messages() > 0);
+    }
+
+    /// §4.4 at its hardest: two nodes crash at the same stage, stay down for
+    /// different windows (their tasks migrate to live slots), then rejoin
+    /// cold. MRD must resync the replacement monitors and the run must
+    /// complete with full task accounting.
+    #[test]
+    fn concurrent_crashes_with_rejoin_resync_and_complete() {
+        let spec = iterative_app(8, 8, 1024 * 1024);
+        let plan = AppPlan::build(&spec);
+        let healthy_sim =
+            Simulation::new(&spec, &plan, ProfileMode::Recurring, sim_cfg(4, 2 * 1024 * 1024));
+        let mut healthy_mrd = MrdPolicy::full();
+        let healthy = healthy_sim.run(&mut healthy_mrd);
+
+        let mut cfg = sim_cfg(4, 2 * 1024 * 1024);
+        cfg.faults.crash_with_rejoin(0, 3, 2);
+        cfg.faults.crash_with_rejoin(1, 3, 4);
+        let mut mrd = MrdPolicy::full();
+        let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut mrd);
+
+        assert!(r.stats.lost_blocks > 0);
+        assert_eq!(r.faults.crashes, 2);
+        assert_eq!(r.faults.rejoins, 2);
+        assert!(r.aborted.is_none());
+        // Tasks homed on the downed nodes migrated; every task still ran.
+        assert_eq!(r.tasks, healthy.tasks);
+        assert!(r.sched.remote_placements > 0, "down-node tasks must migrate");
+        // The manager re-issued table replicas to the replacement monitors.
+        assert_eq!(mrd.replicas_reissued(), 2);
+        assert_eq!(healthy_mrd.replicas_reissued(), 0);
+        assert!(mrd.sync_messages() > 0);
+        // Losing a third of the run's cache capacity cannot speed it up.
+        assert!(r.jct >= healthy.jct);
+        assert!(r.summary().contains("2 crashes / 2 rejoins"));
+    }
+
+    #[test]
+    fn crash_that_would_down_last_node_is_ignored() {
+        let spec = iterative_app(3, 4, 256 * 1024);
+        let mut cfg = sim_cfg(1, 1 << 30);
+        cfg.faults.crash_with_rejoin(0, 1, 2);
+        let r = run(&spec, cfg, &mut *PolicyKind::Lru.build());
+        assert_eq!(r.faults.crashes, 0);
+        assert!(r.jct.micros() > 0);
+    }
+
+    #[test]
+    fn task_failures_retry_with_backoff() {
+        let spec = iterative_app(4, 8, 256 * 1024);
+        let mut cfg = sim_cfg(2, 1 << 30);
+        cfg.faults.task_failure_p = 0.2;
+        cfg.faults.max_task_attempts = 50; // effectively never abort
+        let r = run(&spec, cfg.clone(), &mut *PolicyKind::Lru.build());
+        assert!(r.faults.task_failures > 0, "p=0.2 must fail some attempts");
+        assert_eq!(r.faults.retries, r.faults.task_failures);
+        assert!(r.faults.backoff_us > 0);
+        assert!(r.aborted.is_none());
+        let healthy = run(
+            &spec,
+            sim_cfg(2, 1 << 30),
+            &mut *PolicyKind::Lru.build(),
+        );
+        assert_eq!(r.tasks, healthy.tasks);
+        assert!(r.jct > healthy.jct, "retries cost time");
+        // Same seed, same faults: byte-deterministic.
+        let again = run(&spec, cfg, &mut *PolicyKind::Lru.build());
+        assert_eq!(format!("{r:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn exhausted_retries_abort_the_stage() {
+        let spec = iterative_app(5, 8, 256 * 1024);
+        let plan = AppPlan::build(&spec);
+        let mut cfg = sim_cfg(2, 1 << 30);
+        cfg.faults.task_failure_p = 1.0; // every attempt fails
+        cfg.faults.max_task_attempts = 3;
+        let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg)
+            .run(&mut *PolicyKind::Lru.build());
+        let abort = r.aborted.expect("certain failure must abort");
+        assert_eq!(abort.stage.0, 0);
+        assert_eq!(abort.task, 0);
+        assert_eq!(abort.attempts, 3);
+        // The run stopped early: only the failing task ran, in one stage.
+        assert_eq!(r.tasks, 1);
+        assert_eq!(r.stage_times.len(), 1);
+        assert_eq!(r.faults.retries, 2);
+        assert_eq!(r.faults.task_failures, 3);
+        assert!(r.summary().contains("ABORTED at stage 0"));
+    }
+
+    #[test]
+    fn fetch_and_disk_failures_recover_through_lineage() {
+        // 32 partitions on 4 nodes: several task waves per node, so the
+        // straggler queues and delay scheduling migrates tasks off it —
+        // migrated tasks fetch their cached input remotely. The cache holds
+        // 2 of each node's 8 home blocks, so evicted copies come back from
+        // disk.
+        let spec = iterative_app(4, 32, 256 * 1024);
+        let mut cfg = sim_cfg(4, 512 * 1024);
+        cfg.faults.slow_node(0, 10.0);
+        cfg.delay_scheduling_us = Some(10_000);
+        cfg.faults.fetch_failure_p = 0.5;
+        cfg.faults.disk_failure_p = 0.5;
+        let r = run(&spec, cfg, &mut *PolicyKind::Lru.build());
+        assert!(
+            r.faults.fetch_failures + r.faults.disk_failures > 0,
+            "p=0.5 must fail some reads: {:?}",
+            r.faults
+        );
+        assert!(r.faults.fault_recomputes > 0);
+        assert!(r.stats.recomputes >= r.faults.fault_recomputes);
+        // Accounting invariants survive the injected failures.
+        assert_eq!(r.stats.accesses(), r.stats.hits + r.stats.misses);
+        assert!(r.stats.disk_hits + r.stats.recomputes <= r.stats.misses);
+        assert!(r.aborted.is_none());
+    }
+
+    #[test]
+    fn speculation_rescues_stragglers() {
+        // Node 0 computes 20x slower; speculation re-launches its tasks on
+        // the fast nodes and wins. Small blocks keep the copy's remote fetch
+        // of the straggler's cached input well under the compute skew.
+        let spec = iterative_app(4, 32, 256 * 1024);
+        let mut slow = sim_cfg(4, 1 << 30);
+        slow.faults.slow_node(0, 20.0);
+        let r_slow = run(&spec, slow.clone(), &mut *PolicyKind::Lru.build());
+
+        let mut spec_cfg = slow.clone();
+        spec_cfg.faults.speculation_quantile = 0.75;
+        let r_spec = run(&spec, spec_cfg, &mut *PolicyKind::Lru.build());
+        assert!(r_spec.faults.spec_launched > 0);
+        assert_eq!(
+            r_spec.faults.spec_wins + r_spec.faults.spec_losses,
+            r_spec.faults.spec_launched
+        );
+        assert!(r_spec.faults.spec_wins > 0, "copies must beat a 20x straggler");
+        // Speculative copies are not extra tasks.
+        assert_eq!(r_spec.tasks, r_slow.tasks);
+        assert!(
+            r_spec.jct < r_slow.jct,
+            "speculation should cut the straggler tail: {} vs {}",
+            r_spec.jct,
+            r_slow.jct
+        );
     }
 
     #[test]
@@ -1421,12 +1842,12 @@ mod tests {
         let spec = iterative_app(4, 32, 1024 * 1024);
         let plan = AppPlan::build(&spec);
         let mut strict = sim_cfg(4, 1 << 30);
-        strict.slow_node = Some((0, 10.0));
+        strict.faults.slow_node(0, 10.0);
         let r_strict = Simulation::new(&spec, &plan, ProfileMode::Recurring, strict)
             .run(&mut *PolicyKind::Lru.build());
 
         let mut routed = sim_cfg(4, 1 << 30);
-        routed.slow_node = Some((0, 10.0));
+        routed.faults.slow_node(0, 10.0);
         routed.delay_scheduling_us = Some(10_000); // wait at most 10ms
         let r_routed = Simulation::new(&spec, &plan, ProfileMode::Recurring, routed)
             .run(&mut *PolicyKind::Lru.build());
@@ -1446,7 +1867,7 @@ mod tests {
         let spec = iterative_app(4, 32, 1024 * 1024);
         let plan = AppPlan::build(&spec);
         let mut cfg = sim_cfg(4, 1 << 30);
-        cfg.slow_node = Some((0, 10.0));
+        cfg.faults.slow_node(0, 10.0);
         cfg.delay_scheduling_us = Some(10_000);
         let r = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg)
             .run(&mut *PolicyKind::Lru.build());

@@ -62,10 +62,10 @@ fn build_cfg(c: &CfgParams, spec: &AppSpec) -> SimConfig {
     cfg.delay_scheduling_us = c.delay;
     cfg.collect_placements = true;
     if c.slow {
-        cfg.slow_node = Some((0, 8.0));
+        cfg.faults.slow_node(0, 8.0);
     }
     if c.failure {
-        cfg.node_failure = Some((c.nodes - 1, 2));
+        cfg.faults.node_failure(c.nodes - 1, 2);
     }
     cfg
 }

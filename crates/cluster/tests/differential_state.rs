@@ -60,6 +60,9 @@ impl CachePolicy for Recorder {
     fn on_remove(&mut self, node: NodeId, block: BlockId) {
         self.inner.on_remove(node, block);
     }
+    fn on_node_join(&mut self, node: NodeId) {
+        self.inner.on_node_join(node);
+    }
     fn pick_victim(&mut self, node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
         self.inner.pick_victim(node, candidates)
     }
@@ -140,6 +143,7 @@ struct CfgParams {
     seed: u64,
     adaptive: bool,
     failure: bool,
+    rejoin: bool,
     delay: Option<u64>,
 }
 
@@ -157,7 +161,12 @@ fn build_cfg(c: &CfgParams, spec: &AppSpec) -> SimConfig {
     cfg.delay_scheduling_us = c.delay;
     cfg.collect_trace = true;
     if c.failure {
-        cfg.node_failure = Some((c.nodes - 1, 2));
+        cfg.faults.node_failure(c.nodes - 1, 2);
+    }
+    if c.rejoin {
+        // A second crash with downtime and a cold rejoin: the dense and
+        // reference paths must agree through migration and resync too.
+        cfg.faults.crash_with_rejoin(0, 1, 2);
     }
     cfg
 }
@@ -250,11 +259,12 @@ fn cfg_strategy() -> impl Strategy<Value = CfgParams> {
             any::<u16>(),
             any::<bool>(),
             any::<bool>(),
+            any::<bool>(),
             prop_oneof![Just(None), Just(Some(0u64)), Just(Some(10_000u64))],
         ),
     )
         .prop_map(
-            |((nodes, cache_frac, exec_mem, jitter), (seed, adaptive, failure, delay))| {
+            |((nodes, cache_frac, exec_mem, jitter), (seed, adaptive, failure, rejoin, delay))| {
                 CfgParams {
                     nodes,
                     cache_frac,
@@ -263,6 +273,7 @@ fn cfg_strategy() -> impl Strategy<Value = CfgParams> {
                     seed: seed as u64,
                     adaptive,
                     failure,
+                    rejoin: rejoin && nodes > 1,
                     delay,
                 }
             },
@@ -300,6 +311,7 @@ fn dense_state_matches_reference_under_heavy_pressure() {
         seed: 7,
         adaptive: true,
         failure: true,
+        rejoin: true,
         delay: Some(10_000),
     };
     assert_equivalent(&app, &cfg);

@@ -75,6 +75,9 @@ pub struct MrdPolicy {
     /// The runtime's slot arena, when attached; handed to every monitor so
     /// their per-block state is slot-indexed.
     slots: Option<Arc<BlockSlots>>,
+    /// Distance-table replicas re-issued to replacement monitors after a
+    /// node rejoin (§4.4 recovery).
+    replicas_reissued: u64,
 }
 
 impl MrdPolicy {
@@ -88,6 +91,7 @@ impl MrdPolicy {
             lru_touch: SlotMap::hashed(),
             lru_index: VictimIndex::new(),
             slots: None,
+            replicas_reissued: 0,
         }
     }
 
@@ -109,6 +113,14 @@ impl MrdPolicy {
     /// The monitor for `node`, if it has been created.
     pub fn monitor(&self, node: NodeId) -> Option<&CacheMonitor> {
         self.monitors.get(&node)
+    }
+
+    /// Distance-table replicas re-issued to replacement monitors after node
+    /// rejoins (§4.4 fault recovery); one per [`on_node_join`] call.
+    ///
+    /// [`on_node_join`]: refdist_policies::CachePolicy::on_node_join
+    pub fn replicas_reissued(&self) -> u64 {
+        self.replicas_reissued
     }
 
     /// Total monitor synchronization messages sent (overhead accounting).
@@ -200,6 +212,17 @@ impl CachePolicy for MrdPolicy {
         if let Some(mon) = self.monitors.get_mut(&node) {
             mon.forget(block);
         }
+    }
+
+    fn on_node_join(&mut self, node: NodeId) {
+        // The old executor's monitor died with it. Drop ours, create a
+        // fresh one, and have the MRDmanager re-issue the distance-table
+        // replica to it right away — the paper's §4.4 recovery protocol.
+        // (Block-level state needs no work here: the runtime reported every
+        // lost block via `on_remove` at crash time.)
+        self.monitors.remove(&node);
+        self.replicas_reissued += 1;
+        self.monitor_synced(node);
     }
 
     fn pick_victim(&mut self, node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {

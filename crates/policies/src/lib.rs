@@ -91,6 +91,17 @@ pub trait CachePolicy: Send {
         let _ = (node, block);
     }
 
+    /// A replacement executor registered on `node` after downtime (fault
+    /// injection with a rejoin): its caches are cold and any per-node agent
+    /// state died with the old executor. The runtime reported each lost
+    /// block via [`on_remove`](CachePolicy::on_remove) at crash time, so
+    /// block-level bookkeeping is already clean; this hook is for per-node
+    /// state re-issue (MRD re-sends the distance-table replica to the new
+    /// monitor, paper §4.4). The default does nothing.
+    fn on_node_join(&mut self, node: NodeId) {
+        let _ = node;
+    }
+
     /// Under memory pressure on `node`, choose which of `candidates` (the
     /// node's unpinned resident blocks, in deterministic order) to evict.
     ///

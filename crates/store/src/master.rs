@@ -91,6 +91,23 @@ impl BlockMaster {
         Self::unregister(&mut self.disk, block, node);
     }
 
+    /// De-register every copy `node` held, memory and disk — the bulk form
+    /// of executor loss (Spark's `removeBlockManager`). Equivalent to
+    /// calling [`unregister_memory`](Self::unregister_memory) /
+    /// [`unregister_disk`](Self::unregister_disk) per block the node held.
+    pub fn unregister_node(&mut self, node: NodeId) {
+        for table in [&mut self.memory, &mut self.disk] {
+            let held: Vec<BlockId> = table
+                .iter()
+                .filter(|(_, set)| set.binary_search(&node).is_ok())
+                .map(|(b, _)| b)
+                .collect();
+            for b in held {
+                Self::unregister(table, b, node);
+            }
+        }
+    }
+
     /// Nodes holding `block` in memory, ascending.
     pub fn memory_locations(&self, block: BlockId) -> impl Iterator<Item = NodeId> + '_ {
         self.memory.get(block).into_iter().flatten().copied()
@@ -258,6 +275,32 @@ mod tests {
             assert_eq!(got, vec![blk(0, 0), blk(0, 1)]);
             m.unregister_memory(blk(0, 0), NodeId(1));
             assert_eq!(m.memory_resident().count(), 1);
+        });
+    }
+
+    #[test]
+    fn unregister_node_sweeps_both_tables() {
+        both(|mut m| {
+            m.register_memory(blk(0, 0), NodeId(1));
+            m.register_memory(blk(0, 1), NodeId(1));
+            m.register_memory(blk(0, 1), NodeId(2));
+            m.register_disk(blk(0, 2), NodeId(1));
+            m.register_disk(blk(0, 3), NodeId(2));
+            m.unregister_node(NodeId(1));
+            assert!(!m.anywhere(blk(0, 0)));
+            assert!(!m.anywhere(blk(0, 2)));
+            // Copies on surviving nodes are untouched.
+            assert_eq!(
+                m.memory_locations(blk(0, 1)).collect::<Vec<_>>(),
+                vec![NodeId(2)]
+            );
+            assert_eq!(
+                m.disk_locations(blk(0, 3)).collect::<Vec<_>>(),
+                vec![NodeId(2)]
+            );
+            // Re-registration after a rejoin works as usual.
+            m.register_memory(blk(0, 0), NodeId(1));
+            assert!(m.in_memory_anywhere(blk(0, 0)));
         });
     }
 

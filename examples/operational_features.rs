@@ -31,7 +31,7 @@ fn main() {
     // --- worker failure ------------------------------------------------------
     // Node 2 loses its executor a third of the way through the run.
     let mut cfg = base.clone();
-    cfg.node_failure = Some((2, plan.active_stage_count() as u32 / 3));
+    cfg.faults.node_failure(2, plan.active_stage_count() as u32 / 3);
     let mut mrd = MrdPolicy::full();
     let failed = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut mrd);
     println!(
@@ -42,7 +42,7 @@ fn main() {
 
     // --- straggler + delay scheduling ---------------------------------------
     let mut slow = base.clone();
-    slow.slow_node = Some((0, 6.0));
+    slow.faults.slow_node(0, 6.0);
     let mut mrd = MrdPolicy::full();
     let straggling =
         Simulation::new(&spec, &plan, ProfileMode::Recurring, slow.clone()).run(&mut mrd);

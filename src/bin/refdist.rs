@@ -3,12 +3,21 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match refdist::cli::parse(&args).and_then(refdist::cli::execute) {
-        Ok(out) => print!("{out}"),
+    let cmd = match refdist::cli::parse(&args) {
+        Ok(cmd) => cmd,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", refdist::cli::USAGE);
             std::process::exit(2);
+        }
+    };
+    match refdist::cli::execute(cmd) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            // Execution failures (including aborted simulations) exit
+            // non-zero without re-printing the usage text.
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -87,6 +87,31 @@ pub enum Command {
         /// Generation parameters.
         params: WorkloadParams,
     },
+    /// `refdist chaos <workload>` — JCT-degradation-vs-fault-rate resilience
+    /// curves: every policy at every chaos rate, normalized against its own
+    /// fault-free run at the same grid point.
+    Chaos {
+        /// Workload short name.
+        workload: String,
+        /// Policy names (see `--policy`).
+        policies: Vec<String>,
+        /// Chaos fault rates; `0.0` (the baseline) is always included.
+        rates: Vec<f64>,
+        /// Cache as a fraction of the cached footprint.
+        cache_fraction: f64,
+        /// Cluster preset (main|lrc|memtune).
+        cluster: String,
+        /// Node-count override.
+        nodes: Option<u32>,
+        /// Worker threads (0 = available cores / REFDIST_THREADS).
+        threads: usize,
+        /// Master seed (mixed into every cell's derived seed).
+        seed: u64,
+        /// Emit CSV instead of a table.
+        csv: bool,
+        /// Generation parameters.
+        params: WorkloadParams,
+    },
     /// `refdist help`.
     Help,
 }
@@ -102,6 +127,7 @@ USAGE:
   refdist run <workload> --policy <name> [options]
   refdist compare <workload> [options]
   refdist sweep [sweep options]
+  refdist chaos <workload> [chaos options]
   refdist help
 
 RUN/COMPARE OPTIONS:
@@ -127,6 +153,15 @@ SWEEP OPTIONS (in addition to the applicable options above):
 
   Cells run in parallel; aggregated output is in canonical grid order and
   byte-identical for any thread count. Progress/ETA goes to stderr.
+
+CHAOS OPTIONS (in addition to the applicable options above):
+  --policies <a,b,..>    comma-separated policy names (default lru,lrc,mrd)
+  --rates <f,f,..>       chaos fault rates (default 0,0.02,0.05,0.1); the
+                         fault-free rate 0 is always included — it is the
+                         degradation baseline each policy normalizes against
+
+  Each rate seeds stochastic task/fetch/disk failures from the master seed,
+  so the resilience curve is byte-deterministic at any thread count.
 
 WORKLOADS: KM LinR LogR SVM DT MF PR TC SP LP SVD++ CC SCC PO
            Sort WordCount TeraSort PageRank(Hi) Bayes K-Means(Hi)
@@ -187,9 +222,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut seed = 42u64;
     let mut stages = false;
     let mut workloads: Vec<String> = vec!["CC".into()];
-    let mut policies: Vec<String> = vec!["lru".into(), "mrd".into()];
+    let mut policies: Option<Vec<String>> = None;
     let mut fractions: Vec<f64> = refdist_bench::SWEEP_FRACTIONS.to_vec();
     let mut seeds: Vec<u64> = vec![42];
+    let mut rates: Vec<f64> = vec![0.0, 0.02, 0.05, 0.1];
     let mut threads = 0usize;
     let mut csv = false;
     let mut positional: Vec<&String> = Vec::new();
@@ -211,9 +247,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--seed" => seed = f.parse_num("--seed")?,
             "--stages" => stages = true,
             "--workloads" => workloads = f.parse_list("--workloads")?,
-            "--policies" => policies = f.parse_list("--policies")?,
+            "--policies" => policies = Some(f.parse_list("--policies")?),
             "--fractions" => fractions = f.parse_list("--fractions")?,
             "--seeds" => seeds = f.parse_list("--seeds")?,
+            "--rates" => rates = f.parse_list("--rates")?,
             "--threads" => threads = f.parse_num("--threads")?,
             "--csv" => csv = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
@@ -259,7 +296,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }),
         "sweep" => Ok(Command::Sweep {
             workloads,
-            policies,
+            policies: policies.unwrap_or_else(|| vec!["lru".into(), "mrd".into()]),
             fractions,
             seeds,
             threads,
@@ -268,6 +305,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             nodes,
             adhoc,
             seed,
+            params,
+        }),
+        "chaos" => Ok(Command::Chaos {
+            workload: workload_arg()?,
+            policies: policies
+                .unwrap_or_else(|| vec!["lru".into(), "lrc".into(), "mrd".into()]),
+            rates,
+            cache_fraction,
+            cluster,
+            nodes,
+            threads,
+            seed,
+            csv,
             params,
         }),
         other => Err(format!("unknown command `{other}` (try `refdist help`)")),
@@ -412,6 +462,12 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             };
             let mut p = build_policy(&policy)?;
             let report = Simulation::new(&spec, &plan, mode, cfg).run(&mut *p);
+            if let Some(a) = &report.aborted {
+                return Err(format!(
+                    "stage {} aborted: task {} failed all {} attempts",
+                    a.stage.0, a.task, a.attempts
+                ));
+            }
             let mut out = String::new();
             let _ = writeln!(out, "{}", report.summary());
             let _ = writeln!(
@@ -529,6 +585,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 cluster: cl,
                 params,
                 seed,
+                faults: Default::default(),
             };
             let grid = refdist_bench::SweepGrid::new(ws, ps)
                 .fractions(&fractions)
@@ -551,6 +608,137 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 res.wall.as_secs_f64()
             );
             Ok(if csv { res.csv() } else { res.table() })
+        }
+        Command::Chaos {
+            workload,
+            policies,
+            rates,
+            cache_fraction,
+            cluster,
+            nodes,
+            threads,
+            seed,
+            csv,
+            params,
+        } => {
+            let w = find_workload(&workload)?;
+            let ps: Vec<refdist_bench::PolicySpec> = policies
+                .iter()
+                .map(|p| {
+                    refdist_bench::PolicySpec::from_cli_name(p)
+                        .ok_or_else(|| format!("unknown policy `{p}`"))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut cl = cluster_preset(&cluster)?;
+            if let Some(n) = nodes {
+                cl.nodes = n;
+            }
+            for r in &rates {
+                if !r.is_finite() || *r < 0.0 || *r > 1.0 {
+                    return Err(format!("--rates: `{r}` is not a probability in [0, 1]"));
+                }
+            }
+            // Rate 0 is the degradation baseline every policy normalizes
+            // against, so it is always part of the grid.
+            let mut rates = rates;
+            rates.push(0.0);
+            rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+            rates.dedup();
+            let ctx = refdist_bench::ExpContext {
+                cluster: cl,
+                params,
+                seed,
+                faults: Default::default(),
+            };
+            let grid = refdist_bench::SweepGrid::new(vec![w], ps)
+                .fractions(&[cache_fraction])
+                .chaos(&rates);
+            let opts = refdist_bench::SweepOptions::default()
+                .threads(threads)
+                .progress(true);
+            let res = refdist_bench::run_sweep(&grid, &ctx, &opts);
+            eprintln!(
+                "{} cells in {:.1}s",
+                res.cells.len(),
+                res.wall.as_secs_f64()
+            );
+            // Each policy's fault-free JCT at the same grid point.
+            let baseline = |policy: &str| -> Option<f64> {
+                res.cells
+                    .iter()
+                    .find(|c| c.cell.chaos == 0.0 && c.report.policy == policy)
+                    .map(|c| c.report.jct_secs())
+            };
+            if csv {
+                let mut out = String::from(
+                    "rate,policy,jct_s,vs_fault_free,task_failures,retries,\
+                     fetch_failures,disk_failures,fault_recomputes,aborted\n",
+                );
+                for c in &res.cells {
+                    let f = &c.report.faults;
+                    let base = baseline(&c.report.policy);
+                    let _ = writeln!(
+                        out,
+                        "{:.4},{},{:.4},{},{},{},{},{},{},{}",
+                        c.cell.chaos,
+                        c.report.policy,
+                        c.report.jct_secs(),
+                        base.map_or("-".into(), |b| {
+                            format!("{:.4}", c.report.jct_secs() / b)
+                        }),
+                        f.task_failures,
+                        f.retries,
+                        f.fetch_failures,
+                        f.disk_failures,
+                        f.fault_recomputes,
+                        c.report.aborted.is_some() as u8,
+                    );
+                }
+                Ok(out)
+            } else {
+                let mut t = TextTable::new([
+                    "Rate",
+                    "Policy",
+                    "JCT (s)",
+                    "vs fault-free",
+                    "Task fails",
+                    "Fetch fails",
+                    "Disk fails",
+                    "Recomputes",
+                ]);
+                for c in &res.cells {
+                    let f = &c.report.faults;
+                    // An abort is itself a resilience data point: mark the
+                    // row rather than failing the whole curve.
+                    let jct = match &c.report.aborted {
+                        Some(a) => format!("abort@s{}", a.stage.0),
+                        None => format!("{:.2}", c.report.jct_secs()),
+                    };
+                    let vs = match (c.report.aborted.is_some(), baseline(&c.report.policy)) {
+                        (false, Some(b)) => format!("{:.2}", c.report.jct_secs() / b),
+                        _ => "-".into(),
+                    };
+                    t.row([
+                        format!("{:.4}", c.cell.chaos),
+                        c.report.policy.clone(),
+                        jct,
+                        vs,
+                        f.task_failures.to_string(),
+                        f.fetch_failures.to_string(),
+                        f.disk_failures.to_string(),
+                        f.fault_recomputes.to_string(),
+                    ]);
+                }
+                let mut out = format!(
+                    "{} resilience curve on {} nodes ({}% of footprint cached, seed {}):\n\n",
+                    w.short_name(),
+                    ctx.cluster.nodes,
+                    (cache_fraction * 100.0) as u32,
+                    seed
+                );
+                out.push_str(&t.render());
+                Ok(out)
+            }
         }
     }
 }
@@ -740,6 +928,78 @@ mod tests {
         let r = execute(parse(&args("sweep --policies optimal")).unwrap());
         assert!(r.is_err());
         assert!(parse(&args("sweep --fractions ,")).is_err());
+    }
+
+    #[test]
+    fn parse_chaos_defaults_and_flags() {
+        match parse(&args("chaos SP")).unwrap() {
+            Command::Chaos {
+                workload,
+                policies,
+                rates,
+                ..
+            } => {
+                assert_eq!(workload, "SP");
+                assert_eq!(policies, vec!["lru", "lrc", "mrd"]);
+                assert_eq!(rates, vec![0.0, 0.02, 0.05, 0.1]);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&args("chaos CC --policies lru,mrd --rates 0.05 --threads 2 --csv")).unwrap() {
+            Command::Chaos {
+                policies,
+                rates,
+                threads,
+                csv,
+                ..
+            } => {
+                assert_eq!(policies, vec!["lru", "mrd"]);
+                assert_eq!(rates, vec![0.05]);
+                assert_eq!(threads, 2);
+                assert!(csv);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_bad_rates() {
+        let r = execute(parse(&args("chaos SP --rates 1.5")).unwrap());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn chaos_builds_a_deterministic_resilience_curve() {
+        // Rate 0 is injected as the baseline even though --rates omits it,
+        // and the whole table is byte-stable across runs and thread counts.
+        let run = |threads: &str| {
+            execute(
+                parse(&args(&format!(
+                    "chaos SP --policies lru,lrc,mrd --rates 0.05 --nodes 2 \
+                     --partitions 8 --scale 0.02 --cache-fraction 0.3 --threads {threads} --csv",
+                )))
+                .unwrap(),
+            )
+            .unwrap()
+        };
+        let out = run("2");
+        assert_eq!(out, run("1"), "thread count changed chaos output");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 7, "header + 2 rates x 3 policies: {out}");
+        assert!(lines[0].starts_with("rate,policy"));
+        // Baseline rows normalize to exactly 1.
+        assert!(lines[1].starts_with("0.0000,LRU,"));
+        assert!(lines[1].contains(",1.0000,"));
+        // Chaotic rows actually drew faults.
+        let chaotic: Vec<&&str> = lines[4..].iter().collect();
+        assert!(chaotic.iter().all(|l| l.starts_with("0.0500,")));
+        assert!(
+            chaotic.iter().any(|l| {
+                let cols: Vec<&str> = l.split(',').collect();
+                cols[4] != "0" || cols[6] != "0" || cols[7] != "0"
+            }),
+            "no faults drawn at rate 0.05: {out}"
+        );
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //!
 //! then review the diff of `tests/golden/*.txt` before committing.
 
-use refdist::bench::{experiments, ExpContext, SweepOptions};
+use refdist::bench::{experiments, run_one, ExpContext, PolicySpec, SweepOptions};
 use refdist::cluster::ClusterConfig;
+use refdist::core::ProfileMode;
+use refdist::dag::AppPlan;
+use refdist::workloads::Workload;
 use std::fs;
 use std::path::PathBuf;
 
@@ -65,6 +68,32 @@ fn table1_matches_golden() {
     // at any width regardless.
     let out = experiments::table1_text(&golden_ctx(), 2);
     check_golden("table1.txt", &out);
+}
+
+#[test]
+fn chaos_crash_matches_golden() {
+    // One scripted-crash scenario pinned byte-for-byte: node 1 crashes at
+    // stage 2 and rejoins cold two stages later, node 3 is wiped (and
+    // immediately replaced) at stage 4. The run summaries — JCT, cache
+    // stats, and the fault accounting line — must not move unless the
+    // fault engine itself changes.
+    let mut ctx = golden_ctx();
+    ctx.faults.crash_with_rejoin(1, 2, 2);
+    ctx.faults.node_failure(3, 4);
+    let spec = Workload::ShortestPaths.build(&ctx.params);
+    let plan = AppPlan::build(&spec);
+    let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+    let cache = (((footprint as f64) * 0.4 / ctx.cluster.nodes as f64) as u64).max(1);
+    let mut out = String::new();
+    for policy in [PolicySpec::Lru, PolicySpec::Lrc, PolicySpec::MrdFull] {
+        let r = run_one(&spec, &plan, &ctx, cache, policy, ProfileMode::Recurring);
+        assert!(r.aborted.is_none(), "scripted crashes never abort");
+        assert_eq!(r.faults.crashes, 2);
+        assert_eq!(r.faults.rejoins, 1);
+        out.push_str(&r.summary());
+        out.push('\n');
+    }
+    check_golden("chaos_crash.txt", &out);
 }
 
 #[test]

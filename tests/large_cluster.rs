@@ -28,7 +28,7 @@ fn large_cfg(nodes: u32, cache: u64) -> SimConfig {
     cfg.cluster.cores_per_node = 4;
     cfg.compute_jitter = 0.0;
     cfg.delay_scheduling_us = Some(5_000);
-    cfg.slow_node = Some((0, 4.0));
+    cfg.faults.slow_node(0, 4.0);
     cfg
 }
 
