@@ -26,6 +26,15 @@ cargo test -q --workspace
 echo "==> cargo test -q -p refdist-cluster --test proptest_faults --test differential_faults"
 cargo test -q -p refdist-cluster --test proptest_faults --test differential_faults
 
+# Serve-mode suites, likewise named explicitly: the single-submission
+# serve-vs-legacy-engine differential (equivalence by construction) and the
+# sweep determinism suite, whose serve cells prove multi-tenant streams are
+# thread-count-proof and Poisson arrivals replay from the master seed.
+echo "==> cargo test -q -p refdist-cluster --test differential_serve"
+cargo test -q -p refdist-cluster --test differential_serve
+echo "==> cargo test -q -p refdist-bench --test determinism"
+cargo test -q -p refdist-bench --test determinism
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -56,6 +65,17 @@ done
     --csv > chaos_smoke.csv
   grep -q '^0.0500,MRD' chaos_smoke.csv \
     || { echo "chaos smoke: missing chaotic MRD row"; exit 1; }
+
+  # Serve CLI smoke: a tiny multi-tenant stream must run the full
+  # sched x quota grid end-to-end and report per-tenant JCT distributions.
+  echo "==> refdist serve smoke (scratch dir)"
+  "$OLDPWD/target/release/refdist" serve SP --policy lru --tenants 3 \
+    --gap-ms 100 --nodes 2 --partitions 8 --scale 0.02 \
+    --cache-fraction 0.3 > serve_smoke.txt
+  grep -q 'fair-share, quota equal-share' serve_smoke.txt \
+    || { echo "serve smoke: missing fair-share/equal-share cell"; exit 1; }
+  grep -q '^tenant 2: .* p99 ' serve_smoke.txt \
+    || { echo "serve smoke: missing per-tenant JCT distribution"; exit 1; }
 )
 
 # Show hot-path deltas when both recorded benchmark files are present

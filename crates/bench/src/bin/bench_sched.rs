@@ -5,7 +5,7 @@
 //! * `BENCH_sched_linear.json` — `linear`: the original per-task linear
 //!   scans (`SimConfig::linear_sched`), including the full nodes×cores scan
 //!   per task that delay scheduling performs.
-//! * `BENCH_pr5.json` — `indexed`: the incrementally maintained
+//! * `BENCH_pr6.json` — `indexed`: the incrementally maintained
 //!   [`SlotIndex`](refdist_cluster) ordered-set scheduler (the default).
 //!
 //! The workload is a wide iterative app — 8 partitions per node, so every
@@ -14,19 +14,25 @@
 //! large clusters. Reports from both schedulers are asserted byte-identical
 //! before any timing is recorded.
 //!
-//! `BENCH_pr5.json` additionally re-measures the `bench_cache` macro
-//! protocol (`cc_sweep` on dense state) so `ci.sh`'s regression guard can
-//! join it against `BENCH_pr4.json` from the same machine — the fault
-//! subsystem threads through the task hot loop, and this is the check that
-//! an empty `FaultPlan` costs nothing there. A `chaos` protocol record
-//! (same macro run under `FaultPlan::chaos(0.05)`) baselines the *faulted*
-//! path for future PRs; it has no pr4 counterpart so the guard skips it.
+//! `BENCH_pr6.json` additionally re-measures the `bench_cache` macro
+//! protocol (`cc_sweep` on dense state, fault-free and chaotic) so
+//! `ci.sh`'s regression guard can join it against the checked-in
+//! `BENCH_pr5.json` from the same machine — the serve-mode engine refactor
+//! (per-app state swapping, tenancy hooks in the store) threads through the
+//! task hot loop, and this is the check that a single-tenant run costs no
+//! more than before. A `serve` suite (multi-tenant streams of the same
+//! workload under fair-share scheduling and equal-share quotas) baselines
+//! the new serving path for future PRs; it has no pr5 counterpart so the
+//! guard skips it.
 //!
 //! `REFDIST_QUICK=1` shrinks cluster sizes and repetitions for smoke runs
 //! (the output files are still written).
 
 use refdist_bench::{cache_for_fraction, ExpContext, PolicySpec};
-use refdist_cluster::{ClusterConfig, RunReport, SimConfig, Simulation};
+use refdist_cluster::{
+    ArrivalProcess, ClusterConfig, QuotaKind, RunReport, ServeConfig, ServeSched, ServeSim,
+    SimConfig, Simulation,
+};
 use refdist_core::ProfileMode;
 use refdist_dag::{AppBuilder, AppPlan, AppSpec, StorageLevel};
 use refdist_workloads::Workload;
@@ -104,7 +110,7 @@ fn time_sched(spec: &AppSpec, plan: &AppPlan, nodes: u32, linear: bool) -> (f64,
 }
 
 /// The `bench_cache` macro protocol on dense state, re-measured so
-/// `BENCH_pr5.json` joins against `BENCH_pr4.json` from this machine.
+/// `BENCH_pr6.json` joins against `BENCH_pr5.json` from this machine.
 fn time_macro(policy: PolicySpec, faults: refdist_cluster::FaultPlan) -> f64 {
     let mut ctx = ExpContext::main().quick();
     ctx.faults = faults;
@@ -126,6 +132,46 @@ fn time_macro(policy: PolicySpec, faults: refdist_cluster::FaultPlan) -> f64 {
         let mut p = policy.build(None);
         let start = Instant::now();
         let report = Simulation::new(&spec, &plan, ProfileMode::Recurring, cfg).run(&mut *p);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(report);
+    }
+    best_ms
+}
+
+/// Multi-tenant serve baseline: `tenants` Poisson-arriving copies of the
+/// macro workload share one cluster under fair-share scheduling and
+/// equal-share quotas. Best-of-reps wall ms for the whole stream; the
+/// `ServeSim` (plans, remapped profiles, arena) is built once and reused,
+/// mirroring how the sweep engine amortizes per-workload artifacts.
+fn time_serve(policy: PolicySpec, tenants: u32) -> f64 {
+    let mut ctx = ExpContext::main().quick();
+    if quick() {
+        ctx.params.partitions = 32;
+        ctx.params.scale = 0.1;
+    } else {
+        ctx.params.partitions = 128;
+        ctx.params.scale = 0.5;
+    }
+    let spec = Workload::ConnectedComponents.build(&ctx.params);
+    let cache = cache_for_fraction(&spec, &ctx.cluster, 0.2).max(1);
+    let subs: Vec<(&AppSpec, u32)> = (0..tenants).map(|t| (&spec, t)).collect();
+    let serve = ServeSim::new(
+        &subs,
+        ServeConfig {
+            sim: SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed),
+            arrivals: ArrivalProcess::Poisson {
+                mean_gap_us: 500_000,
+            },
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::EqualShare,
+        },
+    );
+    let reps = if quick() { 1 } else { 3 };
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let policies = (0..tenants).map(|_| policy.build(None)).collect();
+        let start = Instant::now();
+        let report = serve.run(policies);
         best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
         std::hint::black_box(report);
     }
@@ -215,9 +261,31 @@ fn main() {
         });
     }
 
+    println!();
+    println!("== serve: multi-tenant CC streams, fair-share + equal-share quota (ms) ==");
+    for (policy, tenants) in [
+        (PolicySpec::Lru, 3u32),
+        (PolicySpec::MrdFull, 3),
+        (PolicySpec::Lru, 6),
+    ] {
+        let ms = time_serve(policy, tenants);
+        println!("{:<10} x{:<3} {:>9.0} ms", policy.name(), tenants, ms);
+        // Distinct suite: no pr5 counterpart, so the regression guard skips
+        // these first-baseline rows.
+        indexed_records.push(Record {
+            suite: "serve",
+            bench: "cc_stream",
+            policy: policy.name().into(),
+            blocks: tenants as usize,
+            protocol: "fair-share",
+            metric: "ms_total",
+            value: ms,
+        });
+    }
+
     for (path, records) in [
         ("BENCH_sched_linear.json", &linear_records),
-        ("BENCH_pr5.json", &indexed_records),
+        ("BENCH_pr6.json", &indexed_records),
     ] {
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {

@@ -22,8 +22,13 @@
 
 use crate::{cache_for_fraction, run_one_prepared, ExpContext, PolicySpec, PreparedWorkload};
 use parking_lot::Mutex;
-use refdist_cluster::{EngineScratch, RunReport};
+use refdist_cluster::{
+    ArrivalProcess, EngineScratch, QuotaKind, RunReport, ServeConfig, ServeSched, ServeSim,
+    SimConfig,
+};
 use refdist_core::ProfileMode;
+use refdist_dag::AppSpec;
+use refdist_policies::CachePolicy;
 use refdist_metrics::{CsvWriter, OrderedSink, TextTable};
 use refdist_workloads::Workload;
 use std::cell::RefCell;
@@ -79,6 +84,22 @@ where
     sink.into_inner().into_ordered()
 }
 
+/// Multi-tenant serving parameters for one sweep cell: the cell's workload
+/// is submitted once per tenant as a stream of arrivals onto one shared
+/// cluster instead of running a single isolated application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeAxis {
+    /// Number of tenants; each submits one instance of the cell's workload.
+    pub tenants: u32,
+    /// Mean inter-arrival gap of the Poisson arrival process, in simulated
+    /// microseconds (`0` degenerates to all-at-once arrivals).
+    pub mean_gap_us: u64,
+    /// Inter-job scheduling discipline for the shared cluster.
+    pub sched: ServeSched,
+    /// Per-tenant cache quota policy.
+    pub quota: QuotaKind,
+}
+
 /// One point of a sweep grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepCell {
@@ -97,6 +118,10 @@ pub struct SweepCell {
     ///
     /// [`FaultPlan::chaos`]: refdist_cluster::FaultPlan::chaos
     pub chaos: f64,
+    /// Multi-tenant serving axis; `None` runs the historical single-app
+    /// cell (its key and seed are unchanged from grids that predate the
+    /// tenancy axis).
+    pub serve: Option<ServeAxis>,
 }
 
 impl SweepCell {
@@ -112,6 +137,12 @@ impl SweepCell {
         );
         if self.chaos != 0.0 {
             key.push_str(&format!("/c{:.4}", self.chaos));
+        }
+        if let Some(ax) = &self.serve {
+            key.push_str(&format!(
+                "/t{}/g{}/{}/q{}",
+                ax.tenants, ax.mean_gap_us, ax.sched, ax.quota
+            ));
         }
         key
     }
@@ -131,6 +162,12 @@ impl SweepCell {
         );
         if self.chaos != 0.0 {
             env_key.push_str(&format!("|c{:.4}", self.chaos));
+        }
+        if let Some(ax) = &self.serve {
+            env_key.push_str(&format!(
+                "|t{}|g{}|{}|q{}",
+                ax.tenants, ax.mean_gap_us, ax.sched, ax.quota
+            ));
         }
         // FNV-1a over the key, finalized with a splitmix64 round so nearby
         // keys land far apart in seed space.
@@ -160,6 +197,8 @@ pub struct SweepGrid {
     pub seeds: Vec<u64>,
     /// Chaos fault rates; the default `[0.0]` runs fault-free.
     pub chaos: Vec<f64>,
+    /// Serving axes; the default `[None]` runs single-app cells only.
+    pub serve: Vec<Option<ServeAxis>>,
 }
 
 impl SweepGrid {
@@ -175,6 +214,7 @@ impl SweepGrid {
             fractions: crate::SWEEP_FRACTIONS.to_vec(),
             seeds: vec![42],
             chaos: vec![0.0],
+            serve: vec![None],
         }
     }
 
@@ -196,12 +236,19 @@ impl SweepGrid {
         self
     }
 
+    /// Replace the serving axes (`None` = single-app cell).
+    pub fn serve(mut self, serve: &[Option<ServeAxis>]) -> Self {
+        self.serve = serve.to_vec();
+        self
+    }
+
     /// Number of cells the grid expands to.
     pub fn len(&self) -> usize {
         self.workloads.len()
             * self.fractions.len()
             * self.seeds.len()
             * self.chaos.len()
+            * self.serve.len()
             * self.policies.len()
     }
 
@@ -211,22 +258,25 @@ impl SweepGrid {
     }
 
     /// Expand to cells in canonical order: workload, then fraction, then
-    /// seed, then chaos rate, then policy. All reports are aggregated in
-    /// this order.
+    /// seed, then chaos rate, then serving axis, then policy. All reports
+    /// are aggregated in this order.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut out = Vec::with_capacity(self.len());
         for &workload in &self.workloads {
             for &capacity_frac in &self.fractions {
                 for &seed in &self.seeds {
                     for &chaos in &self.chaos {
-                        for &policy in &self.policies {
-                            out.push(SweepCell {
-                                workload,
-                                policy,
-                                capacity_frac,
-                                seed,
-                                chaos,
-                            });
+                        for &serve in &self.serve {
+                            for &policy in &self.policies {
+                                out.push(SweepCell {
+                                    workload,
+                                    policy,
+                                    capacity_frac,
+                                    seed,
+                                    chaos,
+                                    serve,
+                                });
+                            }
                         }
                     }
                 }
@@ -451,6 +501,42 @@ impl Progress {
     }
 }
 
+/// Run one multi-tenant serve cell: `ax.tenants` copies of the prepared
+/// workload arrive as a Poisson stream on a shared cluster, and the
+/// per-submission reports are folded into one aggregate [`RunReport`] via
+/// [`refdist_cluster::ServeReport::merged_report`]. Serve mode always uses
+/// recurring profiles (each submission is a known, previously-seen app), and
+/// Belady is excluded — a whole-run trace is meaningless under interleaving.
+fn run_serve_cell(
+    prep: &PreparedWorkload,
+    ctx: &ExpContext,
+    cache_bytes: u64,
+    policy: PolicySpec,
+    ax: ServeAxis,
+) -> RunReport {
+    assert!(
+        policy != PolicySpec::Belady,
+        "Belady-MIN is excluded from serve cells (no whole-run trace under interleaving)"
+    );
+    let mut sim = SimConfig::new(ctx.cluster.with_cache(cache_bytes)).with_seed(ctx.seed);
+    sim.faults = ctx.faults.clone();
+    let subs: Vec<(&AppSpec, u32)> = (0..ax.tenants).map(|t| (&prep.spec, t)).collect();
+    let serve = ServeSim::new(
+        &subs,
+        ServeConfig {
+            sim,
+            arrivals: ArrivalProcess::Poisson {
+                mean_gap_us: ax.mean_gap_us,
+            },
+            sched: ax.sched,
+            quota: ax.quota,
+        },
+    );
+    let policies: Vec<Box<dyn CachePolicy>> =
+        (0..ax.tenants).map(|_| policy.build(None)).collect();
+    serve.run(policies).merged_report()
+}
+
 /// Run every cell of `grid` on a worker pool and aggregate the reports in
 /// canonical cell order. See the module docs for the determinism contract.
 pub fn run_sweep(grid: &SweepGrid, ctx: &ExpContext, opts: &SweepOptions) -> SweepResults {
@@ -483,9 +569,13 @@ pub fn run_sweep(grid: &SweepGrid, ctx: &ExpContext, opts: &SweepOptions) -> Swe
             cell_ctx.faults = refdist_cluster::FaultPlan::chaos(cell.chaos);
         }
         let cell_started = Instant::now();
-        let report = SCRATCH.with(|s| {
-            run_one_prepared(prep, &cell_ctx, cache_bytes, cell.policy, &mut s.borrow_mut())
-        });
+        let report = if let Some(ax) = cell.serve {
+            run_serve_cell(prep, &cell_ctx, cache_bytes, cell.policy, ax)
+        } else {
+            SCRATCH.with(|s| {
+                run_one_prepared(prep, &cell_ctx, cache_bytes, cell.policy, &mut s.borrow_mut())
+            })
+        };
         progress.cell_done(&cell.key(), cell_started.elapsed());
         CellResult {
             cell: *cell,
@@ -540,6 +630,7 @@ mod tests {
             capacity_frac: frac,
             seed,
             chaos: 0.0,
+            serve: None,
         };
         let a = mk(PolicySpec::Lru, 0.4, 42).sim_seed(42);
         let b = mk(PolicySpec::MrdFull, 0.4, 42).sim_seed(42);
@@ -557,6 +648,7 @@ mod tests {
             capacity_frac: 0.4,
             seed: 42,
             chaos: 0.0,
+            serve: None,
         };
         let chaotic = SweepCell { chaos: 0.02, ..base };
         // Rate 0 keeps the pre-chaos key and seed shapes (golden files and
@@ -585,6 +677,85 @@ mod tests {
             chaotic.report.faults
         );
         assert!(chaotic.report.aborted.is_none());
+    }
+
+    #[test]
+    fn serve_axis_is_invisible_when_absent() {
+        let base = SweepCell {
+            workload: Workload::KMeans,
+            policy: PolicySpec::Lru,
+            capacity_frac: 0.4,
+            seed: 42,
+            chaos: 0.0,
+            serve: None,
+        };
+        let ax = ServeAxis {
+            tenants: 3,
+            mean_gap_us: 200_000,
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::EqualShare,
+        };
+        let served = SweepCell {
+            serve: Some(ax),
+            ..base
+        };
+        // `None` keeps the pre-tenancy key and seed shapes; a serving axis
+        // extends both, and composes with the chaos suffix.
+        assert_eq!(base.key(), "KM/LRU/f0.4000/s42");
+        assert_eq!(
+            served.key(),
+            "KM/LRU/f0.4000/s42/t3/g200000/fair-share/qequal-share"
+        );
+        assert_ne!(base.sim_seed(42), served.sim_seed(42));
+        let fifo = SweepCell {
+            serve: Some(ServeAxis {
+                sched: ServeSched::Fifo,
+                ..ax
+            }),
+            ..base
+        };
+        assert_ne!(served.sim_seed(42), fifo.sim_seed(42));
+        let both = SweepCell {
+            chaos: 0.02,
+            ..served
+        };
+        assert_eq!(
+            both.key(),
+            "KM/LRU/f0.4000/s42/c0.0200/t3/g200000/fair-share/qequal-share"
+        );
+        // Policies at one serve grid point still share simulation randomness.
+        assert_eq!(
+            served.sim_seed(42),
+            SweepCell {
+                policy: PolicySpec::MrdFull,
+                ..served
+            }
+            .sim_seed(42)
+        );
+    }
+
+    #[test]
+    fn serve_cells_run_multi_tenant_streams() {
+        let ctx = tiny_ctx();
+        let ax = ServeAxis {
+            tenants: 3,
+            mean_gap_us: 100_000,
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::EqualShare,
+        };
+        let grid = SweepGrid::new(vec![Workload::KMeans], vec![PolicySpec::Lru])
+            .fractions(&[0.5])
+            .serve(&[None, Some(ax)]);
+        let res = run_sweep(&grid, &ctx, &SweepOptions::default().threads(2));
+        assert_eq!(res.cells.len(), 2);
+        let single = &res.cells[0];
+        let served = &res.cells[1];
+        assert!(single.cell.serve.is_none());
+        assert_eq!(served.cell.serve, Some(ax));
+        // Three tenants each ran a full copy of the workload.
+        assert_eq!(served.report.tasks, 3 * single.report.tasks);
+        assert!(served.report.jct >= single.report.jct);
+        assert!(served.report.app.contains('+'), "{}", served.report.app);
     }
 
     #[test]

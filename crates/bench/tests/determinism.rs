@@ -2,7 +2,8 @@
 //! engine must uphold is that the *aggregated* output of a grid is
 //! byte-identical no matter how many worker threads ran it (ISSUE 1).
 
-use refdist_bench::{run_sweep, ExpContext, PolicySpec, SweepGrid, SweepOptions};
+use refdist_bench::{run_sweep, ExpContext, PolicySpec, ServeAxis, SweepGrid, SweepOptions};
+use refdist_cluster::{ArrivalProcess, QuotaKind, ServeSched};
 use refdist_workloads::Workload;
 
 fn tiny_ctx() -> ExpContext {
@@ -107,6 +108,77 @@ fn chaos_cells_are_byte_identical_across_thread_counts() {
         .filter(|c| !c.report.faults.is_empty())
         .count();
     assert!(faulted > 0, "no chaos cell drew a single fault");
+}
+
+#[test]
+fn serve_cells_are_byte_identical_across_thread_counts() {
+    // The tenancy axis multiplexes whole applications through one shared
+    // engine; its aggregated output must stay thread-count-proof, including
+    // when it composes with the chaos axis.
+    let ctx = tiny_ctx();
+    let grid = SweepGrid::new(
+        vec![Workload::ShortestPaths],
+        vec![PolicySpec::Lru, PolicySpec::MrdFull],
+    )
+    .fractions(&[0.3])
+    .chaos(&[0.0, 0.05])
+    .serve(&[
+        None,
+        Some(ServeAxis {
+            tenants: 3,
+            mean_gap_us: 100_000,
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::EqualShare,
+        }),
+        Some(ServeAxis {
+            tenants: 2,
+            mean_gap_us: 50_000,
+            sched: ServeSched::Fifo,
+            quota: QuotaKind::Unlimited,
+        }),
+    ]);
+    let sequential = run_sweep(&grid, &ctx, &SweepOptions::default().threads(1));
+    for threads in [2, 4, 8] {
+        let parallel = run_sweep(&grid, &ctx, &SweepOptions::default().threads(threads));
+        assert_eq!(
+            sequential.csv(),
+            parallel.csv(),
+            "serve CSV diverged at {threads} threads"
+        );
+        for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+            assert_eq!(
+                format!("{:?}", a.report),
+                format!("{:?}", b.report),
+                "serve report diverged at {threads} threads for {}",
+                a.cell.key()
+            );
+        }
+    }
+    // The multi-tenant cells really ran multi-tenant streams.
+    let fair = sequential
+        .cells
+        .iter()
+        .find(|c| c.cell.serve.is_some_and(|ax| ax.tenants == 3))
+        .expect("3-tenant cell ran");
+    assert_eq!(fair.report.tasks % 3, 0);
+    assert!(fair.report.app.contains('+'));
+}
+
+#[test]
+fn poisson_arrivals_replay_from_the_master_seed() {
+    // The arrival stream is a dedicated RNG stream keyed only by the master
+    // seed: replaying a seed reproduces the schedule exactly, different
+    // seeds produce different schedules, and a fixed trace draws nothing.
+    let p = ArrivalProcess::Poisson {
+        mean_gap_us: 250_000,
+    };
+    let a = p.arrivals(16, 42);
+    assert_eq!(a, p.arrivals(16, 42), "same seed must replay");
+    assert_ne!(a, p.arrivals(16, 43), "different seed must diverge");
+    assert_eq!(a[0], 0, "first arrival anchors the stream at t=0");
+    assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals are sorted");
+    let t = ArrivalProcess::Trace(vec![5, 10, 20]);
+    assert_eq!(t.arrivals(3, 1), t.arrivals(3, 999), "trace ignores the seed");
 }
 
 #[test]

@@ -246,12 +246,32 @@ pub struct FaultStats {
     pub spec_wins: u64,
     /// Copies that lost to the original attempt.
     pub spec_losses: u64,
+    /// Stage aborts (a task exhausted its retry budget). At most 1 in a
+    /// single-app run; in serve mode each application can abort once.
+    pub aborts: u64,
 }
 
 impl FaultStats {
     /// True when no fault machinery fired at all.
     pub fn is_empty(&self) -> bool {
         *self == FaultStats::default()
+    }
+
+    /// Sum another run's counters into this aggregate (serve mode folds the
+    /// per-application fault accounting into one cluster-level view).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.task_failures += other.task_failures;
+        self.retries += other.retries;
+        self.backoff_us += other.backoff_us;
+        self.fetch_failures += other.fetch_failures;
+        self.disk_failures += other.disk_failures;
+        self.fault_recomputes += other.fault_recomputes;
+        self.crashes += other.crashes;
+        self.rejoins += other.rejoins;
+        self.spec_launched += other.spec_launched;
+        self.spec_wins += other.spec_wins;
+        self.spec_losses += other.spec_losses;
+        self.aborts += other.aborts;
     }
 }
 
@@ -262,6 +282,10 @@ impl FaultStats {
 pub struct StageAbort {
     /// The stage that aborted.
     pub stage: StageId,
+    /// The application (submission index) the stage belonged to. Always 0
+    /// in the single-app engine; serve mode records which tenant's
+    /// submission died so the survivors' reports stay attributable.
+    pub app: u32,
     /// The failing task's partition index.
     pub task: u32,
     /// Attempts consumed (== `max_task_attempts`).

@@ -55,8 +55,13 @@ pub mod faults;
 pub mod report;
 pub mod runtime;
 mod sched;
+pub mod serve;
 
 pub use config::{ClusterConfig, SimConfig};
 pub use faults::{CrashEvent, FaultPlan, FaultStats, Slowdown, StageAbort};
 pub use report::{RunReport, SchedStats};
 pub use runtime::{collect_trace, EngineScratch, Simulation};
+pub use serve::{
+    ArrivalProcess, QuotaKind, ServeConfig, ServeReport, ServeSched, ServeSim, TenantMux,
+    TenantSummary,
+};

@@ -152,8 +152,8 @@ impl RunReport {
         }
         if let Some(a) = &self.aborted {
             s.push_str(&format!(
-                " — ABORTED at stage {} (task {} failed {} attempts)",
-                a.stage.0, a.task, a.attempts
+                " — ABORTED at stage {} (app {}, task {} failed {} attempts)",
+                a.stage.0, a.app, a.task, a.attempts
             ));
         }
         s
@@ -241,13 +241,14 @@ mod tests {
         r.faults.crashes = 1;
         r.aborted = Some(StageAbort {
             stage: StageId(4),
+            app: 2,
             task: 7,
             attempts: 4,
         });
         let s = r.summary();
         assert!(s.contains("3 task failures / 2 retries"));
         assert!(s.contains("1 crashes / 0 rejoins"));
-        assert!(s.contains("ABORTED at stage 4 (task 7 failed 4 attempts)"));
+        assert!(s.contains("ABORTED at stage 4 (app 2, task 7 failed 4 attempts)"));
     }
 
     #[test]

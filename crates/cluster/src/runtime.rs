@@ -60,6 +60,7 @@ use rand::{Rng, SeedableRng};
 use refdist_core::{AppProfiler, ProfileMode};
 use refdist_dag::{
     AppPlan, AppProfile, AppSpec, BlockId, BlockSlots, JobId, RddId, SlotSet, Stage, StageKind,
+    TenantMap,
 };
 use refdist_policies::{CachePolicy, LruPolicy};
 use refdist_simcore::{FifoResource, SimDuration, SimTime};
@@ -204,7 +205,7 @@ pub fn collect_trace(spec: &AppSpec, plan: &AppPlan, cfg: &SimConfig) -> Vec<Blo
         .expect("trace collection was requested")
 }
 
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     spec: &'a AppSpec,
     plan: &'a AppPlan,
     profiler: &'a AppProfiler,
@@ -287,6 +288,14 @@ struct Engine<'a> {
     frng: SmallRng,
     fstats: FaultStats,
     aborted: Option<StageAbort>,
+    /// Per scripted crash: whether it already fired. Legacy runs visit each
+    /// stage id exactly once so this is inert there; the serve driver replays
+    /// per-application stage counters that *do* recur, and a scripted crash
+    /// must still fire at most once per simulation.
+    crash_fired: Vec<bool>,
+    /// Application index stamped onto [`StageAbort`]s. Always 0 for the
+    /// single-app engine; the serve driver sets it to the running app.
+    pub(crate) current_app: u32,
 }
 
 /// Slot free time marking an unavailable (down) node's cores: later than any
@@ -294,8 +303,58 @@ struct Engine<'a> {
 /// them.
 const NODE_DOWN: SimTime = SimTime(u64::MAX);
 
+/// The fault-draw stream for `seed`: a splitmix of the master seed,
+/// decorrelated from the jitter stream but fully determined by `seed`.
+/// Shared between the engine and [`AppState`] so a serve app's swapped-in
+/// streams match what a standalone run of the same seed would use.
+fn fault_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64((seed ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+}
+
+/// The per-application slice of engine state. The serve driver keeps one per
+/// submission and [`Engine::swap_app`]s it in around each stage, so one
+/// engine (shared cluster, stores, master, scheduler) can interleave many
+/// applications while each keeps its own clock, RNG streams, accumulators,
+/// and fault/abort accounting.
+pub(crate) struct AppState {
+    pub(crate) now: SimTime,
+    rng: SmallRng,
+    frng: SmallRng,
+    pub(crate) io_accum: SimDuration,
+    pub(crate) compute_accum: SimDuration,
+    pub(crate) tasks_run: u64,
+    pub(crate) stage_times: Vec<(refdist_dag::StageId, SimTime, SimTime)>,
+    pub(crate) trace: Vec<BlockId>,
+    pub(crate) placements: Vec<(u32, u32, SimTime)>,
+    pub(crate) sched_stats: SchedStats,
+    pub(crate) fstats: FaultStats,
+    pub(crate) aborted: Option<StageAbort>,
+}
+
+impl AppState {
+    /// Fresh per-app state whose clock starts at `arrival` and whose RNG
+    /// streams are seeded exactly as a standalone engine run with `seed`
+    /// would seed them.
+    pub(crate) fn fresh(seed: u64, arrival: SimTime) -> AppState {
+        AppState {
+            now: arrival,
+            rng: SmallRng::seed_from_u64(seed),
+            frng: fault_rng(seed),
+            io_accum: SimDuration::ZERO,
+            compute_accum: SimDuration::ZERO,
+            tasks_run: 0,
+            stage_times: Vec::new(),
+            trace: Vec::new(),
+            placements: Vec::new(),
+            sched_stats: SchedStats::default(),
+            fstats: FaultStats::default(),
+            aborted: None,
+        }
+    }
+}
+
 impl<'a> Engine<'a> {
-    fn new(sim: &'a Simulation<'_>, mut s: EngineScratch) -> Self {
+    pub(crate) fn new(sim: &'a Simulation<'_>, mut s: EngineScratch) -> Self {
         let spec = sim.spec;
         let cfg = &sim.cfg;
         let n = cfg.cluster.nodes as usize;
@@ -381,13 +440,45 @@ impl<'a> Engine<'a> {
             rng: SmallRng::seed_from_u64(cfg.seed),
             down: vec![false; n],
             rejoin_at: vec![None; n],
-            // Splitmix of the master seed: decorrelated from the jitter
-            // stream but still fully determined by `cfg.seed`.
-            frng: SmallRng::seed_from_u64(
-                (cfg.seed ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9),
-            ),
+            frng: fault_rng(cfg.seed),
             fstats: FaultStats::default(),
             aborted: None,
+            crash_fired: vec![false; cfg.faults.crashes.len()],
+            current_app: 0,
+        }
+    }
+
+    /// Swap the per-application state slice between the engine and `app`.
+    /// Called in pairs by the serve driver: swap in before running one of the
+    /// app's stages, swap out after. Shared cluster state (stores, master,
+    /// slots, scheduler index, fault topology) stays in place.
+    pub(crate) fn swap_app(&mut self, app: &mut AppState) {
+        std::mem::swap(&mut self.now, &mut app.now);
+        std::mem::swap(&mut self.rng, &mut app.rng);
+        std::mem::swap(&mut self.frng, &mut app.frng);
+        std::mem::swap(&mut self.io_accum, &mut app.io_accum);
+        std::mem::swap(&mut self.compute_accum, &mut app.compute_accum);
+        std::mem::swap(&mut self.tasks_run, &mut app.tasks_run);
+        std::mem::swap(&mut self.stage_times, &mut app.stage_times);
+        std::mem::swap(&mut self.trace, &mut app.trace);
+        std::mem::swap(&mut self.placements, &mut app.placements);
+        std::mem::swap(&mut self.sched_stats, &mut app.sched_stats);
+        std::mem::swap(&mut self.fstats, &mut app.fstats);
+        std::mem::swap(&mut self.aborted, &mut app.aborted);
+    }
+
+    /// Per-node cache-statistics snapshot. The serve driver diffs snapshots
+    /// around each stage ([`CacheStats::delta`]) to attribute shared-node
+    /// counters to the application whose stage just ran.
+    pub(crate) fn node_stats(&self) -> Vec<CacheStats> {
+        self.managers.iter().map(|m| m.stats).collect()
+    }
+
+    /// Turn on per-tenant cache quotas in every node's memory store. Must be
+    /// called before any block is inserted (the stores assert emptiness).
+    pub(crate) fn enable_store_tenancy(&mut self, map: &Arc<TenantMap>, quota_bytes: u64) {
+        for m in &mut self.managers {
+            m.memory.enable_tenancy(Arc::clone(map), quota_bytes);
         }
     }
 
@@ -565,40 +656,7 @@ impl<'a> Engine<'a> {
 
             policy.on_stage_start(stage.id, &visible);
 
-            // Scripted faults: rejoins due at this stage, then crashes.
-            self.process_fault_events(stage.id.0, policy);
-
-            self.run_purge(policy);
-
-            // Execution memory borrows from the storage region for the
-            // stage's duration, evicting cached blocks per the policy.
-            let exec_bytes = (self.cfg.cluster.cache_bytes as f64
-                * self.cfg.exec_mem_fraction.clamp(0.0, 1.0)) as u64;
-            for node in 0..self.nodes {
-                if self.down[node] {
-                    continue;
-                }
-                let used = self.managers[node].memory.used();
-                if used + exec_bytes > self.cfg.cluster.cache_bytes {
-                    let shortfall = used + exec_bytes - self.cfg.cluster.cache_bytes;
-                    self.free_up(node, shortfall, policy);
-                }
-                self.managers[node].memory.set_reserved(exec_bytes);
-            }
-
-            let start = self.now;
-            let end = self.run_stage_tasks(stage, policy);
-
-            // The stage's execution memory is released; the freed headroom
-            // is what the prefetcher fills.
-            for node in 0..self.nodes {
-                self.managers[node].memory.set_reserved(0);
-            }
-            if self.aborted.is_none() && policy.wants_prefetch() {
-                self.run_prefetch(stage, &visible, policy);
-            }
-            self.stage_times.push((stage.id, start, end));
-            self.now = end;
+            self.run_one_stage(stage, &visible, policy);
             if self.aborted.is_some() {
                 // A task exhausted its retry budget: the driver gives up on
                 // the application; later stages never run.
@@ -636,20 +694,78 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Execute one stage end to end: scripted fault events, cluster-wide
+    /// purge, execution-memory reservation, the stage's tasks, then the
+    /// prefetch pass and stage-clock advance. Job submission and
+    /// `on_stage_start` belong to the caller — the legacy [`Engine::run`]
+    /// loop and the multi-application serve driver both route through here,
+    /// which is what makes single-tenant serving equivalent by construction.
+    pub(crate) fn run_one_stage(
+        &mut self,
+        stage: &Stage,
+        visible: &AppProfile,
+        policy: &mut dyn CachePolicy,
+    ) {
+        // Scripted faults: rejoins due at this stage, then crashes.
+        self.process_fault_events(stage.id.0, policy);
+
+        self.run_purge(policy);
+
+        // Execution memory borrows from the storage region for the
+        // stage's duration, evicting cached blocks per the policy.
+        let exec_bytes = (self.cfg.cluster.cache_bytes as f64
+            * self.cfg.exec_mem_fraction.clamp(0.0, 1.0)) as u64;
+        for node in 0..self.nodes {
+            if self.down[node] {
+                continue;
+            }
+            let used = self.managers[node].memory.used();
+            if used + exec_bytes > self.cfg.cluster.cache_bytes {
+                let shortfall = used + exec_bytes - self.cfg.cluster.cache_bytes;
+                self.free_up(node, shortfall, policy);
+            }
+            self.managers[node].memory.set_reserved(exec_bytes);
+        }
+
+        let start = self.now;
+        let end = self.run_stage_tasks(stage, policy);
+
+        // The stage's execution memory is released; the freed headroom
+        // is what the prefetcher fills.
+        for node in 0..self.nodes {
+            self.managers[node].memory.set_reserved(0);
+        }
+        if self.aborted.is_none() && policy.wants_prefetch() {
+            self.run_prefetch(stage, visible, policy);
+        }
+        self.stage_times.push((stage.id, start, end));
+        self.now = end;
+    }
+
     /// Fire the scripted fault events due at the start of stage `stage`:
     /// first rejoins of nodes whose downtime expired, then crashes. Crashes
     /// on out-of-range nodes are ignored, as is a downtime crash that would
     /// take the last live node (the cluster must keep at least one).
     fn process_fault_events(&mut self, stage: u32, policy: &mut dyn CachePolicy) {
         for node in 0..self.nodes {
-            if self.rejoin_at[node] == Some(stage) {
+            // `<=` instead of `==`: a legacy run's stage counter hits every
+            // value exactly once (identical behaviour), but the serve driver
+            // interleaves per-app counters that can step past the due stage.
+            if self.rejoin_at[node].is_some_and(|r| r <= stage) {
                 self.rejoin_node(node, policy);
             }
         }
         for i in 0..self.cfg.faults.crashes.len() {
             let c = self.cfg.faults.crashes[i];
             let node = c.node as usize;
-            if c.at_stage != stage || node >= self.nodes || self.down[node] {
+            if self.crash_fired[i] || c.at_stage != stage {
+                continue;
+            }
+            // A scripted crash is consumed at its first due stage whether or
+            // not it can fire — under serving, another app's stage counter
+            // revisiting the same value must not re-crash the node.
+            self.crash_fired[i] = true;
+            if node >= self.nodes || self.down[node] {
                 continue;
             }
             if let Some(downtime) = c.rejoin_after {
@@ -879,9 +995,11 @@ impl<'a> Engine<'a> {
                 if attempts >= max_attempts {
                     self.aborted = Some(StageAbort {
                         stage: stage.id,
+                        app: self.current_app,
                         task: p,
                         attempts,
                     });
+                    self.fstats.aborts += 1;
                     break end;
                 }
                 let backoff = self.cfg.faults.backoff_us(attempts);
@@ -1721,8 +1839,10 @@ mod tests {
             .run(&mut *PolicyKind::Lru.build());
         let abort = r.aborted.expect("certain failure must abort");
         assert_eq!(abort.stage.0, 0);
+        assert_eq!(abort.app, 0);
         assert_eq!(abort.task, 0);
         assert_eq!(abort.attempts, 3);
+        assert_eq!(r.faults.aborts, 1);
         // The run stopped early: only the failing task ran, in one stage.
         assert_eq!(r.tasks, 1);
         assert_eq!(r.stage_times.len(), 1);

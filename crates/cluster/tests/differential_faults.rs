@@ -178,6 +178,7 @@ fn assert_invisible(p: &Params) {
         let (clean_report, clean_rec) = run_once(&spec, &plan, clean_cfg, &build);
         let (inert_report, inert_rec) = run_once(&spec, &plan, inert_cfg, &build);
         assert!(clean_report.faults.is_empty(), "fault-free run drew faults");
+        assert_eq!(clean_report.faults.aborts, 0);
         assert!(clean_report.aborted.is_none());
         assert_eq!(
             format!("{clean_report:?}"),
@@ -225,6 +226,36 @@ proptest! {
     fn empty_fault_plan_is_byte_invisible(p in params_strategy()) {
         assert_invisible(&p);
     }
+}
+
+/// An aborting run must attribute the abort: the `StageAbort` carries the
+/// application index (always 0 in the single-app engine) and the abort is
+/// counted in `FaultStats`, so serve-mode reports stay attributable when a
+/// tenant's submission dies mid-stream.
+#[test]
+fn aborts_carry_the_app_id_and_are_counted() {
+    let p = Params {
+        iters: 2,
+        parts: 3,
+        block_kb: 1,
+        mem_only: false,
+        nodes: 2,
+        cache_frac: 2.0,
+        jitter: 0.0,
+        seed: 11,
+    };
+    let spec = build_app(&p);
+    let plan = AppPlan::build(&spec);
+    let mut cfg = build_cfg(&p, &spec);
+    cfg.faults.task_failure_p = 1.0;
+    cfg.faults.max_task_attempts = 2;
+    let (report, _) = run_once(&spec, &plan, cfg, &all_policies()[0].1);
+    let abort = report.aborted.expect("certain failure must abort");
+    assert_eq!(abort.app, 0, "single-app engine stamps app 0");
+    assert_eq!(report.faults.aborts, 1);
+    assert!(report
+        .summary()
+        .contains(&format!("ABORTED at stage {} (app 0", abort.stage.0)));
 }
 
 /// Deterministic spot-check of the pressure-heavy corner, so the

@@ -1,0 +1,344 @@
+//! Differential property test for the multi-tenant serve driver.
+//!
+//! Serving is *equivalent by construction* to the single-app engine: a
+//! 1-submission serve (one tenant, zero arrival delay, unlimited quota)
+//! combines the spec into a clone of itself, the tenant mux passes every
+//! policy hook through unchanged, and the driver performs exactly the legacy
+//! `Engine::run` call sequence. This test holds the construction to the
+//! proof obligation: for randomized applications × cluster configurations
+//! (fault events included) × every policy family, the legacy engine and the
+//! 1-tenant serve must produce byte-identical `RunReport`s (access trace and
+//! task placements included) and identical victim/purge decision sequences
+//! as observed through the policy interface.
+
+use proptest::prelude::*;
+use refdist_cluster::{
+    ClusterConfig, RunReport, ServeConfig, ServeSim, SimConfig, Simulation,
+};
+use refdist_core::{DistanceMetric, MrdConfig, MrdMode, MrdPolicy, ProfileMode};
+use refdist_dag::{AppBuilder, AppPlan, AppSpec, BlockId, BlockSlots, StorageLevel};
+use refdist_policies::{CachePolicy, PolicyKind};
+use refdist_store::NodeId;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Decision log shared between the test and a [`Recorder`] that gets moved
+/// into the serve driver (which consumes its policies).
+#[derive(Default)]
+struct DecisionLog {
+    victims: Mutex<Vec<(NodeId, Vec<BlockId>)>>,
+    purges: Mutex<Vec<Vec<BlockId>>>,
+}
+
+type VictimLog = Vec<(NodeId, Vec<BlockId>)>;
+type PurgeLog = Vec<Vec<BlockId>>;
+
+impl DecisionLog {
+    fn snapshot(&self) -> (VictimLog, PurgeLog) {
+        (
+            self.victims.lock().unwrap().clone(),
+            self.purges.lock().unwrap().clone(),
+        )
+    }
+}
+
+/// Wraps a policy and logs every eviction batch and purge decision into a
+/// shared [`DecisionLog`], so runs that consume the policy (the serve
+/// driver) can still be compared on their decision sequences.
+struct Recorder {
+    inner: Box<dyn CachePolicy>,
+    log: Arc<DecisionLog>,
+}
+
+impl Recorder {
+    fn new(inner: Box<dyn CachePolicy>, log: Arc<DecisionLog>) -> Self {
+        Recorder { inner, log }
+    }
+}
+
+impl CachePolicy for Recorder {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn attach_slots(&mut self, slots: &Arc<BlockSlots>) {
+        self.inner.attach_slots(slots);
+    }
+    fn on_job_submit(&mut self, job: refdist_dag::JobId, visible: &refdist_dag::AppProfile) {
+        self.inner.on_job_submit(job, visible);
+    }
+    fn on_stage_start(&mut self, stage: refdist_dag::StageId, visible: &refdist_dag::AppProfile) {
+        self.inner.on_stage_start(stage, visible);
+    }
+    fn on_insert(&mut self, node: NodeId, block: BlockId) {
+        self.inner.on_insert(node, block);
+    }
+    fn on_access(&mut self, node: NodeId, block: BlockId) {
+        self.inner.on_access(node, block);
+    }
+    fn on_remove(&mut self, node: NodeId, block: BlockId) {
+        self.inner.on_remove(node, block);
+    }
+    fn on_node_join(&mut self, node: NodeId) {
+        self.inner.on_node_join(node);
+    }
+    fn pick_victim(&mut self, node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
+        self.inner.pick_victim(node, candidates)
+    }
+    fn select_victims(
+        &mut self,
+        node: NodeId,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        let v = self.inner.select_victims(node, shortfall, resident);
+        self.log.victims.lock().unwrap().push((node, v.clone()));
+        v
+    }
+    fn purge_candidates(&mut self, in_memory: &[BlockId]) -> Vec<BlockId> {
+        let p = self.inner.purge_candidates(in_memory);
+        self.log.purges.lock().unwrap().push(p.clone());
+        p
+    }
+    fn prefetch_order(&mut self, node: NodeId, missing: &[BlockId]) -> Vec<BlockId> {
+        self.inner.prefetch_order(node, missing)
+    }
+    fn wants_prefetch(&self) -> bool {
+        self.inner.wants_prefetch()
+    }
+    fn wants_purge(&self) -> bool {
+        self.inner.wants_purge()
+    }
+}
+
+/// Parameters of a randomized iterative application.
+#[derive(Debug, Clone)]
+struct AppParams {
+    iters: usize,
+    parts: u32,
+    block_kb: u64,
+    mem_only: bool,
+    two_rdds: bool,
+}
+
+fn build_app(p: &AppParams) -> AppSpec {
+    let block = p.block_kb * 256 * 1024;
+    let level = if p.mem_only {
+        StorageLevel::MemoryOnly
+    } else {
+        StorageLevel::MemoryAndDisk
+    };
+    let mut b = AppBuilder::new("diff-app");
+    let input = b.input("in", p.parts, block, 2_000);
+    let hot = b.narrow("hot", input, block, 5_000);
+    b.persist(hot, level);
+    if p.two_rdds {
+        let cold = b.narrow("cold", input, block, 5_000);
+        b.persist(cold, level);
+        let both = b.narrow_multi("both", &[hot, cold], 1024, 100);
+        b.action("create", both);
+        for i in 0..p.iters {
+            let s = b.shuffle(format!("hot{i}"), &[hot], p.parts, 1024, 500);
+            b.action(format!("jh{i}"), s);
+        }
+        let s = b.shuffle("coldref", &[cold], p.parts, 1024, 500);
+        b.action("jc", s);
+    } else {
+        for i in 0..p.iters {
+            let s = b.shuffle(format!("agg{i}"), &[hot], p.parts, block / 4, 1_000);
+            b.action(format!("job{i}"), s);
+        }
+    }
+    b.build()
+}
+
+/// Parameters of a randomized cluster configuration.
+#[derive(Debug, Clone)]
+struct CfgParams {
+    nodes: u32,
+    cache_frac: f64,
+    exec_mem: f64,
+    jitter: f64,
+    seed: u64,
+    adaptive: bool,
+    failure: bool,
+    rejoin: bool,
+    delay: Option<u64>,
+}
+
+fn build_cfg(c: &CfgParams, spec: &AppSpec) -> SimConfig {
+    let footprint: u64 = spec
+        .cached_rdds()
+        .map(|r| r.num_partitions as u64 * r.block_size)
+        .sum();
+    let per_node = ((footprint as f64 * c.cache_frac) / c.nodes as f64) as u64;
+    let mut cfg = SimConfig::new(ClusterConfig::tiny(c.nodes, per_node));
+    cfg.seed = c.seed;
+    cfg.compute_jitter = c.jitter;
+    cfg.exec_mem_fraction = c.exec_mem;
+    cfg.adaptive_threshold = c.adaptive;
+    cfg.delay_scheduling_us = c.delay;
+    cfg.collect_trace = true;
+    cfg.collect_placements = true;
+    if c.failure {
+        cfg.faults.node_failure(c.nodes - 1, 2);
+    }
+    if c.rejoin {
+        cfg.faults.crash_with_rejoin(0, 1, 2);
+    }
+    cfg
+}
+
+type Build = Box<dyn Fn() -> Box<dyn CachePolicy>>;
+
+/// Every servable policy family: the five baselines plus MRD in all three
+/// modes and with job-granular distances (Belady is excluded by design —
+/// its whole-run trace has no meaning under serving).
+fn all_policies() -> Vec<(&'static str, Build)> {
+    let mut v: Vec<(&'static str, Build)> = vec![
+        ("lru", Box::new(|| PolicyKind::Lru.build())),
+        ("fifo", Box::new(|| PolicyKind::Fifo.build())),
+        ("random", Box::new(|| PolicyKind::Random.build())),
+        ("lrc", Box::new(|| PolicyKind::Lrc.build())),
+        ("memtune", Box::new(|| PolicyKind::MemTune.build())),
+    ];
+    for (name, mode, metric) in [
+        ("mrd-evict", MrdMode::EvictOnly, DistanceMetric::Stage),
+        ("mrd-prefetch", MrdMode::PrefetchOnly, DistanceMetric::Stage),
+        ("mrd-full", MrdMode::Full, DistanceMetric::Stage),
+        ("mrd-full-job", MrdMode::Full, DistanceMetric::Job),
+    ] {
+        v.push((
+            name,
+            Box::new(move || {
+                Box::new(MrdPolicy::new(MrdConfig {
+                    mode,
+                    metric,
+                    ..Default::default()
+                }))
+            }),
+        ));
+    }
+    v
+}
+
+fn run_legacy(
+    spec: &AppSpec,
+    plan: &AppPlan,
+    cfg: SimConfig,
+    build: &Build,
+) -> (RunReport, Arc<DecisionLog>) {
+    let log = Arc::new(DecisionLog::default());
+    let mut rec = Recorder::new(build(), Arc::clone(&log));
+    let report = Simulation::new(spec, plan, ProfileMode::Recurring, cfg).run(&mut rec);
+    (report, log)
+}
+
+fn run_serve(spec: &AppSpec, cfg: SimConfig, build: &Build) -> (RunReport, Arc<DecisionLog>) {
+    let log = Arc::new(DecisionLog::default());
+    let rec = Recorder::new(build(), Arc::clone(&log));
+    let serve = ServeSim::new(&[(spec, 0)], ServeConfig::passthrough(cfg));
+    let mut sr = serve.run(vec![Box::new(rec)]);
+    assert_eq!(sr.reports.len(), 1);
+    assert_eq!(sr.makespan, sr.reports[0].jct);
+    (sr.reports.remove(0), log)
+}
+
+fn assert_equivalent(p: &AppParams, c: &CfgParams) {
+    let spec = build_app(p);
+    let plan = AppPlan::build(&spec);
+    for (name, build) in all_policies() {
+        let (legacy_report, legacy_log) = run_legacy(&spec, &plan, build_cfg(c, &spec), &build);
+        let (serve_report, serve_log) = run_serve(&spec, build_cfg(c, &spec), &build);
+        assert_eq!(
+            format!("{legacy_report:?}"),
+            format!("{serve_report:?}"),
+            "report diverged for {name} on {p:?} {c:?}"
+        );
+        let (lv, lp) = legacy_log.snapshot();
+        let (sv, sp) = serve_log.snapshot();
+        assert_eq!(lv, sv, "victim sequence diverged for {name} on {p:?} {c:?}");
+        assert_eq!(lp, sp, "purge sequence diverged for {name} on {p:?} {c:?}");
+    }
+}
+
+fn app_strategy() -> impl Strategy<Value = AppParams> {
+    (1usize..4, 1u32..8, 1u64..4, any::<bool>(), any::<bool>()).prop_map(
+        |(iters, parts, block_kb, mem_only, two_rdds)| AppParams {
+            iters,
+            parts,
+            block_kb,
+            mem_only,
+            two_rdds,
+        },
+    )
+}
+
+fn cfg_strategy() -> impl Strategy<Value = CfgParams> {
+    (
+        (
+            1u32..4,
+            prop_oneof![Just(0.0), Just(0.3), Just(0.6), Just(2.0)],
+            prop_oneof![Just(0.0), Just(0.3)],
+            prop_oneof![Just(0.0), Just(0.1)],
+        ),
+        (
+            any::<u16>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            prop_oneof![Just(None), Just(Some(0u64)), Just(Some(10_000u64))],
+        ),
+    )
+        .prop_map(
+            |((nodes, cache_frac, exec_mem, jitter), (seed, adaptive, failure, rejoin, delay))| {
+                CfgParams {
+                    nodes,
+                    cache_frac,
+                    exec_mem,
+                    jitter,
+                    seed: seed as u64,
+                    adaptive,
+                    failure,
+                    rejoin: rejoin && nodes > 1,
+                    delay,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn single_tenant_serve_is_indistinguishable_from_legacy(
+        app in app_strategy(),
+        cfg in cfg_strategy(),
+    ) {
+        assert_equivalent(&app, &cfg);
+    }
+}
+
+/// Deterministic spot-check of the pressure-heavy corner (cache far smaller
+/// than the working set, execution-memory churn, prefetching, fault events),
+/// so the equivalence claim does not rest on random sampling alone.
+#[test]
+fn serve_matches_legacy_under_heavy_pressure() {
+    let app = AppParams {
+        iters: 3,
+        parts: 7,
+        block_kb: 2,
+        mem_only: false,
+        two_rdds: true,
+    };
+    let cfg = CfgParams {
+        nodes: 2,
+        cache_frac: 0.3,
+        exec_mem: 0.3,
+        jitter: 0.1,
+        seed: 7,
+        adaptive: true,
+        failure: true,
+        rejoin: true,
+        delay: Some(10_000),
+    };
+    assert_equivalent(&app, &cfg);
+}

@@ -44,6 +44,7 @@ pub mod ids;
 pub mod plan;
 pub mod rdd;
 pub mod slots;
+pub mod tenant;
 
 pub use analyze::{
     AppProfile, DistanceStats, RddRefs, RefAnalyzer, StageTouches, WorkloadCharacteristics,
@@ -54,3 +55,4 @@ pub use ids::{BlockId, JobId, RddId, StageId};
 pub use plan::{AppPlan, JobPlan, Stage, StageKind};
 pub use rdd::{Dependency, Rdd, StorageLevel};
 pub use slots::{BlockSlots, SlotMap, SlotSet};
+pub use tenant::{combine_specs, remap_plan, remap_profile, TenantMap};

@@ -12,7 +12,7 @@
 //! simulator's per-access path; behavior is identical either way (the
 //! hash-vs-dense differential tests in `refdist-cluster` enforce it).
 
-use refdist_dag::{BlockId, BlockSlots, SlotMap};
+use refdist_dag::{BlockId, BlockSlots, SlotMap, TenantMap};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -26,6 +26,28 @@ pub enum InsertError {
     },
     /// The block is larger than the whole store and can never fit.
     TooLarge,
+}
+
+/// Per-tenant quota accounting, present only when the store serves a
+/// multi-tenant combined application (see `refdist_dag::tenant`).
+#[derive(Debug, Clone)]
+struct Tenancy {
+    map: Arc<TenantMap>,
+    /// Per-tenant byte quota on this store. A tenant whose resident bytes
+    /// would exceed it must evict its *own* blocks to get back under.
+    quota: u64,
+    /// Resident bytes per tenant.
+    used: Vec<u64>,
+    /// Evictable (unpinned resident) bytes per tenant — bounds how far a
+    /// tenant can shrink itself, which gates quota-driven eviction.
+    evictable: Vec<u64>,
+}
+
+impl Tenancy {
+    #[inline]
+    fn tenant(&self, block: BlockId) -> usize {
+        self.map.tenant_of(block.rdd) as usize
+    }
 }
 
 /// In-memory block store with byte capacity and pin counting.
@@ -45,6 +67,9 @@ pub struct MemoryStore {
     /// eviction hot path gets its candidate set without a per-pressure-event
     /// collect + sort. Maintained on insert/remove/pin/unpin/drain.
     evictable: BTreeMap<BlockId, u64>,
+    /// Per-tenant quota accounting; `None` (the default and the entire
+    /// single-app path) is byte-invisible.
+    tenancy: Option<Tenancy>,
 }
 
 impl MemoryStore {
@@ -57,6 +82,7 @@ impl MemoryStore {
             blocks: SlotMap::hashed(),
             pins: SlotMap::hashed(),
             evictable: BTreeMap::new(),
+            tenancy: None,
         }
     }
 
@@ -69,7 +95,33 @@ impl MemoryStore {
             blocks: SlotMap::dense(Arc::clone(&slots)),
             pins: SlotMap::dense(slots),
             evictable: BTreeMap::new(),
+            tenancy: None,
         }
+    }
+
+    /// Enforce a per-tenant byte `quota` over the submissions of `map`.
+    /// Must be called while the store is empty; inserts that would push a
+    /// tenant over its quota then report the extra bytes as part of the
+    /// eviction shortfall (the cluster layer evicts that tenant's own
+    /// blocks first), or [`InsertError::TooLarge`] when the tenant cannot
+    /// shrink itself far enough.
+    pub fn enable_tenancy(&mut self, map: Arc<TenantMap>, quota: u64) {
+        assert!(self.is_empty(), "tenancy must be enabled on an empty store");
+        let n = map.num_tenants();
+        self.tenancy = Some(Tenancy {
+            map,
+            quota,
+            used: vec![0; n],
+            evictable: vec![0; n],
+        });
+    }
+
+    /// Resident bytes of one tenant (0 when tenancy is disabled).
+    pub fn tenant_used(&self, tenant: u32) -> u64 {
+        self.tenancy
+            .as_ref()
+            .and_then(|t| t.used.get(tenant as usize).copied())
+            .unwrap_or(0)
     }
 
     /// Total capacity in bytes.
@@ -129,6 +181,13 @@ impl MemoryStore {
 
     /// Insert a block. Re-inserting a resident block is a no-op (Spark keeps
     /// the existing entry).
+    ///
+    /// With tenancy enabled, bytes the owning tenant is over its quota by
+    /// are folded into the reported shortfall; since the cluster layer
+    /// evicts the over-quota tenant's own blocks first, freeing the
+    /// shortfall always restores the quota. When the tenant cannot free
+    /// enough of its own bytes (the rest are pinned), the insert is
+    /// rejected as `TooLarge` rather than looping on an unmeetable demand.
     pub fn insert(&mut self, block: BlockId, size: u64) -> Result<(), InsertError> {
         if self.blocks.contains(block) {
             return Ok(());
@@ -136,10 +195,29 @@ impl MemoryStore {
         if size > self.capacity {
             return Err(InsertError::TooLarge);
         }
-        if size > self.free() {
+        let global_shortfall = size.saturating_sub(self.free());
+        if let Some(t) = &self.tenancy {
+            let tid = t.tenant(block);
+            if size > t.quota {
+                return Err(InsertError::TooLarge);
+            }
+            let tenant_over = (t.used[tid] + size).saturating_sub(t.quota);
+            let shortfall = global_shortfall.max(tenant_over);
+            if shortfall > 0 {
+                if t.evictable[tid] < tenant_over {
+                    return Err(InsertError::TooLarge);
+                }
+                return Err(InsertError::NeedsEviction { shortfall });
+            }
+        } else if global_shortfall > 0 {
             return Err(InsertError::NeedsEviction {
-                shortfall: size - self.free(),
+                shortfall: global_shortfall,
             });
+        }
+        if let Some(t) = &mut self.tenancy {
+            let tid = t.tenant(block);
+            t.used[tid] += size;
+            t.evictable[tid] += size;
         }
         self.blocks.insert(block, size);
         self.evictable.insert(block, size);
@@ -157,6 +235,11 @@ impl MemoryStore {
             assert!(!self.is_pinned(block), "evicting pinned block {block}");
             self.evictable.remove(&block);
             self.used -= size;
+            if let Some(t) = &mut self.tenancy {
+                let tid = t.tenant(block);
+                t.used[tid] -= size;
+                t.evictable[tid] -= size;
+            }
             Some(size)
         } else {
             None
@@ -172,7 +255,12 @@ impl MemoryStore {
                 self.pins.insert(block, 1);
             }
         }
-        self.evictable.remove(&block);
+        if let Some(size) = self.evictable.remove(&block) {
+            if let Some(t) = &mut self.tenancy {
+                let tid = t.tenant(block);
+                t.evictable[tid] -= size;
+            }
+        }
     }
 
     /// Release one pin.
@@ -183,6 +271,10 @@ impl MemoryStore {
                 self.pins.remove(block);
                 if let Some(&size) = self.blocks.get(block) {
                     self.evictable.insert(block, size);
+                    if let Some(t) = &mut self.tenancy {
+                        let tid = t.tenant(block);
+                        t.evictable[tid] += size;
+                    }
                 }
             }
             None => debug_assert!(false, "unpinning unpinned {block}"),
@@ -209,6 +301,10 @@ impl MemoryStore {
         self.blocks.clear();
         self.used = 0;
         self.evictable.clear();
+        if let Some(t) = &mut self.tenancy {
+            t.used.fill(0);
+            t.evictable.fill(0);
+        }
         all
     }
 
@@ -413,6 +509,96 @@ mod tests {
             m.set_reserved(500);
             assert_eq!(m.reserved(), 100);
         });
+    }
+
+    /// Two tenants: rdds 0..2 belong to tenant 0, rdds 2..4 to tenant 1.
+    fn tenant_store(capacity: u64, quota: u64) -> MemoryStore {
+        let mut m = MemoryStore::new(capacity);
+        m.enable_tenancy(Arc::new(TenantMap::new(&[2, 2], &[0, 1])), quota);
+        m
+    }
+
+    #[test]
+    fn quota_counts_per_tenant() {
+        let mut m = tenant_store(100, 60);
+        m.insert(blk(0, 0), 40).unwrap();
+        m.insert(blk(2, 0), 40).unwrap();
+        assert_eq!(m.tenant_used(0), 40);
+        assert_eq!(m.tenant_used(1), 40);
+        m.remove(blk(0, 0));
+        assert_eq!(m.tenant_used(0), 0);
+    }
+
+    #[test]
+    fn over_quota_insert_demands_own_eviction() {
+        let mut m = tenant_store(200, 60);
+        m.insert(blk(0, 0), 40).unwrap();
+        // 40 + 30 = 70 > 60 although the store has plenty of global room:
+        // the shortfall is exactly the over-quota amount.
+        assert_eq!(
+            m.insert(blk(0, 1), 30),
+            Err(InsertError::NeedsEviction { shortfall: 10 })
+        );
+        // Evicting the tenant's own block clears the way.
+        m.remove(blk(0, 0));
+        m.insert(blk(0, 1), 30).unwrap();
+        // The other tenant is unaffected throughout.
+        m.insert(blk(2, 0), 60).unwrap();
+    }
+
+    #[test]
+    fn quota_shortfall_combines_with_global_pressure() {
+        let mut m = tenant_store(100, 90);
+        m.insert(blk(0, 0), 60).unwrap();
+        m.insert(blk(2, 0), 30).unwrap();
+        // Global shortfall 30, tenant-over 10: the larger wins.
+        assert_eq!(
+            m.insert(blk(0, 1), 40),
+            Err(InsertError::NeedsEviction { shortfall: 30 })
+        );
+    }
+
+    #[test]
+    fn unmeetable_quota_is_too_large() {
+        let mut m = tenant_store(200, 60);
+        // Larger than the quota can never fit.
+        assert_eq!(m.insert(blk(0, 0), 61), Err(InsertError::TooLarge));
+        // Over quota with the tenant's resident bytes all pinned: evicting
+        // its own blocks cannot help, so the insert must not loop.
+        m.insert(blk(0, 0), 50).unwrap();
+        m.pin(blk(0, 0));
+        assert_eq!(m.insert(blk(0, 1), 20), Err(InsertError::TooLarge));
+        m.unpin(blk(0, 0));
+        assert_eq!(
+            m.insert(blk(0, 1), 20),
+            Err(InsertError::NeedsEviction { shortfall: 10 })
+        );
+    }
+
+    #[test]
+    fn tenancy_accounting_survives_pins_and_drain() {
+        let mut m = tenant_store(100, 100);
+        m.insert(blk(0, 0), 30).unwrap();
+        m.insert(blk(2, 0), 20).unwrap();
+        m.pin(blk(0, 0));
+        m.pin(blk(0, 0));
+        m.unpin(blk(0, 0));
+        m.unpin(blk(0, 0));
+        m.pin(blk(2, 0));
+        m.unpin(blk(2, 0));
+        assert_eq!(m.tenant_used(0), 30);
+        assert_eq!(m.tenant_used(1), 20);
+        m.drain();
+        assert_eq!(m.tenant_used(0), 0);
+        assert_eq!(m.tenant_used(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty store")]
+    fn tenancy_on_nonempty_store_panics() {
+        let mut m = MemoryStore::new(100);
+        m.insert(blk(0, 0), 10).unwrap();
+        m.enable_tenancy(Arc::new(TenantMap::new(&[4], &[0])), 50);
     }
 
     #[test]

@@ -112,6 +112,35 @@ pub enum Command {
         /// Generation parameters.
         params: WorkloadParams,
     },
+    /// `refdist serve <workload>` — multi-tenant serving: a stream of
+    /// identical applications, one per tenant, share one cluster under each
+    /// (scheduler × quota) combination; reports per-tenant JCT distributions
+    /// and the cross-tenant eviction matrix.
+    Serve {
+        /// Workload short name (each tenant submits one instance).
+        workload: String,
+        /// Policy name, applied per tenant (belady is not supported — a
+        /// whole-run trace is meaningless under interleaving).
+        policy: String,
+        /// Number of tenants.
+        tenants: u32,
+        /// Mean Poisson inter-arrival gap in milliseconds.
+        gap_ms: u64,
+        /// Inter-job schedulers to run (fifo | fair-share).
+        scheds: Vec<String>,
+        /// Per-tenant cache quotas to run (unlimited | equal-share | MiB).
+        quotas: Vec<String>,
+        /// Cache as a fraction of one app's cached footprint.
+        cache_fraction: f64,
+        /// Cluster preset (main|lrc|memtune).
+        cluster: String,
+        /// Node-count override.
+        nodes: Option<u32>,
+        /// Master seed (arrivals and per-app simulation seeds derive from it).
+        seed: u64,
+        /// Generation parameters.
+        params: WorkloadParams,
+    },
     /// `refdist help`.
     Help,
 }
@@ -128,6 +157,7 @@ USAGE:
   refdist compare <workload> [options]
   refdist sweep [sweep options]
   refdist chaos <workload> [chaos options]
+  refdist serve <workload> [serve options]
   refdist help
 
 RUN/COMPARE OPTIONS:
@@ -162,6 +192,19 @@ CHAOS OPTIONS (in addition to the applicable options above):
 
   Each rate seeds stochastic task/fetch/disk failures from the master seed,
   so the resilience curve is byte-deterministic at any thread count.
+
+SERVE OPTIONS (in addition to the applicable options above):
+  --tenants <N>          number of tenants, one app each (default 3)
+  --gap-ms <N>           mean Poisson inter-arrival gap in ms (default 500)
+  --scheds <a,b,..>      inter-job schedulers: fifo | fair-share
+                         (default fifo,fair-share)
+  --quotas <a,b,..>      per-tenant cache quotas: unlimited | equal-share |
+                         a per-tenant budget in MiB (default
+                         unlimited,equal-share)
+
+  Every (scheduler x quota) combination serves the same Poisson arrival
+  stream (replayed from the master seed) and reports per-tenant mean/p95/p99
+  JCT plus the cross-tenant eviction matrix.
 
 WORKLOADS: KM LinR LogR SVM DT MF PR TC SP LP SVD++ CC SCC PO
            Sort WordCount TeraSort PageRank(Hi) Bayes K-Means(Hi)
@@ -228,6 +271,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut rates: Vec<f64> = vec![0.0, 0.02, 0.05, 0.1];
     let mut threads = 0usize;
     let mut csv = false;
+    let mut tenants = 3u32;
+    let mut gap_ms = 500u64;
+    let mut scheds: Vec<String> = vec!["fifo".into(), "fair-share".into()];
+    let mut quotas: Vec<String> = vec!["unlimited".into(), "equal-share".into()];
     let mut positional: Vec<&String> = Vec::new();
 
     let mut f = Flags { args, i: 0 };
@@ -253,6 +300,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--rates" => rates = f.parse_list("--rates")?,
             "--threads" => threads = f.parse_num("--threads")?,
             "--csv" => csv = true,
+            "--tenants" => tenants = f.parse_num("--tenants")?,
+            "--gap-ms" => gap_ms = f.parse_num("--gap-ms")?,
+            "--scheds" => scheds = f.parse_list("--scheds")?,
+            "--quotas" => quotas = f.parse_list("--quotas")?,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             _ => positional.push(arg),
         }
@@ -320,6 +371,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             csv,
             params,
         }),
+        "serve" => Ok(Command::Serve {
+            workload: workload_arg()?,
+            policy: policy.unwrap_or_else(|| "mrd".into()),
+            tenants,
+            gap_ms,
+            scheds,
+            quotas,
+            cache_fraction,
+            cluster,
+            nodes,
+            seed,
+            params,
+        }),
         other => Err(format!("unknown command `{other}` (try `refdist help`)")),
     }
 }
@@ -346,6 +410,27 @@ fn build_policy(name: &str) -> Result<Box<dyn CachePolicy>, String> {
         })),
         other => return Err(format!("unknown policy `{other}`")),
     })
+}
+
+fn parse_sched(name: &str) -> Result<refdist_cluster::ServeSched, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "fifo" => refdist_cluster::ServeSched::Fifo,
+        "fair-share" | "fair" => refdist_cluster::ServeSched::FairShare,
+        other => return Err(format!("unknown scheduler `{other}` (fifo | fair-share)")),
+    })
+}
+
+fn parse_quota(name: &str) -> Result<refdist_cluster::QuotaKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "unlimited" => Ok(refdist_cluster::QuotaKind::Unlimited),
+        "equal-share" | "equal" => Ok(refdist_cluster::QuotaKind::EqualShare),
+        other => other
+            .parse::<u64>()
+            .map(|mib| refdist_cluster::QuotaKind::Bytes(mib << 20))
+            .map_err(|_| {
+                format!("unknown quota `{other}` (unlimited | equal-share | per-tenant MiB)")
+            }),
+    }
 }
 
 fn cluster_preset(name: &str) -> Result<ClusterConfig, String> {
@@ -740,6 +825,81 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 Ok(out)
             }
         }
+        Command::Serve {
+            workload,
+            policy,
+            tenants,
+            gap_ms,
+            scheds,
+            quotas,
+            cache_fraction,
+            cluster,
+            nodes,
+            seed,
+            params,
+        } => {
+            use refdist_cluster::{ArrivalProcess, ServeConfig, ServeSim};
+            let w = find_workload(&workload)?;
+            if tenants == 0 {
+                return Err("--tenants must be at least 1".into());
+            }
+            if policy.eq_ignore_ascii_case("belady") {
+                return Err(
+                    "belady is not supported in serve mode (a whole-run trace is \
+                     meaningless under interleaving)"
+                        .into(),
+                );
+            }
+            let scheds: Vec<refdist_cluster::ServeSched> = scheds
+                .iter()
+                .map(|s| parse_sched(s))
+                .collect::<Result<_, _>>()?;
+            let quotas: Vec<refdist_cluster::QuotaKind> = quotas
+                .iter()
+                .map(|q| parse_quota(q))
+                .collect::<Result<_, _>>()?;
+            build_policy(&policy)?; // validate the name before the grid runs
+            let spec = w.build(&params);
+            let mut cl = cluster_preset(&cluster)?;
+            if let Some(n) = nodes {
+                cl.nodes = n;
+            }
+            let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+            let cache = (((footprint as f64 * cache_fraction) / cl.nodes as f64) as u64).max(1);
+            let subs: Vec<(&AppSpec, u32)> = (0..tenants).map(|t| (&spec, t)).collect();
+            let mut out = format!(
+                "{} x {} tenants on {} nodes, cache {}/node, mean gap {}ms, policy {}, seed {}\n",
+                w.short_name(),
+                tenants,
+                cl.nodes,
+                human_bytes(cache),
+                gap_ms,
+                policy,
+                seed
+            );
+            for &sched in &scheds {
+                for &quota in &quotas {
+                    let serve = ServeSim::new(
+                        &subs,
+                        ServeConfig {
+                            sim: SimConfig::new(cl.clone().with_cache(cache)).with_seed(seed),
+                            arrivals: ArrivalProcess::Poisson {
+                                mean_gap_us: gap_ms.saturating_mul(1_000),
+                            },
+                            sched,
+                            quota,
+                        },
+                    );
+                    let policies = (0..tenants)
+                        .map(|_| build_policy(&policy))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let report = serve.run(policies);
+                    out.push('\n');
+                    out.push_str(&report.summary());
+                }
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -1000,6 +1160,93 @@ mod tests {
             }),
             "no faults drawn at rate 0.05: {out}"
         );
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        match parse(&args("serve CC")).unwrap() {
+            Command::Serve {
+                workload,
+                policy,
+                tenants,
+                gap_ms,
+                scheds,
+                quotas,
+                ..
+            } => {
+                assert_eq!(workload, "CC");
+                assert_eq!(policy, "mrd");
+                assert_eq!(tenants, 3);
+                assert_eq!(gap_ms, 500);
+                assert_eq!(scheds, vec!["fifo", "fair-share"]);
+                assert_eq!(quotas, vec!["unlimited", "equal-share"]);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&args(
+            "serve SP --policy lru --tenants 5 --gap-ms 250 --scheds fair-share --quotas equal-share,64",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                policy,
+                tenants,
+                gap_ms,
+                scheds,
+                quotas,
+                ..
+            } => {
+                assert_eq!(policy, "lru");
+                assert_eq!(tenants, 5);
+                assert_eq!(gap_ms, 250);
+                assert_eq!(scheds, vec!["fair-share"]);
+                assert_eq!(quotas, vec!["equal-share", "64"]);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_inputs() {
+        assert!(execute(parse(&args("serve SP --policy belady")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve SP --tenants 0")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve SP --scheds lottery")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve SP --quotas 64kb")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve SP --policy optimal")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn serve_reports_per_tenant_distributions() {
+        // The acceptance grid: >= 3 tenants, both schedulers, >= 2 quota
+        // policies, per-tenant mean/p95/p99 JCT plus the cross-tenant
+        // eviction table in every section.
+        let out = execute(
+            parse(&args(
+                "serve SP --policy lru --tenants 3 --gap-ms 100 --nodes 2 \
+                 --partitions 8 --scale 0.02 --cache-fraction 0.3",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("serve: 3 apps over 3 tenants, fifo, quota unlimited"));
+        assert!(out.contains("serve: 3 apps over 3 tenants, fifo, quota equal-share"));
+        assert!(out.contains("serve: 3 apps over 3 tenants, fair-share, quota unlimited"));
+        assert!(out.contains("serve: 3 apps over 3 tenants, fair-share, quota equal-share"));
+        for t in 0..3 {
+            assert!(out.contains(&format!("tenant {t}: 1 apps, mean JCT ")), "{out}");
+        }
+        assert!(out.contains("p95") && out.contains("p99"));
+        assert!(out.contains("cross-tenant evictions"));
+        // Deterministic: replaying the same master seed reproduces the grid.
+        let again = execute(
+            parse(&args(
+                "serve SP --policy lru --tenants 3 --gap-ms 100 --nodes 2 \
+                 --partitions 8 --scale 0.02 --cache-fraction 0.3",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out, again);
     }
 
     #[test]

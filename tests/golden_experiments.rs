@@ -15,9 +15,12 @@
 //! then review the diff of `tests/golden/*.txt` before committing.
 
 use refdist::bench::{experiments, run_one, ExpContext, PolicySpec, SweepOptions};
-use refdist::cluster::ClusterConfig;
+use refdist::cluster::{
+    ArrivalProcess, ClusterConfig, QuotaKind, ServeConfig, ServeSched, ServeSim, SimConfig,
+};
 use refdist::core::ProfileMode;
-use refdist::dag::AppPlan;
+use refdist::dag::{AppPlan, AppSpec};
+use refdist::policies::PolicyKind;
 use refdist::workloads::Workload;
 use std::fs;
 use std::path::PathBuf;
@@ -94,6 +97,91 @@ fn chaos_crash_matches_golden() {
         out.push('\n');
     }
     check_golden("chaos_crash.txt", &out);
+}
+
+#[test]
+fn serve_fair_matches_golden() {
+    // A 3-tenant fair-share stream pinned byte-for-byte: the per-tenant
+    // mean/p95/p99 JCT lines and the cross-tenant eviction table must not
+    // move unless the serving engine (arrivals, inter-job scheduling, quota
+    // enforcement, or tenant attribution) itself changes.
+    let ctx = golden_ctx();
+    let spec = Workload::ShortestPaths.build(&ctx.params);
+    let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+    let cache = (((footprint as f64) * 0.3 / ctx.cluster.nodes as f64) as u64).max(1);
+    let subs: Vec<(&AppSpec, u32)> = vec![(&spec, 0), (&spec, 1), (&spec, 2)];
+    let serve = ServeSim::new(
+        &subs,
+        ServeConfig {
+            sim: SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed),
+            arrivals: ArrivalProcess::Poisson {
+                mean_gap_us: 100_000,
+            },
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::Unlimited,
+        },
+    );
+    let report = serve.run((0..3).map(|_| PolicyKind::Lru.build()).collect());
+    check_golden("serve_fair.txt", &report.summary());
+}
+
+#[test]
+fn serve_survives_a_tenant_crash_mid_stream() {
+    // Serve x chaos: a retry-exhausting fault storm aimed at the stream
+    // must abort only the submissions it hits — the other tenants' apps run
+    // to completion and the report stays attributable per tenant.
+    let mut ctx = golden_ctx();
+    // Each submission draws from its own per-app fault stream, so a
+    // moderate failure rate with a tight retry budget splits the stream
+    // deterministically: at master seed 11, the third submission exhausts
+    // its retries and aborts while the other two ride out their failures.
+    ctx.faults.task_failure_p = 0.04;
+    ctx.faults.max_task_attempts = 2;
+    let spec = Workload::ShortestPaths.build(&ctx.params);
+    let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+    let cache = (((footprint as f64) * 0.5 / ctx.cluster.nodes as f64) as u64).max(1);
+    let subs: Vec<(&AppSpec, u32)> = vec![(&spec, 0), (&spec, 1), (&spec, 2)];
+    let mut sim = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(11);
+    sim.faults = ctx.faults.clone();
+    let serve = ServeSim::new(
+        &subs,
+        ServeConfig {
+            sim,
+            arrivals: ArrivalProcess::Trace(vec![0, 50_000, 100_000]),
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::Unlimited,
+        },
+    );
+    let report = serve.run((0..3).map(|_| PolicyKind::Lru.build()).collect());
+    assert_eq!(report.reports.len(), 3, "every submission gets a report");
+    let aborted: Vec<usize> = report
+        .reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.aborted.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        !aborted.is_empty(),
+        "the fault storm must abort at least one submission"
+    );
+    assert!(
+        aborted.len() < 3,
+        "an abort must not cascade to the other tenants"
+    );
+    for (i, r) in report.reports.iter().enumerate() {
+        if let Some(a) = r.aborted {
+            assert_eq!(a.app as usize, i, "abort is stamped with the owning app");
+            assert_eq!(r.faults.aborts, 1);
+        } else {
+            assert!(r.jct.micros() > 0, "surviving tenant {i} must finish");
+            assert_eq!(r.faults.aborts, 0);
+        }
+    }
+    let summaries = report.tenant_summaries();
+    assert_eq!(summaries.len(), 3);
+    let total_aborts: u64 = summaries.iter().map(|t| t.aborts).sum();
+    assert_eq!(total_aborts, aborted.len() as u64);
 }
 
 #[test]
