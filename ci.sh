@@ -35,13 +35,22 @@ cargo test -q -p refdist-cluster --test differential_serve
 echo "==> cargo test -q -p refdist-bench --test determinism"
 cargo test -q -p refdist-bench --test determinism
 
+# Event-engine suites: the calendar-vs-heap pop-order property (adversarial
+# schedules: same-instant floods, far-future outliers, schedule-mid-drain)
+# and the full-simulation differential proving `SimConfig::heap_events` off
+# vs on is byte-identical across solo, chaos and serve runs.
+echo "==> cargo test -q -p refdist-simcore --test proptest_simcore"
+cargo test -q -p refdist-simcore --test proptest_simcore
+echo "==> cargo test -q -p refdist-cluster --test differential_events"
+cargo test -q -p refdist-cluster --test differential_events
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Bench smoke: every criterion suite runs each benchmark body once
 # (--test mode). Guards against bit-rotted bench code; timing is NOT
 # checked, so this cannot flake on a noisy machine.
-for suite in policy_overhead dag_planning sim_throughput victim_selection sched_scaling; do
+for suite in policy_overhead dag_planning sim_throughput victim_selection sched_scaling event_queue; do
   echo "==> cargo bench -p refdist-bench --bench $suite -- --test"
   cargo bench -q -p refdist-bench --bench "$suite" -- --test
 done

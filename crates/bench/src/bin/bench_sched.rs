@@ -5,7 +5,7 @@
 //! * `BENCH_sched_linear.json` — `linear`: the original per-task linear
 //!   scans (`SimConfig::linear_sched`), including the full nodes×cores scan
 //!   per task that delay scheduling performs.
-//! * `BENCH_pr6.json` — `indexed`: the incrementally maintained
+//! * `BENCH_pr7.json` — `indexed`: the incrementally maintained
 //!   [`SlotIndex`](refdist_cluster) ordered-set scheduler (the default).
 //!
 //! The workload is a wide iterative app — 8 partitions per node, so every
@@ -14,16 +14,23 @@
 //! large clusters. Reports from both schedulers are asserted byte-identical
 //! before any timing is recorded.
 //!
-//! `BENCH_pr6.json` additionally re-measures the `bench_cache` macro
-//! protocol (`cc_sweep` on dense state, fault-free and chaotic) so
-//! `ci.sh`'s regression guard can join it against the checked-in
-//! `BENCH_pr5.json` from the same machine — the serve-mode engine refactor
-//! (per-app state swapping, tenancy hooks in the store) threads through the
-//! task hot loop, and this is the check that a single-tenant run costs no
-//! more than before. A `serve` suite (multi-tenant streams of the same
-//! workload under fair-share scheduling and equal-share quotas) baselines
-//! the new serving path for future PRs; it has no pr5 counterpart so the
-//! guard skips it.
+//! `BENCH_pr7.json` additionally re-measures the `bench_cache` macro
+//! protocol (`cc_sweep` on dense state, fault-free and chaotic) and the
+//! `serve` suite (multi-tenant streams under fair-share scheduling and
+//! equal-share quotas) so `ci.sh`'s regression guard can join them against
+//! the checked-in `BENCH_pr6.json` from the same machine — the calendar
+//! event queue and the struct-of-arrays task records thread through the
+//! task hot loop and the serve driver, and this is the check that neither
+//! costs anything on the macro paths.
+//!
+//! A `sim_throughput` suite times the *fully stacked* engine — dense
+//! slot-indexed state + indexed scheduler + calendar event queue — against
+//! the full reference configuration (`SimConfig::reference_state`: hash
+//! state + linear scans + binary heap) on the same wide app under cache
+//! pressure, with speculation exercising the event queue. Reports are
+//! asserted byte-identical before timing. Outside `REFDIST_QUICK`, a
+//! 1024-node mega row pushes ~a million tasks through the engine alone (the
+//! reference path at that scale is minutes, not seconds).
 //!
 //! `REFDIST_QUICK=1` shrinks cluster sizes and repetitions for smoke runs
 //! (the output files are still written).
@@ -65,13 +72,17 @@ fn quick() -> bool {
 /// A wide iterative app: 8 partitions per node, one cached dataset reused by
 /// every job, so each stage schedules several task waves per node.
 fn sched_app(nodes: u32) -> AppSpec {
+    sched_app_jobs(nodes, 8)
+}
+
+fn sched_app_jobs(nodes: u32, jobs: usize) -> AppSpec {
     let parts = nodes * 8;
     let block = 256 * 1024;
     let mut b = AppBuilder::new("sched-bench");
     let input = b.input("in", parts, block, 2_000);
     let data = b.narrow("data", input, block, 5_000);
     b.persist(data, StorageLevel::MemoryAndDisk);
-    for i in 0..8 {
+    for i in 0..jobs {
         let s = b.shuffle(format!("agg{i}"), &[data], parts, block / 4, 1_000);
         b.action(format!("job{i}"), s);
     }
@@ -94,7 +105,7 @@ fn sched_cfg(nodes: u32, linear: bool) -> SimConfig {
 /// Best-of-reps wall ms for one scheduler, plus the report for equivalence
 /// checking (identical across reps — the simulation is deterministic).
 fn time_sched(spec: &AppSpec, plan: &AppPlan, nodes: u32, linear: bool) -> (f64, RunReport) {
-    let reps = if quick() { 1 } else { 3 };
+    let reps = if quick() { 1 } else { 5 };
     let mut best_ms = f64::INFINITY;
     let mut report = None;
     for _ in 0..reps {
@@ -109,8 +120,50 @@ fn time_sched(spec: &AppSpec, plan: &AppPlan, nodes: u32, linear: bool) -> (f64,
     (best_ms, report.expect("at least one rep"))
 }
 
+/// Full-stack throughput configuration: cache pressure (half the cached
+/// footprint fits), delay scheduling, a straggler, and speculative
+/// execution — so per-task state transitions, slot selection, eviction and
+/// the per-stage completion-event queue are all on the measured path.
+/// `reference` flips every subsystem to its reference implementation at
+/// once: hash-backed block state, linear slot scans, binary-heap events.
+fn throughput_cfg(spec: &AppSpec, nodes: u32, reference: bool) -> SimConfig {
+    let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+    let mut cfg = SimConfig::new(ClusterConfig::tiny(
+        nodes,
+        (footprint / u64::from(nodes) / 2).max(1),
+    ));
+    cfg.cluster.cores_per_node = 4;
+    cfg.delay_scheduling_us = Some(5_000);
+    cfg.faults.slow_node(0, 4.0);
+    cfg.faults.speculation_quantile = 0.75;
+    cfg.reference_state = reference;
+    cfg
+}
+
+/// Best-of-reps wall ms for one full-stack configuration.
+fn time_throughput(
+    spec: &AppSpec,
+    plan: &AppPlan,
+    nodes: u32,
+    reference: bool,
+    reps: usize,
+) -> (f64, RunReport) {
+    let mut best_ms = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps {
+        let cfg = throughput_cfg(spec, nodes, reference);
+        let sim = Simulation::new(spec, plan, ProfileMode::Recurring, cfg);
+        let mut lru = refdist_policies::PolicyKind::Lru.build();
+        let start = Instant::now();
+        let r = sim.run(&mut *lru);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        report = Some(r);
+    }
+    (best_ms, report.expect("at least one rep"))
+}
+
 /// The `bench_cache` macro protocol on dense state, re-measured so
-/// `BENCH_pr6.json` joins against `BENCH_pr5.json` from this machine.
+/// `BENCH_pr7.json` joins against `BENCH_pr6.json` from this machine.
 fn time_macro(policy: PolicySpec, faults: refdist_cluster::FaultPlan) -> f64 {
     let mut ctx = ExpContext::main().quick();
     ctx.faults = faults;
@@ -124,7 +177,9 @@ fn time_macro(policy: PolicySpec, faults: refdist_cluster::FaultPlan) -> f64 {
     let spec = Workload::ConnectedComponents.build(&ctx.params);
     let plan = AppPlan::build(&spec);
     let cache = cache_for_fraction(&spec, &ctx.cluster, 0.2).max(1);
-    let reps = if quick() { 1 } else { 3 };
+    // Best-of-10: the macro rows take ~5 ms each and feed the 10% CI
+    // regression gate, so precision is worth more than bench runtime here.
+    let reps = if quick() { 1 } else { 10 };
     let mut best_ms = f64::INFINITY;
     for _ in 0..reps {
         let mut cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
@@ -166,7 +221,7 @@ fn time_serve(policy: PolicySpec, tenants: u32) -> f64 {
             quota: QuotaKind::EqualShare,
         },
     );
-    let reps = if quick() { 1 } else { 3 };
+    let reps = if quick() { 1 } else { 10 };
     let mut best_ms = f64::INFINITY;
     for _ in 0..reps {
         let policies = (0..tenants).map(|_| policy.build(None)).collect();
@@ -228,6 +283,73 @@ fn main() {
     }
 
     println!();
+    println!("== sim_throughput: full reference stack vs full engine (ms) ==");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>9}",
+        "nodes", "tasks", "reference", "engine", "speedup"
+    );
+    let tp_nodes: &[u32] = if quick() { &[8] } else { &[64, 128] };
+    for &nodes in tp_nodes {
+        let spec = sched_app(nodes);
+        let plan = AppPlan::build(&spec);
+        let reps = if quick() { 1 } else { 3 };
+        let (ref_ms, ref_report) = time_throughput(&spec, &plan, nodes, true, reps);
+        let (eng_ms, eng_report) = time_throughput(&spec, &plan, nodes, false, reps);
+        assert_eq!(
+            format!("{ref_report:?}"),
+            format!("{eng_report:?}"),
+            "reference and engine stacks disagree at {nodes} nodes"
+        );
+        println!(
+            "{:<8} {:>8} {:>9.1} ms {:>9.1} ms {:>8.2}x",
+            nodes,
+            eng_report.tasks,
+            ref_ms,
+            eng_ms,
+            ref_ms / eng_ms
+        );
+        // Distinct bench names: the regression guard joins on
+        // (suite, bench, policy, blocks) and must track each stack apart.
+        for (bench, value) in [("wide_app_ref", ref_ms), ("wide_app", eng_ms)] {
+            indexed_records.push(Record {
+                suite: "sim_throughput",
+                bench,
+                policy: "LRU".into(),
+                blocks: nodes as usize,
+                protocol: if bench == "wide_app" { "engine" } else { "reference" },
+                metric: "ms_total",
+                value,
+            });
+        }
+    }
+    if !quick() {
+        // Mega smoke: ~a million tasks through the engine alone. The point
+        // is that the calendar queue and dense task records keep per-task
+        // cost flat at a scale where the reference stack is O(minutes).
+        let nodes = 1024;
+        let spec = sched_app_jobs(nodes, 60);
+        let plan = AppPlan::build(&spec);
+        let (eng_ms, eng_report) = time_throughput(&spec, &plan, nodes, false, 1);
+        println!(
+            "{:<8} {:>8} {:>12} {:>9.1} ms ({:.2} us/task)",
+            nodes,
+            eng_report.tasks,
+            "(engine only)",
+            eng_ms,
+            eng_ms * 1e3 / eng_report.tasks as f64
+        );
+        indexed_records.push(Record {
+            suite: "sim_throughput",
+            bench: "mega",
+            policy: "LRU".into(),
+            blocks: nodes as usize,
+            protocol: "engine",
+            metric: "ms_total",
+            value: eng_ms,
+        });
+    }
+
+    println!();
     println!("== macro: ConnectedComponents @ 20% cache, dense (ms) ==");
     for policy in [PolicySpec::Lru, PolicySpec::MrdFull] {
         let ms = time_macro(policy, refdist_cluster::FaultPlan::default());
@@ -270,8 +392,8 @@ fn main() {
     ] {
         let ms = time_serve(policy, tenants);
         println!("{:<10} x{:<3} {:>9.0} ms", policy.name(), tenants, ms);
-        // Distinct suite: no pr5 counterpart, so the regression guard skips
-        // these first-baseline rows.
+        // First baselined in BENCH_pr6.json; from this PR on the guard joins
+        // these rows, covering the EventQueue-driven serve selection loop.
         indexed_records.push(Record {
             suite: "serve",
             bench: "cc_stream",
@@ -285,7 +407,7 @@ fn main() {
 
     for (path, records) in [
         ("BENCH_sched_linear.json", &linear_records),
-        ("BENCH_pr6.json", &indexed_records),
+        ("BENCH_pr7.json", &indexed_records),
     ] {
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {

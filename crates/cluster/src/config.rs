@@ -176,6 +176,14 @@ pub struct SimConfig {
     /// [`RunReport::placements`](crate::RunReport::placements). Used by the
     /// scheduler-equivalence tests; off by default.
     pub collect_placements: bool,
+    /// Run every event queue (speculation deadlines, serve-mode FIFO
+    /// arrival streams) on the original binary-heap backend instead of the
+    /// calendar queue. Kept as the event engine's reference implementation —
+    /// the differential tests run every simulation both ways and require
+    /// byte-identical reports, placements, and victim/purge sequences.
+    /// Implied by [`reference_state`](Self::reference_state). Off (calendar)
+    /// by default.
+    pub heap_events: bool,
 }
 
 impl SimConfig {
@@ -196,6 +204,7 @@ impl SimConfig {
             reference_state: false,
             linear_sched: false,
             collect_placements: false,
+            heap_events: false,
         }
     }
 
@@ -203,6 +212,13 @@ impl SimConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Whether event queues should use the reference heap backend
+    /// ([`heap_events`](Self::heap_events), implied by
+    /// [`reference_state`](Self::reference_state)).
+    pub fn use_heap_events(&self) -> bool {
+        self.heap_events || self.reference_state
     }
 }
 
@@ -261,6 +277,18 @@ mod tests {
         assert!(!s.reference_state);
         assert!(!s.linear_sched);
         assert!(!s.collect_placements);
+        assert!(!s.heap_events);
+        assert!(!s.use_heap_events());
         assert_eq!(s.with_seed(7).seed, 7);
+    }
+
+    #[test]
+    fn reference_state_implies_heap_events() {
+        let mut s = SimConfig::new(ClusterConfig::tiny(2, 100));
+        s.reference_state = true;
+        assert!(s.use_heap_events());
+        let mut s = SimConfig::new(ClusterConfig::tiny(2, 100));
+        s.heap_events = true;
+        assert!(s.use_heap_events());
     }
 }

@@ -63,7 +63,7 @@ use refdist_dag::{
     TenantMap,
 };
 use refdist_policies::{CachePolicy, LruPolicy};
-use refdist_simcore::{FifoResource, SimDuration, SimTime};
+use refdist_simcore::{EventQueue, FifoResource, SimDuration, SimTime};
 use refdist_store::{BlockManager, BlockMaster, CacheStats, InsertError, NodeId};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -165,6 +165,53 @@ pub struct EngineScratch {
     prefetchable: Vec<SlotSet>,
     visited_epoch: Vec<u64>,
     purge_buf: Vec<BlockId>,
+    stage_tasks: TaskTable,
+    missing_buf: Vec<BlockId>,
+    events: EventQueue<u32>,
+}
+
+/// Struct-of-arrays record of one stage's launched tasks, indexed by the
+/// dense task index (== partition, tasks launch in partition order). Only
+/// filled when speculation needs the stage's completion profile; the
+/// parallel `Vec`s replace the old per-stage `Vec` of 5-field tuples so the
+/// speculation pass streams each column it needs instead of striding
+/// through 40-byte records.
+#[derive(Debug, Default)]
+pub(crate) struct TaskTable {
+    /// Finish time of the task's successful (or aborted) attempt.
+    finish: Vec<SimTime>,
+    /// Node the attempt ran on.
+    node: Vec<u32>,
+    /// Slot index on that node.
+    slot: Vec<u32>,
+    /// Start time of the *last* attempt (the one `finish` belongs to) — the
+    /// deadline floor for killing a losing attempt.
+    start: Vec<SimTime>,
+    /// Attempts consumed (retries + 1).
+    attempts: Vec<u32>,
+}
+
+impl TaskTable {
+    fn clear(&mut self) {
+        self.finish.clear();
+        self.node.clear();
+        self.slot.clear();
+        self.start.clear();
+        self.attempts.clear();
+    }
+    fn len(&self) -> usize {
+        self.finish.len()
+    }
+    fn is_empty(&self) -> bool {
+        self.finish.is_empty()
+    }
+    fn push(&mut self, finish: SimTime, node: u32, slot: u32, start: SimTime, attempts: u32) {
+        self.finish.push(finish);
+        self.node.push(node);
+        self.slot.push(slot);
+        self.start.push(start);
+        self.attempts.push(attempts);
+    }
 }
 
 /// Shape `rows` into `outer` rows of `inner` copies of `fill`, reusing row
@@ -263,6 +310,14 @@ pub(crate) struct Engine<'a> {
     epoch: u64,
     /// Purge candidate buffer, reused across stages (and runs, via scratch).
     purge_buf: Vec<BlockId>,
+    /// Struct-of-arrays task records for the running stage (speculation).
+    stage_tasks: TaskTable,
+    /// Prefetch candidate buffer, reused across nodes and stages (dense
+    /// mode; the reference path keeps its per-stage allocation).
+    missing_buf: Vec<BlockId>,
+    /// Task-completion event queue for the speculation threshold: calendar
+    /// by default, heap under `cfg.heap_events`/`reference_state`.
+    events: EventQueue<u32>,
 
     /// Per-node prefetch thresholds (adaptive when configured).
     thresholds: Vec<f64>,
@@ -379,6 +434,13 @@ impl<'a> Engine<'a> {
             s.visited_epoch.resize(spec.rdds.len(), 0);
         }
         s.purge_buf.clear();
+        s.stage_tasks.clear();
+        s.missing_buf.clear();
+        if s.events.is_heap() == cfg.use_heap_events() {
+            s.events.clear();
+        } else {
+            s.events = EventQueue::with_heap(cfg.use_heap_events());
+        }
         let sched = (!reference && !cfg.linear_sched).then(|| {
             SlotIndex::new(
                 &s.slots,
@@ -427,6 +489,9 @@ impl<'a> Engine<'a> {
             prefetchable: s.prefetchable,
             visited_epoch: s.visited_epoch,
             epoch: 0,
+            stage_tasks: s.stage_tasks,
+            missing_buf: s.missing_buf,
+            events: s.events,
             purge_buf: s.purge_buf,
             arena,
             thresholds: vec![cfg.prefetch_threshold; n],
@@ -498,6 +563,9 @@ impl<'a> Engine<'a> {
             prefetchable: self.prefetchable,
             visited_epoch: self.visited_epoch,
             purge_buf: self.purge_buf,
+            stage_tasks: self.stage_tasks,
+            missing_buf: self.missing_buf,
+            events: self.events,
         }
     }
 
@@ -929,10 +997,15 @@ impl<'a> Engine<'a> {
         let stage_start = self.now;
         let mut stage_end = stage_start;
         let speculating = self.cfg.faults.speculation_quantile > 0.0;
-        // Per task `(finish, partition, node, slot, start)`, kept only when
-        // speculation needs the stage's completion profile (the placement is
-        // needed to free a loser attempt's slot when its copy wins).
-        let mut task_ends: Vec<(SimTime, u32, usize, usize, SimTime)> = Vec::new();
+        // Task records are kept only when speculation needs the stage's
+        // completion profile (the placement is needed to free a loser
+        // attempt's slot when its copy wins). Completion times also feed the
+        // event queue, whose k-th pop is the speculation threshold.
+        self.stage_tasks.clear();
+        if speculating {
+            self.events.clear();
+            self.events.reserve(stage.num_tasks as usize);
+        }
         for p in 0..stage.num_tasks {
             let home = self.home(p);
             // Earliest-free slot on the home node: O(log cores) from the
@@ -1018,11 +1091,13 @@ impl<'a> Engine<'a> {
                 return stage_end;
             }
             if speculating {
-                task_ends.push((task_end, p, node, slot_idx, attempt_start));
+                self.stage_tasks
+                    .push(task_end, node as u32, slot_idx as u32, attempt_start, attempts);
+                self.events.schedule(task_end, p);
             }
         }
-        if speculating && !task_ends.is_empty() {
-            stage_end = self.run_speculation(stage, &task_ends, policy);
+        if speculating && !self.stage_tasks.is_empty() {
+            stage_end = self.run_speculation(stage, policy);
         }
         stage_end
     }
@@ -1076,19 +1151,32 @@ impl<'a> Engine<'a> {
     /// that slot is released at the winner's finish, so a straggler node
     /// stops dragging later stages (Spark's `spark.speculation` semantics).
     /// Returns the corrected stage end.
-    fn run_speculation(
-        &mut self,
-        stage: &Stage,
-        task_ends: &[(SimTime, u32, usize, usize, SimTime)],
-        policy: &mut dyn CachePolicy,
-    ) -> SimTime {
+    fn run_speculation(&mut self, stage: &Stage, policy: &mut dyn CachePolicy) -> SimTime {
         let q = self.cfg.faults.speculation_quantile.clamp(0.0, 1.0);
-        let mut sorted: Vec<SimTime> = task_ends.iter().map(|&(e, ..)| e).collect();
-        sorted.sort_unstable();
-        let k = ((sorted.len() as f64) * q).ceil() as usize;
-        let threshold = sorted[k.clamp(1, sorted.len()) - 1];
+        // The threshold is the k-th smallest completion: k pops from the
+        // event queue (which `run_stage_tasks` fed one completion event per
+        // task) instead of cloning and fully sorting the end times. Ties
+        // pop FIFO, but equal times yield the same threshold either way.
+        let tasks = std::mem::take(&mut self.stage_tasks);
+        let n = tasks.len();
+        debug_assert_eq!(tasks.attempts.len(), n, "task columns stay parallel");
+        let k = ((n as f64) * q).ceil() as usize;
+        let mut threshold = SimTime::ZERO;
+        for _ in 0..k.clamp(1, n) {
+            threshold = self.events.pop().expect("one event per task").0;
+        }
+        self.events.clear();
         let mut stage_end = SimTime::ZERO;
-        for &(end, p, onode, oslot, ostart) in task_ends {
+        // Stragglers are visited in task (partition) order — not completion
+        // order — so the speculative copies' RNG draws replay identically
+        // to the reference implementation.
+        for i in 0..n {
+            let (end, p) = (tasks.finish[i], i as u32);
+            let (onode, oslot, ostart) = (
+                tasks.node[i] as usize,
+                tasks.slot[i] as usize,
+                tasks.start[i],
+            );
             if end <= threshold {
                 stage_end = stage_end.max(end);
                 continue;
@@ -1124,6 +1212,8 @@ impl<'a> Engine<'a> {
                 stage_end = stage_end.max(end);
             }
         }
+        // Hand the columns back so the next stage reuses their allocations.
+        self.stage_tasks = tasks;
         stage_end
     }
 
@@ -1371,12 +1461,25 @@ impl<'a> Engine<'a> {
     /// demand I/O.
     fn run_prefetch(&mut self, stage: &Stage, visible: &AppProfile, policy: &mut dyn CachePolicy) {
         // RDDs the current stage itself touches are being handled by its
-        // tasks; prefetch targets strictly future references.
-        let current: HashSet<RddId> = visible
-            .per_stage
-            .get(stage.id.index())
-            .map(|t| t.reads.iter().chain(&t.creates).copied().collect())
-            .unwrap_or_default();
+        // tasks; prefetch targets strictly future references. The reference
+        // path keeps the original per-stage `HashSet`; dense mode stamps the
+        // stage's RDDs into the epoch table instead (a fresh epoch, same
+        // mechanism as the per-task lineage walks — no allocation).
+        let current: HashSet<RddId> = if self.reference {
+            visible
+                .per_stage
+                .get(stage.id.index())
+                .map(|t| t.reads.iter().chain(&t.creates).copied().collect())
+                .unwrap_or_default()
+        } else {
+            self.epoch += 1;
+            if let Some(t) = visible.per_stage.get(stage.id.index()) {
+                for &r in t.reads.iter().chain(&t.creates) {
+                    self.visited_epoch[r.index()] = self.epoch;
+                }
+            }
+            HashSet::new()
+        };
 
         for node in 0..self.nodes {
             if self.down[node] {
@@ -1385,10 +1488,18 @@ impl<'a> Engine<'a> {
             if self.cfg.adaptive_threshold {
                 self.adapt_threshold(node);
             }
-            let missing: Vec<BlockId> = if self.reference {
+            // Reference mode allocates a fresh candidate list per node (the
+            // original cost profile); dense mode reuses the scratch buffer.
+            let mut missing = if self.reference {
+                Vec::new()
+            } else {
+                let mut m = std::mem::take(&mut self.missing_buf);
+                m.clear();
+                m
+            };
+            if self.reference {
                 // Reference path: rescan every cached RDD × partition (the
                 // original candidate collection, kept for honest baselining).
-                let mut missing = Vec::new();
                 for r in self.spec.cached_rdds() {
                     if current.contains(&r.id) {
                         continue;
@@ -1406,19 +1517,23 @@ impl<'a> Engine<'a> {
                     }
                 }
                 missing.sort_unstable();
-                missing
             } else {
                 // Dense path: the maintained per-node bitset already holds
                 // exactly the materialized-but-not-resident home blocks;
                 // ascending slots are ascending `BlockId`s, so the order
                 // matches the reference path's sorted scan.
-                self.prefetchable[node]
-                    .ones()
-                    .map(|s| self.arena.block(s))
-                    .filter(|b| !current.contains(&b.rdd))
-                    .collect()
-            };
+                let epoch = self.epoch;
+                missing.extend(
+                    self.prefetchable[node]
+                        .ones()
+                        .map(|s| self.arena.block(s))
+                        .filter(|b| self.visited_epoch[b.rdd.index()] != epoch),
+                );
+            }
             let mut order = policy.prefetch_order(NodeId(node as u32), &missing);
+            if !self.reference {
+                self.missing_buf = missing;
+            }
             order.truncate(self.cfg.max_prefetch_per_node);
             for b in order {
                 let size = self.block_size(b);

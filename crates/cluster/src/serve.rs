@@ -197,6 +197,14 @@ pub struct TenantMux {
     /// `[evictor_tenant][victim_tenant]` victim-selection counts; the
     /// diagonal counts a tenant evicting its own blocks.
     cross: Vec<Vec<u64>>,
+    /// `select_victims` scratch, reused across calls (the purge-path
+    /// pattern): per-submission split of the node's resident map,
+    /// per-tenant evictable bytes, the submission visit order, and the
+    /// other-tenant sort buffer.
+    per_app: Vec<BTreeMap<BlockId, u64>>,
+    tenant_bytes: Vec<u64>,
+    order: Vec<usize>,
+    others: Vec<usize>,
 }
 
 impl TenantMux {
@@ -204,11 +212,16 @@ impl TenantMux {
     pub fn new(policies: Vec<Box<dyn CachePolicy>>, map: Arc<TenantMap>) -> TenantMux {
         assert_eq!(policies.len(), map.num_apps(), "one policy per submission");
         let nt = map.num_tenants();
+        let napps = map.num_apps();
         TenantMux {
             inner: policies,
             map,
             current: 0,
             cross: vec![vec![0; nt]; nt],
+            per_app: vec![BTreeMap::new(); napps],
+            tenant_bytes: vec![0; nt],
+            order: Vec::with_capacity(napps),
+            others: Vec::with_capacity(nt),
         }
     }
 
@@ -302,44 +315,54 @@ impl CachePolicy for TenantMux {
         let nt = self.map.num_tenants();
         let cur_tenant = self.map.tenant_of_app(self.current) as usize;
 
-        // Split the node's evictable map by owning submission.
-        let mut per_app: Vec<BTreeMap<BlockId, u64>> = vec![BTreeMap::new(); napps];
+        // Split the node's evictable map by owning submission. All the
+        // bookkeeping below runs on scratch buffers reused across calls —
+        // victim selection fires on every eviction, and the old per-call
+        // `Vec`/`BTreeMap` allocations dominated the serve hot path.
+        for m in &mut self.per_app {
+            m.clear();
+        }
         for (&b, &sz) in resident {
-            per_app[self.map.app_of(b.rdd)].insert(b, sz);
+            self.per_app[self.map.app_of(b.rdd)].insert(b, sz);
         }
 
         // Own-first order: the evicting tenant's submissions in submission
         // order, then other tenants by descending evictable bytes (most
         // over-represented first; ties by ascending tenant id), each
         // tenant's submissions in submission order.
-        let mut order: Vec<usize> = (0..napps)
-            .filter(|&a| self.map.tenant_of_app(a) as usize == cur_tenant)
-            .collect();
-        let mut tenant_bytes = vec![0u64; nt];
-        for (a, m) in per_app.iter().enumerate() {
-            tenant_bytes[self.map.tenant_of_app(a) as usize] += m.values().sum::<u64>();
+        self.order.clear();
+        self.order
+            .extend((0..napps).filter(|&a| self.map.tenant_of_app(a) as usize == cur_tenant));
+        self.tenant_bytes.clear();
+        self.tenant_bytes.resize(nt, 0);
+        for (a, m) in self.per_app.iter().enumerate() {
+            self.tenant_bytes[self.map.tenant_of_app(a) as usize] += m.values().sum::<u64>();
         }
-        let mut others: Vec<usize> = (0..nt)
-            .filter(|&t| t != cur_tenant && tenant_bytes[t] > 0)
-            .collect();
-        others.sort_by_key(|&t| (std::cmp::Reverse(tenant_bytes[t]), t));
-        for t in others {
-            order.extend((0..napps).filter(|&a| self.map.tenant_of_app(a) as usize == t));
+        self.others.clear();
+        self.others
+            .extend((0..nt).filter(|&t| t != cur_tenant && self.tenant_bytes[t] > 0));
+        self.others
+            .sort_by_key(|&t| (std::cmp::Reverse(self.tenant_bytes[t]), t));
+        for i in 0..self.others.len() {
+            let t = self.others[i];
+            self.order
+                .extend((0..napps).filter(|&a| self.map.tenant_of_app(a) as usize == t));
         }
 
         let mut victims = Vec::new();
         let mut freed = 0u64;
-        for a in order {
+        for i in 0..self.order.len() {
+            let a = self.order[i];
             if freed >= shortfall {
                 break;
             }
-            if per_app[a].is_empty() {
+            if self.per_app[a].is_empty() {
                 continue;
             }
             let vict_tenant = self.map.tenant_of_app(a) as usize;
-            let picked = self.inner[a].select_victims(node, shortfall - freed, &per_app[a]);
+            let picked = self.inner[a].select_victims(node, shortfall - freed, &self.per_app[a]);
             for b in picked {
-                freed += per_app[a].get(&b).copied().unwrap_or(0);
+                freed += self.per_app[a].get(&b).copied().unwrap_or(0);
                 self.cross[cur_tenant][vict_tenant] += 1;
                 victims.push(b);
             }
@@ -477,23 +500,10 @@ impl ServeSim {
         let mut reports: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
         let mut completions = vec![0u64; n];
 
-        loop {
-            // Pick the next application to advance by one stage.
-            let mut best: Option<((u64, usize), usize)> = None;
-            for i in 0..n {
-                if done[i] {
-                    continue;
-                }
-                let key = match self.cfg.sched {
-                    ServeSched::Fifo => (arrivals[i], i),
-                    ServeSched::FairShare => (states[i].now.0, i),
-                };
-                if best.is_none_or(|(bk, _)| key < bk) {
-                    best = Some((key, i));
-                }
-            }
-            let Some((_, a)) = best else { break };
-
+        // Advance application `a` by one stage; returns `(done, clock)`
+        // where `clock` is the app's virtual time after the stage. Shared by
+        // both scheduling disciplines below.
+        let mut advance = |a: usize| -> (bool, u64) {
             let stage = &self.plans[a].stages[next_stage[a]];
             engine.current_app = a as u32;
             mux.set_current(a);
@@ -531,6 +541,45 @@ impl ServeSim {
                     arrivals[a],
                     &mux,
                 ));
+            }
+            (done[a], states[a].now.0)
+        };
+
+        match self.cfg.sched {
+            ServeSched::Fifo => {
+                // Arrived submissions run to completion in `(arrival, index)`
+                // order. The event queue pops exactly that order: every app
+                // is scheduled once, in index order, so the queue's FIFO
+                // sequence tie-break equals the reference scan's
+                // smallest-index tie-break. Calendar-backed by default, heap
+                // under `heap_events`/`reference_state`.
+                let mut q: refdist_simcore::EventQueue<u32> =
+                    refdist_simcore::EventQueue::with_heap(cfg.use_heap_events());
+                q.reserve(n);
+                for (i, &at) in arrivals.iter().enumerate() {
+                    q.schedule(SimTime(at), i as u32);
+                }
+                while let Some((_, i)) = q.pop() {
+                    let a = i as usize;
+                    while !advance(a).0 {}
+                }
+            }
+            ServeSched::FairShare => {
+                // Ready set ordered by `(app clock, submission index)`:
+                // O(log n) per stage instead of the old O(n) rescan. Clocks
+                // change every stage, so the reference tie-break (smallest
+                // index among equal clocks) must come from the composite
+                // key, not queue insertion order — which is why this is a
+                // `BTreeSet` and not the FIFO event queue.
+                let mut ready: std::collections::BTreeSet<(u64, usize)> =
+                    arrivals.iter().enumerate().map(|(i, &at)| (at, i)).collect();
+                while let Some(&(k, i)) = ready.iter().next() {
+                    ready.remove(&(k, i));
+                    let (app_done, clock) = advance(i);
+                    if !app_done {
+                        ready.insert((clock, i));
+                    }
+                }
             }
         }
 

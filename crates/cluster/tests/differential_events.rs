@@ -1,0 +1,329 @@
+//! Differential property test for the event-engine backends.
+//!
+//! PR 7 replaces the binary-heap event queue with a bucketed calendar queue
+//! and moves the remaining per-task engine state into struct-of-arrays
+//! scratch. The heap path stays live behind `SimConfig::heap_events` as the
+//! reference implementation, and this suite is the proof that the swap is
+//! *byte-invisible*: for arbitrary apps, clusters, policies, chaos plans and
+//! serve streams, the calendar-backed engine must produce reports, task
+//! placements, and victim/purge decision sequences identical to the heap
+//! run. This is what keeps every golden file, BENCH number and sweep key
+//! from PRs 1–6 valid.
+
+use proptest::prelude::*;
+use refdist_cluster::{
+    ArrivalProcess, ClusterConfig, FaultPlan, QuotaKind, RunReport, ServeConfig, ServeSched,
+    ServeSim, SimConfig, Simulation,
+};
+use refdist_core::{MrdPolicy, ProfileMode};
+use refdist_dag::{AppBuilder, AppPlan, AppSpec, BlockId, BlockSlots, StorageLevel};
+use refdist_policies::{CachePolicy, PolicyKind};
+use refdist_store::NodeId;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Victim/purge decision log, shared out of the policy box via `Arc` so the
+/// serve driver (which consumes its policy boxes) still exposes sequences.
+#[derive(Debug, Default, PartialEq)]
+struct Log {
+    victims: Vec<(NodeId, Vec<BlockId>)>,
+    purges: Vec<Vec<BlockId>>,
+}
+
+/// Wraps any policy and records its decision sequences.
+struct Recorder {
+    inner: Box<dyn CachePolicy>,
+    log: Arc<Mutex<Log>>,
+}
+
+impl Recorder {
+    fn wrap(inner: Box<dyn CachePolicy>) -> (Box<dyn CachePolicy>, Arc<Mutex<Log>>) {
+        let log = Arc::new(Mutex::new(Log::default()));
+        (
+            Box::new(Recorder {
+                inner,
+                log: Arc::clone(&log),
+            }),
+            log,
+        )
+    }
+}
+
+impl CachePolicy for Recorder {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn attach_slots(&mut self, slots: &Arc<BlockSlots>) {
+        self.inner.attach_slots(slots);
+    }
+    fn on_job_submit(&mut self, job: refdist_dag::JobId, visible: &refdist_dag::AppProfile) {
+        self.inner.on_job_submit(job, visible);
+    }
+    fn on_stage_start(&mut self, stage: refdist_dag::StageId, visible: &refdist_dag::AppProfile) {
+        self.inner.on_stage_start(stage, visible);
+    }
+    fn on_insert(&mut self, node: NodeId, block: BlockId) {
+        self.inner.on_insert(node, block);
+    }
+    fn on_access(&mut self, node: NodeId, block: BlockId) {
+        self.inner.on_access(node, block);
+    }
+    fn on_remove(&mut self, node: NodeId, block: BlockId) {
+        self.inner.on_remove(node, block);
+    }
+    fn on_node_join(&mut self, node: NodeId) {
+        self.inner.on_node_join(node);
+    }
+    fn pick_victim(&mut self, node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
+        self.inner.pick_victim(node, candidates)
+    }
+    fn select_victims(
+        &mut self,
+        node: NodeId,
+        shortfall: u64,
+        resident: &BTreeMap<BlockId, u64>,
+    ) -> Vec<BlockId> {
+        let v = self.inner.select_victims(node, shortfall, resident);
+        self.log.lock().unwrap().victims.push((node, v.clone()));
+        v
+    }
+    fn purge_candidates(&mut self, in_memory: &[BlockId]) -> Vec<BlockId> {
+        let p = self.inner.purge_candidates(in_memory);
+        self.log.lock().unwrap().purges.push(p.clone());
+        p
+    }
+    fn prefetch_order(&mut self, node: NodeId, missing: &[BlockId]) -> Vec<BlockId> {
+        self.inner.prefetch_order(node, missing)
+    }
+    fn wants_prefetch(&self) -> bool {
+        self.inner.wants_prefetch()
+    }
+    fn wants_purge(&self) -> bool {
+        self.inner.wants_purge()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Params {
+    iters: usize,
+    parts: u32,
+    block_kb: u64,
+    mem_only: bool,
+    nodes: u32,
+    cache_frac: f64,
+    jitter: f64,
+    seed: u64,
+    /// Stochastic chaos plus speculation — the regime where the engine's
+    /// internal event queue actually carries per-task completion events.
+    chaos: bool,
+}
+
+fn build_app(p: &Params) -> AppSpec {
+    let block = p.block_kb * 256 * 1024;
+    let level = if p.mem_only {
+        StorageLevel::MemoryOnly
+    } else {
+        StorageLevel::MemoryAndDisk
+    };
+    let mut b = AppBuilder::new("event-diff-app");
+    let input = b.input("in", p.parts, block, 2_000);
+    let hot = b.narrow("hot", input, block, 5_000);
+    b.persist(hot, level);
+    for i in 0..p.iters {
+        let s = b.shuffle(format!("agg{i}"), &[hot], p.parts, block / 4, 1_000);
+        b.action(format!("job{i}"), s);
+    }
+    b.build()
+}
+
+fn build_cfg(p: &Params, spec: &AppSpec, heap_events: bool) -> SimConfig {
+    let footprint: u64 = spec
+        .cached_rdds()
+        .map(|r| r.num_partitions as u64 * r.block_size)
+        .sum();
+    let per_node = ((footprint as f64 * p.cache_frac) / p.nodes as f64) as u64;
+    let mut cfg = SimConfig::new(ClusterConfig::tiny(p.nodes, per_node));
+    cfg.seed = p.seed;
+    cfg.compute_jitter = p.jitter;
+    cfg.collect_trace = true;
+    cfg.collect_placements = true;
+    cfg.heap_events = heap_events;
+    if p.chaos {
+        cfg.faults = FaultPlan::chaos(0.05);
+        // Chaos alone never speculates; turn it on so the completion-event
+        // queue (the k-th-pop threshold) is actually on the measured path,
+        // and slow a node so stragglers exist to speculate on.
+        cfg.faults.speculation_quantile = 0.5;
+        cfg.faults.slow_node(0, 3.0);
+    }
+    cfg
+}
+
+type Build = Box<dyn Fn() -> Box<dyn CachePolicy>>;
+
+fn all_policies() -> Vec<(&'static str, Build)> {
+    vec![
+        ("lru", Box::new(|| PolicyKind::Lru.build()) as Build),
+        ("fifo", Box::new(|| PolicyKind::Fifo.build())),
+        ("random", Box::new(|| PolicyKind::Random.build())),
+        ("lrc", Box::new(|| PolicyKind::Lrc.build())),
+        ("memtune", Box::new(|| PolicyKind::MemTune.build())),
+        ("mrd", Box::new(|| Box::new(MrdPolicy::full()))),
+    ]
+}
+
+fn run_solo(
+    spec: &AppSpec,
+    plan: &AppPlan,
+    cfg: SimConfig,
+    build: &Build,
+) -> (RunReport, Arc<Mutex<Log>>) {
+    let (mut rec, log) = Recorder::wrap(build());
+    let report = Simulation::new(spec, plan, ProfileMode::Recurring, cfg).run(&mut *rec);
+    (report, log)
+}
+
+/// Solo (and chaotic) engine runs: heap vs calendar must be byte-identical.
+fn assert_solo_identical(p: &Params) {
+    let spec = build_app(p);
+    let plan = AppPlan::build(&spec);
+    for (name, build) in all_policies() {
+        let (heap_report, heap_log) = run_solo(&spec, &plan, build_cfg(p, &spec, true), &build);
+        let (cal_report, cal_log) = run_solo(&spec, &plan, build_cfg(p, &spec, false), &build);
+        assert_eq!(
+            format!("{heap_report:?}"),
+            format!("{cal_report:?}"),
+            "report diverged for {name} on {p:?}"
+        );
+        assert!(
+            heap_report.placements.is_some(),
+            "placement log must be recorded"
+        );
+        assert_eq!(
+            *heap_log.lock().unwrap(),
+            *cal_log.lock().unwrap(),
+            "decision sequences diverged for {name} on {p:?}"
+        );
+    }
+}
+
+/// Serve streams: three submissions across two tenants under both
+/// disciplines; heap vs calendar must agree on the whole `ServeReport` and
+/// on every submission's decision sequences.
+fn assert_serve_identical(p: &Params, sched: ServeSched) {
+    let spec_a = build_app(p);
+    let spec_b = build_app(&Params {
+        iters: (p.iters % 2) + 1,
+        ..p.clone()
+    });
+    let subs: Vec<(&AppSpec, u32)> = vec![(&spec_a, 0), (&spec_b, 0), (&spec_a, 1)];
+    let run = |heap_events: bool| {
+        let cfg = ServeConfig {
+            sim: build_cfg(p, &spec_a, heap_events),
+            arrivals: ArrivalProcess::Poisson {
+                mean_gap_us: 200_000,
+            },
+            sched,
+            quota: QuotaKind::EqualShare,
+        };
+        let serve = ServeSim::new(&subs, cfg);
+        let mut logs = Vec::new();
+        let mut policies: Vec<Box<dyn CachePolicy>> = Vec::new();
+        for (_, build) in [&all_policies()[0], &all_policies()[5], &all_policies()[3]] {
+            let (rec, log) = Recorder::wrap(build());
+            policies.push(rec);
+            logs.push(log);
+        }
+        (serve.run(policies), logs)
+    };
+    let (heap_report, heap_logs) = run(true);
+    let (cal_report, cal_logs) = run(false);
+    assert_eq!(
+        format!("{heap_report:?}"),
+        format!("{cal_report:?}"),
+        "serve report diverged under {sched} on {p:?}"
+    );
+    for (i, (h, c)) in heap_logs.iter().zip(&cal_logs).enumerate() {
+        assert_eq!(
+            *h.lock().unwrap(),
+            *c.lock().unwrap(),
+            "submission {i} decision sequence diverged under {sched} on {p:?}"
+        );
+    }
+}
+
+fn params_strategy() -> impl Strategy<Value = Params> {
+    (
+        (1usize..4, 1u32..8, 1u64..4, any::<bool>()),
+        (
+            1u32..4,
+            prop_oneof![Just(0.3), Just(0.6), Just(2.0)],
+            prop_oneof![Just(0.0), Just(0.1)],
+            any::<u16>(),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |((iters, parts, block_kb, mem_only), (nodes, cache_frac, jitter, seed, chaos))| {
+                Params {
+                    iters,
+                    parts,
+                    block_kb,
+                    mem_only,
+                    nodes,
+                    cache_frac,
+                    jitter,
+                    seed: seed as u64,
+                    chaos,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn calendar_engine_is_byte_identical_to_heap(p in params_strategy()) {
+        assert_solo_identical(&p);
+    }
+
+    #[test]
+    fn calendar_serve_is_byte_identical_to_heap(p in params_strategy()) {
+        assert_serve_identical(&p, ServeSched::Fifo);
+        assert_serve_identical(&p, ServeSched::FairShare);
+    }
+}
+
+/// Deterministic spot-check of the pressure + chaos + speculation corner, so
+/// the equivalence claim does not rest on random sampling alone.
+#[test]
+fn calendar_engine_identical_under_pressure_and_chaos() {
+    assert_solo_identical(&Params {
+        iters: 3,
+        parts: 7,
+        block_kb: 2,
+        mem_only: false,
+        nodes: 3,
+        cache_frac: 0.3,
+        jitter: 0.1,
+        seed: 7,
+        chaos: true,
+    });
+}
+
+#[test]
+fn calendar_serve_identical_under_pressure() {
+    let p = Params {
+        iters: 2,
+        parts: 5,
+        block_kb: 1,
+        mem_only: false,
+        nodes: 2,
+        cache_frac: 0.4,
+        jitter: 0.1,
+        seed: 11,
+        chaos: false,
+    };
+    assert_serve_identical(&p, ServeSched::Fifo);
+    assert_serve_identical(&p, ServeSched::FairShare);
+}

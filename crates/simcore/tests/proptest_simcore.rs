@@ -4,6 +4,14 @@
 use proptest::prelude::*;
 use refdist_simcore::{EventQueue, FifoResource, SimDuration, SimTime};
 
+/// One step of an adversarial queue schedule: a flood of `n` events at
+/// `now + dt` (ties when `n > 1` or `dt` repeats), or popping up to `n`.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Flood { dt: u64, n: usize },
+    Pop(usize),
+}
+
 proptest! {
     #[test]
     fn event_queue_pops_in_time_then_fifo_order(times in prop::collection::vec(0u64..1000, 1..200)) {
@@ -25,6 +33,67 @@ proptest! {
         }
         // `now` ends at the latest event time.
         prop_assert_eq!(q.now(), SimTime(*times.iter().max().unwrap()));
+    }
+
+    /// Calendar and heap backends must pop identical `(time, payload)`
+    /// sequences — and agree on `len`/`now` at every step — under
+    /// adversarial schedules: same-instant floods, far-future outliers, and
+    /// scheduling while the queue is mid-drain. Offsets are always added to
+    /// the current virtual time so no op schedules into the past.
+    #[test]
+    fn calendar_and_heap_pop_identical_sequences(
+        ops in prop::collection::vec(
+            prop_oneof![
+                // Bursts of same-instant events (FIFO-tie floods).
+                (0u64..4, 1usize..20).prop_map(|(dt, n)| Op::Flood { dt, n }),
+                // A single event at a modest offset.
+                (0u64..5_000).prop_map(|dt| Op::Flood { dt, n: 1 }),
+                // Far-future outliers (sparse-lap territory).
+                (1u64 << 24..1u64 << 40).prop_map(|dt| Op::Flood { dt, n: 1 }),
+                // Drain a few events, then keep scheduling.
+                (1usize..30).prop_map(Op::Pop),
+            ],
+            1..60,
+        )
+    ) {
+        let mut heap = EventQueue::heap();
+        let mut cal = EventQueue::new();
+        prop_assert!(heap.is_heap());
+        prop_assert!(!cal.is_heap());
+        let mut tag = 0u64;
+        for op in ops {
+            match op {
+                Op::Flood { dt, n } => {
+                    for _ in 0..n {
+                        let t = SimTime(heap.now().0 + dt);
+                        heap.schedule(t, tag);
+                        cal.schedule(t, tag);
+                        tag += 1;
+                    }
+                }
+                Op::Pop(n) => {
+                    for _ in 0..n {
+                        let (h, c) = (heap.pop(), cal.pop());
+                        prop_assert_eq!(h, c);
+                        prop_assert_eq!(heap.now(), cal.now());
+                        if h.is_none() {
+                            break;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+            prop_assert_eq!(heap.peek_time(), cal.peek_time());
+        }
+        // Full drain must agree to the end.
+        loop {
+            let (h, c) = (heap.pop(), cal.pop());
+            prop_assert_eq!(h, c);
+            if h.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(heap.now(), cal.now());
     }
 
     #[test]
