@@ -96,7 +96,7 @@ fi
 
 # Bench regression guard: compare the two newest recorded BENCH_pr*.json
 # files and fail if any joined metric regressed more than 10%. The files
-# are recorded on one machine by one bench_cache invocation, so the
+# are recorded on one machine by one bench_sched invocation, so the
 # comparison is apples-to-apples. Set REFDIST_SKIP_BENCH_GUARD=1 to skip
 # (e.g. when re-recording baselines on different hardware).
 if [[ "${REFDIST_SKIP_BENCH_GUARD:-0}" != "1" ]]; then

@@ -58,6 +58,10 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
             ("ns_per_evict".to_string(), v)
         } else if let Some(v) = num_field(line, "ms_total") {
             ("ms_total".to_string(), v)
+        } else if let Some(v) = num_field(line, "peak_slots") {
+            // Slot-arena high-water mark of a streaming serve cell — a
+            // space metric, gated like a timing: growth is a regression.
+            ("peak_slots".to_string(), v)
         } else {
             return Err(format!("{path}: record without a metric: {line}"));
         };
@@ -125,7 +129,11 @@ fn main() -> ExitCode {
             unmatched += 1;
             continue;
         };
-        let unit = if b.metric == "ns_per_evict" { "ns" } else { "ms" };
+        let unit = match b.metric.as_str() {
+            "ns_per_evict" => "ns",
+            "peak_slots" => "sl",
+            _ => "ms",
+        };
         println!(
             "{:<7} {:<12} {:<10} {:>8} {:>11.1} {:>2} {:>11.1} {:>2} {:>8.2}x",
             b.suite,

@@ -5,7 +5,7 @@
 //! * `BENCH_sched_linear.json` — `linear`: the original per-task linear
 //!   scans (`SimConfig::linear_sched`), including the full nodes×cores scan
 //!   per task that delay scheduling performs.
-//! * `BENCH_pr7.json` — `indexed`: the incrementally maintained
+//! * `BENCH_pr8.json` — `indexed`: the incrementally maintained
 //!   [`SlotIndex`](refdist_cluster) ordered-set scheduler (the default).
 //!
 //! The workload is a wide iterative app — 8 partitions per node, so every
@@ -14,14 +14,20 @@
 //! large clusters. Reports from both schedulers are asserted byte-identical
 //! before any timing is recorded.
 //!
-//! `BENCH_pr7.json` additionally re-measures the `bench_cache` macro
+//! `BENCH_pr8.json` additionally re-measures the `bench_cache` macro
 //! protocol (`cc_sweep` on dense state, fault-free and chaotic) and the
 //! `serve` suite (multi-tenant streams under fair-share scheduling and
 //! equal-share quotas) so `ci.sh`'s regression guard can join them against
-//! the checked-in `BENCH_pr6.json` from the same machine — the calendar
-//! event queue and the struct-of-arrays task records thread through the
-//! task hot loop and the serve driver, and this is the check that neither
-//! costs anything on the macro paths.
+//! the checked-in `BENCH_pr7.json` from the same machine — the streaming
+//! serve driver threads through the engine's admission/retirement hooks,
+//! and this is the check that neither costs anything on the macro paths.
+//!
+//! A `serve_stream` suite measures the streaming serve driver itself:
+//! Poisson app streams at several lengths and arrival rates, run both
+//! through the lazy-admission/drain-then-retire streaming path and the
+//! build-everything-upfront reference (asserted byte-identical first).
+//! Each cell also records the slot arena's high-water mark (`peak_slots`),
+//! so the regression guard gates O(active) memory alongside wall time.
 //!
 //! A `sim_throughput` suite times the *fully stacked* engine — dense
 //! slot-indexed state + indexed scheduler + calendar event queue — against
@@ -37,8 +43,8 @@
 
 use refdist_bench::{cache_for_fraction, ExpContext, PolicySpec};
 use refdist_cluster::{
-    ArrivalProcess, ClusterConfig, QuotaKind, RunReport, ServeConfig, ServeSched, ServeSim,
-    SimConfig, Simulation,
+    ArrivalProcess, ClusterConfig, QuotaKind, RunReport, ServeConfig, ServeReport, ServeSched,
+    ServeSim, SimConfig, Simulation,
 };
 use refdist_core::ProfileMode;
 use refdist_dag::{AppBuilder, AppPlan, AppSpec, StorageLevel};
@@ -105,7 +111,10 @@ fn sched_cfg(nodes: u32, linear: bool) -> SimConfig {
 /// Best-of-reps wall ms for one scheduler, plus the report for equivalence
 /// checking (identical across reps — the simulation is deterministic).
 fn time_sched(spec: &AppSpec, plan: &AppPlan, nodes: u32, linear: bool) -> (f64, RunReport) {
-    let reps = if quick() { 1 } else { 5 };
+    // Best-of-15: contention on the recording machine comes in bursts of
+    // seconds, so spreading more ms-scale reps across a longer window is
+    // what makes the minimum a stable estimate of the quiet-machine time.
+    let reps = if quick() { 1 } else { 15 };
     let mut best_ms = f64::INFINITY;
     let mut report = None;
     for _ in 0..reps {
@@ -177,9 +186,10 @@ fn time_macro(policy: PolicySpec, faults: refdist_cluster::FaultPlan) -> f64 {
     let spec = Workload::ConnectedComponents.build(&ctx.params);
     let plan = AppPlan::build(&spec);
     let cache = cache_for_fraction(&spec, &ctx.cluster, 0.2).max(1);
-    // Best-of-10: the macro rows take ~5 ms each and feed the 10% CI
-    // regression gate, so precision is worth more than bench runtime here.
-    let reps = if quick() { 1 } else { 10 };
+    // Best-of-20: the macro rows take ~5 ms each and feed the 10% CI
+    // regression gate, so precision is worth more than bench runtime here
+    // (see `time_sched` on why more reps beat more runs).
+    let reps = if quick() { 1 } else { 20 };
     let mut best_ms = f64::INFINITY;
     for _ in 0..reps {
         let mut cfg = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(ctx.seed);
@@ -219,9 +229,13 @@ fn time_serve(policy: PolicySpec, tenants: u32) -> f64 {
             },
             sched: ServeSched::FairShare,
             quota: QuotaKind::EqualShare,
+            // The legacy serve suite keeps measuring the upfront path so
+            // its numbers stay comparable across bench baselines; the
+            // serve_stream suite covers streaming.
+            upfront: true,
         },
     );
-    let reps = if quick() { 1 } else { 10 };
+    let reps = if quick() { 1 } else { 20 };
     let mut best_ms = f64::INFINITY;
     for _ in 0..reps {
         let policies = (0..tenants).map(|_| policy.build(None)).collect();
@@ -231,6 +245,63 @@ fn time_serve(policy: PolicySpec, tenants: u32) -> f64 {
         std::hint::black_box(report);
     }
     best_ms
+}
+
+/// A small two-job iterative app for long streams: cheap enough per
+/// submission that four-digit streams are dominated by serve-driver
+/// overhead (admission, retirement, arena recycling), not task simulation.
+fn stream_app() -> AppSpec {
+    let block = 64 * 1024;
+    let mut b = AppBuilder::new("stream-app");
+    let input = b.input("in", 4, block, 2_000);
+    let data = b.narrow("data", input, block, 5_000);
+    b.persist(data, StorageLevel::MemoryAndDisk);
+    for i in 0..2 {
+        let s = b.shuffle(format!("agg{i}"), &[data], 4, block / 8, 500);
+        b.action(format!("job{i}"), s);
+    }
+    b.build()
+}
+
+/// Best-of-reps wall ms for one serve-stream cell, end to end: a fresh
+/// `ServeSim` per rep, so each side pays its own planning model inside the
+/// timed region — lazy per-admission planning for streaming, the combined
+/// whole-stream build for upfront. That asymmetry is the measurement.
+fn time_serve_stream(
+    spec: &AppSpec,
+    apps: u32,
+    mean_gap_us: u64,
+    upfront: bool,
+) -> (f64, ServeReport) {
+    let tenants = 4;
+    let subs: Vec<(&AppSpec, u32)> = (0..apps).map(|i| (spec, i % tenants)).collect();
+    let reps = if quick() { 1 } else { 5 };
+    let mut best_ms = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps {
+        let mut sim = SimConfig::new(ClusterConfig::tiny(2, 512 * 1024));
+        sim.seed = 42;
+        sim.compute_jitter = 0.0;
+        sim.exec_mem_fraction = 0.0;
+        let policies = (0..apps)
+            .map(|_| refdist_policies::PolicyKind::Lru.build())
+            .collect();
+        let start = Instant::now();
+        let serve = ServeSim::new(
+            &subs,
+            ServeConfig {
+                sim,
+                arrivals: ArrivalProcess::Poisson { mean_gap_us },
+                sched: ServeSched::FairShare,
+                quota: QuotaKind::EqualShare,
+                upfront,
+            },
+        );
+        let r = serve.run(policies);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        report = Some(r);
+    }
+    (best_ms, report.expect("at least one rep"))
 }
 
 fn main() {
@@ -292,7 +363,7 @@ fn main() {
     for &nodes in tp_nodes {
         let spec = sched_app(nodes);
         let plan = AppPlan::build(&spec);
-        let reps = if quick() { 1 } else { 3 };
+        let reps = if quick() { 1 } else { 8 };
         let (ref_ms, ref_report) = time_throughput(&spec, &plan, nodes, true, reps);
         let (eng_ms, eng_report) = time_throughput(&spec, &plan, nodes, false, reps);
         assert_eq!(
@@ -405,9 +476,86 @@ fn main() {
         });
     }
 
+    println!();
+    println!("== serve_stream: Poisson app streams, streaming vs upfront (ms) ==");
+    println!(
+        "{:<6} {:>7} {:>11} {:>11} {:>7} {:>7} {:>7} {:>10}",
+        "apps", "gap ms", "upfront", "streaming", "ratio", "arena", "active", "us/sub"
+    );
+    let stream_spec = stream_app();
+    let stream_cells: &[(u32, u64, &str, &str, &str)] = if quick() {
+        &[(64, 20_000, "stream_gap20", "upfront_gap20", "arena_gap20")]
+    } else {
+        // Mean gaps sit at and above the two-node cluster's service rate:
+        // 40 ms is near-critical load (about ten submissions live at once),
+        // 80 ms is moderate. Gaps *below* the service rate would make the
+        // open queue unstable — the backlog, and with it the arena, would
+        // rightly grow with stream length and measure queueing, not serving.
+        &[
+            (256, 80_000, "stream_gap80", "upfront_gap80", "arena_gap80"),
+            (1024, 80_000, "stream_gap80", "upfront_gap80", "arena_gap80"),
+            (1024, 40_000, "stream_gap40", "upfront_gap40", "arena_gap40"),
+        ]
+    };
+    for &(apps, gap_us, stream_bench, upfront_bench, arena_bench) in stream_cells {
+        let (up_ms, up) = time_serve_stream(&stream_spec, apps, gap_us, true);
+        let (st_ms, st) = time_serve_stream(&stream_spec, apps, gap_us, false);
+        assert_eq!(
+            format!("{:?}", up.reports),
+            format!("{:?}", st.reports),
+            "streaming and upfront disagree at {apps} apps / {gap_us} us gap"
+        );
+        assert_eq!(up.summary(), st.summary());
+        // The O(active) claim, checked where it is measured: the streaming
+        // arena's high-water mark tracks peak concurrency while the
+        // upfront arena holds the whole stream. Short quick-mode streams
+        // never get far ahead of their own concurrency, so the strict
+        // bound only applies at real stream lengths.
+        let bound = if apps >= 256 {
+            up.peak_arena_slots / 4
+        } else {
+            up.peak_arena_slots
+        };
+        assert!(
+            st.peak_arena_slots < bound,
+            "streaming arena {} slots vs upfront {} at {apps} apps",
+            st.peak_arena_slots,
+            up.peak_arena_slots
+        );
+        println!(
+            "{:<6} {:>7} {:>8.1} ms {:>8.1} ms {:>6.2}x {:>7} {:>7} {:>10.1}",
+            apps,
+            gap_us / 1_000,
+            up_ms,
+            st_ms,
+            up_ms / st_ms,
+            st.peak_arena_slots,
+            st.peak_active_apps,
+            st_ms * 1e3 / f64::from(apps)
+        );
+        // Streaming and upfront get distinct bench names: the regression
+        // guard joins on (suite, bench, policy, blocks) and must track the
+        // two drivers apart; the arena row gates space, not time.
+        for (bench, metric, value) in [
+            (stream_bench, "ms_total", st_ms),
+            (upfront_bench, "ms_total", up_ms),
+            (arena_bench, "peak_slots", st.peak_arena_slots as f64),
+        ] {
+            indexed_records.push(Record {
+                suite: "serve_stream",
+                bench,
+                policy: "LRU".into(),
+                blocks: apps as usize,
+                protocol: if bench == upfront_bench { "upfront" } else { "streaming" },
+                metric,
+                value,
+            });
+        }
+    }
+
     for (path, records) in [
         ("BENCH_sched_linear.json", &linear_records),
-        ("BENCH_pr7.json", &indexed_records),
+        ("BENCH_pr8.json", &indexed_records),
     ] {
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {

@@ -327,6 +327,23 @@ impl SweepOptions {
     }
 }
 
+/// Streaming-serve high-water marks, carried from the cell's
+/// [`refdist_cluster::ServeReport`] into the CSV sink. Only serve cells
+/// have them — the aggregate [`RunReport`] folds per-submission stats and
+/// would lose the peaks otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServePeaks {
+    /// Most submissions simultaneously admitted-but-not-retired.
+    pub active_apps: u64,
+    /// Slot-arena high-water mark (tracks peak concurrency, not stream
+    /// length, under the streaming driver).
+    pub arena_slots: u64,
+    /// Most blocks memory-resident across the cluster at once.
+    pub resident_blocks: u64,
+    /// Most bytes memory-resident across the cluster at once.
+    pub resident_bytes: u64,
+}
+
 /// One completed cell.
 #[derive(Debug, Clone)]
 pub struct CellResult {
@@ -336,6 +353,8 @@ pub struct CellResult {
     pub cache_bytes: u64,
     /// The simulation report.
     pub report: RunReport,
+    /// High-water marks of the serve stream, for serve cells only.
+    pub serve_peaks: Option<ServePeaks>,
 }
 
 /// All results of a sweep, in canonical cell order.
@@ -439,9 +458,18 @@ impl SweepResults {
             "disk_hits",
             "recomputes",
             "tasks",
+            "peak_active_apps",
+            "peak_arena_slots",
+            "peak_resident_blocks",
+            "peak_resident_bytes",
         ]);
         for c in &self.cells {
             let s = &c.report.stats;
+            // Serve-stream high-water marks; empty cells for solo runs,
+            // which have no stream to peak over.
+            let peaks = |f: fn(&ServePeaks) -> u64| {
+                c.serve_peaks.map_or(String::new(), |p| f(&p).to_string())
+            };
             w.row([
                 c.cell.workload.short_name().to_string(),
                 c.cell.policy.name().to_string(),
@@ -460,6 +488,10 @@ impl SweepResults {
                 s.disk_hits.to_string(),
                 s.recomputes.to_string(),
                 c.report.tasks.to_string(),
+                peaks(|p| p.active_apps),
+                peaks(|p| p.arena_slots),
+                peaks(|p| p.resident_blocks),
+                peaks(|p| p.resident_bytes),
             ]);
         }
         w.finish().to_string()
@@ -513,7 +545,7 @@ fn run_serve_cell(
     cache_bytes: u64,
     policy: PolicySpec,
     ax: ServeAxis,
-) -> RunReport {
+) -> (RunReport, ServePeaks) {
     assert!(
         policy != PolicySpec::Belady,
         "Belady-MIN is excluded from serve cells (no whole-run trace under interleaving)"
@@ -530,11 +562,19 @@ fn run_serve_cell(
             },
             sched: ax.sched,
             quota: ax.quota,
+            upfront: false,
         },
     );
     let policies: Vec<Box<dyn CachePolicy>> =
         (0..ax.tenants).map(|_| policy.build(None)).collect();
-    serve.run(policies).merged_report()
+    let report = serve.run(policies);
+    let peaks = ServePeaks {
+        active_apps: report.peak_active_apps,
+        arena_slots: report.peak_arena_slots,
+        resident_blocks: report.peak_resident_blocks,
+        resident_bytes: report.peak_resident_bytes,
+    };
+    (report.merged_report(), peaks)
 }
 
 /// Run every cell of `grid` on a worker pool and aggregate the reports in
@@ -569,18 +609,21 @@ pub fn run_sweep(grid: &SweepGrid, ctx: &ExpContext, opts: &SweepOptions) -> Swe
             cell_ctx.faults = refdist_cluster::FaultPlan::chaos(cell.chaos);
         }
         let cell_started = Instant::now();
-        let report = if let Some(ax) = cell.serve {
-            run_serve_cell(prep, &cell_ctx, cache_bytes, cell.policy, ax)
+        let (report, serve_peaks) = if let Some(ax) = cell.serve {
+            let (report, peaks) = run_serve_cell(prep, &cell_ctx, cache_bytes, cell.policy, ax);
+            (report, Some(peaks))
         } else {
-            SCRATCH.with(|s| {
+            let report = SCRATCH.with(|s| {
                 run_one_prepared(prep, &cell_ctx, cache_bytes, cell.policy, &mut s.borrow_mut())
-            })
+            });
+            (report, None)
         };
         progress.cell_done(&cell.key(), cell_started.elapsed());
         CellResult {
             cell: *cell,
             cache_bytes,
             report,
+            serve_peaks,
         }
     });
 

@@ -165,6 +165,52 @@ fn serve_cells_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn streaming_serve_cells_are_byte_identical_across_thread_counts() {
+    // Serve cells run the *streaming* driver (lazy admission, drain-then-
+    // retire, slot-range recycling) — its byte-determinism contract is the
+    // same as every other cell's: one worker thread or eight, the
+    // aggregated output cannot move. Denser streams than the mixed-axis
+    // test above, so admissions and retirements actually interleave.
+    let ctx = tiny_ctx();
+    let grid = SweepGrid::new(
+        vec![Workload::ShortestPaths],
+        vec![PolicySpec::Lru, PolicySpec::MrdFull],
+    )
+    .fractions(&[0.3])
+    .serve(&[
+        Some(ServeAxis {
+            tenants: 4,
+            mean_gap_us: 20_000,
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::EqualShare,
+        }),
+        Some(ServeAxis {
+            tenants: 5,
+            mean_gap_us: 10_000,
+            sched: ServeSched::Fifo,
+            quota: QuotaKind::Unlimited,
+        }),
+    ]);
+    let sequential = run_sweep(&grid, &ctx, &SweepOptions::default().threads(1));
+    for threads in [2, 8] {
+        let parallel = run_sweep(&grid, &ctx, &SweepOptions::default().threads(threads));
+        assert_eq!(
+            sequential.csv(),
+            parallel.csv(),
+            "streaming serve CSV diverged at {threads} threads"
+        );
+        for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+            assert_eq!(
+                format!("{:?}", a.report),
+                format!("{:?}", b.report),
+                "streaming serve report diverged at {threads} threads for {}",
+                a.cell.key()
+            );
+        }
+    }
+}
+
+#[test]
 fn poisson_arrivals_replay_from_the_master_seed() {
     // The arrival stream is a dedicated RNG stream keyed only by the master
     // seed: replaying a seed reproduces the schedule exactly, different

@@ -59,8 +59,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use refdist_core::{AppProfiler, ProfileMode};
 use refdist_dag::{
-    AppPlan, AppProfile, AppSpec, BlockId, BlockSlots, JobId, RddId, SlotSet, Stage, StageKind,
-    TenantMap,
+    shift_rdd, AppPlan, AppProfile, AppSpec, BlockId, BlockSlots, JobId, Rdd, RddId, SlotSet,
+    Stage, StageKind, TenantMap,
 };
 use refdist_policies::{CachePolicy, LruPolicy};
 use refdist_simcore::{EventQueue, FifoResource, SimDuration, SimTime};
@@ -252,10 +252,97 @@ pub fn collect_trace(spec: &AppSpec, plan: &AppPlan, cfg: &SimConfig) -> Vec<Blo
         .expect("trace collection was requested")
 }
 
+/// Where the engine resolves RDD metadata from: the whole application spec
+/// (single-app runs and the upfront serve path), or an owned, windowed
+/// registry that streaming serve populates at admission and drains at
+/// retirement, so resolvable metadata is `O(live apps)` rather than
+/// `O(total stream)`.
+pub(crate) enum SpecSource<'a> {
+    Whole(&'a AppSpec),
+    Registry(SpecRegistry),
+}
+
+/// Owned, windowed RDD registry for the streaming engine. `rdds[i]` holds
+/// the RDD with global id `rdd_base + i`; only live applications' RDDs are
+/// resolvable. Global RDD ids are never recycled (they are embedded in
+/// `BlockId`s, traces, and decision logs), so the window only ever covers
+/// the live span and advances monotonically as the oldest apps retire.
+#[derive(Debug, Default)]
+pub(crate) struct SpecRegistry {
+    rdd_base: usize,
+    rdds: Vec<Option<Rdd>>,
+}
+
+impl SpecRegistry {
+    fn rdd(&self, id: RddId) -> &Rdd {
+        self.rdds[id.index() - self.rdd_base]
+            .as_ref()
+            .expect("rdd of a live application")
+    }
+
+    fn len(&self) -> usize {
+        self.rdds.len()
+    }
+
+    /// Live cached RDDs, ascending by id — the streaming replacement for the
+    /// reference prefetcher's whole-spec scan (retired apps' candidates were
+    /// dead weight there anyway: the tenant mux filters every candidate list
+    /// to the running app).
+    fn cached_rdds(&self) -> impl Iterator<Item = &Rdd> + '_ {
+        self.rdds.iter().flatten().filter(|r| r.is_cached())
+    }
+
+    /// Insert `spec`'s RDDs shifted by `offset` into the global id space.
+    /// Returns how many entries were spliced in at the *front* (an admission
+    /// below the current window — trace arrivals admit in arrival order, not
+    /// id order), so parallel window tables stay index-aligned.
+    fn admit(&mut self, spec: &AppSpec, offset: u32) -> usize {
+        let first = offset as usize;
+        let mut front = 0;
+        if self.rdds.is_empty() {
+            self.rdd_base = first;
+        } else if first < self.rdd_base {
+            front = self.rdd_base - first;
+            self.rdds
+                .splice(0..0, std::iter::repeat_with(|| None).take(front));
+            self.rdd_base = first;
+        }
+        let end = first - self.rdd_base + spec.rdds.len();
+        if end > self.rdds.len() {
+            self.rdds.resize_with(end, || None);
+        }
+        for r in &spec.rdds {
+            let shifted = shift_rdd(r, offset);
+            let i = shifted.id.index() - self.rdd_base;
+            debug_assert!(self.rdds[i].is_none(), "rdd ids are never recycled");
+            self.rdds[i] = Some(shifted);
+        }
+        front
+    }
+
+    /// Drop one application's RDDs (`range` in the global id space) and
+    /// advance the window past any leading retired entries. Returns the
+    /// number of entries drained from the front so parallel window tables
+    /// can drain in lockstep.
+    fn retire(&mut self, range: std::ops::Range<u32>) -> usize {
+        for ri in range {
+            self.rdds[ri as usize - self.rdd_base] = None;
+        }
+        let lead = self.rdds.iter().take_while(|r| r.is_none()).count();
+        if lead > 0 {
+            self.rdds.drain(..lead);
+            self.rdd_base += lead;
+        }
+        lead
+    }
+}
+
 pub(crate) struct Engine<'a> {
-    spec: &'a AppSpec,
-    plan: &'a AppPlan,
-    profiler: &'a AppProfiler,
+    source: SpecSource<'a>,
+    /// `None` for the streaming engine, which never calls [`Engine::run`]:
+    /// the serve driver owns per-app plans and drives stages directly.
+    plan: Option<&'a AppPlan>,
+    profiler: Option<&'a AppProfiler>,
     cfg: &'a SimConfig,
     nodes: usize,
 
@@ -305,8 +392,12 @@ pub(crate) struct Engine<'a> {
     /// transition instead of rescanned each stage.
     prefetchable: Vec<SlotSet>,
     /// Per RDD: the epoch it was last visited in (epoch-stamped `visited`
-    /// set — no per-task allocation).
+    /// set — no per-task allocation). Indexed by `rdd.index() - vis_base`;
+    /// the base is 0 except in streaming mode, where the table is windowed
+    /// alongside the registry.
     visited_epoch: Vec<u64>,
+    /// Window base of `visited_epoch` (streaming mode; 0 otherwise).
+    vis_base: usize,
     epoch: u64,
     /// Purge candidate buffer, reused across stages (and runs, via scratch).
     purge_buf: Vec<BlockId>,
@@ -343,6 +434,11 @@ pub(crate) struct Engine<'a> {
     frng: SmallRng,
     fstats: FaultStats,
     aborted: Option<StageAbort>,
+    /// Per node: disk blocks of *retired* applications that streaming mode
+    /// already purged but the upfront path would still hold. A later crash
+    /// of the node counts them into `lost_blocks` (then forgets them), so
+    /// crash accounting stays byte-identical to the upfront run.
+    ghost_disk: Vec<u64>,
     /// Per scripted crash: whether it already fired. Legacy runs visit each
     /// stage id exactly once so this is inert there; the serve driver replays
     /// per-application stage counters that *do* recur, and a scripted crash
@@ -409,12 +505,48 @@ impl AppState {
 }
 
 impl<'a> Engine<'a> {
-    pub(crate) fn new(sim: &'a Simulation<'_>, mut s: EngineScratch) -> Self {
-        let spec = sim.spec;
-        let cfg = &sim.cfg;
+    pub(crate) fn new(sim: &'a Simulation<'_>, s: EngineScratch) -> Self {
+        Self::build(
+            SpecSource::Whole(sim.spec),
+            Some(sim.plan),
+            Some(&sim.profiler),
+            &sim.cfg,
+            Arc::clone(&sim.arena),
+            sim.spec.rdds.len(),
+            s,
+        )
+    }
+
+    /// A streaming engine: starts with no resolvable RDDs and an empty slot
+    /// arena snapshot; the serve driver grows both one application at a time
+    /// via [`Engine::admit_app`] and shrinks them via [`Engine::retire_app`].
+    pub(crate) fn new_streaming(
+        cfg: &'a SimConfig,
+        arena: Arc<BlockSlots>,
+        s: EngineScratch,
+    ) -> Self {
+        Self::build(
+            SpecSource::Registry(SpecRegistry::default()),
+            None,
+            None,
+            cfg,
+            arena,
+            0,
+            s,
+        )
+    }
+
+    fn build(
+        source: SpecSource<'a>,
+        plan: Option<&'a AppPlan>,
+        profiler: Option<&'a AppProfiler>,
+        cfg: &'a SimConfig,
+        arena: Arc<BlockSlots>,
+        nrdds: usize,
+        mut s: EngineScratch,
+    ) -> Self {
         let n = cfg.cluster.nodes as usize;
         let reference = cfg.reference_state;
-        let arena = Arc::clone(&sim.arena);
         let nslots = if reference { 0 } else { arena.len() };
         // Shape the recycled scratch buffers into exactly the state fresh
         // allocations would have — run_with_scratch feeds a previous run's
@@ -431,7 +563,7 @@ impl<'a> Engine<'a> {
         reset_sets(&mut s.prefetchable, n, nslots);
         s.visited_epoch.clear();
         if !reference {
-            s.visited_epoch.resize(spec.rdds.len(), 0);
+            s.visited_epoch.resize(nrdds, 0);
         }
         s.purge_buf.clear();
         s.stage_tasks.clear();
@@ -448,9 +580,9 @@ impl<'a> Engine<'a> {
             )
         });
         Engine {
-            spec,
-            plan: sim.plan,
-            profiler: &sim.profiler,
+            source,
+            plan,
+            profiler,
             cfg,
             nodes: n,
             managers: (0..n)
@@ -488,6 +620,7 @@ impl<'a> Engine<'a> {
             prefetched_d: s.prefetched_d,
             prefetchable: s.prefetchable,
             visited_epoch: s.visited_epoch,
+            vis_base: 0,
             epoch: 0,
             stage_tasks: s.stage_tasks,
             missing_buf: s.missing_buf,
@@ -508,6 +641,7 @@ impl<'a> Engine<'a> {
             frng: fault_rng(cfg.seed),
             fstats: FaultStats::default(),
             aborted: None,
+            ghost_disk: vec![0; n],
             crash_fired: vec![false; cfg.faults.crashes.len()],
             current_app: 0,
         }
@@ -547,8 +681,130 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Admit one application into the streaming engine: its RDDs (shifted by
+    /// `offset` into the global id space) become resolvable, and — in dense
+    /// mode — every slot-indexed table grows to `snap`, the arena snapshot
+    /// taken after the app's slot range was allocated. Tables grow to the
+    /// arena's *capacity*, which tracks peak-active slots, not the stream
+    /// length: retired ranges are recycled in place.
+    pub(crate) fn admit_app(&mut self, spec: &AppSpec, offset: u32, snap: &Arc<BlockSlots>) {
+        let SpecSource::Registry(reg) = &mut self.source else {
+            panic!("admit_app is a streaming-engine operation");
+        };
+        let front = reg.admit(spec, offset);
+        let len = reg.len();
+        self.vis_base = reg.rdd_base;
+        if self.reference {
+            return;
+        }
+        // Keep the epoch window index-aligned with the registry window.
+        if front > 0 {
+            self.visited_epoch
+                .splice(0..0, std::iter::repeat_n(0, front));
+        }
+        if self.visited_epoch.len() < len {
+            self.visited_epoch.resize(len, 0);
+        }
+        let nslots = snap.len();
+        for row in &mut self.pending_d {
+            row.resize(nslots, SimTime::ZERO);
+        }
+        self.materialized_d.grow(nslots);
+        for node in 0..self.nodes {
+            self.prefetched_d[node].grow(nslots);
+            self.prefetchable[node].grow(nslots);
+            self.managers[node].adopt(snap);
+        }
+        self.master.adopt(snap);
+        self.arena = Arc::clone(snap);
+    }
+
+    /// Retire one application from the streaming engine once none of its
+    /// blocks are memory-resident: purge its surviving disk spills (with
+    /// ghost accounting — see `ghost_disk`), zero its dense per-block state
+    /// in the to-be-recycled slot range, and drop its RDDs from the registry
+    /// (advancing the window when it was the oldest live app). No cache
+    /// statistics are touched: the upfront path never removes these blocks,
+    /// so any stat here would diverge from it.
+    pub(crate) fn retire_app(&mut self, rdds: std::ops::Range<u32>, slot_base: u32, slot_len: u32) {
+        for ri in rdds.clone() {
+            let id = RddId(ri);
+            let (cached, parts) = {
+                let r = self.rdd(id);
+                (r.is_cached(), r.num_partitions)
+            };
+            if !cached {
+                continue;
+            }
+            for p in 0..parts {
+                let b = BlockId::new(id, p);
+                for node in 0..self.nodes {
+                    if self.managers[node].disk.remove(b).is_some() {
+                        self.master.unregister_disk(b, NodeId(node as u32));
+                        self.ghost_disk[node] += 1;
+                    }
+                }
+                if self.reference {
+                    self.materialized.remove(&b);
+                    for node in 0..self.nodes {
+                        self.pending.remove(&(node, b));
+                        self.prefetched_unused.remove(&(node, b));
+                    }
+                }
+            }
+        }
+        if !self.reference && slot_len > 0 {
+            self.materialized_d.clear_range(slot_base, slot_len);
+            let range = slot_base as usize..(slot_base + slot_len) as usize;
+            for node in 0..self.nodes {
+                self.prefetched_d[node].clear_range(slot_base, slot_len);
+                self.prefetchable[node].clear_range(slot_base, slot_len);
+                self.pending_d[node][range.clone()].fill(SimTime::ZERO);
+            }
+        }
+        let SpecSource::Registry(reg) = &mut self.source else {
+            panic!("retire_app is a streaming-engine operation");
+        };
+        let drained = reg.retire(rdds);
+        if !self.reference && drained > 0 {
+            self.visited_epoch.drain(..drained);
+        }
+        self.vis_base = reg.rdd_base;
+    }
+
+    /// Cluster-wide memory residency `(blocks, bytes)` — the serve driver's
+    /// peak-footprint sample.
+    pub(crate) fn resident_totals(&self) -> (u64, u64) {
+        self.managers
+            .iter()
+            .fold((0, 0), |(n, b), m| {
+                (n + m.memory.len() as u64, b + m.memory.used())
+            })
+    }
+
+    /// Whether any block of the RDDs in `rdds` is memory-resident anywhere.
+    /// A completed app with none left is drained and can retire.
+    pub(crate) fn any_resident(&self, rdds: std::ops::Range<u32>) -> bool {
+        for ri in rdds {
+            let id = RddId(ri);
+            let (cached, parts) = {
+                let r = self.rdd(id);
+                (r.is_cached(), r.num_partitions)
+            };
+            if !cached {
+                continue;
+            }
+            for p in 0..parts {
+                if self.master.in_memory_anywhere(BlockId::new(id, p)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// One stochastic fault draw. Draws from the fault stream only when the
-    /// probability is positive, so an empty plan consumes nothing.
+    /// probability is positive, so an empty plan draws nothing.
     fn fault_draw(&mut self, p: f64) -> bool {
         p > 0.0 && self.frng.random_bool(p.min(1.0))
     }
@@ -573,8 +829,20 @@ impl<'a> Engine<'a> {
         partition as usize % self.nodes
     }
 
+    /// Resolve RDD metadata from the active source (whole spec or the
+    /// streaming registry). The returned borrow is tied to `&self`, so hot
+    /// paths copy out the scalars they need rather than holding it across
+    /// `&mut self` calls.
+    #[inline]
+    fn rdd(&self, id: RddId) -> &Rdd {
+        match &self.source {
+            SpecSource::Whole(s) => s.rdd(id),
+            SpecSource::Registry(r) => r.rdd(id),
+        }
+    }
+
     fn block_size(&self, b: BlockId) -> u64 {
-        self.spec.rdd(b.rdd).block_size
+        self.rdd(b.rdd).block_size
     }
 
     /// Deserialization CPU cost for a block arriving from disk or network.
@@ -604,7 +872,7 @@ impl<'a> Engine<'a> {
         if self.reference {
             self.visited_ref.insert(rdd)
         } else {
-            let e = &mut self.visited_epoch[rdd.index()];
+            let e = &mut self.visited_epoch[rdd.index() - self.vis_base];
             if *e == self.epoch {
                 false
             } else {
@@ -708,16 +976,18 @@ impl<'a> Engine<'a> {
             // reference implementation.
             policy.attach_slots(&self.arena);
         }
+        let plan = self.plan.expect("single-app runs carry a plan");
+        let profiler = self.profiler.expect("single-app runs carry a profiler");
         let mut submitted: Option<JobId> = None;
         // Shared handle: recurring mode hands out the one full profile per
         // job instead of cloning it.
-        let mut visible: Arc<AppProfile> = self.profiler.visible_at_job_shared(JobId(0));
+        let mut visible: Arc<AppProfile> = profiler.visible_at_job_shared(JobId(0));
 
-        for stage in &self.plan.stages {
+        for stage in &plan.stages {
             // Submit any jobs up to this stage's job.
             let next = submitted.map_or(0, |j| j.0 + 1);
             for j in next..=stage.job.0 {
-                visible = self.profiler.visible_at_job_shared(JobId(j));
+                visible = profiler.visible_at_job_shared(JobId(j));
                 policy.on_job_submit(JobId(j), &visible);
                 submitted = Some(JobId(j));
             }
@@ -737,7 +1007,12 @@ impl<'a> Engine<'a> {
             agg.merge(&m.stats);
         }
         RunReport {
-            app: self.spec.name.clone(),
+            app: match &self.source {
+                SpecSource::Whole(s) => s.name.clone(),
+                SpecSource::Registry(_) => {
+                    unreachable!("streaming serve builds its reports in the driver")
+                }
+            },
             policy: policy.name(),
             jct: self.now - SimTime::ZERO,
             stats: agg,
@@ -889,7 +1164,12 @@ impl<'a> Engine<'a> {
         for (b, _) in &lost_mem {
             self.sync_prefetchable(*b);
         }
-        self.managers[node].stats.lost_blocks += (lost_mem.len() + lost_disk.len()) as u64;
+        // Ghosts: retired apps' disk blocks that streaming mode has already
+        // purged, but which this crash would have destroyed on the upfront
+        // path — count them once so the loss totals match byte for byte.
+        self.managers[node].stats.lost_blocks +=
+            (lost_mem.len() + lost_disk.len()) as u64 + self.ghost_disk[node];
+        self.ghost_disk[node] = 0;
         self.fstats.crashes += 1;
     }
 
@@ -1135,7 +1415,7 @@ impl<'a> Engine<'a> {
 
         if let StageKind::ShuffleMap { .. } = stage.kind {
             // Write this task's map output to local disk.
-            let out = self.spec.rdd(stage.final_rdd).block_size;
+            let out = self.rdd(stage.final_rdd).block_size;
             task_end = self.disk[node].request(task_end, out);
         }
         self.io_accum += io_done - start;
@@ -1230,15 +1510,21 @@ impl<'a> Engine<'a> {
         if !self.visit(rdd) {
             return (at, 0);
         }
-        let r = self.spec.rdd(rdd);
+        // Copy the two scalars out: the metadata borrow must not be held
+        // across the `&mut self` recursion (the streaming registry is owned
+        // by the engine, unlike a whole-spec `&'a` reference).
+        let (cached, rdd_compute_us) = {
+            let r = self.rdd(rdd);
+            (r.is_cached(), r.compute_us)
+        };
         let b = BlockId::new(rdd, part);
-        if r.is_cached() && self.is_materialized(b) {
+        if cached && self.is_materialized(b) {
             return self.access(b, node, at, policy);
         }
         // Compute path (also the creation path for cached RDDs).
         let (io, mut compute_us) = self.compute_inputs(rdd, part, node, at, policy);
-        compute_us += r.compute_us;
-        if r.is_cached() {
+        compute_us += rdd_compute_us;
+        if cached {
             self.mark_materialized(b);
             if self.cfg.collect_trace {
                 self.trace.push(b);
@@ -1258,14 +1544,18 @@ impl<'a> Engine<'a> {
         at: SimTime,
         policy: &mut dyn CachePolicy,
     ) -> (SimTime, u64) {
-        // The spec reference outlives `&mut self`, so the dependency list is
-        // borrowed across the recursion — no per-call clone.
-        let spec = self.spec;
-        let r = spec.rdd(rdd);
+        // Dependencies are `Copy` and re-fetched by index each iteration:
+        // the metadata borrow cannot be held across the recursion when the
+        // streaming registry (owned by the engine) is the source, and the
+        // per-iteration O(1) re-lookup is noise next to the resource queues.
+        let (ndeps, num_partitions, is_input, input_block) = {
+            let r = self.rdd(rdd);
+            (r.deps.len(), r.num_partitions, r.is_input(), r.block_size)
+        };
         let mut io = at;
         let mut compute_us = 0u64;
-        for dep in &r.deps {
-            match *dep {
+        for di in 0..ndeps {
+            match self.rdd(rdd).deps[di] {
                 refdist_dag::Dependency::Narrow(p) => {
                     let (i, c) = self.acquire(p, part, node, at, policy);
                     io = io.max(i);
@@ -1274,14 +1564,14 @@ impl<'a> Engine<'a> {
                 refdist_dag::Dependency::Shuffle(p) => {
                     // Shuffle files persist on the map-side disks; the read
                     // crosses the network (all-to-all).
-                    let bytes = spec.rdd(p).total_size() / r.num_partitions.max(1) as u64;
+                    let bytes = self.rdd(p).total_size() / num_partitions.max(1) as u64;
                     let done = self.net[node].request(at, bytes);
                     io = io.max(done);
                 }
             }
         }
-        if r.is_input() {
-            let done = self.disk[node].request(at, r.block_size);
+        if is_input {
+            let done = self.disk[node].request(at, input_block);
             io = io.max(done);
         }
         (io, compute_us)
@@ -1353,7 +1643,7 @@ impl<'a> Engine<'a> {
                 self.managers[node].stats.recomputes += 1;
                 let (io, mut compute_us) =
                     self.compute_inputs(b.rdd, b.partition, node, at, policy);
-                compute_us += self.spec.rdd(b.rdd).compute_us;
+                compute_us += self.rdd(b.rdd).compute_us;
                 self.try_insert(node, b, io, false, policy);
                 (io, compute_us)
             }
@@ -1374,7 +1664,7 @@ impl<'a> Engine<'a> {
         self.managers[node].stats.recomputes += 1;
         self.fstats.fault_recomputes += 1;
         let (io, mut compute_us) = self.compute_inputs(b.rdd, b.partition, node, at, policy);
-        compute_us += self.spec.rdd(b.rdd).compute_us;
+        compute_us += self.rdd(b.rdd).compute_us;
         self.try_insert(node, b, io, false, policy);
         (io, compute_us)
     }
@@ -1431,7 +1721,7 @@ impl<'a> Engine<'a> {
         );
         let mut freed = 0u64;
         for victim in victims {
-            let spill = self.spec.rdd(victim.rdd).storage.spills_to_disk();
+            let spill = self.rdd(victim.rdd).storage.spills_to_disk();
             let Some(size) = self.managers[node].evict(victim, spill) else {
                 // Policy chose something not evictable (not resident, or
                 // pinned): its bookkeeping diverged from the store. Count it
@@ -1475,7 +1765,7 @@ impl<'a> Engine<'a> {
             self.epoch += 1;
             if let Some(t) = visible.per_stage.get(stage.id.index()) {
                 for &r in t.reads.iter().chain(&t.creates) {
-                    self.visited_epoch[r.index()] = self.epoch;
+                    self.visited_epoch[r.index() - self.vis_base] = self.epoch;
                 }
             }
             HashSet::new()
@@ -1499,8 +1789,19 @@ impl<'a> Engine<'a> {
             };
             if self.reference {
                 // Reference path: rescan every cached RDD × partition (the
-                // original candidate collection, kept for honest baselining).
-                for r in self.spec.cached_rdds() {
+                // original candidate collection, kept for honest
+                // baselining). The streaming registry scans live apps only;
+                // the tenant mux restricts candidates to the running app
+                // either way, so retired apps' entries were always filtered.
+                let (whole, registry) = match &self.source {
+                    SpecSource::Whole(s) => (Some(s.cached_rdds()), None),
+                    SpecSource::Registry(r) => (None, Some(r.cached_rdds())),
+                };
+                for r in whole
+                    .into_iter()
+                    .flatten()
+                    .chain(registry.into_iter().flatten())
+                {
                     if current.contains(&r.id) {
                         continue;
                     }
@@ -1523,11 +1824,12 @@ impl<'a> Engine<'a> {
                 // ascending slots are ascending `BlockId`s, so the order
                 // matches the reference path's sorted scan.
                 let epoch = self.epoch;
+                let vis_base = self.vis_base;
                 missing.extend(
                     self.prefetchable[node]
                         .ones()
                         .map(|s| self.arena.block(s))
-                        .filter(|b| self.visited_epoch[b.rdd.index()] != epoch),
+                        .filter(|b| self.visited_epoch[b.rdd.index() - vis_base] != epoch),
                 );
             }
             let mut order = policy.prefetch_order(NodeId(node as u32), &missing);

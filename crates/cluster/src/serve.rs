@@ -37,14 +37,14 @@ use rand::{Rng, SeedableRng};
 use refdist_core::AppProfiler;
 use refdist_dag::{
     combine_specs, remap_plan, remap_profile, AppPlan, AppProfile, AppSpec, BlockId, BlockSlots,
-    JobId, RefAnalyzer, StageId, TenantMap,
+    JobId, RddId, RefAnalyzer, SlotArena, StageId, TenantMap,
 };
 use refdist_policies::CachePolicy;
 use refdist_simcore::{SimDuration, SimTime};
 use refdist_store::{CacheStats, NodeId};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// How application arrivals are generated.
 #[derive(Debug, Clone, PartialEq)]
@@ -169,6 +169,12 @@ pub struct ServeConfig {
     pub sched: ServeSched,
     /// Per-tenant cache quota.
     pub quota: QuotaKind,
+    /// Build every submission's plan, profile and slot range up front
+    /// (the original serve path, kept as the byte-equality reference).
+    /// When `false` (the default posture) the driver streams: each
+    /// submission is admitted at its arrival event and retired once
+    /// drained, so engine state is O(peak-active), not O(stream).
+    pub upfront: bool,
 }
 
 impl ServeConfig {
@@ -180,6 +186,7 @@ impl ServeConfig {
             arrivals: ArrivalProcess::Trace(Vec::new()),
             sched: ServeSched::Fifo,
             quota: QuotaKind::Unlimited,
+            upfront: false,
         }
     }
 }
@@ -191,38 +198,115 @@ impl ServeConfig {
 /// submission. With a single submission every dispatch is a full pass-through
 /// — the byte-equality anchor of the differential serve tests.
 pub struct TenantMux {
-    inner: Vec<Box<dyn CachePolicy>>,
+    /// One slot per submission; `None` before admission (streaming) and
+    /// after retirement. Upfront construction fills every slot.
+    inner: Vec<Option<Box<dyn CachePolicy>>>,
+    /// Admitted, unretired submissions, ascending.
+    active: Vec<usize>,
+    /// The full submission → tenant map (shared with the stores).
     map: Arc<TenantMap>,
+    /// Streaming compaction: an owned clone of the map whose retired
+    /// prefix has been dropped. Lookups route here when present, so mux
+    /// map state is O(active submissions), not O(stream). `None` until
+    /// the first compaction (and always on the upfront path).
+    compact: Option<TenantMap>,
     current: usize,
     /// `[evictor_tenant][victim_tenant]` victim-selection counts; the
-    /// diagonal counts a tenant evicting its own blocks.
+    /// diagonal counts a tenant evicting its own blocks. Sized from the
+    /// *full* map — compaction must not shrink the matrix.
     cross: Vec<Vec<u64>>,
     /// `select_victims` scratch, reused across calls (the purge-path
     /// pattern): per-submission split of the node's resident map,
-    /// per-tenant evictable bytes, the submission visit order, and the
-    /// other-tenant sort buffer.
+    /// per-tenant evictable bytes, the submission visit order, the
+    /// other-tenant sort buffer, and the indices of `per_app` entries
+    /// filled by the current call (so clearing is O(touched), never
+    /// O(stream)).
     per_app: Vec<BTreeMap<BlockId, u64>>,
     tenant_bytes: Vec<u64>,
     order: Vec<usize>,
     others: Vec<usize>,
+    filled: Vec<usize>,
 }
 
 impl TenantMux {
-    /// One policy per submission, in submission order.
+    /// One policy per submission, in submission order, all admitted up
+    /// front (the reference serve path).
     pub fn new(policies: Vec<Box<dyn CachePolicy>>, map: Arc<TenantMap>) -> TenantMux {
         assert_eq!(policies.len(), map.num_apps(), "one policy per submission");
+        let n = policies.len();
+        let mut mux = Self::new_streaming(n, map);
+        for (a, p) in policies.into_iter().enumerate() {
+            mux.inner[a] = Some(p);
+        }
+        mux.active = (0..n).collect();
+        mux
+    }
+
+    /// Streaming construction: `n` submissions, none admitted yet. Policies
+    /// arrive one at a time through [`TenantMux::admit`].
+    pub fn new_streaming(n: usize, map: Arc<TenantMap>) -> TenantMux {
+        assert_eq!(n, map.num_apps(), "one slot per submission");
         let nt = map.num_tenants();
-        let napps = map.num_apps();
         TenantMux {
-            inner: policies,
+            inner: (0..n).map(|_| None).collect(),
+            active: Vec::new(),
             map,
+            compact: None,
             current: 0,
             cross: vec![vec![0; nt]; nt],
-            per_app: vec![BTreeMap::new(); napps],
+            per_app: vec![BTreeMap::new(); n],
             tenant_bytes: vec![0; nt],
-            order: Vec::with_capacity(napps),
+            order: Vec::new(),
             others: Vec::with_capacity(nt),
+            filled: Vec::new(),
         }
+    }
+
+    /// Admit submission `app`: install its policy and (when dense state is
+    /// on) attach the current slot-arena snapshot.
+    pub fn admit(
+        &mut self,
+        app: usize,
+        mut policy: Box<dyn CachePolicy>,
+        slots: Option<&Arc<BlockSlots>>,
+    ) {
+        debug_assert!(self.inner[app].is_none(), "each submission admits once");
+        if let Some(s) = slots {
+            policy.attach_slots(s);
+        }
+        self.inner[app] = Some(policy);
+        if let Err(pos) = self.active.binary_search(&app) {
+            self.active.insert(pos, app);
+        }
+    }
+
+    /// Retire submission `app`: drop its policy instance (and everything
+    /// the policy holds — profile cursors, slot-keyed tables) and remove it
+    /// from the active set. Its cross-eviction counts are kept.
+    pub fn retire(&mut self, app: usize) {
+        debug_assert!(self.inner[app].is_some(), "retire follows admit");
+        self.inner[app] = None;
+        if let Ok(pos) = self.active.binary_search(&app) {
+            self.active.remove(pos);
+        }
+    }
+
+    /// Drop the tenant map's rows for the retired prefix `..low`. The
+    /// caller guarantees every submission below `low` is retired; `low`
+    /// itself stays live so lookups for any admitted submission keep
+    /// working.
+    pub fn compact_to(&mut self, low: usize) {
+        if low == 0 {
+            return;
+        }
+        let full = &self.map;
+        let c = self.compact.get_or_insert_with(|| (**full).clone());
+        c.retire_prefix(low);
+    }
+
+    /// Admitted, unretired submissions right now.
+    pub fn active_apps(&self) -> usize {
+        self.active.len()
     }
 
     /// Route subsequent current-submission hooks to submission `app`.
@@ -231,9 +315,9 @@ impl TenantMux {
         self.current = app;
     }
 
-    /// The policy name of submission `app`.
+    /// The policy name of submission `app` (which must be live).
     pub fn policy_name(&self, app: usize) -> String {
-        self.inner[app].name()
+        self.inner[app].as_ref().expect("live submission").name()
     }
 
     /// The cross-tenant eviction matrix accumulated so far
@@ -242,13 +326,25 @@ impl TenantMux {
         &self.cross
     }
 
+    /// The map to resolve ownership against: the compacted clone once
+    /// streaming retirement has advanced, the full map otherwise.
+    fn tmap(&self) -> &TenantMap {
+        self.compact.as_ref().unwrap_or(&self.map)
+    }
+
+    fn cur(&mut self) -> &mut Box<dyn CachePolicy> {
+        self.inner[self.current]
+            .as_mut()
+            .expect("current submission is admitted")
+    }
+
     fn owner(&self, block: BlockId) -> usize {
-        self.map.app_of(block.rdd)
+        self.tmap().app_of(block.rdd)
     }
 
     /// Retain only the blocks owned by the current submission.
     fn restrict(&self, blocks: &[BlockId]) -> Vec<BlockId> {
-        let r = self.map.rdd_range(self.current);
+        let r = self.tmap().rdd_range(self.current);
         blocks
             .iter()
             .copied()
@@ -259,46 +355,48 @@ impl TenantMux {
 
 impl CachePolicy for TenantMux {
     fn name(&self) -> String {
-        self.inner[self.current].name()
+        self.policy_name(self.current)
     }
 
     fn attach_slots(&mut self, slots: &Arc<BlockSlots>) {
-        for p in &mut self.inner {
+        for p in self.inner.iter_mut().flatten() {
             p.attach_slots(slots);
         }
     }
 
     fn on_job_submit(&mut self, job: JobId, visible: &AppProfile) {
-        self.inner[self.current].on_job_submit(job, visible);
+        self.cur().on_job_submit(job, visible);
     }
 
     fn on_stage_start(&mut self, stage: StageId, visible: &AppProfile) {
-        self.inner[self.current].on_stage_start(stage, visible);
+        self.cur().on_stage_start(stage, visible);
     }
 
     fn on_insert(&mut self, node: NodeId, block: BlockId) {
         let o = self.owner(block);
-        self.inner[o].on_insert(node, block);
+        self.inner[o].as_mut().expect("live owner").on_insert(node, block);
     }
 
     fn on_access(&mut self, node: NodeId, block: BlockId) {
         let o = self.owner(block);
-        self.inner[o].on_access(node, block);
+        self.inner[o].as_mut().expect("live owner").on_access(node, block);
     }
 
     fn on_remove(&mut self, node: NodeId, block: BlockId) {
+        // Only live/draining submissions can own a cached block: retirement
+        // requires zero memory residency, so routing is always resolvable.
         let o = self.owner(block);
-        self.inner[o].on_remove(node, block);
+        self.inner[o].as_mut().expect("live owner").on_remove(node, block);
     }
 
     fn on_node_join(&mut self, node: NodeId) {
-        for p in &mut self.inner {
+        for p in self.inner.iter_mut().flatten() {
             p.on_node_join(node);
         }
     }
 
     fn pick_victim(&mut self, node: NodeId, candidates: &[BlockId]) -> Option<BlockId> {
-        self.inner[self.current].pick_victim(node, candidates)
+        self.cur().pick_victim(node, candidates)
     }
 
     fn select_victims(
@@ -309,34 +407,52 @@ impl CachePolicy for TenantMux {
     ) -> Vec<BlockId> {
         if self.inner.len() == 1 {
             // Single submission: exact pass-through.
-            return self.inner[0].select_victims(node, shortfall, resident);
+            return self.inner[0]
+                .as_mut()
+                .expect("live submission")
+                .select_victims(node, shortfall, resident);
         }
-        let napps = self.map.num_apps();
-        let nt = self.map.num_tenants();
-        let cur_tenant = self.map.tenant_of_app(self.current) as usize;
+        // Field expression, not `self.tmap()`: the scratch buffers below
+        // need disjoint mutable borrows alongside the map.
+        let map = self.compact.as_ref().unwrap_or(&self.map);
+        let nt = self.cross.len();
+        let cur_tenant = map.tenant_of_app(self.current) as usize;
 
         // Split the node's evictable map by owning submission. All the
         // bookkeeping below runs on scratch buffers reused across calls —
         // victim selection fires on every eviction, and the old per-call
         // `Vec`/`BTreeMap` allocations dominated the serve hot path.
-        for m in &mut self.per_app {
-            m.clear();
-        }
+        // `filled` records which per-submission maps this call touched, so
+        // both the clear and the byte totals are O(touched) + O(active),
+        // never O(stream).
+        self.filled.clear();
         for (&b, &sz) in resident {
-            self.per_app[self.map.app_of(b.rdd)].insert(b, sz);
+            let a = map.app_of(b.rdd);
+            if self.per_app[a].is_empty() {
+                self.filled.push(a);
+            }
+            self.per_app[a].insert(b, sz);
         }
 
-        // Own-first order: the evicting tenant's submissions in submission
-        // order, then other tenants by descending evictable bytes (most
-        // over-represented first; ties by ascending tenant id), each
-        // tenant's submissions in submission order.
+        // Own-first order: the evicting tenant's live submissions in
+        // submission order, then other tenants by descending evictable
+        // bytes (most over-represented first; ties by ascending tenant id),
+        // each tenant's live submissions in submission order. Restricting
+        // to the active set is exact: a retired submission has no resident
+        // blocks, so the reference scan skipped it via the empty-map guard
+        // anyway.
         self.order.clear();
-        self.order
-            .extend((0..napps).filter(|&a| self.map.tenant_of_app(a) as usize == cur_tenant));
+        self.order.extend(
+            self.active
+                .iter()
+                .copied()
+                .filter(|&a| map.tenant_of_app(a) as usize == cur_tenant),
+        );
         self.tenant_bytes.clear();
         self.tenant_bytes.resize(nt, 0);
-        for (a, m) in self.per_app.iter().enumerate() {
-            self.tenant_bytes[self.map.tenant_of_app(a) as usize] += m.values().sum::<u64>();
+        for &a in &self.filled {
+            self.tenant_bytes[map.tenant_of_app(a) as usize] +=
+                self.per_app[a].values().sum::<u64>();
         }
         self.others.clear();
         self.others
@@ -345,8 +461,12 @@ impl CachePolicy for TenantMux {
             .sort_by_key(|&t| (std::cmp::Reverse(self.tenant_bytes[t]), t));
         for i in 0..self.others.len() {
             let t = self.others[i];
-            self.order
-                .extend((0..napps).filter(|&a| self.map.tenant_of_app(a) as usize == t));
+            self.order.extend(
+                self.active
+                    .iter()
+                    .copied()
+                    .filter(|&a| map.tenant_of_app(a) as usize == t),
+            );
         }
 
         let mut victims = Vec::new();
@@ -359,13 +479,20 @@ impl CachePolicy for TenantMux {
             if self.per_app[a].is_empty() {
                 continue;
             }
-            let vict_tenant = self.map.tenant_of_app(a) as usize;
-            let picked = self.inner[a].select_victims(node, shortfall - freed, &self.per_app[a]);
+            let vict_tenant = map.tenant_of_app(a) as usize;
+            let picked = self.inner[a].as_mut().expect("active submission").select_victims(
+                node,
+                shortfall - freed,
+                &self.per_app[a],
+            );
             for b in picked {
                 freed += self.per_app[a].get(&b).copied().unwrap_or(0);
                 self.cross[cur_tenant][vict_tenant] += 1;
                 victims.push(b);
             }
+        }
+        for &a in &self.filled {
+            self.per_app[a].clear();
         }
         victims
     }
@@ -375,78 +502,168 @@ impl CachePolicy for TenantMux {
         // "infinite distance" verdict on a foreign tenant's block merely
         // means *this* profile never references it.
         let own = self.restrict(in_memory);
-        self.inner[self.current].purge_candidates(&own)
+        self.cur().purge_candidates(&own)
     }
 
     fn wants_purge(&self) -> bool {
-        self.inner[self.current].wants_purge()
+        self.inner[self.current]
+            .as_ref()
+            .expect("current submission is admitted")
+            .wants_purge()
     }
 
     fn prefetch_order(&mut self, node: NodeId, missing: &[BlockId]) -> Vec<BlockId> {
         let own = self.restrict(missing);
-        self.inner[self.current].prefetch_order(node, &own)
+        self.cur().prefetch_order(node, &own)
     }
 
     fn wants_prefetch(&self) -> bool {
-        self.inner[self.current].wants_prefetch()
+        self.inner[self.current]
+            .as_ref()
+            .expect("current submission is admitted")
+            .wants_prefetch()
     }
 }
 
-/// One serve run: a set of submissions (each tagged with a tenant), a shared
-/// cluster, and the serve policy knobs. Construction does all the
-/// per-submission planning/profiling and the combined-spec translation;
-/// [`ServeSim::run`] executes the stream.
-pub struct ServeSim {
-    names: Vec<String>,
+/// High-water marks sampled after every stage of a serve run.
+#[derive(Debug, Clone, Copy, Default)]
+struct Peaks {
+    resident_blocks: u64,
+    resident_bytes: u64,
+    arena_slots: u64,
+    active_apps: u64,
+}
+
+/// The whole-stream artifacts the reference (upfront) path works from:
+/// everything planned, profiled and slot-assigned before the first event.
+struct UpfrontArtifacts {
     combined: AppSpec,
     /// Per-submission plans, RDD ids shifted into the combined space, stage
     /// and job ids local.
     plans: Vec<AppPlan>,
     profilers: Vec<Arc<AppProfiler>>,
-    map: Arc<TenantMap>,
     arena: Arc<BlockSlots>,
-    cfg: ServeConfig,
 }
 
-impl ServeSim {
-    /// Plan and profile `submissions` (each `(spec, tenant)`) for serving
-    /// under `cfg`. Each submission is planned and profiled *locally* — so
+/// Run the inter-job scheduling loop over `arrivals`: `advance(a)` runs one
+/// stage of submission `a` and returns `(done, clock_after)`. Shared by the
+/// streaming and upfront drivers so the two paths cannot drift in dispatch
+/// order — equivalence reduces to the `advance` bodies.
+fn drive(
+    sched: ServeSched,
+    use_heap: bool,
+    arrivals: &[u64],
+    mut advance: impl FnMut(usize) -> (bool, u64),
+) {
+    match sched {
+        ServeSched::Fifo => {
+            // Arrived submissions run to completion in `(arrival, index)`
+            // order. The event queue pops exactly that order: every app
+            // is scheduled once, in index order, so the queue's FIFO
+            // sequence tie-break equals the reference scan's
+            // smallest-index tie-break. Calendar-backed by default, heap
+            // under `heap_events`/`reference_state`.
+            let mut q: refdist_simcore::EventQueue<u32> =
+                refdist_simcore::EventQueue::with_heap(use_heap);
+            q.reserve(arrivals.len());
+            for (i, &at) in arrivals.iter().enumerate() {
+                q.schedule(SimTime(at), i as u32);
+            }
+            while let Some((_, i)) = q.pop() {
+                let a = i as usize;
+                while !advance(a).0 {}
+            }
+        }
+        ServeSched::FairShare => {
+            // Ready set ordered by `(app clock, submission index)`:
+            // O(log n) per stage instead of the old O(n) rescan. Clocks
+            // change every stage, so the reference tie-break (smallest
+            // index among equal clocks) must come from the composite
+            // key, not queue insertion order — which is why this is a
+            // `BTreeSet` and not the FIFO event queue.
+            let mut ready: std::collections::BTreeSet<(u64, usize)> =
+                arrivals.iter().enumerate().map(|(i, &at)| (at, i)).collect();
+            while let Some(&(k, i)) = ready.iter().next() {
+                ready.remove(&(k, i));
+                let (app_done, clock) = advance(i);
+                if !app_done {
+                    ready.insert((clock, i));
+                }
+            }
+        }
+    }
+}
+
+/// One serve run: a set of submissions (each tagged with a tenant), a shared
+/// cluster, and the serve policy knobs. Construction just records the
+/// stream; per-submission planning/profiling happens at admission time
+/// (streaming, the default) or lazily all at once ([`ServeConfig::upfront`]).
+pub struct ServeSim<'a> {
+    subs: Vec<&'a AppSpec>,
+    map: Arc<TenantMap>,
+    cfg: ServeConfig,
+    /// Reference-path artifacts, built on first upfront run. Lazy (rather
+    /// than eager in `new`) so streaming runs never pay O(stream) planning,
+    /// and `OnceLock` (rather than per-run) so benchmark harnesses reusing
+    /// one `ServeSim` across timed runs keep planning out of the timed
+    /// region, as the eager constructor did.
+    upfront: OnceLock<UpfrontArtifacts>,
+}
+
+impl<'a> ServeSim<'a> {
+    /// Record `submissions` (each `(spec, tenant)`) for serving under
+    /// `cfg`. Each submission is planned and profiled *locally* — so
     /// reference-distance policies see exactly the profile the app would
     /// have alone — then shifted into the combined RDD space.
-    pub fn new(submissions: &[(&AppSpec, u32)], cfg: ServeConfig) -> ServeSim {
+    pub fn new(submissions: &[(&'a AppSpec, u32)], cfg: ServeConfig) -> ServeSim<'a> {
         assert!(!submissions.is_empty(), "at least one submission");
         let specs: Vec<&AppSpec> = submissions.iter().map(|&(s, _)| s).collect();
         let tenants: Vec<u32> = submissions.iter().map(|&(_, t)| t).collect();
         let rdd_counts: Vec<u32> = specs.iter().map(|s| s.rdds.len() as u32).collect();
         let map = Arc::new(TenantMap::new(&rdd_counts, &tenants));
-        let combined = combine_specs(&specs);
-        let mut plans = Vec::with_capacity(specs.len());
-        let mut profilers = Vec::with_capacity(specs.len());
-        for (i, spec) in specs.iter().enumerate() {
-            let local_plan = AppPlan::build(spec);
-            let local_profile = RefAnalyzer::new(spec, &local_plan).profile();
-            let off = map.offset(i);
-            plans.push(remap_plan(&local_plan, off));
-            profilers.push(Arc::new(AppProfiler::from_stored(
-                spec.name.clone(),
-                remap_profile(&local_profile, off),
-            )));
-        }
-        let arena = Arc::new(BlockSlots::new(&combined));
         ServeSim {
-            names: specs.iter().map(|s| s.name.clone()).collect(),
-            combined,
-            plans,
-            profilers,
+            subs: specs,
             map,
-            arena,
             cfg,
+            upfront: OnceLock::new(),
         }
     }
 
     /// The submission → tenant map.
     pub fn tenant_map(&self) -> &Arc<TenantMap> {
         &self.map
+    }
+
+    /// Plan and profile submission `i` locally, then shift into the
+    /// combined RDD space. Shared by upfront construction and streaming
+    /// admission, so both paths see bit-identical plans and profiles.
+    fn plan_one(&self, i: usize) -> (AppPlan, Arc<AppProfiler>) {
+        let spec = self.subs[i];
+        let local_plan = AppPlan::build(spec);
+        let local_profile = RefAnalyzer::new(spec, &local_plan).profile();
+        let off = self.map.offset(i);
+        (
+            remap_plan(&local_plan, off),
+            Arc::new(AppProfiler::from_stored(
+                spec.name.clone(),
+                remap_profile(&local_profile, off),
+            )),
+        )
+    }
+
+    fn upfront_artifacts(&self) -> &UpfrontArtifacts {
+        self.upfront.get_or_init(|| {
+            let combined = combine_specs(&self.subs);
+            let (plans, profilers): (Vec<_>, Vec<_>) =
+                (0..self.subs.len()).map(|i| self.plan_one(i)).unzip();
+            let arena = Arc::new(BlockSlots::new(&combined));
+            UpfrontArtifacts {
+                combined,
+                plans,
+                profilers,
+                arena,
+            }
+        })
     }
 
     /// The effective per-tenant quota in bytes, `None` when unlimited.
@@ -463,17 +680,28 @@ impl ServeSim {
     /// Execute the stream under one policy instance per submission (same
     /// order as the submissions passed to [`ServeSim::new`]).
     pub fn run(&self, policies: Vec<Box<dyn CachePolicy>>) -> ServeReport {
-        let n = self.plans.len();
-        assert_eq!(policies.len(), n, "one policy per submission");
+        assert_eq!(policies.len(), self.subs.len(), "one policy per submission");
+        if self.cfg.upfront {
+            self.run_upfront(policies)
+        } else {
+            self.run_streaming(policies)
+        }
+    }
+
+    /// The reference path: every submission planned, profiled and
+    /// slot-assigned before the first event. State is O(stream).
+    fn run_upfront(&self, policies: Vec<Box<dyn CachePolicy>>) -> ServeReport {
+        let n = self.subs.len();
         let cfg = &self.cfg.sim;
         let nodes = cfg.cluster.nodes as usize;
         let arrivals = self.cfg.arrivals.arrivals(n, cfg.seed);
+        let art = self.upfront_artifacts();
 
         let sim = Simulation::with_artifacts(
-            &self.combined,
-            &self.plans[0],
-            Arc::clone(&self.profilers[0]),
-            Arc::clone(&self.arena),
+            &art.combined,
+            &art.plans[0],
+            Arc::clone(&art.profilers[0]),
+            Arc::clone(&art.arena),
             cfg.clone(),
         );
         let mut engine = Engine::new(&sim, EngineScratch::default());
@@ -482,13 +710,13 @@ impl ServeSim {
         }
         let mut mux = TenantMux::new(policies, Arc::clone(&self.map));
         if !cfg.reference_state {
-            mux.attach_slots(&self.arena);
+            mux.attach_slots(&art.arena);
         }
 
         let mut states: Vec<AppState> = (0..n)
             .map(|i| AppState::fresh(app_seed(cfg.seed, i), SimTime(arrivals[i])))
             .collect();
-        let mut visible: Vec<Arc<AppProfile>> = self
+        let mut visible: Vec<Arc<AppProfile>> = art
             .profilers
             .iter()
             .map(|p| p.visible_at_job_shared(JobId(0)))
@@ -499,12 +727,19 @@ impl ServeSim {
         let mut done = vec![false; n];
         let mut reports: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
         let mut completions = vec![0u64; n];
+        let mut peaks = Peaks {
+            arena_slots: art.arena.len() as u64,
+            ..Peaks::default()
+        };
+        let mut live_now = 0u64;
 
         // Advance application `a` by one stage; returns `(done, clock)`
-        // where `clock` is the app's virtual time after the stage. Shared by
-        // both scheduling disciplines below.
-        let mut advance = |a: usize| -> (bool, u64) {
-            let stage = &self.plans[a].stages[next_stage[a]];
+        // where `clock` is the app's virtual time after the stage.
+        let advance = |a: usize| -> (bool, u64) {
+            if next_stage[a] == 0 {
+                live_now += 1;
+            }
+            let stage = &art.plans[a].stages[next_stage[a]];
             engine.current_app = a as u32;
             mux.set_current(a);
             engine.swap_app(&mut states[a]);
@@ -513,7 +748,7 @@ impl ServeSim {
             // as the legacy loop does.
             let next = submitted[a].map_or(0, |j| j.0 + 1);
             for j in next..=stage.job.0 {
-                visible[a] = self.profilers[a].visible_at_job_shared(JobId(j));
+                visible[a] = art.profilers[a].visible_at_job_shared(JobId(j));
                 mux.on_job_submit(JobId(j), &visible[a]);
                 submitted[a] = Some(JobId(j));
             }
@@ -531,7 +766,131 @@ impl ServeSim {
 
             engine.swap_app(&mut states[a]);
             next_stage[a] += 1;
-            if states[a].aborted.is_some() || next_stage[a] == self.plans[a].stages.len() {
+            if states[a].aborted.is_some() || next_stage[a] == art.plans[a].stages.len() {
+                done[a] = true;
+                completions[a] = states[a].now.0;
+                live_now -= 1;
+                reports[a] = Some(self.finish_report(
+                    a,
+                    &mut states[a],
+                    &per_node_acc[a],
+                    arrivals[a],
+                    &mux,
+                ));
+            }
+            let (rb, rby) = engine.resident_totals();
+            peaks.resident_blocks = peaks.resident_blocks.max(rb);
+            peaks.resident_bytes = peaks.resident_bytes.max(rby);
+            peaks.active_apps = peaks.active_apps.max(live_now);
+            (done[a], states[a].now.0)
+        };
+        drive(self.cfg.sched, cfg.use_heap_events(), &arrivals, advance);
+
+        self.make_report(reports, arrivals, completions, &mux, peaks)
+    }
+
+    /// The streaming path: a submission's plan, profile, policy state and
+    /// slot range materialize at its arrival event and are torn down once
+    /// it has completed *and* no block it owns is memory-resident (the
+    /// drain-then-retire rule — retiring at completion would change which
+    /// blocks later evictions see, and therefore the victim sequences).
+    /// Engine, mux and arena state are O(peak-active), not O(stream).
+    fn run_streaming(&self, policies: Vec<Box<dyn CachePolicy>>) -> ServeReport {
+        let n = self.subs.len();
+        let cfg = &self.cfg.sim;
+        let nodes = cfg.cluster.nodes as usize;
+        let arrivals = self.cfg.arrivals.arrivals(n, cfg.seed);
+
+        let mut arena = SlotArena::new();
+        let mut engine =
+            Engine::new_streaming(cfg, Arc::new(arena.snapshot()), EngineScratch::default());
+        if let Some(q) = self.quota_bytes() {
+            engine.enable_store_tenancy(&self.map, q);
+        }
+        let mut mux = TenantMux::new_streaming(n, Arc::clone(&self.map));
+
+        let mut policies: Vec<Option<Box<dyn CachePolicy>>> =
+            policies.into_iter().map(Some).collect();
+        let mut plans: Vec<Option<AppPlan>> = (0..n).map(|_| None).collect();
+        let mut profilers: Vec<Option<Arc<AppProfiler>>> = (0..n).map(|_| None).collect();
+        let mut visible: Vec<Option<Arc<AppProfile>>> = (0..n).map(|_| None).collect();
+        let mut states: Vec<AppState> = (0..n)
+            .map(|i| AppState::fresh(app_seed(cfg.seed, i), SimTime(arrivals[i])))
+            .collect();
+        let mut submitted: Vec<Option<JobId>> = vec![None; n];
+        let mut next_stage = vec![0usize; n];
+        let mut per_node_acc: Vec<Vec<CacheStats>> = vec![vec![CacheStats::default(); nodes]; n];
+        let mut done = vec![false; n];
+        let mut reports: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
+        let mut completions = vec![0u64; n];
+        // Slot range each admitted submission carved out of the arena.
+        let mut slot_runs = vec![(0u32, 0u32); n];
+        // Completed submissions still holding memory-resident blocks.
+        let mut draining: Vec<usize> = Vec::new();
+        let mut retired = vec![false; n];
+        // Smallest submission index not yet retired; the mux map may be
+        // compacted up to (but never beyond) this point. A plain watermark
+        // — not `min(draining)` — because fair-share can admit out of
+        // index order, and un-admitted lower-index submissions still need
+        // their map rows.
+        let mut low = 0usize;
+        let mut peaks = Peaks::default();
+
+        let advance = |a: usize| -> (bool, u64) {
+            if plans[a].is_none() {
+                // Admission: plan and profile this submission now, at its
+                // arrival event, and carve its block range out of the
+                // recyclable slot arena.
+                let (plan, profiler) = self.plan_one(a);
+                let spec = self.subs[a];
+                let off = self.map.offset(a);
+                let counts: Vec<(RddId, u32)> = spec
+                    .rdds
+                    .iter()
+                    .map(|r| {
+                        let parts = if r.is_cached() { r.num_partitions } else { 0 };
+                        (RddId(r.id.0 + off), parts)
+                    })
+                    .collect();
+                slot_runs[a] = arena.admit(&counts);
+                let snap = Arc::new(arena.snapshot());
+                engine.admit_app(spec, off, &snap);
+                let policy = policies[a].take().expect("each submission admits once");
+                mux.admit(a, policy, (!cfg.reference_state).then_some(&snap));
+                visible[a] = Some(profiler.visible_at_job_shared(JobId(0)));
+                plans[a] = Some(plan);
+                profilers[a] = Some(profiler);
+            }
+            let plan = plans[a].as_ref().expect("admitted");
+            let profiler = profilers[a].as_ref().expect("admitted");
+            let stage = &plan.stages[next_stage[a]];
+            engine.current_app = a as u32;
+            mux.set_current(a);
+            engine.swap_app(&mut states[a]);
+
+            let next = submitted[a].map_or(0, |j| j.0 + 1);
+            for j in next..=stage.job.0 {
+                visible[a] = Some(profiler.visible_at_job_shared(JobId(j)));
+                mux.on_job_submit(JobId(j), visible[a].as_ref().expect("just set"));
+                submitted[a] = Some(JobId(j));
+            }
+            let vis = visible[a].as_ref().expect("admitted");
+            mux.on_stage_start(stage.id, vis);
+
+            let base = engine.node_stats();
+            engine.run_one_stage(stage, vis, &mut mux);
+            let after = engine.node_stats();
+            for (acc, (b, f)) in per_node_acc[a]
+                .iter_mut()
+                .zip(base.iter().zip(after.iter()))
+            {
+                acc.merge(&f.delta(b));
+            }
+            let nstages = plan.stages.len();
+
+            engine.swap_app(&mut states[a]);
+            next_stage[a] += 1;
+            if states[a].aborted.is_some() || next_stage[a] == nstages {
                 done[a] = true;
                 completions[a] = states[a].now.0;
                 reports[a] = Some(self.finish_report(
@@ -541,51 +900,69 @@ impl ServeSim {
                     arrivals[a],
                     &mux,
                 ));
+                // Completion: the plan, profile, visibility cursor and
+                // stat accumulators die immediately; the submission drains
+                // until nothing it owns is memory-resident, then retires.
+                plans[a] = None;
+                profilers[a] = None;
+                visible[a] = None;
+                per_node_acc[a] = Vec::new();
+                draining.push(a);
             }
+
+            // Retirement pass, after *every* stage: a draining submission's
+            // blocks leave memory through other submissions' evictions, not
+            // its own activity. Ascending index order keeps the free-list
+            // coalescing sequence independent of completion order.
+            let mut i = 0;
+            while i < draining.len() {
+                let d = draining[i];
+                let range = self.map.rdd_range(d);
+                if engine.any_resident(range.clone()) {
+                    i += 1;
+                    continue;
+                }
+                let (sb, sl) = slot_runs[d];
+                engine.retire_app(range.clone(), sb, sl);
+                arena.retire(RddId(range.start));
+                mux.retire(d);
+                retired[d] = true;
+                draining.remove(i);
+            }
+            while low < n && retired[low] {
+                low += 1;
+            }
+            if low > 0 {
+                mux.compact_to(low.min(n - 1));
+            }
+
+            let (rb, rby) = engine.resident_totals();
+            peaks.resident_blocks = peaks.resident_blocks.max(rb);
+            peaks.resident_bytes = peaks.resident_bytes.max(rby);
+            peaks.arena_slots = peaks.arena_slots.max(arena.capacity() as u64);
+            peaks.active_apps = peaks.active_apps.max(mux.active_apps() as u64);
             (done[a], states[a].now.0)
         };
+        drive(self.cfg.sched, cfg.use_heap_events(), &arrivals, advance);
 
-        match self.cfg.sched {
-            ServeSched::Fifo => {
-                // Arrived submissions run to completion in `(arrival, index)`
-                // order. The event queue pops exactly that order: every app
-                // is scheduled once, in index order, so the queue's FIFO
-                // sequence tie-break equals the reference scan's
-                // smallest-index tie-break. Calendar-backed by default, heap
-                // under `heap_events`/`reference_state`.
-                let mut q: refdist_simcore::EventQueue<u32> =
-                    refdist_simcore::EventQueue::with_heap(cfg.use_heap_events());
-                q.reserve(n);
-                for (i, &at) in arrivals.iter().enumerate() {
-                    q.schedule(SimTime(at), i as u32);
-                }
-                while let Some((_, i)) = q.pop() {
-                    let a = i as usize;
-                    while !advance(a).0 {}
-                }
-            }
-            ServeSched::FairShare => {
-                // Ready set ordered by `(app clock, submission index)`:
-                // O(log n) per stage instead of the old O(n) rescan. Clocks
-                // change every stage, so the reference tie-break (smallest
-                // index among equal clocks) must come from the composite
-                // key, not queue insertion order — which is why this is a
-                // `BTreeSet` and not the FIFO event queue.
-                let mut ready: std::collections::BTreeSet<(u64, usize)> =
-                    arrivals.iter().enumerate().map(|(i, &at)| (at, i)).collect();
-                while let Some(&(k, i)) = ready.iter().next() {
-                    ready.remove(&(k, i));
-                    let (app_done, clock) = advance(i);
-                    if !app_done {
-                        ready.insert((clock, i));
-                    }
-                }
-            }
-        }
+        self.make_report(reports, arrivals, completions, &mux, peaks)
+    }
 
+    fn make_report(
+        &self,
+        reports: Vec<Option<RunReport>>,
+        arrivals: Vec<u64>,
+        completions: Vec<u64>,
+        mux: &TenantMux,
+        peaks: Peaks,
+    ) -> ServeReport {
+        let n = self.subs.len();
         let makespan = SimDuration(completions.iter().copied().max().unwrap_or(0));
         ServeReport {
-            reports: reports.into_iter().map(|r| r.expect("all apps ran")).collect(),
+            reports: reports
+                .into_iter()
+                .map(|r| r.expect("all apps ran"))
+                .collect(),
             arrivals,
             completions,
             tenants: (0..n).map(|a| self.map.tenant_of_app(a)).collect(),
@@ -593,6 +970,10 @@ impl ServeSim {
             sched: self.cfg.sched,
             quota: self.cfg.quota,
             makespan,
+            peak_resident_blocks: peaks.resident_blocks,
+            peak_resident_bytes: peaks.resident_bytes,
+            peak_arena_slots: peaks.arena_slots,
+            peak_active_apps: peaks.active_apps,
         }
     }
 
@@ -609,7 +990,7 @@ impl ServeSim {
             agg.merge(s);
         }
         RunReport {
-            app: self.names[a].clone(),
+            app: self.subs[a].name.clone(),
             policy: mux.policy_name(a),
             jct: st.now - SimTime(arrival),
             stats: agg,
@@ -675,6 +1056,18 @@ pub struct ServeReport {
     pub quota: QuotaKind,
     /// Completion time of the last submission.
     pub makespan: SimDuration,
+    /// High-water mark of memory-resident blocks across the cluster,
+    /// sampled after every stage.
+    pub peak_resident_blocks: u64,
+    /// High-water mark of memory-resident bytes across the cluster.
+    pub peak_resident_bytes: u64,
+    /// High-water mark of the slot arena, in slots. Streaming runs grow
+    /// this with peak *active* footprint (ranges recycle); upfront runs
+    /// pay the whole stream at once.
+    pub peak_arena_slots: u64,
+    /// High-water mark of concurrently live (arrived, unretired)
+    /// submissions.
+    pub peak_active_apps: u64,
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
@@ -890,6 +1283,7 @@ mod tests {
                 arrivals: ArrivalProcess::Trace(vec![0, 100_000]),
                 sched: ServeSched::FairShare,
                 quota: QuotaKind::EqualShare,
+                upfront: false,
             },
         );
         let sr = serve.run(vec![Box::new(LruPolicy::new()), Box::new(LruPolicy::new())]);

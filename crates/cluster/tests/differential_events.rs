@@ -225,6 +225,7 @@ fn assert_serve_identical(p: &Params, sched: ServeSched) {
             },
             sched,
             quota: QuotaKind::EqualShare,
+            upfront: false,
         };
         let serve = ServeSim::new(&subs, cfg);
         let mut logs = Vec::new();

@@ -13,7 +13,8 @@
 
 use proptest::prelude::*;
 use refdist_cluster::{
-    ClusterConfig, RunReport, ServeConfig, ServeSim, SimConfig, Simulation,
+    ArrivalProcess, ClusterConfig, QuotaKind, RunReport, ServeConfig, ServeReport, ServeSched,
+    ServeSim, SimConfig, Simulation,
 };
 use refdist_core::{DistanceMetric, MrdConfig, MrdMode, MrdPolicy, ProfileMode};
 use refdist_dag::{AppBuilder, AppPlan, AppSpec, BlockId, BlockSlots, StorageLevel};
@@ -315,6 +316,184 @@ proptest! {
     ) {
         assert_equivalent(&app, &cfg);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming vs upfront
+// ---------------------------------------------------------------------------
+
+/// Parameters of a randomized multi-submission stream.
+#[derive(Debug, Clone)]
+struct StreamParams {
+    /// Inter-arrival gaps; the stream has `gaps.len() + 1` submissions.
+    gaps: Vec<u64>,
+    tenants: usize,
+    fair_share: bool,
+    /// 0 = unlimited, 1 = equal-share, 2 = per-tenant byte budget.
+    quota: u8,
+    app: AppParams,
+    /// Vary iteration counts across submissions (heterogeneous stream).
+    vary: bool,
+}
+
+fn run_stream(
+    p: &StreamParams,
+    c: &CfgParams,
+    upfront: bool,
+) -> (ServeReport, (VictimLog, PurgeLog)) {
+    let n = p.gaps.len() + 1;
+    let specs: Vec<AppSpec> = (0..n)
+        .map(|i| {
+            let mut ap = p.app.clone();
+            if p.vary {
+                ap.iters = 1 + (i % 3);
+            }
+            build_app(&ap)
+        })
+        .collect();
+    let subs: Vec<(&AppSpec, u32)> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s, (i % p.tenants) as u32))
+        .collect();
+    let mut arrivals = vec![0u64];
+    for g in &p.gaps {
+        arrivals.push(arrivals.last().unwrap() + g);
+    }
+    let block = p.app.block_kb * 256 * 1024;
+    let cfg = ServeConfig {
+        sim: build_cfg(c, &specs[0]),
+        arrivals: ArrivalProcess::Trace(arrivals),
+        sched: if p.fair_share {
+            ServeSched::FairShare
+        } else {
+            ServeSched::Fifo
+        },
+        quota: match p.quota {
+            0 => QuotaKind::Unlimited,
+            1 => QuotaKind::EqualShare,
+            _ => QuotaKind::Bytes(block * 2),
+        },
+        upfront,
+    };
+    let serve = ServeSim::new(&subs, cfg);
+    // One shared log across every submission's recorder: the *global*
+    // victim/purge call sequence must match, interleaving included.
+    let log = Arc::new(DecisionLog::default());
+    let fams = all_policies();
+    let policies: Vec<Box<dyn CachePolicy>> = (0..n)
+        .map(|i| {
+            Box::new(Recorder::new(fams[i % fams.len()].1(), Arc::clone(&log)))
+                as Box<dyn CachePolicy>
+        })
+        .collect();
+    let report = serve.run(policies);
+    (report, log.snapshot())
+}
+
+fn assert_stream_equivalent(p: &StreamParams, c: &CfgParams) {
+    let (up, (uv, upu)) = run_stream(p, c, true);
+    let (st, (sv, spu)) = run_stream(p, c, false);
+    assert_eq!(
+        format!("{:?}", up.reports),
+        format!("{:?}", st.reports),
+        "per-submission reports diverged on {p:?} {c:?}"
+    );
+    assert_eq!(up.arrivals, st.arrivals, "{p:?} {c:?}");
+    assert_eq!(up.completions, st.completions, "{p:?} {c:?}");
+    assert_eq!(up.tenants, st.tenants, "{p:?} {c:?}");
+    assert_eq!(
+        up.cross_evictions, st.cross_evictions,
+        "eviction matrix diverged on {p:?} {c:?}"
+    );
+    assert_eq!(up.makespan, st.makespan, "{p:?} {c:?}");
+    assert_eq!(up.summary(), st.summary(), "{p:?} {c:?}");
+    assert_eq!(uv, sv, "victim sequence diverged on {p:?} {c:?}");
+    assert_eq!(upu, spu, "purge sequence diverged on {p:?} {c:?}");
+    // Residency is identical moment for moment, so the sampled peaks agree
+    // exactly; the streaming arena must never exceed the upfront one (which
+    // holds the whole stream).
+    assert_eq!(up.peak_resident_blocks, st.peak_resident_blocks);
+    assert_eq!(up.peak_resident_bytes, st.peak_resident_bytes);
+    assert!(
+        st.peak_arena_slots <= up.peak_arena_slots,
+        "streaming arena ({}) exceeded upfront ({}) on {p:?} {c:?}",
+        st.peak_arena_slots,
+        up.peak_arena_slots
+    );
+}
+
+fn stream_strategy() -> impl Strategy<Value = StreamParams> {
+    (
+        (
+            prop::collection::vec(0u64..400_000, 1..4),
+            1usize..3,
+            any::<bool>(),
+        ),
+        (0u8..3, app_strategy(), any::<bool>()),
+    )
+        .prop_map(|((gaps, tenants, fair_share), (quota, app, vary))| StreamParams {
+            gaps,
+            tenants,
+            fair_share,
+            quota,
+            app,
+            vary,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn streaming_serve_is_byte_identical_to_upfront(
+        stream in stream_strategy(),
+        cfg in cfg_strategy(),
+    ) {
+        assert_stream_equivalent(&stream, &cfg);
+    }
+}
+
+/// Deterministic streaming spot-check of the nastiest corner: fair-share
+/// dispatch (out-of-index-order admission), a byte quota, node failure and
+/// rejoin chaos, heterogeneous submissions, and a cache far smaller than
+/// the combined working set — the regime where admission re-seating, ghost
+/// disk accounting and drain-then-retire ordering all have to be exact.
+#[test]
+fn streaming_matches_upfront_under_heavy_pressure() {
+    let stream = StreamParams {
+        gaps: vec![40_000, 0, 120_000, 10_000],
+        tenants: 2,
+        fair_share: true,
+        quota: 2,
+        app: AppParams {
+            iters: 3,
+            parts: 5,
+            block_kb: 2,
+            mem_only: false,
+            two_rdds: true,
+        },
+        vary: true,
+    };
+    let cfg = CfgParams {
+        nodes: 2,
+        cache_frac: 0.4,
+        exec_mem: 0.3,
+        jitter: 0.1,
+        seed: 11,
+        adaptive: true,
+        failure: true,
+        rejoin: true,
+        delay: Some(10_000),
+    };
+    assert_stream_equivalent(&stream, &cfg);
+    // FIFO + unlimited quota exercises the drain-heavy path instead.
+    let mut s2 = stream.clone();
+    s2.fair_share = false;
+    s2.quota = 0;
+    let mut c2 = cfg.clone();
+    c2.cache_frac = 0.3;
+    c2.seed = 23;
+    assert_stream_equivalent(&s2, &c2);
 }
 
 /// Deterministic spot-check of the pressure-heavy corner (cache far smaller

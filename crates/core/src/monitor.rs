@@ -114,9 +114,13 @@ impl CacheMonitor {
         self.dist_by_rdd.clear();
         self.dist_by_rdd
             .resize(slots.num_rdds(), RefDistance::Infinite);
+        // Window-relative indexing: `rdd_window` is a bounds-checked
+        // `r.index()` for whole-stream arenas (rdd_base 0) and subtracts the
+        // live window's base for streaming arena snapshots, so the cache
+        // stays O(live rdds) on long streams.
         for (r, d) in self.table.distances() {
-            if let Some(slot) = self.dist_by_rdd.get_mut(r.index()) {
-                *slot = d;
+            if let Some(i) = slots.rdd_window(r) {
+                self.dist_by_rdd[i] = d;
             }
         }
     }
@@ -158,9 +162,10 @@ impl CacheMonitor {
             ..
         } = self;
         for (b, &touch) in last_touch.iter() {
-            let d = if slots.is_some() {
-                dist_by_rdd
-                    .get(b.rdd.index())
+            let d = if let Some(slots) = slots {
+                slots
+                    .rdd_window(b.rdd)
+                    .and_then(|i| dist_by_rdd.get(i))
                     .copied()
                     .unwrap_or(RefDistance::Infinite)
             } else {
@@ -200,9 +205,10 @@ impl CacheMonitor {
 
     /// Reference distance of a block per the local replica.
     pub fn distance(&self, block: BlockId) -> RefDistance {
-        if self.slots.is_some() {
-            self.dist_by_rdd
-                .get(block.rdd.index())
+        if let Some(slots) = &self.slots {
+            slots
+                .rdd_window(block.rdd)
+                .and_then(|i| self.dist_by_rdd.get(i))
                 .copied()
                 .unwrap_or(RefDistance::Infinite)
         } else {

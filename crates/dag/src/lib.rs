@@ -54,5 +54,5 @@ pub use capacity::LiveSetProfile;
 pub use ids::{BlockId, JobId, RddId, StageId};
 pub use plan::{AppPlan, JobPlan, Stage, StageKind};
 pub use rdd::{Dependency, Rdd, StorageLevel};
-pub use slots::{BlockSlots, SlotMap, SlotSet};
-pub use tenant::{combine_specs, remap_plan, remap_profile, TenantMap};
+pub use slots::{BlockSlots, SlotArena, SlotMap, SlotSet};
+pub use tenant::{combine_specs, remap_plan, remap_profile, shift_rdd, TenantMap};

@@ -17,20 +17,37 @@
 
 use crate::app::AppSpec;
 use crate::ids::{BlockId, RddId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Sentinel base for RDDs with no slots (not cached, or zero partitions).
 const NO_SLOT: u32 = u32::MAX;
 
-/// Prefix-sum slot arena over the cached RDDs of one application.
+/// Sentinel block occupying a freed slot in a [`SlotArena`]; never handed
+/// out, because freed slots carry no live bits in any engine table.
+const FREE_BLOCK: BlockId = BlockId {
+    rdd: RddId(u32::MAX),
+    partition: u32::MAX,
+};
+
+/// Prefix-sum slot arena over the cached RDDs of one application — or, in
+/// streaming serve mode, a *windowed snapshot* of a [`SlotArena`]: the
+/// `base`/`parts` tables then cover only the rdd ids of the currently live
+/// applications, starting at `rdd_base`, so per-admission snapshots cost
+/// O(active) rather than O(every rdd the stream has ever seen). All
+/// single-application constructors produce `rdd_base == 0`, where behavior
+/// is exactly the original whole-range mapping.
 #[derive(Debug, Clone, Default)]
 pub struct BlockSlots {
-    /// Per rdd id: first slot of that RDD, or `NO_SLOT`.
+    /// First rdd id the `base`/`parts` window covers.
+    rdd_base: u32,
+    /// Per rdd id (window-relative): first slot of that RDD, or `NO_SLOT`.
     base: Vec<u32>,
-    /// Per rdd id: number of slotted partitions (0 when not covered).
+    /// Per rdd id (window-relative): number of slotted partitions.
     parts: Vec<u32>,
-    /// Reverse lookup: slot -> block, ascending by `BlockId`.
+    /// Reverse lookup: slot -> block. With `rdd_base == 0` slots ascend in
+    /// `BlockId` order; arena snapshots may interleave recycled ranges, but
+    /// stay `BlockId`-ordered *within* each application's contiguous range.
     blocks: Vec<BlockId>,
 }
 
@@ -70,10 +87,26 @@ impl BlockSlots {
             blocks.extend((0..count).map(|p| BlockId::new(rdd, p)));
         }
         BlockSlots {
+            rdd_base: 0,
             base,
             parts,
             blocks,
         }
+    }
+
+    /// First rdd id the window covers (0 except for arena snapshots).
+    #[inline]
+    pub fn rdd_base(&self) -> u32 {
+        self.rdd_base
+    }
+
+    /// Window-relative index of `rdd`, or `None` when `rdd` is outside the
+    /// window. With `rdd_base == 0` this is just a bounds-checked
+    /// `rdd.index()`, which is what all single-application arenas use.
+    #[inline]
+    pub fn rdd_window(&self, rdd: RddId) -> Option<usize> {
+        let i = rdd.index().checked_sub(self.rdd_base as usize)?;
+        (i < self.base.len()).then_some(i)
     }
 
     /// Total number of slots (= addressable blocks).
@@ -97,15 +130,16 @@ impl BlockSlots {
     /// Whether `rdd` has any slots.
     #[inline]
     pub fn covers(&self, rdd: RddId) -> bool {
-        self.base.get(rdd.index()).is_some_and(|&b| b != NO_SLOT)
+        self.rdd_window(rdd)
+            .is_some_and(|i| self.base[i] != NO_SLOT)
     }
 
     /// The dense slot of `block`, or `None` when the block is outside the
     /// arena (non-cached RDD, partition past the count, unknown rdd).
     #[inline]
     pub fn slot(&self, block: BlockId) -> Option<u32> {
-        let i = block.rdd.index();
-        let &b = self.base.get(i)?;
+        let i = self.rdd_window(block.rdd)?;
+        let b = self.base[i];
         if b == NO_SLOT || block.partition >= self.parts[i] {
             return None;
         }
@@ -124,6 +158,202 @@ impl BlockSlots {
     /// All covered blocks, ascending by slot (= ascending by `BlockId`).
     pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
         self.blocks.iter().copied()
+    }
+}
+
+/// A free-listed, range-recyclable slot allocator for streaming serve mode.
+///
+/// Each admitted application gets one *contiguous* run of slots covering the
+/// partitions of its cached RDDs; when the application retires, the run goes
+/// back on a free list and is recycled by later admissions. Capacity (the
+/// `blocks` table, and with it every dense engine table sized off
+/// [`BlockSlots::len`]) therefore grows to *peak-active* demand, not to the
+/// total length of the stream. The rdd window (`rdd_base..`) likewise tracks
+/// only live applications, so [`snapshot`](Self::snapshot) — taken once per
+/// admission and shared via `Arc` with the engine, stores, and the admitted
+/// app's policy — costs O(active slots), keeping per-submission work flat.
+///
+/// Why contiguity matters: within one application's run, slots ascend in
+/// `BlockId` order exactly as in a whole-stream arena, and the serve mux
+/// restricts every ordered scan (victim selection, purge candidates,
+/// prefetch candidates) to a single application's blocks. Absolute slot
+/// values are never compared across applications, which is what keeps the
+/// streaming path byte-identical to the build-everything-upfront reference.
+#[derive(Debug, Default)]
+pub struct SlotArena {
+    /// Live rdd window, exactly as in a [`BlockSlots`] snapshot.
+    rdd_base: u32,
+    base: Vec<u32>,
+    parts: Vec<u32>,
+    /// Slot -> block for the whole capacity; freed slots hold `FREE_BLOCK`.
+    blocks: Vec<BlockId>,
+    /// Free runs `(slot_base, len)`, sorted by base, coalesced.
+    free: Vec<(u32, u32)>,
+    /// Live apps: first rdd id -> (rdd span, slot base, slot len).
+    live: BTreeMap<u32, (u32, u32, u32)>,
+    /// Currently allocated slots (capacity minus free).
+    live_slots: u32,
+}
+
+impl SlotArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total slot capacity ever allocated (peak-active high-water mark).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Slots currently allocated to live applications.
+    #[inline]
+    pub fn live_slots(&self) -> usize {
+        self.live_slots as usize
+    }
+
+    /// Number of live applications.
+    #[inline]
+    pub fn live_apps(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Admit one application: `counts` lists `(rdd, partition_count)` for
+    /// *every* rdd of the app in ascending id order (0 for uncached rdds),
+    /// exactly the shape [`BlockSlots::from_counts`] takes. Returns the
+    /// app's `(slot_base, slot_len)` run. The rdd ids must not overlap any
+    /// live application.
+    pub fn admit(&mut self, counts: &[(RddId, u32)]) -> (u32, u32) {
+        assert!(!counts.is_empty(), "an app spans at least one rdd");
+        let first = counts[0].0 .0;
+        let last = counts[counts.len() - 1].0 .0;
+        debug_assert!(counts.windows(2).all(|w| w[0].0 < w[1].0));
+        let total: u32 = counts.iter().map(|&(_, c)| c).sum();
+
+        // Extend (or re-seat) the rdd window to cover first..=last.
+        if self.base.is_empty() {
+            self.rdd_base = first;
+        } else if first < self.rdd_base {
+            // An arrival below the advanced window (possible with trace
+            // arrivals that admit out of submission order): splice zeros in
+            // front. Never triggered by monotone arrival streams.
+            let grow = (self.rdd_base - first) as usize;
+            self.base.splice(0..0, std::iter::repeat_n(NO_SLOT, grow));
+            self.parts.splice(0..0, std::iter::repeat_n(0, grow));
+            self.rdd_base = first;
+        }
+        let end = (last - self.rdd_base) as usize + 1;
+        if end > self.base.len() {
+            self.base.resize(end, NO_SLOT);
+            self.parts.resize(end, 0);
+        }
+
+        // First-fit lowest free run; fall back to growing capacity.
+        let slot_base = match (0..self.free.len()).find(|&i| self.free[i].1 >= total) {
+            Some(i) if total > 0 => {
+                let (fb, fl) = self.free[i];
+                if fl == total {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (fb + total, fl - total);
+                }
+                fb
+            }
+            _ => {
+                let b = self.blocks.len() as u32;
+                self.blocks
+                    .resize(self.blocks.len() + total as usize, FREE_BLOCK);
+                b
+            }
+        };
+
+        let mut next = slot_base;
+        for &(rdd, count) in counts {
+            let wi = (rdd.0 - self.rdd_base) as usize;
+            debug_assert_eq!(self.base[wi], NO_SLOT, "rdd range overlaps a live app");
+            if count == 0 {
+                continue;
+            }
+            self.base[wi] = next;
+            self.parts[wi] = count;
+            for p in 0..count {
+                self.blocks[(next + p) as usize] = BlockId::new(rdd, p);
+            }
+            next += count;
+        }
+        self.live
+            .insert(first, (last - first + 1, slot_base, total));
+        self.live_slots += total;
+        (slot_base, total)
+    }
+
+    /// Retire the application whose rdd range starts at `first_rdd`,
+    /// returning its slot run to the free list and advancing the rdd window
+    /// past fully-retired prefixes. The caller must already have purged the
+    /// app's blocks from every dense table keyed by this arena.
+    pub fn retire(&mut self, first_rdd: RddId) {
+        let (nrdds, slot_base, slot_len) = self
+            .live
+            .remove(&first_rdd.0)
+            .expect("retire of an app that is not live");
+        let w0 = (first_rdd.0 - self.rdd_base) as usize;
+        for wi in w0..w0 + nrdds as usize {
+            self.base[wi] = NO_SLOT;
+            self.parts[wi] = 0;
+        }
+        for s in slot_base..slot_base + slot_len {
+            self.blocks[s as usize] = FREE_BLOCK;
+        }
+        self.live_slots -= slot_len;
+
+        if slot_len > 0 {
+            // Insert into the sorted free list, coalescing with neighbors.
+            let i = self.free.partition_point(|&(b, _)| b < slot_base);
+            let merge_prev =
+                i > 0 && self.free[i - 1].0 + self.free[i - 1].1 == slot_base;
+            let merge_next =
+                i < self.free.len() && slot_base + slot_len == self.free[i].0;
+            match (merge_prev, merge_next) {
+                (true, true) => {
+                    self.free[i - 1].1 += slot_len + self.free[i].1;
+                    self.free.remove(i);
+                }
+                (true, false) => self.free[i - 1].1 += slot_len,
+                (false, true) => {
+                    self.free[i].0 = slot_base;
+                    self.free[i].1 += slot_len;
+                }
+                (false, false) => self.free.insert(i, (slot_base, slot_len)),
+            }
+        }
+
+        // Advance the window to the lowest live rdd (drop retired prefix).
+        match self.live.keys().next() {
+            Some(&lo) if lo > self.rdd_base => {
+                let drop = (lo - self.rdd_base) as usize;
+                self.base.drain(..drop);
+                self.parts.drain(..drop);
+                self.rdd_base = lo;
+            }
+            None => {
+                self.base.clear();
+                self.parts.clear();
+            }
+            _ => {}
+        }
+    }
+
+    /// A windowed [`BlockSlots`] snapshot of the current live state, shared
+    /// with the engine, stores, and the newly admitted app's policy. Costs
+    /// O(window + capacity) — both bounded by peak-active demand.
+    pub fn snapshot(&self) -> BlockSlots {
+        BlockSlots {
+            rdd_base: self.rdd_base,
+            base: self.base.clone(),
+            parts: self.parts.clone(),
+            blocks: self.blocks.clone(),
+        }
     }
 }
 
@@ -259,6 +489,18 @@ impl<V> SlotMap<V> {
         }
     }
 
+    /// Swap in a newer arena snapshot whose capacity is a superset of the
+    /// current one (streaming admission): live slot indices never move, so
+    /// existing entries stay valid; the value table grows to the new
+    /// capacity. No-op on the hash backing.
+    pub fn adopt(&mut self, new: Arc<BlockSlots>) {
+        if let SlotMapRepr::Dense { slots, vals, .. } = &mut self.repr {
+            debug_assert!(new.len() >= vals.len(), "arena capacity never shrinks");
+            vals.resize_with(new.len(), || None);
+            *slots = new;
+        }
+    }
+
     /// Iterate entries (dense: ascending by slot; hash: arbitrary).
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &V)> + '_ {
         let (hash, dense) = match &self.repr {
@@ -339,6 +581,36 @@ impl SlotSet {
         self.words.clear();
         self.words.resize(slots.div_ceil(64), 0);
         self.len = 0;
+    }
+
+    /// Grow capacity to at least `slots` slots, keeping every set bit
+    /// (streaming admission: tables follow the arena's capacity).
+    pub fn grow(&mut self, slots: usize) {
+        let need = slots.div_ceil(64);
+        if need > self.words.len() {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Clear every bit in `start..start + len` (app retirement: scrub the
+    /// freed slot run before it gets recycled).
+    pub fn clear_range(&mut self, start: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let (lo, hi) = (start as usize, (start + len) as usize);
+        for w in lo / 64..=(hi - 1) / 64 {
+            let from = (lo.max(w * 64)) % 64;
+            let to = hi.min((w + 1) * 64) - w * 64;
+            let mask = if to == 64 {
+                !0u64 << from
+            } else {
+                (!0u64 << from) & !(!0u64 << to)
+            };
+            let cleared = (self.words[w] & mask).count_ones() as usize;
+            self.words[w] &= !mask;
+            self.len -= cleared;
+        }
     }
 
     /// Set slots in ascending order.
@@ -506,6 +778,137 @@ mod tests {
         assert!(!s.remove(64));
         assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 129]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn slotset_grow_and_clear_range() {
+        let mut s = SlotSet::new(10);
+        s.insert(3);
+        s.insert(9);
+        s.grow(300);
+        assert!(s.contains(3) && s.contains(9));
+        assert!(s.insert(299));
+        s.insert(63);
+        s.insert(64);
+        s.insert(130);
+        // Clear a range spanning a word boundary.
+        s.clear_range(9, 56); // bits 9..65
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![3, 130, 299]);
+        assert_eq!(s.len(), 3);
+        s.clear_range(0, 0);
+        assert_eq!(s.len(), 3);
+        s.clear_range(128, 64);
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![3, 299]);
+    }
+
+    #[test]
+    fn arena_recycles_slot_ranges() {
+        let mut a = SlotArena::new();
+        // App 0: rdds 0..3, cached counts 0/4/2 -> 6 slots at base 0.
+        assert_eq!(
+            a.admit(&[(RddId(0), 0), (RddId(1), 4), (RddId(2), 2)]),
+            (0, 6)
+        );
+        // App 1: rdds 3..5, counts 3/0 -> 3 slots at base 6.
+        assert_eq!(a.admit(&[(RddId(3), 3), (RddId(4), 0)]), (6, 3));
+        assert_eq!(a.capacity(), 9);
+        assert_eq!((a.live_apps(), a.live_slots()), (2, 9));
+
+        let snap = a.snapshot();
+        assert_eq!(snap.rdd_base(), 0);
+        assert_eq!(snap.slot(BlockId::new(RddId(1), 0)), Some(0));
+        assert_eq!(snap.slot(BlockId::new(RddId(3), 2)), Some(8));
+        assert_eq!(snap.block(8), BlockId::new(RddId(3), 2));
+
+        // Retire app 0: its 6 slots go on the free list, window advances.
+        a.retire(RddId(0));
+        assert_eq!((a.live_apps(), a.live_slots(), a.capacity()), (1, 3, 9));
+        let snap = a.snapshot();
+        assert_eq!(snap.rdd_base(), 3);
+        assert_eq!(snap.slot(BlockId::new(RddId(1), 0)), None); // below window
+        assert_eq!(snap.slot(BlockId::new(RddId(3), 1)), Some(7));
+
+        // App 2 (5 slots) reuses the freed run; capacity does not grow.
+        assert_eq!(a.admit(&[(RddId(5), 5)]), (0, 5));
+        assert_eq!(a.capacity(), 9);
+        let snap = a.snapshot();
+        assert_eq!(snap.rdd_base(), 3);
+        assert_eq!(snap.slot(BlockId::new(RddId(5), 4)), Some(4));
+        assert_eq!(snap.block(4), BlockId::new(RddId(5), 4));
+        // Slots ascend in BlockId order within each app's run.
+        for p in 1..5 {
+            assert!(snap.block(p as u32 - 1) < snap.block(p as u32));
+        }
+
+        // App 3 needs 1 slot: first-fit takes the remaining free slot 5
+        // before growing.
+        assert_eq!(a.admit(&[(RddId(6), 1)]), (5, 1));
+        assert_eq!(a.capacity(), 9);
+        // App 4 (3 slots) must grow capacity — no free run is big enough.
+        assert_eq!(a.admit(&[(RddId(7), 3)]), (9, 3));
+        assert_eq!(a.capacity(), 12);
+
+        // Retiring everything coalesces the free list back to one run.
+        for r in [5u32, 6, 7, 3] {
+            a.retire(RddId(r));
+        }
+        assert_eq!((a.live_apps(), a.live_slots()), (0, 0));
+        assert_eq!(a.free, vec![(0, 12)]);
+        assert_eq!(a.capacity(), 12);
+
+        // A fresh admission re-seats the window from scratch.
+        assert_eq!(a.admit(&[(RddId(20), 1)]), (0, 1));
+        assert_eq!(a.snapshot().rdd_base(), 20);
+        assert_eq!(a.snapshot().slot(BlockId::new(RddId(20), 0)), Some(0));
+    }
+
+    #[test]
+    fn arena_admission_below_the_window_reseats_it() {
+        let mut a = SlotArena::new();
+        a.admit(&[(RddId(4), 2)]);
+        a.admit(&[(RddId(9), 1)]);
+        a.retire(RddId(4));
+        assert_eq!(a.snapshot().rdd_base(), 9);
+        // Trace arrivals can admit below the advanced window. The free run
+        // (2 slots) is too small for 3, so capacity grows.
+        assert_eq!(a.admit(&[(RddId(2), 3), (RddId(3), 0)]), (3, 3));
+        let snap = a.snapshot();
+        assert_eq!(snap.rdd_base(), 2);
+        assert_eq!(snap.slot(BlockId::new(RddId(2), 2)), Some(5));
+        assert_eq!(snap.slot(BlockId::new(RddId(9), 0)), Some(2));
+        assert!(!snap.covers(RddId(4)));
+    }
+
+    #[test]
+    fn arena_zero_slot_app_is_tracked_without_slots() {
+        let mut a = SlotArena::new();
+        assert_eq!(a.admit(&[(RddId(0), 0), (RddId(1), 0)]), (0, 0));
+        assert_eq!((a.live_apps(), a.live_slots(), a.capacity()), (1, 0, 0));
+        a.admit(&[(RddId(2), 2)]);
+        a.retire(RddId(0));
+        assert_eq!(a.snapshot().rdd_base(), 2);
+        assert_eq!(a.live_apps(), 1);
+    }
+
+    #[test]
+    fn slotmap_adopt_preserves_entries_across_growth() {
+        let mut a = SlotArena::new();
+        a.admit(&[(RddId(0), 2)]);
+        let mut m: SlotMap<u64> = SlotMap::dense(Arc::new(a.snapshot()));
+        m.insert(BlockId::new(RddId(0), 1), 7);
+        a.admit(&[(RddId(1), 3)]);
+        m.adopt(Arc::new(a.snapshot()));
+        assert_eq!(m.get(BlockId::new(RddId(0), 1)), Some(&7));
+        m.insert(BlockId::new(RddId(1), 2), 9);
+        assert_eq!(m.len(), 2);
+        let got: Vec<(BlockId, u64)> = m.iter().map(|(b, &v)| (b, v)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (BlockId::new(RddId(0), 1), 7),
+                (BlockId::new(RddId(1), 2), 9)
+            ]
+        );
     }
 
     #[test]

@@ -29,12 +29,18 @@ use std::collections::BTreeMap;
 /// partition point over the range starts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantMap {
-    /// `starts[i]` is the first combined RddId of submission `i`.
+    /// `starts[i]` is the first combined RddId of submission `retired + i`.
     starts: Vec<u32>,
-    /// `tenants[i]` is the tenant that owns submission `i`.
+    /// `tenants[i]` is the tenant that owns submission `retired + i`.
     tenants: Vec<u32>,
     /// One past the last RddId of the last submission.
     total: u32,
+    /// Leading submissions whose bookkeeping [`retire_prefix`]
+    /// (Self::retire_prefix) has dropped. Submission indices stay global —
+    /// accessors offset into the remaining suffix — but the per-submission
+    /// vectors only hold `first_live()..num_apps()`, keeping a long-stream
+    /// map O(active) instead of O(total submissions).
+    retired: usize,
 }
 
 impl TenantMap {
@@ -52,53 +58,77 @@ impl TenantMap {
             starts,
             tenants: tenants.to_vec(),
             total: at,
+            retired: 0,
         }
     }
 
-    /// Number of submissions.
+    /// Number of submissions (retired prefix included — indices are global).
     #[inline]
     pub fn num_apps(&self) -> usize {
-        self.starts.len()
+        self.retired + self.starts.len()
     }
 
-    /// Number of distinct tenants (`max tenant id + 1`).
+    /// First submission whose bookkeeping is still held.
+    #[inline]
+    pub fn first_live(&self) -> usize {
+        self.retired
+    }
+
+    /// Drop the bookkeeping of submissions `..first_live` (streaming serve:
+    /// every lower submission has retired and purged its blocks, so no
+    /// lookup for them can occur again). Amortized O(1) per submission.
+    pub fn retire_prefix(&mut self, first_live: usize) {
+        assert!(first_live < self.num_apps(), "the last submission stays");
+        if first_live <= self.retired {
+            return;
+        }
+        let k = first_live - self.retired;
+        self.starts.drain(..k);
+        self.tenants.drain(..k);
+        self.retired = first_live;
+    }
+
+    /// Number of distinct tenants (`max tenant id + 1`). Only meaningful
+    /// before any [`retire_prefix`](Self::retire_prefix).
     pub fn num_tenants(&self) -> usize {
         self.tenants.iter().copied().max().unwrap_or(0) as usize + 1
     }
 
-    /// The submission that owns `rdd`.
+    /// The submission that owns `rdd`, which must not belong to a retired
+    /// prefix.
     #[inline]
     pub fn app_of(&self, rdd: RddId) -> usize {
         debug_assert!(rdd.0 < self.total);
-        self.starts.partition_point(|&s| s <= rdd.0) - 1
+        debug_assert!(
+            self.starts.first().is_some_and(|&s| s <= rdd.0),
+            "rdd of a retired submission"
+        );
+        self.retired + self.starts.partition_point(|&s| s <= rdd.0) - 1
     }
 
     /// The tenant of submission `app`.
     #[inline]
     pub fn tenant_of_app(&self, app: usize) -> u32 {
-        self.tenants[app]
+        self.tenants[app - self.retired]
     }
 
     /// The tenant that owns `rdd`.
     #[inline]
     pub fn tenant_of(&self, rdd: RddId) -> u32 {
-        self.tenants[self.app_of(rdd)]
+        self.tenants[self.app_of(rdd) - self.retired]
     }
 
     /// The RDD-id offset of submission `app` in the combined spec.
     #[inline]
     pub fn offset(&self, app: usize) -> u32 {
-        self.starts[app]
+        self.starts[app - self.retired]
     }
 
     /// The combined RddId range of submission `app`.
     pub fn rdd_range(&self, app: usize) -> std::ops::Range<u32> {
-        let end = self
-            .starts
-            .get(app + 1)
-            .copied()
-            .unwrap_or(self.total);
-        self.starts[app]..end
+        let i = app - self.retired;
+        let end = self.starts.get(i + 1).copied().unwrap_or(self.total);
+        self.starts[i]..end
     }
 }
 
@@ -111,6 +141,21 @@ fn shift_dep(d: Dependency, offset: u32) -> Dependency {
     match d {
         Dependency::Narrow(p) => Dependency::Narrow(shift(p, offset)),
         Dependency::Shuffle(p) => Dependency::Shuffle(shift(p, offset)),
+    }
+}
+
+/// Clone `r` with its id and lineage shifted into the combined RDD space.
+/// Streaming admission uses this to splice one submission's RDDs into the
+/// engine's live registry without materializing the whole combined spec.
+pub fn shift_rdd(r: &Rdd, offset: u32) -> Rdd {
+    Rdd {
+        id: shift(r.id, offset),
+        name: r.name.clone(),
+        num_partitions: r.num_partitions,
+        block_size: r.block_size,
+        compute_us: r.compute_us,
+        storage: r.storage,
+        deps: r.deps.iter().map(|&d| shift_dep(d, offset)).collect(),
     }
 }
 
@@ -134,15 +179,7 @@ pub fn combine_specs(subs: &[&AppSpec]) -> AppSpec {
     let mut offset = 0u32;
     for sub in subs {
         for r in &sub.rdds {
-            rdds.push(Rdd {
-                id: shift(r.id, offset),
-                name: r.name.clone(),
-                num_partitions: r.num_partitions,
-                block_size: r.block_size,
-                compute_us: r.compute_us,
-                storage: r.storage,
-                deps: r.deps.iter().map(|&d| shift_dep(d, offset)).collect(),
-            });
+            rdds.push(shift_rdd(r, offset));
         }
         for a in &sub.actions {
             actions.push(Action {
@@ -310,6 +347,48 @@ mod tests {
         assert_eq!(m.tenant_of(RddId(5)), 1);
         assert_eq!(m.tenant_of(RddId(11)), 0);
         assert_eq!(m.tenant_of_app(1), 1);
+    }
+
+    #[test]
+    fn retire_prefix_keeps_global_indices() {
+        let mut m = TenantMap::new(&[4, 6, 2, 3], &[0, 1, 0, 1]);
+        let full = m.clone();
+        m.retire_prefix(0); // no-op
+        assert_eq!(m, full);
+        m.retire_prefix(2);
+        assert_eq!(m.first_live(), 2);
+        assert_eq!(m.num_apps(), 4);
+        // Accessors agree with the uncompacted map on every live lookup.
+        for app in 2..4 {
+            assert_eq!(m.offset(app), full.offset(app));
+            assert_eq!(m.rdd_range(app), full.rdd_range(app));
+            assert_eq!(m.tenant_of_app(app), full.tenant_of_app(app));
+        }
+        for rdd in 10..15 {
+            assert_eq!(m.app_of(RddId(rdd)), full.app_of(RddId(rdd)));
+            assert_eq!(m.tenant_of(RddId(rdd)), full.tenant_of(RddId(rdd)));
+        }
+        // Re-retiring below the window is a no-op.
+        m.retire_prefix(1);
+        assert_eq!(m.first_live(), 2);
+        m.retire_prefix(3);
+        assert_eq!(m.rdd_range(3), 12..15);
+        assert_eq!(m.app_of(RddId(14)), 3);
+    }
+
+    #[test]
+    fn shift_rdd_offsets_id_and_lineage() {
+        let a = little_app("a", 1);
+        let agg = &a.rdds[2];
+        let s = shift_rdd(agg, 10);
+        assert_eq!(s.id.0, agg.id.0 + 10);
+        assert_eq!(s.name, agg.name);
+        for (d0, d1) in agg.deps.iter().zip(&s.deps) {
+            assert_eq!(d1.parent().0, d0.parent().0 + 10);
+            assert_eq!(d1.is_shuffle(), d0.is_shuffle());
+        }
+        // Offset 0 is the identity.
+        assert_eq!(format!("{:?}", shift_rdd(agg, 0)), format!("{agg:?}"));
     }
 
     #[test]

@@ -56,6 +56,12 @@ impl BlockManager {
         }
     }
 
+    /// Adopt a newer slot-arena snapshot (streaming admission); the hash
+    /// disk store is unaffected.
+    pub fn adopt(&mut self, slots: &std::sync::Arc<refdist_dag::BlockSlots>) {
+        self.memory.adopt(slots);
+    }
+
     /// Locate a block on this node (memory preferred).
     pub fn locate(&self, block: BlockId) -> BlockWhere {
         if self.memory.contains(block) {

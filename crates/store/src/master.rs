@@ -51,6 +51,13 @@ impl BlockMaster {
         }
     }
 
+    /// Adopt a newer slot-arena snapshot (streaming admission); see
+    /// [`SlotMap::adopt`].
+    pub fn adopt(&mut self, slots: &Arc<BlockSlots>) {
+        self.memory.adopt(Arc::clone(slots));
+        self.disk.adopt(Arc::clone(slots));
+    }
+
     fn register(table: &mut SlotMap<NodeVec>, block: BlockId, node: NodeId) {
         match table.get_mut(block) {
             Some(set) => insert_node(set, node),

@@ -116,6 +116,14 @@ impl MemoryStore {
         });
     }
 
+    /// Adopt a newer slot-arena snapshot (streaming admission): the dense
+    /// residency and pin tables grow to the new capacity, keeping every
+    /// entry. No-op on hash-backed stores.
+    pub fn adopt(&mut self, slots: &Arc<BlockSlots>) {
+        self.blocks.adopt(Arc::clone(slots));
+        self.pins.adopt(Arc::clone(slots));
+    }
+
     /// Resident bytes of one tenant (0 when tenancy is disabled).
     pub fn tenant_used(&self, tenant: u32) -> u64 {
         self.tenancy

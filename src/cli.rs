@@ -124,8 +124,17 @@ pub enum Command {
         policy: String,
         /// Number of tenants.
         tenants: u32,
+        /// Total submissions in the stream (default: one per tenant);
+        /// submissions round-robin over the tenants.
+        apps: Option<u32>,
         /// Mean Poisson inter-arrival gap in milliseconds.
         gap_ms: u64,
+        /// Mean Poisson inter-arrival gap in microseconds; overrides
+        /// `gap_ms` for long streams needing sub-millisecond pressure.
+        gap_us: Option<u64>,
+        /// Run the build-everything-upfront reference path instead of
+        /// streaming admission/retirement.
+        upfront: bool,
         /// Inter-job schedulers to run (fifo | fair-share).
         scheds: Vec<String>,
         /// Per-tenant cache quotas to run (unlimited | equal-share | MiB).
@@ -195,7 +204,14 @@ CHAOS OPTIONS (in addition to the applicable options above):
 
 SERVE OPTIONS (in addition to the applicable options above):
   --tenants <N>          number of tenants, one app each (default 3)
+  --apps <N>             total submissions in the stream, round-robined
+                         over the tenants (default: one per tenant)
   --gap-ms <N>           mean Poisson inter-arrival gap in ms (default 500)
+  --arrival-gap <US>     mean Poisson inter-arrival gap in microseconds
+                         (overrides --gap-ms; for long dense streams)
+  --upfront              plan/profile/slot every submission before the
+                         first event (the reference path) instead of
+                         streaming admission and retirement
   --scheds <a,b,..>      inter-job schedulers: fifo | fair-share
                          (default fifo,fair-share)
   --quotas <a,b,..>      per-tenant cache quotas: unlimited | equal-share |
@@ -204,7 +220,10 @@ SERVE OPTIONS (in addition to the applicable options above):
 
   Every (scheduler x quota) combination serves the same Poisson arrival
   stream (replayed from the master seed) and reports per-tenant mean/p95/p99
-  JCT plus the cross-tenant eviction matrix.
+  JCT plus the cross-tenant eviction matrix and the run's high-water marks
+  (active apps, slot-arena size, resident blocks/bytes). Streaming mode
+  admits each submission at its arrival and retires it after it drains, so
+  state tracks peak concurrency, not stream length.
 
 WORKLOADS: KM LinR LogR SVM DT MF PR TC SP LP SVD++ CC SCC PO
            Sort WordCount TeraSort PageRank(Hi) Bayes K-Means(Hi)
@@ -272,7 +291,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut threads = 0usize;
     let mut csv = false;
     let mut tenants = 3u32;
+    let mut apps: Option<u32> = None;
     let mut gap_ms = 500u64;
+    let mut gap_us: Option<u64> = None;
+    let mut upfront = false;
     let mut scheds: Vec<String> = vec!["fifo".into(), "fair-share".into()];
     let mut quotas: Vec<String> = vec!["unlimited".into(), "equal-share".into()];
     let mut positional: Vec<&String> = Vec::new();
@@ -301,7 +323,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--threads" => threads = f.parse_num("--threads")?,
             "--csv" => csv = true,
             "--tenants" => tenants = f.parse_num("--tenants")?,
+            "--apps" => apps = Some(f.parse_num("--apps")?),
             "--gap-ms" => gap_ms = f.parse_num("--gap-ms")?,
+            "--arrival-gap" => gap_us = Some(f.parse_num("--arrival-gap")?),
+            "--upfront" => upfront = true,
             "--scheds" => scheds = f.parse_list("--scheds")?,
             "--quotas" => quotas = f.parse_list("--quotas")?,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
@@ -375,7 +400,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             workload: workload_arg()?,
             policy: policy.unwrap_or_else(|| "mrd".into()),
             tenants,
+            apps,
             gap_ms,
+            gap_us,
+            upfront,
             scheds,
             quotas,
             cache_fraction,
@@ -829,7 +857,10 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             workload,
             policy,
             tenants,
+            apps,
             gap_ms,
+            gap_us,
+            upfront,
             scheds,
             quotas,
             cache_fraction,
@@ -866,36 +897,54 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             }
             let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
             let cache = (((footprint as f64 * cache_fraction) / cl.nodes as f64) as u64).max(1);
-            let subs: Vec<(&AppSpec, u32)> = (0..tenants).map(|t| (&spec, t)).collect();
+            let napps = apps.unwrap_or(tenants).max(1);
+            let mean_gap_us = gap_us.unwrap_or_else(|| gap_ms.saturating_mul(1_000));
+            // Submissions round-robin over the tenants; the default stream
+            // is the historical one-app-per-tenant grid.
+            let subs: Vec<(&AppSpec, u32)> =
+                (0..napps).map(|i| (&spec, i % tenants)).collect();
             let mut out = format!(
                 "{} x {} tenants on {} nodes, cache {}/node, mean gap {}ms, policy {}, seed {}\n",
                 w.short_name(),
                 tenants,
                 cl.nodes,
                 human_bytes(cache),
-                gap_ms,
+                mean_gap_us / 1_000,
                 policy,
                 seed
             );
+            if napps != tenants {
+                out.push_str(&format!(
+                    "stream: {} submissions ({} mode)\n",
+                    napps,
+                    if upfront { "upfront" } else { "streaming" }
+                ));
+            }
             for &sched in &scheds {
                 for &quota in &quotas {
                     let serve = ServeSim::new(
                         &subs,
                         ServeConfig {
                             sim: SimConfig::new(cl.clone().with_cache(cache)).with_seed(seed),
-                            arrivals: ArrivalProcess::Poisson {
-                                mean_gap_us: gap_ms.saturating_mul(1_000),
-                            },
+                            arrivals: ArrivalProcess::Poisson { mean_gap_us },
                             sched,
                             quota,
+                            upfront,
                         },
                     );
-                    let policies = (0..tenants)
+                    let policies = (0..napps)
                         .map(|_| build_policy(&policy))
                         .collect::<Result<Vec<_>, _>>()?;
                     let report = serve.run(policies);
                     out.push('\n');
                     out.push_str(&report.summary());
+                    out.push_str(&format!(
+                        "peaks: {} active apps, {} arena slots, {} resident blocks ({})\n",
+                        report.peak_active_apps,
+                        report.peak_arena_slots,
+                        report.peak_resident_blocks,
+                        human_bytes(report.peak_resident_bytes),
+                    ));
                 }
             }
             Ok(out)

@@ -119,6 +119,7 @@ fn serve_fair_matches_golden() {
             },
             sched: ServeSched::FairShare,
             quota: QuotaKind::Unlimited,
+            upfront: false,
         },
     );
     let report = serve.run((0..3).map(|_| PolicyKind::Lru.build()).collect());
@@ -150,6 +151,7 @@ fn serve_survives_a_tenant_crash_mid_stream() {
             arrivals: ArrivalProcess::Trace(vec![0, 50_000, 100_000]),
             sched: ServeSched::FairShare,
             quota: QuotaKind::Unlimited,
+            upfront: false,
         },
     );
     let report = serve.run((0..3).map(|_| PolicyKind::Lru.build()).collect());
