@@ -27,7 +27,7 @@ fn synthetic_profile(rdds: u32) -> AppProfile {
             RddRefs {
                 rdd: RddId(r),
                 jobs: stages.iter().map(|s| JobId(s.0 / 4)).collect(),
-                stages,
+                stages: stages.into(),
             },
         );
     }

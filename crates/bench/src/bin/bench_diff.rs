@@ -62,6 +62,8 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
             // Slot-arena high-water mark of a streaming serve cell — a
             // space metric, gated like a timing: growth is a regression.
             ("peak_slots".to_string(), v)
+        } else if let Some(v) = num_field(line, "us_per_sub") {
+            ("us_per_sub".to_string(), v)
         } else {
             return Err(format!("{path}: record without a metric: {line}"));
         };
@@ -123,8 +125,11 @@ fn main() -> ExitCode {
     let mut unmatched = 0usize;
     let mut regressions: Vec<String> = Vec::new();
     for b in &base {
+        // Protocol is part of the identity: admission records the cold and
+        // interned paths under the same bench name, distinguished only here.
         let Some(c) = cur.iter().find(|c| {
-            (&c.suite, &c.bench, &c.policy, c.blocks) == (&b.suite, &b.bench, &b.policy, b.blocks)
+            (&c.suite, &c.bench, &c.policy, c.blocks, &c.protocol)
+                == (&b.suite, &b.bench, &b.policy, b.blocks, &b.protocol)
         }) else {
             unmatched += 1;
             continue;
@@ -132,6 +137,7 @@ fn main() -> ExitCode {
         let unit = match b.metric.as_str() {
             "ns_per_evict" => "ns",
             "peak_slots" => "sl",
+            "us_per_sub" => "us",
             _ => "ms",
         };
         println!(

@@ -5,7 +5,7 @@
 //! * `BENCH_sched_linear.json` — `linear`: the original per-task linear
 //!   scans (`SimConfig::linear_sched`), including the full nodes×cores scan
 //!   per task that delay scheduling performs.
-//! * `BENCH_pr8.json` — `indexed`: the incrementally maintained
+//! * `BENCH_pr9.json` — `indexed`: the incrementally maintained
 //!   [`SlotIndex`](refdist_cluster) ordered-set scheduler (the default).
 //!
 //! The workload is a wide iterative app — 8 partitions per node, so every
@@ -14,13 +14,19 @@
 //! large clusters. Reports from both schedulers are asserted byte-identical
 //! before any timing is recorded.
 //!
-//! `BENCH_pr8.json` additionally re-measures the `bench_cache` macro
+//! `BENCH_pr9.json` additionally re-measures the `bench_cache` macro
 //! protocol (`cc_sweep` on dense state, fault-free and chaotic) and the
 //! `serve` suite (multi-tenant streams under fair-share scheduling and
 //! equal-share quotas) so `ci.sh`'s regression guard can join them against
-//! the checked-in `BENCH_pr7.json` from the same machine — the streaming
+//! the checked-in `BENCH_pr8.json` from the same machine — the streaming
 //! serve driver threads through the engine's admission/retirement hooks,
 //! and this is the check that neither costs anything on the macro paths.
+//!
+//! An `admission` suite times the admission-planning path alone — build or
+//! intern the template's local-space plan/profile, rebase to the
+//! submission's offset, wrap the profiler — cold vs template-interned over
+//! 1/4/16 distinct templates, and asserts the interned path amortizes to at
+//! least 3x on the full run.
 //!
 //! A `serve_stream` suite measures the streaming serve driver itself:
 //! Poisson app streams at several lengths and arrival rates, run both
@@ -233,6 +239,7 @@ fn time_serve(policy: PolicySpec, tenants: u32) -> f64 {
             // its numbers stay comparable across bench baselines; the
             // serve_stream suite covers streaming.
             upfront: true,
+            intern: true,
         },
     );
     let reps = if quick() { 1 } else { 20 };
@@ -261,6 +268,27 @@ fn stream_app() -> AppSpec {
         b.action(format!("job{i}"), s);
     }
     b.build()
+}
+
+/// `k` structurally distinct variants of the stream app (partition count and
+/// job count both vary), for admission benches over heterogeneous mixes.
+fn admission_specs(k: usize) -> Vec<AppSpec> {
+    (0..k)
+        .map(|v| {
+            let block = 64 * 1024;
+            let parts = 4 + (v as u32 % 4);
+            let jobs = 2 + v / 4;
+            let mut b = AppBuilder::new(format!("adm-{v}"));
+            let input = b.input("in", parts, block, 2_000);
+            let data = b.narrow("data", input, block, 5_000);
+            b.persist(data, StorageLevel::MemoryAndDisk);
+            for i in 0..jobs {
+                let s = b.shuffle(format!("agg{i}"), &[data], parts, block / 8, 500);
+                b.action(format!("job{i}"), s);
+            }
+            b.build()
+        })
+        .collect()
 }
 
 /// Best-of-reps wall ms for one serve-stream cell, end to end: a fresh
@@ -295,6 +323,7 @@ fn time_serve_stream(
                 sched: ServeSched::FairShare,
                 quota: QuotaKind::EqualShare,
                 upfront,
+                intern: true,
             },
         );
         let r = serve.run(policies);
@@ -302,6 +331,39 @@ fn time_serve_stream(
         report = Some(r);
     }
     (best_ms, report.expect("at least one rep"))
+}
+
+/// Best-of-reps wall ms for the admission-planning path alone over a
+/// submission stream cycling through `specs`: build (or intern) the
+/// local-space plan/profile, rebase both to the submission's offset, and
+/// wrap the profiler — exactly what the streaming serve driver does at each
+/// arrival event, minus the simulation itself.
+fn time_admission(specs: &[AppSpec], apps: u32, interned: bool) -> f64 {
+    use refdist_core::AppProfiler;
+    use refdist_dag::{remap_plan, remap_profile, PlannedTemplate, TemplateCache};
+    use std::sync::Arc;
+    let reps = if quick() { 3 } else { 15 };
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let mut cache = TemplateCache::new();
+        let start = Instant::now();
+        let mut off = 0u32;
+        for i in 0..apps {
+            let spec = &specs[i as usize % specs.len()];
+            let tpl = if interned {
+                cache.intern(spec)
+            } else {
+                Arc::new(PlannedTemplate::build(spec))
+            };
+            let plan = remap_plan(&tpl.plan, off);
+            let profiler =
+                AppProfiler::from_shared(spec.name.clone(), remap_profile(&tpl.profile, off));
+            std::hint::black_box((&plan, &profiler));
+            off += spec.rdds.len() as u32;
+        }
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best_ms
 }
 
 fn main() {
@@ -553,9 +615,57 @@ fn main() {
         }
     }
 
+    println!();
+    println!("== admission: cold replan vs template-interned (us/submission) ==");
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} {:>9}",
+        "templates", "apps", "cold", "interned", "speedup"
+    );
+    let adm_apps: u32 = if quick() { 256 } else { 1024 };
+    for &k in &[1usize, 4, 16] {
+        let specs = admission_specs(k);
+        let cold_ms = time_admission(&specs, adm_apps, false);
+        let hot_ms = time_admission(&specs, adm_apps, true);
+        let speedup = cold_ms / hot_ms;
+        println!(
+            "{:<10} {:>6} {:>9.2} us {:>9.2} us {:>8.2}x",
+            k,
+            adm_apps,
+            cold_ms * 1e3 / f64::from(adm_apps),
+            hot_ms * 1e3 / f64::from(adm_apps),
+            speedup
+        );
+        // The acceptance bar: on repeated templates, interned admission must
+        // amortize to at least 3x over replanning each submission. Quick
+        // mode's short stream and few reps make the ratio noisy, so the bar
+        // only gates the recorded full run.
+        if !quick() {
+            assert!(
+                speedup >= 3.0,
+                "interned admission only {speedup:.2}x over cold at {k} templates"
+            );
+        }
+        let bench = match k {
+            1 => "tpl1",
+            4 => "tpl4",
+            _ => "tpl16",
+        };
+        for (protocol, value) in [("cold", cold_ms), ("interned", hot_ms)] {
+            indexed_records.push(Record {
+                suite: "admission",
+                bench,
+                policy: "LRU".into(),
+                blocks: adm_apps as usize,
+                protocol,
+                metric: "us_per_sub",
+                value: value * 1e3 / f64::from(adm_apps),
+            });
+        }
+    }
+
     for (path, records) in [
         ("BENCH_sched_linear.json", &linear_records),
-        ("BENCH_pr8.json", &indexed_records),
+        ("BENCH_pr9.json", &indexed_records),
     ] {
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {

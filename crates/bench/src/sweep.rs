@@ -563,6 +563,7 @@ fn run_serve_cell(
             sched: ax.sched,
             quota: ax.quota,
             upfront: false,
+            intern: true,
         },
     );
     let policies: Vec<Box<dyn CachePolicy>> =

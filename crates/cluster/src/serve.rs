@@ -37,7 +37,7 @@ use rand::{Rng, SeedableRng};
 use refdist_core::AppProfiler;
 use refdist_dag::{
     combine_specs, remap_plan, remap_profile, AppPlan, AppProfile, AppSpec, BlockId, BlockSlots,
-    JobId, RddId, RefAnalyzer, SlotArena, StageId, TenantMap,
+    JobId, RddId, SlotArena, StageId, TemplateCache, TenantMap,
 };
 use refdist_policies::CachePolicy;
 use refdist_simcore::{SimDuration, SimTime};
@@ -175,6 +175,14 @@ pub struct ServeConfig {
     /// submission is admitted at its arrival event and retired once
     /// drained, so engine state is O(peak-active), not O(stream).
     pub upfront: bool,
+    /// Streaming admission interns per-template planning artifacts
+    /// ([`TemplateCache`]): repeat submissions of a structurally identical
+    /// spec reuse one memoized local-space plan/profile and pay only the
+    /// `Arc`-sharing rebase. When `false`, every admission replans from
+    /// scratch (`plan_one` — the per-submission reference path the
+    /// differential suite checks interning against). The upfront path
+    /// always replans per submission and ignores this flag.
+    pub intern: bool,
 }
 
 impl ServeConfig {
@@ -187,6 +195,7 @@ impl ServeConfig {
             sched: ServeSched::Fifo,
             quota: QuotaKind::Unlimited,
             upfront: false,
+            intern: true,
         }
     }
 }
@@ -540,7 +549,7 @@ struct UpfrontArtifacts {
     combined: AppSpec,
     /// Per-submission plans, RDD ids shifted into the combined space, stage
     /// and job ids local.
-    plans: Vec<AppPlan>,
+    plans: Vec<Arc<AppPlan>>,
     profilers: Vec<Arc<AppProfiler>>,
     arena: Arc<BlockSlots>,
 }
@@ -635,18 +644,37 @@ impl<'a> ServeSim<'a> {
     }
 
     /// Plan and profile submission `i` locally, then shift into the
-    /// combined RDD space. Shared by upfront construction and streaming
-    /// admission, so both paths see bit-identical plans and profiles.
-    fn plan_one(&self, i: usize) -> (AppPlan, Arc<AppProfiler>) {
+    /// combined RDD space. Shared by upfront construction and the
+    /// non-interned streaming admission, so both paths see bit-identical
+    /// plans and profiles.
+    fn plan_one(&self, i: usize) -> (Arc<AppPlan>, Arc<AppProfiler>) {
         let spec = self.subs[i];
-        let local_plan = AppPlan::build(spec);
-        let local_profile = RefAnalyzer::new(spec, &local_plan).profile();
+        let tpl = refdist_dag::PlannedTemplate::build(spec);
         let off = self.map.offset(i);
         (
-            remap_plan(&local_plan, off),
-            Arc::new(AppProfiler::from_stored(
+            remap_plan(&tpl.plan, off),
+            Arc::new(AppProfiler::from_shared(
                 spec.name.clone(),
-                remap_profile(&local_profile, off),
+                remap_profile(&tpl.profile, off),
+            )),
+        )
+    }
+
+    /// Template-interned admission: look the submission's structural
+    /// template up in `cache` (planning and profiling it only on first
+    /// sight) and rebase the shared local-space artifacts to the
+    /// submission's offset. Planner and analyzer are deterministic
+    /// functions of the structure, so the result is value-identical to
+    /// [`plan_one`] — the differential serve suite pins that.
+    fn plan_interned(&self, i: usize, cache: &mut TemplateCache) -> (Arc<AppPlan>, Arc<AppProfiler>) {
+        let spec = self.subs[i];
+        let tpl = cache.intern(spec);
+        let off = self.map.offset(i);
+        (
+            remap_plan(&tpl.plan, off),
+            Arc::new(AppProfiler::from_shared(
+                spec.name.clone(),
+                remap_profile(&tpl.profile, off),
             )),
         )
     }
@@ -786,7 +814,7 @@ impl<'a> ServeSim<'a> {
         };
         drive(self.cfg.sched, cfg.use_heap_events(), &arrivals, advance);
 
-        self.make_report(reports, arrivals, completions, &mux, peaks)
+        self.make_report(reports, arrivals, completions, &mux, peaks, 0)
     }
 
     /// The streaming path: a submission's plan, profile, policy state and
@@ -811,7 +839,7 @@ impl<'a> ServeSim<'a> {
 
         let mut policies: Vec<Option<Box<dyn CachePolicy>>> =
             policies.into_iter().map(Some).collect();
-        let mut plans: Vec<Option<AppPlan>> = (0..n).map(|_| None).collect();
+        let mut plans: Vec<Option<Arc<AppPlan>>> = (0..n).map(|_| None).collect();
         let mut profilers: Vec<Option<Arc<AppProfiler>>> = (0..n).map(|_| None).collect();
         let mut visible: Vec<Option<Arc<AppProfile>>> = (0..n).map(|_| None).collect();
         let mut states: Vec<AppState> = (0..n)
@@ -835,13 +863,21 @@ impl<'a> ServeSim<'a> {
         // their map rows.
         let mut low = 0usize;
         let mut peaks = Peaks::default();
+        // Per-run template cache: one memoized local-space plan/profile per
+        // distinct submission structure. Lives for the whole stream — the
+        // cache is bounded by template diversity, not stream length.
+        let mut templates = TemplateCache::new();
 
         let advance = |a: usize| -> (bool, u64) {
             if plans[a].is_none() {
                 // Admission: plan and profile this submission now, at its
                 // arrival event, and carve its block range out of the
                 // recyclable slot arena.
-                let (plan, profiler) = self.plan_one(a);
+                let (plan, profiler) = if self.cfg.intern {
+                    self.plan_interned(a, &mut templates)
+                } else {
+                    self.plan_one(a)
+                };
                 let spec = self.subs[a];
                 let off = self.map.offset(a);
                 let counts: Vec<(RddId, u32)> = spec
@@ -945,7 +981,8 @@ impl<'a> ServeSim<'a> {
         };
         drive(self.cfg.sched, cfg.use_heap_events(), &arrivals, advance);
 
-        self.make_report(reports, arrivals, completions, &mux, peaks)
+        let distinct = templates.len();
+        self.make_report(reports, arrivals, completions, &mux, peaks, distinct)
     }
 
     fn make_report(
@@ -955,6 +992,7 @@ impl<'a> ServeSim<'a> {
         completions: Vec<u64>,
         mux: &TenantMux,
         peaks: Peaks,
+        distinct_templates: usize,
     ) -> ServeReport {
         let n = self.subs.len();
         let makespan = SimDuration(completions.iter().copied().max().unwrap_or(0));
@@ -974,6 +1012,7 @@ impl<'a> ServeSim<'a> {
             peak_resident_bytes: peaks.resident_bytes,
             peak_arena_slots: peaks.arena_slots,
             peak_active_apps: peaks.active_apps,
+            distinct_templates,
         }
     }
 
@@ -1068,6 +1107,9 @@ pub struct ServeReport {
     /// High-water mark of concurrently live (arrived, unretired)
     /// submissions.
     pub peak_active_apps: u64,
+    /// Distinct structural templates the interned streaming admission
+    /// planned. Zero on the upfront path and when interning is disabled.
+    pub distinct_templates: usize,
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
@@ -1284,6 +1326,7 @@ mod tests {
                 sched: ServeSched::FairShare,
                 quota: QuotaKind::EqualShare,
                 upfront: false,
+                intern: true,
             },
         );
         let sr = serve.run(vec![Box::new(LruPolicy::new()), Box::new(LruPolicy::new())]);

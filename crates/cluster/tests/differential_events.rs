@@ -226,6 +226,7 @@ fn assert_serve_identical(p: &Params, sched: ServeSched) {
             sched,
             quota: QuotaKind::EqualShare,
             upfront: false,
+            intern: true,
         };
         let serve = ServeSim::new(&subs, cfg);
         let mut logs = Vec::new();

@@ -334,12 +334,15 @@ struct StreamParams {
     app: AppParams,
     /// Vary iteration counts across submissions (heterogeneous stream).
     vary: bool,
+    /// Poisson arrivals instead of the trace built from `gaps`.
+    poisson: bool,
 }
 
 fn run_stream(
     p: &StreamParams,
     c: &CfgParams,
     upfront: bool,
+    intern: bool,
 ) -> (ServeReport, (VictimLog, PurgeLog)) {
     let n = p.gaps.len() + 1;
     let specs: Vec<AppSpec> = (0..n)
@@ -363,7 +366,13 @@ fn run_stream(
     let block = p.app.block_kb * 256 * 1024;
     let cfg = ServeConfig {
         sim: build_cfg(c, &specs[0]),
-        arrivals: ArrivalProcess::Trace(arrivals),
+        arrivals: if p.poisson {
+            ArrivalProcess::Poisson {
+                mean_gap_us: p.gaps.first().copied().unwrap_or(0).max(1),
+            }
+        } else {
+            ArrivalProcess::Trace(arrivals)
+        },
         sched: if p.fair_share {
             ServeSched::FairShare
         } else {
@@ -375,6 +384,7 @@ fn run_stream(
             _ => QuotaKind::Bytes(block * 2),
         },
         upfront,
+        intern,
     };
     let serve = ServeSim::new(&subs, cfg);
     // One shared log across every submission's recorder: the *global*
@@ -392,8 +402,8 @@ fn run_stream(
 }
 
 fn assert_stream_equivalent(p: &StreamParams, c: &CfgParams) {
-    let (up, (uv, upu)) = run_stream(p, c, true);
-    let (st, (sv, spu)) = run_stream(p, c, false);
+    let (up, (uv, upu)) = run_stream(p, c, true, true);
+    let (st, (sv, spu)) = run_stream(p, c, false, true);
     assert_eq!(
         format!("{:?}", up.reports),
         format!("{:?}", st.reports),
@@ -423,6 +433,34 @@ fn assert_stream_equivalent(p: &StreamParams, c: &CfgParams) {
     );
 }
 
+/// Interned admission must be indistinguishable — report bytes and global
+/// victim/purge decision sequences — from replanning every submission from
+/// scratch. The planner and analyzer are deterministic, so a template cache
+/// hit followed by an offset rebase has to reproduce `plan_one` exactly.
+fn assert_interned_equivalent(p: &StreamParams, c: &CfgParams) {
+    let (cold, (cv, cp)) = run_stream(p, c, false, false);
+    let (hot, (hv, hp)) = run_stream(p, c, false, true);
+    assert_eq!(
+        format!("{:?}", cold.reports),
+        format!("{:?}", hot.reports),
+        "per-submission reports diverged between cold and interned admission on {p:?} {c:?}"
+    );
+    assert_eq!(cold.summary(), hot.summary(), "{p:?} {c:?}");
+    assert_eq!(cold.cross_evictions, hot.cross_evictions, "{p:?} {c:?}");
+    assert_eq!(cv, hv, "victim sequence diverged on {p:?} {c:?}");
+    assert_eq!(cp, hp, "purge sequence diverged on {p:?} {c:?}");
+    // Cold admission never touches the template cache; interned admission is
+    // bounded by template diversity: `vary` cycles iters over 1 + (i % 3).
+    assert_eq!(cold.distinct_templates, 0);
+    let n = p.gaps.len() + 1;
+    let distinct = if p.vary { n.min(3) } else { 1 };
+    assert!(
+        (1..=distinct).contains(&hot.distinct_templates),
+        "expected 1..={distinct} distinct templates, interned {} on {p:?} {c:?}",
+        hot.distinct_templates
+    );
+}
+
 fn stream_strategy() -> impl Strategy<Value = StreamParams> {
     (
         (
@@ -430,16 +468,19 @@ fn stream_strategy() -> impl Strategy<Value = StreamParams> {
             1usize..3,
             any::<bool>(),
         ),
-        (0u8..3, app_strategy(), any::<bool>()),
+        (0u8..3, app_strategy(), any::<bool>(), any::<bool>()),
     )
-        .prop_map(|((gaps, tenants, fair_share), (quota, app, vary))| StreamParams {
-            gaps,
-            tenants,
-            fair_share,
-            quota,
-            app,
-            vary,
-        })
+        .prop_map(
+            |((gaps, tenants, fair_share), (quota, app, vary, poisson))| StreamParams {
+                gaps,
+                tenants,
+                fair_share,
+                quota,
+                app,
+                vary,
+                poisson,
+            },
+        )
 }
 
 proptest! {
@@ -450,6 +491,14 @@ proptest! {
         cfg in cfg_strategy(),
     ) {
         assert_stream_equivalent(&stream, &cfg);
+    }
+
+    #[test]
+    fn interned_admission_is_byte_identical_to_per_submission(
+        stream in stream_strategy(),
+        cfg in cfg_strategy(),
+    ) {
+        assert_interned_equivalent(&stream, &cfg);
     }
 }
 
@@ -473,6 +522,7 @@ fn streaming_matches_upfront_under_heavy_pressure() {
             two_rdds: true,
         },
         vary: true,
+        poisson: false,
     };
     let cfg = CfgParams {
         nodes: 2,
@@ -486,6 +536,7 @@ fn streaming_matches_upfront_under_heavy_pressure() {
         delay: Some(10_000),
     };
     assert_stream_equivalent(&stream, &cfg);
+    assert_interned_equivalent(&stream, &cfg);
     // FIFO + unlimited quota exercises the drain-heavy path instead.
     let mut s2 = stream.clone();
     s2.fair_share = false;
@@ -494,6 +545,7 @@ fn streaming_matches_upfront_under_heavy_pressure() {
     c2.cache_frac = 0.3;
     c2.seed = 23;
     assert_stream_equivalent(&s2, &c2);
+    assert_interned_equivalent(&s2, &c2);
 }
 
 /// Deterministic spot-check of the pressure-heavy corner (cache far smaller

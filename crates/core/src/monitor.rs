@@ -330,7 +330,7 @@ mod tests {
         let profile = AppProfile {
             per_rdd,
             per_stage: vec![],
-            stage_job: vec![],
+            stage_job: Vec::new().into(),
             num_jobs: 1,
         };
         let mut t = MrdTable::from_profile(DistanceMetric::Stage, &profile);

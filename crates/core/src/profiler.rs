@@ -61,10 +61,17 @@ impl AppProfiler {
     /// Build a profiler around a stored profile (recurring application whose
     /// previous run was saved in a [`ProfileStore`]).
     pub fn from_stored(name: impl Into<String>, profile: AppProfile) -> Self {
+        AppProfiler::from_shared(name, Arc::new(profile))
+    }
+
+    /// Build a profiler around an already-shared profile without copying it
+    /// — the template-interned serve admission path hands the same rebased
+    /// profile to every repeat submission of a template.
+    pub fn from_shared(name: impl Into<String>, profile: Arc<AppProfile>) -> Self {
         AppProfiler {
             mode: ProfileMode::Recurring,
             name: name.into(),
-            full: Arc::new(profile),
+            full: profile,
         }
     }
 
@@ -177,7 +184,7 @@ fn serialize(app: &str, profile: &AppProfile) -> String {
     let _ = writeln!(out, "app {app}");
     let _ = writeln!(out, "jobs {}", profile.num_jobs);
     let mut line = String::from("stagejobs");
-    for j in &profile.stage_job {
+    for j in profile.stage_job.iter() {
         let _ = write!(line, " {}", j.0);
     }
     let _ = writeln!(out, "{line}");
@@ -188,7 +195,7 @@ fn serialize(app: &str, profile: &AppProfile) -> String {
     }
     for (rdd, refs) in &profile.per_rdd {
         let mut line = format!("rdd {}", rdd.0);
-        for (s, j) in refs.stages.iter().zip(&refs.jobs) {
+        for (s, j) in refs.stages.iter().zip(refs.jobs.iter()) {
             let _ = write!(line, " {}:{}", s.0, j.0);
         }
         let _ = writeln!(out, "{line}");
@@ -288,8 +295,8 @@ fn parse(text: &str) -> Result<AppProfile, String> {
                     RddId(id),
                     RddRefs {
                         rdd: RddId(id),
-                        stages,
-                        jobs,
+                        stages: stages.into(),
+                        jobs: jobs.into(),
                     },
                 );
             }
@@ -306,7 +313,7 @@ fn parse(text: &str) -> Result<AppProfile, String> {
     Ok(AppProfile {
         per_rdd,
         per_stage,
-        stage_job,
+        stage_job: stage_job.into(),
         num_jobs,
     })
 }

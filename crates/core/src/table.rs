@@ -228,7 +228,7 @@ mod tests {
         AppProfile {
             per_rdd,
             per_stage: vec![],
-            stage_job: vec![],
+            stage_job: Vec::new().into(),
             num_jobs: 0,
         }
     }

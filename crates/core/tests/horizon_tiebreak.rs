@@ -40,7 +40,7 @@ fn profile(entries: &[(u32, &[u32])]) -> AppProfile {
     AppProfile {
         per_rdd,
         per_stage: vec![],
-        stage_job: vec![],
+        stage_job: Vec::new().into(),
         num_jobs: 1,
     }
 }

@@ -22,6 +22,7 @@ use crate::app::AppSpec;
 use crate::ids::{JobId, RddId, StageId};
 use crate::plan::{AppPlan, StageKind};
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 /// Reference profile of one cached RDD.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,9 +30,11 @@ pub struct RddRefs {
     /// The cached RDD.
     pub rdd: RddId,
     /// Stages that reference it, ascending (first entry is its creation).
-    pub stages: Vec<StageId>,
+    /// Shared (`Arc`): stage IDs are app-local, so tenant remapping rebases
+    /// the `rdd` key without cloning the reference lists.
+    pub stages: Arc<[StageId]>,
     /// Jobs of those stages (parallel to `stages`, non-decreasing).
-    pub jobs: Vec<JobId>,
+    pub jobs: Arc<[JobId]>,
 }
 
 impl RddRefs {
@@ -73,8 +76,9 @@ pub struct AppProfile {
     pub per_rdd: BTreeMap<RddId, RddRefs>,
     /// Per stage (indexed by `StageId`), the cached RDDs it touches.
     pub per_stage: Vec<StageTouches>,
-    /// Job of each stage, indexed by `StageId`.
-    pub stage_job: Vec<JobId>,
+    /// Job of each stage, indexed by `StageId`. Shared (`Arc`): neither
+    /// stage nor job IDs shift under tenant remapping.
+    pub stage_job: Arc<[JobId]>,
     /// Number of jobs in the application.
     pub num_jobs: usize,
 }
@@ -120,7 +124,7 @@ impl AppProfile {
         AppProfile {
             per_rdd,
             per_stage: self.per_stage[..visible_stages].to_vec(),
-            stage_job: self.stage_job[..visible_stages].to_vec(),
+            stage_job: Arc::from(&self.stage_job[..visible_stages]),
             num_jobs: (job.0 as usize + 1).min(self.num_jobs),
         }
     }
@@ -178,7 +182,9 @@ impl<'a> RefAnalyzer<'a> {
 
     /// Compute the whole-application reference profile.
     pub fn profile(&self) -> AppProfile {
-        let mut per_rdd: BTreeMap<RddId, RddRefs> = BTreeMap::new();
+        // Reference lists grow as stages are walked, so accumulate in plain
+        // vectors and freeze into the shared `Arc` slices at the end.
+        let mut growing: BTreeMap<RddId, (Vec<StageId>, Vec<JobId>)> = BTreeMap::new();
         let mut per_stage = Vec::with_capacity(self.plan.stages.len());
         let mut created: HashSet<RddId> = HashSet::new();
 
@@ -193,13 +199,9 @@ impl<'a> RefAnalyzer<'a> {
                 }
                 let rdd = self.spec.rdd(v);
                 if rdd.is_cached() {
-                    let entry = per_rdd.entry(v).or_insert_with(|| RddRefs {
-                        rdd: v,
-                        stages: Vec::new(),
-                        jobs: Vec::new(),
-                    });
-                    entry.stages.push(stage.id);
-                    entry.jobs.push(stage.job);
+                    let entry = growing.entry(v).or_default();
+                    entry.0.push(stage.id);
+                    entry.1.push(stage.job);
                     if created.contains(&v) {
                         // Cache hit at plan level: do not descend further.
                         touches.reads.push(v);
@@ -216,7 +218,19 @@ impl<'a> RefAnalyzer<'a> {
             per_stage.push(touches);
         }
         AppProfile {
-            per_rdd,
+            per_rdd: growing
+                .into_iter()
+                .map(|(rdd, (stages, jobs))| {
+                    (
+                        rdd,
+                        RddRefs {
+                            rdd,
+                            stages: stages.into(),
+                            jobs: jobs.into(),
+                        },
+                    )
+                })
+                .collect(),
             per_stage,
             stage_job: self.plan.stages.iter().map(|s| s.job).collect(),
             num_jobs: self.plan.jobs.len(),
@@ -271,7 +285,7 @@ impl<'a> RefAnalyzer<'a> {
             for &r in &profile.per_stage[stage.id.index()].reads {
                 stage_input += self.spec.rdd(r).total_size();
             }
-            for &p in &stage.parents {
+            for &p in stage.parents.iter() {
                 let map_rdd = self.plan.stage(p).final_rdd;
                 stage_input += self.spec.rdd(map_rdd).total_size();
             }
@@ -322,9 +336,9 @@ mod tests {
         // Created in job 0's map stage, then read by job 1 and job 2's map
         // stages (job 1/2's result stages read shuffle files, not the cache).
         assert_eq!(refs.count(), 3);
-        assert_eq!(refs.jobs, vec![JobId(0), JobId(1), JobId(2)]);
+        assert_eq!(&*refs.jobs, &[JobId(0), JobId(1), JobId(2)]);
         // Stage ids: job0 = [0 map, 1 result], job1 = [2 map, 3 result], ...
-        assert_eq!(refs.stages, vec![StageId(0), StageId(2), StageId(4)]);
+        assert_eq!(&*refs.stages, &[StageId(0), StageId(2), StageId(4)]);
     }
 
     #[test]
@@ -409,8 +423,8 @@ mod tests {
     fn next_ref_lookup() {
         let refs = RddRefs {
             rdd: RddId(0),
-            stages: vec![StageId(2), StageId(5), StageId(9)],
-            jobs: vec![JobId(0), JobId(1), JobId(2)],
+            stages: vec![StageId(2), StageId(5), StageId(9)].into(),
+            jobs: vec![JobId(0), JobId(1), JobId(2)].into(),
         };
         assert_eq!(refs.next_ref_at_or_after(StageId(0)), Some(StageId(2)));
         assert_eq!(refs.next_ref_at_or_after(StageId(2)), Some(StageId(2)));

@@ -41,7 +41,7 @@ pub fn stage_dot(spec: &AppSpec, plan: &AppPlan) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}-stages\" {{", spec.name);
     let _ = writeln!(out, "  rankdir=BT; node [shape=ellipse, fontsize=10];");
-    for job in &plan.jobs {
+    for job in plan.jobs.iter() {
         let _ = writeln!(out, "  subgraph cluster_j{} {{", job.id.0);
         let _ = writeln!(out, "    label=\"{} ({})\";", job.action, job.id);
         for &sid in &job.stages {
@@ -59,7 +59,7 @@ pub fn stage_dot(spec: &AppSpec, plan: &AppPlan) -> String {
         let _ = writeln!(out, "  }}");
     }
     for stage in &plan.stages {
-        for &p in &stage.parents {
+        for &p in stage.parents.iter() {
             let _ = writeln!(out, "  s{} -> s{};", p.0, stage.id.0);
         }
     }

@@ -44,6 +44,7 @@ pub mod ids;
 pub mod plan;
 pub mod rdd;
 pub mod slots;
+pub mod template;
 pub mod tenant;
 
 pub use analyze::{
@@ -55,4 +56,5 @@ pub use ids::{BlockId, JobId, RddId, StageId};
 pub use plan::{AppPlan, JobPlan, Stage, StageKind};
 pub use rdd::{Dependency, Rdd, StorageLevel};
 pub use slots::{BlockSlots, SlotArena, SlotMap, SlotSet};
+pub use template::{PlannedTemplate, TemplateCache};
 pub use tenant::{combine_specs, remap_plan, remap_profile, shift_rdd, TenantMap};

@@ -19,6 +19,7 @@
 use crate::app::AppSpec;
 use crate::ids::{JobId, RddId, StageId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// What a stage produces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,8 +48,10 @@ pub struct Stage {
     /// All RDDs reachable from `final_rdd` through narrow dependencies
     /// (the pipelined set), in deterministic discovery order.
     pub rdds: Vec<RddId>,
-    /// Parent shuffle-map stages this stage reads from.
-    pub parents: Vec<StageId>,
+    /// Parent shuffle-map stages this stage reads from. Shared (`Arc`) so
+    /// tenant remapping can rebase a stage without cloning the parent list —
+    /// stage IDs are app-local and never shift.
+    pub parents: Arc<[StageId]>,
     /// One task per partition of `final_rdd`.
     pub num_tasks: u32,
 }
@@ -73,8 +76,10 @@ pub struct AppPlan {
     /// Distinct stages, indexed by `StageId`. Stage-ID order is a valid
     /// execution order (parents first, jobs in submission order).
     pub stages: Vec<Stage>,
-    /// Jobs in submission order.
-    pub jobs: Vec<JobPlan>,
+    /// Jobs in submission order. Shared (`Arc`): job plans hold only
+    /// stage/job IDs and action names, none of which shift under tenant
+    /// remapping, so every rebased copy of a template points at one list.
+    pub jobs: Arc<[JobPlan]>,
 }
 
 impl AppPlan {
@@ -204,7 +209,7 @@ impl<'a> Planner<'a> {
         }
         AppPlan {
             stages: self.stages,
-            jobs,
+            jobs: jobs.into(),
         }
     }
 
@@ -249,7 +254,7 @@ impl<'a> Planner<'a> {
             final_rdd,
             kind,
             rdds,
-            parents,
+            parents: parents.into(),
             num_tasks,
         });
         id
@@ -294,14 +299,14 @@ mod tests {
         assert_eq!(result.kind, StageKind::Result);
         assert_eq!(result.final_rdd, RddId(3)); // t
         assert_eq!(result.num_tasks, 8);
-        assert_eq!(result.parents, vec![StageId(0)]);
+        assert_eq!(&*result.parents, &[StageId(0)]);
     }
 
     #[test]
     fn parents_get_lower_ids() {
         let plan = AppPlan::build(&two_job_chain());
         for s in &plan.stages {
-            for &p in &s.parents {
+            for &p in s.parents.iter() {
                 assert!(p < s.id, "parent {p} should precede {}", s.id);
             }
         }
@@ -379,7 +384,7 @@ mod tests {
     #[test]
     fn job_stage_lists_are_sorted_and_contain_result() {
         let plan = AppPlan::build(&two_job_chain());
-        for j in &plan.jobs {
+        for j in plan.jobs.iter() {
             assert!(j.stages.windows(2).all(|w| w[0] < w[1]));
             assert!(j.stages.contains(&j.result_stage));
         }

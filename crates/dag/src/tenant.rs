@@ -19,9 +19,10 @@
 use crate::analyze::{AppProfile, RddRefs, StageTouches};
 use crate::app::{Action, AppSpec};
 use crate::ids::RddId;
-use crate::plan::{AppPlan, JobPlan, Stage, StageKind};
+use crate::plan::{AppPlan, Stage, StageKind};
 use crate::rdd::{Dependency, Rdd};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Ownership map for a combined application: which submission each RDD of
 /// the combined spec came from, and which tenant each submission belongs
@@ -201,11 +202,16 @@ pub fn combine_specs(subs: &[&AppSpec]) -> AppSpec {
 /// Shift a submission's locally built plan into the combined RDD space.
 /// Only RDD ids move; stage and job ids stay local to the submission (the
 /// serve driver runs each submission's stages through its own plan).
-pub fn remap_plan(plan: &AppPlan, offset: u32) -> AppPlan {
+///
+/// Copy-on-rebase: the parts that never shift — the whole job list and each
+/// stage's parent list — are shared with the source plan (`Arc` bump), so a
+/// rebase copies only the per-stage RDD sets. At offset 0 the entire plan is
+/// shared, making single-submission serve and submission 0 free.
+pub fn remap_plan(plan: &Arc<AppPlan>, offset: u32) -> Arc<AppPlan> {
     if offset == 0 {
-        return plan.clone();
+        return Arc::clone(plan);
     }
-    AppPlan {
+    Arc::new(AppPlan {
         stages: plan
             .stages
             .iter()
@@ -220,30 +226,27 @@ pub fn remap_plan(plan: &AppPlan, offset: u32) -> AppPlan {
                     StageKind::Result => StageKind::Result,
                 },
                 rdds: s.rdds.iter().map(|&r| shift(r, offset)).collect(),
-                parents: s.parents.clone(),
+                parents: Arc::clone(&s.parents),
                 num_tasks: s.num_tasks,
             })
             .collect(),
-        jobs: plan
-            .jobs
-            .iter()
-            .map(|j| JobPlan {
-                id: j.id,
-                action: j.action.clone(),
-                stages: j.stages.clone(),
-                result_stage: j.result_stage,
-            })
-            .collect(),
-    }
+        jobs: Arc::clone(&plan.jobs),
+    })
 }
 
 /// Shift a submission's locally built reference profile into the combined
 /// RDD space. Stage and job ids stay local, matching [`remap_plan`]; the
 /// policies driven by this profile therefore see exactly the reference
 /// distances the app would have alone.
-pub fn remap_profile(profile: &AppProfile, offset: u32) -> AppProfile {
+///
+/// Copy-on-rebase, like [`remap_plan`]: the per-RDD stage/job reference
+/// lists and the stage→job table are shared with the source profile (`Arc`
+/// bump — stage and job ids never shift); only the map keys and the
+/// per-stage touch sets, which hold RDD ids, are rebuilt. Offset 0 shares
+/// the whole profile.
+pub fn remap_profile(profile: &Arc<AppProfile>, offset: u32) -> Arc<AppProfile> {
     if offset == 0 {
-        return profile.clone();
+        return Arc::clone(profile);
     }
     let per_rdd: BTreeMap<RddId, RddRefs> = profile
         .per_rdd
@@ -253,13 +256,13 @@ pub fn remap_profile(profile: &AppProfile, offset: u32) -> AppProfile {
                 shift(r, offset),
                 RddRefs {
                     rdd: shift(refs.rdd, offset),
-                    stages: refs.stages.clone(),
-                    jobs: refs.jobs.clone(),
+                    stages: Arc::clone(&refs.stages),
+                    jobs: Arc::clone(&refs.jobs),
                 },
             )
         })
         .collect();
-    AppProfile {
+    Arc::new(AppProfile {
         per_rdd,
         per_stage: profile
             .per_stage
@@ -269,9 +272,9 @@ pub fn remap_profile(profile: &AppProfile, offset: u32) -> AppProfile {
                 creates: t.creates.iter().map(|&r| shift(r, offset)).collect(),
             })
             .collect(),
-        stage_job: profile.stage_job.clone(),
+        stage_job: Arc::clone(&profile.stage_job),
         num_jobs: profile.num_jobs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -297,13 +300,17 @@ mod tests {
         let a = little_app("solo", 2);
         let c = combine_specs(&[&a]);
         assert_eq!(format!("{a:?}"), format!("{c:?}"));
-        let plan = AppPlan::build(&a);
+        let plan = Arc::new(AppPlan::build(&a));
         assert_eq!(format!("{plan:?}"), format!("{:?}", remap_plan(&plan, 0)));
-        let profile = RefAnalyzer::new(&a, &plan).profile();
+        let profile = Arc::new(RefAnalyzer::new(&a, &plan).profile());
         assert_eq!(
             format!("{profile:?}"),
             format!("{:?}", remap_profile(&profile, 0))
         );
+        // Zero offset does not copy: the remapped artifacts are the same
+        // allocations, not equal clones.
+        assert!(Arc::ptr_eq(&plan, &remap_plan(&plan, 0)));
+        assert!(Arc::ptr_eq(&profile, &remap_profile(&profile, 0)));
     }
 
     #[test]
@@ -395,7 +402,7 @@ mod tests {
     fn remapped_profile_matches_local_references() {
         let b = little_app("b", 2);
         let plan = AppPlan::build(&b);
-        let local = RefAnalyzer::new(&b, &plan).profile();
+        let local = Arc::new(RefAnalyzer::new(&b, &plan).profile());
         let off = 7u32;
         let shifted = remap_profile(&local, off);
         assert_eq!(shifted.num_jobs, local.num_jobs);
@@ -405,6 +412,9 @@ mod tests {
             assert_eq!(s.rdd.0, r.0 + off);
             assert_eq!(s.stages, refs.stages);
             assert_eq!(s.jobs, refs.jobs);
+            // The reference lists are shared, not copied.
+            assert!(Arc::ptr_eq(&s.stages, &refs.stages));
+            assert!(Arc::ptr_eq(&s.jobs, &refs.jobs));
         }
         for (t0, t1) in local.per_stage.iter().zip(&shifted.per_stage) {
             assert_eq!(

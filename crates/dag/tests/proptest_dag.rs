@@ -48,7 +48,7 @@ proptest! {
             let frontier = plan::shuffle_frontier(&spec, stage.final_rdd);
             prop_assert_eq!(frontier.len(), {
                 // Parents may be deduplicated when two edges share a stage.
-                let mut ids = stage.parents.clone();
+                let mut ids = stage.parents.to_vec();
                 ids.sort_unstable();
                 ids.dedup();
                 let mut fr: Vec<_> = frontier
@@ -79,7 +79,7 @@ proptest! {
         sorted.sort_unstable();
         prop_assert_eq!(jobs, sorted);
         // Skipped stages of a job were always created by an earlier job.
-        for job in &p.jobs {
+        for job in p.jobs.iter() {
             for s in p.skipped_stages_of_job(job.id) {
                 prop_assert!(p.stage(s).job < job.id);
             }

@@ -171,7 +171,7 @@ mod tests {
         AppProfile {
             per_rdd,
             per_stage: vec![Default::default(); max_stage as usize + 1],
-            stage_job: vec![JobId(0); max_stage as usize + 1],
+            stage_job: vec![JobId(0); max_stage as usize + 1].into(),
             num_jobs: 1,
         }
     }

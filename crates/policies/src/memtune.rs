@@ -178,25 +178,31 @@ mod tests {
                 creates: vec![],
             })
             .collect::<Vec<_>>();
-        let mut per_rdd = BTreeMap::new();
+        let mut stages_of: BTreeMap<RddId, Vec<StageId>> = BTreeMap::new();
         for (s, rs) in reads.iter().enumerate() {
             for &r in rs.iter() {
-                per_rdd
+                stages_of
                     .entry(RddId(r))
-                    .or_insert_with(|| RddRefs {
-                        rdd: RddId(r),
-                        stages: vec![],
-                        jobs: vec![],
-                    })
-                    .stages
+                    .or_default()
                     .push(StageId(s as u32));
             }
         }
-        for refs in per_rdd.values_mut() {
-            refs.jobs = refs.stages.iter().map(|_| JobId(0)).collect();
-        }
+        let per_rdd = stages_of
+            .into_iter()
+            .map(|(rdd, stages)| {
+                let jobs: Vec<JobId> = stages.iter().map(|_| JobId(0)).collect();
+                (
+                    rdd,
+                    RddRefs {
+                        rdd,
+                        stages: stages.into(),
+                        jobs: jobs.into(),
+                    },
+                )
+            })
+            .collect();
         AppProfile {
-            stage_job: vec![JobId(0); per_stage.len()],
+            stage_job: vec![JobId(0); per_stage.len()].into(),
             per_stage,
             per_rdd,
             num_jobs: 1,

@@ -40,12 +40,13 @@ fn profile() -> AppProfile {
             RddId(r),
             RddRefs {
                 rdd: RddId(r),
-                stages: vec![StageId(r), StageId(r + 3), StageId(r + 6)],
+                stages: vec![StageId(r), StageId(r + 3), StageId(r + 6)].into(),
                 jobs: vec![
                     JobId(r / 4),
                     JobId((r + 3).div_ceil(4)),
                     JobId((r + 6).div_ceil(4)),
-                ],
+                ]
+                .into(),
             },
         );
     }

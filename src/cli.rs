@@ -135,6 +135,12 @@ pub enum Command {
         /// Run the build-everything-upfront reference path instead of
         /// streaming admission/retirement.
         upfront: bool,
+        /// Disable template-interned admission: replan every submission
+        /// from scratch (the per-submission reference path).
+        no_intern: bool,
+        /// Heterogeneous template mix: workload short names the stream
+        /// cycles through (overrides the positional workload).
+        mix: Vec<String>,
         /// Inter-job schedulers to run (fifo | fair-share).
         scheds: Vec<String>,
         /// Per-tenant cache quotas to run (unlimited | equal-share | MiB).
@@ -212,6 +218,10 @@ SERVE OPTIONS (in addition to the applicable options above):
   --upfront              plan/profile/slot every submission before the
                          first event (the reference path) instead of
                          streaming admission and retirement
+  --mix <a,b,..>         heterogeneous stream: submissions cycle through
+                         these workloads (overrides the positional one)
+  --no-intern            replan every admission from scratch instead of
+                         reusing the per-template interned plan/profile
   --scheds <a,b,..>      inter-job schedulers: fifo | fair-share
                          (default fifo,fair-share)
   --quotas <a,b,..>      per-tenant cache quotas: unlimited | equal-share |
@@ -295,6 +305,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut gap_ms = 500u64;
     let mut gap_us: Option<u64> = None;
     let mut upfront = false;
+    let mut no_intern = false;
+    let mut mix: Vec<String> = Vec::new();
     let mut scheds: Vec<String> = vec!["fifo".into(), "fair-share".into()];
     let mut quotas: Vec<String> = vec!["unlimited".into(), "equal-share".into()];
     let mut positional: Vec<&String> = Vec::new();
@@ -327,6 +339,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--gap-ms" => gap_ms = f.parse_num("--gap-ms")?,
             "--arrival-gap" => gap_us = Some(f.parse_num("--arrival-gap")?),
             "--upfront" => upfront = true,
+            "--no-intern" => no_intern = true,
+            "--mix" => mix = f.parse_list("--mix")?,
             "--scheds" => scheds = f.parse_list("--scheds")?,
             "--quotas" => quotas = f.parse_list("--quotas")?,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
@@ -397,13 +411,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             params,
         }),
         "serve" => Ok(Command::Serve {
-            workload: workload_arg()?,
+            workload: if mix.is_empty() {
+                workload_arg()?
+            } else {
+                positional
+                    .first()
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| mix[0].clone())
+            },
             policy: policy.unwrap_or_else(|| "mrd".into()),
             tenants,
             apps,
             gap_ms,
             gap_us,
             upfront,
+            no_intern,
+            mix,
             scheds,
             quotas,
             cache_fraction,
@@ -861,6 +884,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             gap_ms,
             gap_us,
             upfront,
+            no_intern,
+            mix,
             scheds,
             quotas,
             cache_fraction,
@@ -870,7 +895,17 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             params,
         } => {
             use refdist_cluster::{ArrivalProcess, ServeConfig, ServeSim};
-            let w = find_workload(&workload)?;
+            // A heterogeneous mix cycles through the named workloads; the
+            // plain form is the one-workload special case.
+            let names: Vec<String> = if mix.is_empty() {
+                vec![workload.clone()]
+            } else {
+                mix.clone()
+            };
+            let ws = names
+                .iter()
+                .map(|n| find_workload(n))
+                .collect::<Result<Vec<_>, _>>()?;
             if tenants == 0 {
                 return Err("--tenants must be at least 1".into());
             }
@@ -890,22 +925,35 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 .map(|q| parse_quota(q))
                 .collect::<Result<_, _>>()?;
             build_policy(&policy)?; // validate the name before the grid runs
-            let spec = w.build(&params);
+            let specs: Vec<AppSpec> = ws.iter().map(|w| w.build(&params)).collect();
             let mut cl = cluster_preset(&cluster)?;
             if let Some(n) = nodes {
                 cl.nodes = n;
             }
-            let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+            // Size the cache against the largest template in the mix so the
+            // fraction keeps its meaning on heterogeneous streams.
+            let footprint: u64 = specs
+                .iter()
+                .map(|s| s.cached_rdds().map(|r| r.total_size()).sum::<u64>())
+                .max()
+                .unwrap_or(0);
             let cache = (((footprint as f64 * cache_fraction) / cl.nodes as f64) as u64).max(1);
             let napps = apps.unwrap_or(tenants).max(1);
             let mean_gap_us = gap_us.unwrap_or_else(|| gap_ms.saturating_mul(1_000));
-            // Submissions round-robin over the tenants; the default stream
-            // is the historical one-app-per-tenant grid.
-            let subs: Vec<(&AppSpec, u32)> =
-                (0..napps).map(|i| (&spec, i % tenants)).collect();
+            // Submissions cycle through the mix and round-robin over the
+            // tenants; the default stream is the historical
+            // one-app-per-tenant grid of one workload.
+            let subs: Vec<(&AppSpec, u32)> = (0..napps)
+                .map(|i| (&specs[i as usize % specs.len()], i % tenants))
+                .collect();
+            let label = ws
+                .iter()
+                .map(|w| w.short_name().to_string())
+                .collect::<Vec<_>>()
+                .join("+");
             let mut out = format!(
                 "{} x {} tenants on {} nodes, cache {}/node, mean gap {}ms, policy {}, seed {}\n",
-                w.short_name(),
+                label,
                 tenants,
                 cl.nodes,
                 human_bytes(cache),
@@ -930,6 +978,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                             sched,
                             quota,
                             upfront,
+                            intern: !no_intern,
                         },
                     );
                     let policies = (0..napps)
@@ -945,6 +994,12 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                         report.peak_resident_blocks,
                         human_bytes(report.peak_resident_bytes),
                     ));
+                    if report.distinct_templates > 0 {
+                        out.push_str(&format!(
+                            "admission: {} distinct templates interned over {} submissions\n",
+                            report.distinct_templates, napps
+                        ));
+                    }
                 }
             }
             Ok(out)
@@ -1221,6 +1276,8 @@ mod tests {
                 gap_ms,
                 scheds,
                 quotas,
+                no_intern,
+                mix,
                 ..
             } => {
                 assert_eq!(workload, "CC");
@@ -1229,6 +1286,8 @@ mod tests {
                 assert_eq!(gap_ms, 500);
                 assert_eq!(scheds, vec!["fifo", "fair-share"]);
                 assert_eq!(quotas, vec!["unlimited", "equal-share"]);
+                assert!(!no_intern);
+                assert!(mix.is_empty());
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -1253,6 +1312,20 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+        // --mix makes the positional workload optional; --no-intern sticks.
+        match parse(&args("serve --mix SP,CC,KM --no-intern")).unwrap() {
+            Command::Serve {
+                workload,
+                no_intern,
+                mix,
+                ..
+            } => {
+                assert_eq!(workload, "SP");
+                assert!(no_intern);
+                assert_eq!(mix, vec!["SP", "CC", "KM"]);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]
@@ -1262,6 +1335,41 @@ mod tests {
         assert!(execute(parse(&args("serve SP --scheds lottery")).unwrap()).is_err());
         assert!(execute(parse(&args("serve SP --quotas 64kb")).unwrap()).is_err());
         assert!(execute(parse(&args("serve SP --policy optimal")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve --mix SP,bogus")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn serve_mix_cycles_templates_and_reports_interning() {
+        let out = execute(
+            parse(&args(
+                "serve --mix SP,CC --policy lru --tenants 2 --apps 6 --gap-ms 50 \
+                 --nodes 2 --partitions 8 --scale 0.02 --cache-fraction 0.3 \
+                 --scheds fifo --quotas unlimited",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.starts_with("SP+CC x 2 tenants"), "{out}");
+        assert!(
+            out.contains("admission: 2 distinct templates interned over 6 submissions"),
+            "{out}"
+        );
+        // Replanning every admission must not change the simulation, only
+        // the admission-path accounting line.
+        let cold = execute(
+            parse(&args(
+                "serve --mix SP,CC --policy lru --tenants 2 --apps 6 --gap-ms 50 \
+                 --nodes 2 --partitions 8 --scale 0.02 --cache-fraction 0.3 \
+                 --scheds fifo --quotas unlimited --no-intern",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(!cold.contains("admission:"), "{cold}");
+        assert_eq!(
+            out.replace("admission: 2 distinct templates interned over 6 submissions\n", ""),
+            cold
+        );
     }
 
     #[test]

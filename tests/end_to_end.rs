@@ -240,7 +240,7 @@ fn stage_execution_respects_dependencies() {
     let r = sim.run(&mut *lru);
     // Every executed stage must start no earlier than its parents ended.
     for (sid, start, _end) in &r.stage_times {
-        for &p in &plan.stage(*sid).parents {
+        for &p in plan.stage(*sid).parents.iter() {
             let parent_end = r
                 .stage_times
                 .iter()

@@ -120,6 +120,7 @@ fn serve_fair_matches_golden() {
             sched: ServeSched::FairShare,
             quota: QuotaKind::Unlimited,
             upfront: false,
+            intern: true,
         },
     );
     let report = serve.run((0..3).map(|_| PolicyKind::Lru.build()).collect());
@@ -152,6 +153,7 @@ fn serve_survives_a_tenant_crash_mid_stream() {
             sched: ServeSched::FairShare,
             quota: QuotaKind::Unlimited,
             upfront: false,
+            intern: true,
         },
     );
     let report = serve.run((0..3).map(|_| PolicyKind::Lru.build()).collect());

@@ -110,7 +110,7 @@ proptest! {
         // Stage IDs are dense and parents strictly precede children.
         for (i, stage) in plan.stages.iter().enumerate() {
             prop_assert_eq!(stage.id.index(), i);
-            for p in &stage.parents {
+            for p in stage.parents.iter() {
                 prop_assert!(*p < stage.id);
             }
             // The pipelined set never crosses a shuffle boundary: all
@@ -122,7 +122,7 @@ proptest! {
         prop_assert_eq!(plan.jobs.len(), spec.num_jobs());
         prop_assert!(plan.total_stage_appearances() >= plan.active_stage_count());
         // Each job's result stage belongs to that job.
-        for job in &plan.jobs {
+        for job in plan.jobs.iter() {
             prop_assert_eq!(plan.stage(job.result_stage).job, job.id);
         }
     }
@@ -140,7 +140,7 @@ proptest! {
             prop_assert!(refs.stages.windows(2).all(|w| w[0] < w[1]));
             prop_assert!(refs.jobs.windows(2).all(|w| w[0] <= w[1]));
             prop_assert_eq!(refs.stages.len(), refs.jobs.len());
-            for s in &refs.stages {
+            for s in refs.stages.iter() {
                 prop_assert!(s.index() < plan.stages.len());
             }
             // The profiled RDD really is cached.

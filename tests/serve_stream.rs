@@ -50,6 +50,7 @@ fn run(n: usize, tenants: u32, upfront: bool) -> ServeReport {
             sched: ServeSched::FairShare,
             quota: QuotaKind::EqualShare,
             upfront,
+            intern: true,
         },
     );
     serve.run((0..n).map(|_| PolicyKind::Lru.build()).collect())
@@ -100,6 +101,40 @@ fn thousand_submission_stream_is_bounded_and_equivalent() {
         st.peak_arena_slots,
         st.peak_active_apps
     );
+    // Interned admission planned the structure once: 1000 submissions of a
+    // single template leave exactly one cache entry, not one per admission.
+    assert_eq!(st.distinct_templates, 1);
+    assert_eq!(up.distinct_templates, 0); // upfront never interns
+}
+
+#[test]
+fn template_cache_is_bounded_by_distinct_structures() {
+    // A 1k-submission stream cycling through three structurally distinct
+    // templates: the cache must hold at most one entry per structure, no
+    // matter how long the stream runs. Renaming alone must not split a
+    // template.
+    const N: usize = 1_000;
+    let a = little_app(2);
+    let b = little_app(3); // different partition count => different structure
+    let mut renamed = little_app(2);
+    renamed.name = "same-shape-different-name".into();
+    let specs = [&a, &b, &renamed];
+    let subs: Vec<(&AppSpec, u32)> = (0..N).map(|i| (specs[i % 3], i as u32 % 4)).collect();
+    let serve = ServeSim::new(
+        &subs,
+        ServeConfig {
+            sim: stream_cfg(42),
+            arrivals: ArrivalProcess::Poisson { mean_gap_us: 40_000 },
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::EqualShare,
+            upfront: false,
+            intern: true,
+        },
+    );
+    let report = serve.run((0..N).map(|_| PolicyKind::Lru.build()).collect());
+    assert_eq!(report.reports.len(), N);
+    // `a` and `renamed` share one template; `b` differs structurally.
+    assert_eq!(report.distinct_templates, 2);
 }
 
 #[test]
@@ -118,6 +153,7 @@ fn streaming_and_upfront_agree_on_fifo_and_quotas() {
                     sched: ServeSched::Fifo,
                     quota,
                     upfront,
+                    intern: true,
                 },
             );
             serve.run((0..subs.len()).map(|_| PolicyKind::Lru.build()).collect())
