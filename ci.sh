@@ -86,6 +86,30 @@ done
   grep -q '^tenant 2: .* p99 ' serve_smoke.txt \
     || { echo "serve smoke: missing per-tenant JCT distribution"; exit 1; }
 
+  # Resilient-serve CLI smoke: wall-clock churn + app retries + a bounded
+  # admission gate + a deadline must run end-to-end and report the
+  # stream-level resilience line and SLO attainment.
+  echo "==> refdist serve --churn smoke (scratch dir)"
+  "$OLDPWD/target/release/refdist" serve SP --policy lru --tenants 3 \
+    --gap-ms 100 --nodes 2 --partitions 8 --scale 0.02 \
+    --cache-fraction 0.3 --scheds fair-share --quotas unlimited \
+    --churn 300,100 --app-retries 2 --max-active 2 --admission queue \
+    --deadline 20000000 > serve_churn_smoke.txt
+  grep -q 'resilience: churn mtbf 300ms mttr 100ms, 2 app retries' serve_churn_smoke.txt \
+    || { echo "serve churn smoke: missing resilience header"; exit 1; }
+  grep -q '^slo: .* met the 20.000s deadline' serve_churn_smoke.txt \
+    || { echo "serve churn smoke: missing SLO attainment line"; exit 1; }
+
+  # Serve x chaos smoke: the SLO-attainment-vs-churn-rate curve must run
+  # end-to-end and the fault-free row must attain its self-calibrated
+  # deadline in full.
+  echo "==> refdist chaos --serve smoke (scratch dir)"
+  "$OLDPWD/target/release/refdist" chaos SP --serve --policies lru \
+    --rates 0,0.5 --nodes 2 --partitions 8 --scale 0.02 --tenants 2 \
+    --apps 4 --gap-ms 50 --csv > chaos_serve_smoke.csv
+  grep -q '^LRU,0.0000,.*,1.0000,' chaos_serve_smoke.csv \
+    || { echo "chaos serve smoke: fault-free row must attain 100%"; exit 1; }
+
   # Heterogeneous-mix smoke: a stream cycling through two workloads must
   # intern exactly two templates under streaming admission.
   echo "==> refdist serve --mix smoke (scratch dir)"
@@ -109,9 +133,12 @@ fi
 # files and fail if any joined metric regressed more than 10%. Each file
 # is recorded on one machine — as one bench_sched invocation or, when the
 # machine's throughput drifts in multi-minute phases, as the per-record
-# median of several alternating old/new invocations (both sides sampled
-# in the same windows, so the comparison stays apples-to-apples; pr8/pr9
-# were re-baselined that way same-day/same-machine). Set
+# best (minimum) of a dozen alternating old/new invocations: both sides
+# sampled in the same windows so the comparison stays apples-to-apples,
+# and the minimum because the workload is deterministic so noise is
+# strictly additive — the median flaps with whichever phase a round
+# lands in (pr8/pr9 were re-baselined with alternating medians, pr9/pr10
+# with alternating best-of-12, each same-day/same-machine). Set
 # REFDIST_SKIP_BENCH_GUARD=1 to skip (e.g. when re-recording baselines
 # on different hardware).
 if [[ "${REFDIST_SKIP_BENCH_GUARD:-0}" != "1" ]]; then

@@ -64,6 +64,11 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
             ("peak_slots".to_string(), v)
         } else if let Some(v) = num_field(line, "us_per_sub") {
             ("us_per_sub".to_string(), v)
+        } else if let Some(v) = num_field(line, "count") {
+            // Deterministic behaviour counts (retries, sheds, SLO hits from
+            // a fixed-seed stream) — machine-independent, so any drift is a
+            // behaviour change, not noise.
+            ("count".to_string(), v)
         } else {
             return Err(format!("{path}: record without a metric: {line}"));
         };
@@ -138,6 +143,7 @@ fn main() -> ExitCode {
             "ns_per_evict" => "ns",
             "peak_slots" => "sl",
             "us_per_sub" => "us",
+            "count" => "n",
             _ => "ms",
         };
         println!(

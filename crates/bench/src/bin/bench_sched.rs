@@ -5,7 +5,7 @@
 //! * `BENCH_sched_linear.json` — `linear`: the original per-task linear
 //!   scans (`SimConfig::linear_sched`), including the full nodes×cores scan
 //!   per task that delay scheduling performs.
-//! * `BENCH_pr9.json` — `indexed`: the incrementally maintained
+//! * `BENCH_pr10.json` — `indexed`: the incrementally maintained
 //!   [`SlotIndex`](refdist_cluster) ordered-set scheduler (the default).
 //!
 //! The workload is a wide iterative app — 8 partitions per node, so every
@@ -14,13 +14,21 @@
 //! large clusters. Reports from both schedulers are asserted byte-identical
 //! before any timing is recorded.
 //!
-//! `BENCH_pr9.json` additionally re-measures the `bench_cache` macro
+//! `BENCH_pr10.json` additionally re-measures the `bench_cache` macro
 //! protocol (`cc_sweep` on dense state, fault-free and chaotic) and the
 //! `serve` suite (multi-tenant streams under fair-share scheduling and
 //! equal-share quotas) so `ci.sh`'s regression guard can join them against
-//! the checked-in `BENCH_pr8.json` from the same machine — the streaming
+//! the checked-in `BENCH_pr9.json` from the same machine — the streaming
 //! serve driver threads through the engine's admission/retirement hooks,
 //! and this is the check that neither costs anything on the macro paths.
+//!
+//! A `serve_resilience` suite sweeps churn rate (off / mild / harsh MTBF)
+//! against the admission policy (queue vs shed) over 1024-app resilient
+//! streams: app-level retry with backoff, a bounded admission gate, and a
+//! per-submission deadline. The fault-free cells price the resilience
+//! control plane itself; the churned cells assert nonzero app retries (and
+//! sheds, under the shedding gate) and record deterministic retry/shed/SLO
+//! counts alongside wall time, so the guard pins behaviour as well as cost.
 //!
 //! An `admission` suite times the admission-planning path alone — build or
 //! intern the template's local-space plan/profile, rebase to the
@@ -49,8 +57,8 @@
 
 use refdist_bench::{cache_for_fraction, ExpContext, PolicySpec};
 use refdist_cluster::{
-    ArrivalProcess, ClusterConfig, QuotaKind, RunReport, ServeConfig, ServeReport, ServeSched,
-    ServeSim, SimConfig, Simulation,
+    AdmissionPolicy, ArrivalProcess, ClusterConfig, QuotaKind, ResilienceConfig, RunReport,
+    ServeConfig, ServeReport, ServeSched, ServeSim, SimConfig, Simulation,
 };
 use refdist_core::ProfileMode;
 use refdist_dag::{AppBuilder, AppPlan, AppSpec, StorageLevel};
@@ -60,7 +68,7 @@ use std::time::Instant;
 
 struct Record {
     suite: &'static str,
-    bench: &'static str,
+    bench: String,
     policy: String,
     blocks: usize,
     protocol: &'static str,
@@ -240,6 +248,7 @@ fn time_serve(policy: PolicySpec, tenants: u32) -> f64 {
             // serve_stream suite covers streaming.
             upfront: true,
             intern: true,
+            resilience: Default::default(),
         },
     );
     let reps = if quick() { 1 } else { 20 };
@@ -324,9 +333,70 @@ fn time_serve_stream(
                 quota: QuotaKind::EqualShare,
                 upfront,
                 intern: true,
+                resilience: Default::default(),
             },
         );
         let r = serve.run(policies);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        report = Some(r);
+    }
+    (best_ms, report.expect("at least one rep"))
+}
+
+/// Best-of-reps wall ms for one resilient serve cell: the stream-app stream
+/// under a non-passive [`ResilienceConfig`] (bounded admission, app-level
+/// retry, a deadline), optionally with wall-clock node churn plus the
+/// retry-exhausting task-fault storm from the serve x chaos tests. Uses
+/// `run_with` — the retry path needs a fresh policy per admission attempt.
+/// `mtbf_us == None` is the fault-free control: it prices the resilience
+/// control plane itself (admission gate, deadline accounting) with zero
+/// faults on the stream.
+fn time_serve_resilience(
+    spec: &AppSpec,
+    apps: u32,
+    mtbf_us: Option<u64>,
+    admission: AdmissionPolicy,
+) -> (f64, ServeReport) {
+    let tenants = 4;
+    let subs: Vec<(&AppSpec, u32)> = (0..apps).map(|i| (spec, i % tenants)).collect();
+    let reps = if quick() { 1 } else { 5 };
+    let mut best_ms = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps {
+        let mut sim = SimConfig::new(ClusterConfig::tiny(2, 512 * 1024));
+        sim.seed = 42;
+        sim.compute_jitter = 0.0;
+        sim.exec_mem_fraction = 0.0;
+        if let Some(mtbf) = mtbf_us {
+            // Task faults with a tight attempt budget are what hand the
+            // app-level retry path real work; churn drives recovery churn
+            // (cold rejoins, migrations) on top.
+            sim.faults.task_failure_p = 0.02;
+            sim.faults.max_task_attempts = 2;
+            sim.faults.node_churn(mtbf, mtbf / 4);
+        }
+        let start = Instant::now();
+        let serve = ServeSim::new(
+            &subs,
+            ServeConfig {
+                sim,
+                arrivals: ArrivalProcess::Poisson { mean_gap_us: 40_000 },
+                sched: ServeSched::FairShare,
+                quota: QuotaKind::EqualShare,
+                upfront: false,
+                intern: true,
+                resilience: ResilienceConfig {
+                    max_app_attempts: 3,
+                    retry_backoff_us: 10_000,
+                    max_retry_backoff_us: 80_000,
+                    admission,
+                    max_active_apps: Some(8),
+                    queue_cap: Some(16),
+                    deadline_us: Some(2_000_000),
+                },
+            },
+        );
+        let r = serve.run_with(|_| refdist_policies::PolicyKind::Lru.build());
         best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
         report = Some(r);
     }
@@ -405,7 +475,7 @@ fn main() {
         ] {
             out.push(Record {
                 suite: "sched",
-                bench: "task_placement",
+                bench: "task_placement".into(),
                 policy: "LRU".into(),
                 blocks: nodes as usize,
                 protocol,
@@ -446,7 +516,7 @@ fn main() {
         for (bench, value) in [("wide_app_ref", ref_ms), ("wide_app", eng_ms)] {
             indexed_records.push(Record {
                 suite: "sim_throughput",
-                bench,
+                bench: bench.into(),
                 policy: "LRU".into(),
                 blocks: nodes as usize,
                 protocol: if bench == "wide_app" { "engine" } else { "reference" },
@@ -473,7 +543,7 @@ fn main() {
         );
         indexed_records.push(Record {
             suite: "sim_throughput",
-            bench: "mega",
+            bench: "mega".into(),
             policy: "LRU".into(),
             blocks: nodes as usize,
             protocol: "engine",
@@ -489,7 +559,7 @@ fn main() {
         println!("{:<10} {:>9.0} ms", policy.name(), ms);
         indexed_records.push(Record {
             suite: "macro",
-            bench: "cc_sweep",
+            bench: "cc_sweep".into(),
             policy: policy.name().into(),
             blocks: 0,
             protocol: "indexed",
@@ -507,7 +577,7 @@ fn main() {
         // blocks), and this run must not shadow the fault-free record.
         indexed_records.push(Record {
             suite: "macro",
-            bench: "cc_sweep_chaos",
+            bench: "cc_sweep_chaos".into(),
             policy: "LRU".into(),
             blocks: 0,
             protocol: "chaos",
@@ -529,7 +599,7 @@ fn main() {
         // these rows, covering the EventQueue-driven serve selection loop.
         indexed_records.push(Record {
             suite: "serve",
-            bench: "cc_stream",
+            bench: "cc_stream".into(),
             policy: policy.name().into(),
             blocks: tenants as usize,
             protocol: "fair-share",
@@ -605,13 +675,109 @@ fn main() {
         ] {
             indexed_records.push(Record {
                 suite: "serve_stream",
-                bench,
+                bench: bench.into(),
                 policy: "LRU".into(),
                 blocks: apps as usize,
                 protocol: if bench == upfront_bench { "upfront" } else { "streaming" },
                 metric,
                 value,
             });
+        }
+    }
+
+    println!();
+    println!("== serve_resilience: churn rate x admission policy, resilient streams (ms) ==");
+    println!(
+        "{:<12} {:>10} {:>6} {:>11} {:>8} {:>6} {:>6} {:>10}",
+        "cell", "mtbf ms", "apps", "wall", "retries", "shed", "degr", "slo"
+    );
+    let resil_apps: u32 = if quick() { 64 } else { 1024 };
+    let resil_cells: &[(&str, Option<u64>, AdmissionPolicy)] = &[
+        ("ff_queue", None, AdmissionPolicy::Queue),
+        ("ff_shed", None, AdmissionPolicy::Shed),
+        ("mild_queue", Some(800_000), AdmissionPolicy::Queue),
+        ("mild_shed", Some(800_000), AdmissionPolicy::Shed),
+        ("harsh_queue", Some(400_000), AdmissionPolicy::Queue),
+        ("harsh_shed", Some(400_000), AdmissionPolicy::Shed),
+    ];
+    for &(bench, mtbf_us, admission) in resil_cells {
+        let (ms, report) = time_serve_resilience(&stream_spec, resil_apps, mtbf_us, admission);
+        let res = report
+            .resilience
+            .as_ref()
+            .expect("a non-passive config always reports resilience");
+        // Per-tenant SLO attainment: shed submissions count as misses, so
+        // met + missed covers the whole stream when a deadline is set.
+        let tenants = 4usize;
+        let mut met = vec![0u64; tenants];
+        let mut total = vec![0u64; tenants];
+        for i in 0..report.reports.len() {
+            let t = report.tenants[i] as usize;
+            if let Some(ok) = res.met_deadline(i, report.arrivals[i], report.completions[i]) {
+                total[t] += 1;
+                if ok {
+                    met[t] += 1;
+                }
+            }
+        }
+        let slo_met: u64 = met.iter().sum();
+        let slo_total: u64 = total.iter().sum();
+        println!(
+            "{:<12} {:>10} {:>6} {:>8.1} ms {:>8} {:>6} {:>6} {:>6}/{}",
+            bench,
+            mtbf_us.map_or("-".into(), |m| (m / 1_000).to_string()),
+            resil_apps,
+            ms,
+            res.total_retries(),
+            res.shed_count(),
+            res.degraded_count(),
+            slo_met,
+            slo_total
+        );
+        // The churned cells must exercise the machinery they price: the
+        // fault storm has to force app-level retries, and under a shedding
+        // gate the recovery backlog has to push arrivals past the cap.
+        // Quick mode's short streams stay unasserted.
+        if !quick() && mtbf_us.is_some() {
+            assert!(
+                res.total_retries() > 0,
+                "{bench}: churned stream saw no app-level retries"
+            );
+            if admission == AdmissionPolicy::Shed {
+                assert!(
+                    res.shed_count() > 0,
+                    "{bench}: churned shedding stream shed nothing"
+                );
+            }
+        }
+        indexed_records.push(Record {
+            suite: "serve_resilience",
+            bench: bench.into(),
+            policy: "LRU".into(),
+            blocks: resil_apps as usize,
+            protocol: if mtbf_us.is_some() { "churn" } else { "fault-free" },
+            metric: "ms_total",
+            value: ms,
+        });
+        // Deterministic resilience accounting (fixed seed, deterministic
+        // engine): recorded as machine-independent count rows so the guard
+        // also pins the fault/retry/SLO behaviour, not just the wall time.
+        if mtbf_us.is_some() {
+            for (suffix, value) in [
+                ("retries", res.total_retries() as f64),
+                ("shed", res.shed_count() as f64),
+                ("slo_met", slo_met as f64),
+            ] {
+                indexed_records.push(Record {
+                    suite: "serve_resilience",
+                    bench: format!("{bench}_{suffix}"),
+                    policy: "LRU".into(),
+                    blocks: resil_apps as usize,
+                    protocol: "churn",
+                    metric: "count",
+                    value,
+                });
+            }
         }
     }
 
@@ -653,7 +819,7 @@ fn main() {
         for (protocol, value) in [("cold", cold_ms), ("interned", hot_ms)] {
             indexed_records.push(Record {
                 suite: "admission",
-                bench,
+                bench: bench.into(),
                 policy: "LRU".into(),
                 blocks: adm_apps as usize,
                 protocol,
@@ -665,7 +831,7 @@ fn main() {
 
     for (path, records) in [
         ("BENCH_sched_linear.json", &linear_records),
-        ("BENCH_pr9.json", &indexed_records),
+        ("BENCH_pr10.json", &indexed_records),
     ] {
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {

@@ -92,6 +92,7 @@ fn run_cell(
             quota,
             upfront: false,
             intern: true,
+            resilience: Default::default(),
         },
     );
     serve.run((0..n).map(|_| build(policy)).collect())

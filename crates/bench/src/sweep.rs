@@ -23,12 +23,11 @@
 use crate::{cache_for_fraction, run_one_prepared, ExpContext, PolicySpec, PreparedWorkload};
 use parking_lot::Mutex;
 use refdist_cluster::{
-    ArrivalProcess, EngineScratch, QuotaKind, RunReport, ServeConfig, ServeSched, ServeSim,
-    SimConfig,
+    ArrivalProcess, EngineScratch, QuotaKind, ResilienceConfig, RunReport, ServeConfig,
+    ServeSched, ServeSim, SimConfig,
 };
 use refdist_core::ProfileMode;
 use refdist_dag::AppSpec;
-use refdist_policies::CachePolicy;
 use refdist_metrics::{CsvWriter, OrderedSink, TextTable};
 use refdist_workloads::Workload;
 use std::cell::RefCell;
@@ -98,6 +97,10 @@ pub struct ServeAxis {
     pub sched: ServeSched,
     /// Per-tenant cache quota policy.
     pub quota: QuotaKind,
+    /// Serve-mode resilience knobs (app-level retry, admission control,
+    /// SLO deadline). The passive default keeps the cell's key and seed in
+    /// their pre-resilience shapes, so historical grids stay stable.
+    pub resilience: ResilienceConfig,
 }
 
 /// One point of a sweep grid.
@@ -143,6 +146,18 @@ impl SweepCell {
                 "/t{}/g{}/{}/q{}",
                 ax.tenants, ax.mean_gap_us, ax.sched, ax.quota
             ));
+            // Passive resilience keeps the pre-resilience key shape.
+            if !ax.resilience.is_passive() {
+                let r = &ax.resilience;
+                key.push_str(&format!(
+                    "/r{}-{}-m{}-c{}-d{}",
+                    r.max_app_attempts,
+                    r.admission,
+                    r.max_active_apps.unwrap_or(0),
+                    r.queue_cap.unwrap_or(0),
+                    r.deadline_us.unwrap_or(0)
+                ));
+            }
         }
         key
     }
@@ -168,6 +183,18 @@ impl SweepCell {
                 "|t{}|g{}|{}|q{}",
                 ax.tenants, ax.mean_gap_us, ax.sched, ax.quota
             ));
+            // Passive resilience keeps the pre-resilience seed shape.
+            if !ax.resilience.is_passive() {
+                let r = &ax.resilience;
+                env_key.push_str(&format!(
+                    "|r{}-{}-m{}-c{}-d{}",
+                    r.max_app_attempts,
+                    r.admission,
+                    r.max_active_apps.unwrap_or(0),
+                    r.queue_cap.unwrap_or(0),
+                    r.deadline_us.unwrap_or(0)
+                ));
+            }
         }
         // FNV-1a over the key, finalized with a splitmix64 round so nearby
         // keys land far apart in seed space.
@@ -344,6 +371,26 @@ pub struct ServePeaks {
     pub resident_bytes: u64,
 }
 
+/// Stream-level SLO accounting of a resilient serve cell, folded from the
+/// per-submission [`refdist_cluster::ResilienceReport`]. Only serve cells
+/// with a non-passive [`ResilienceConfig`] have one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSlo {
+    /// Total app-level retries across the stream.
+    pub retries: u64,
+    /// Submissions shed at admission.
+    pub shed: u64,
+    /// Submissions admitted with caching bypassed.
+    pub degraded: u64,
+    /// Submissions that missed the configured deadline (shed included);
+    /// zero when no deadline was configured.
+    pub deadline_misses: u64,
+    /// 95th-percentile admission-queue delay, microseconds.
+    pub queue_p95_us: u64,
+    /// 99th-percentile admission-queue delay, microseconds.
+    pub queue_p99_us: u64,
+}
+
 /// One completed cell.
 #[derive(Debug, Clone)]
 pub struct CellResult {
@@ -355,6 +402,8 @@ pub struct CellResult {
     pub report: RunReport,
     /// High-water marks of the serve stream, for serve cells only.
     pub serve_peaks: Option<ServePeaks>,
+    /// SLO accounting, for serve cells with non-passive resilience only.
+    pub serve_slo: Option<ServeSlo>,
 }
 
 /// All results of a sweep, in canonical cell order.
@@ -462,6 +511,12 @@ impl SweepResults {
             "peak_arena_slots",
             "peak_resident_blocks",
             "peak_resident_bytes",
+            "app_retries",
+            "shed",
+            "degraded",
+            "deadline_misses",
+            "queue_p95_us",
+            "queue_p99_us",
         ]);
         for c in &self.cells {
             let s = &c.report.stats;
@@ -469,6 +524,10 @@ impl SweepResults {
             // which have no stream to peak over.
             let peaks = |f: fn(&ServePeaks) -> u64| {
                 c.serve_peaks.map_or(String::new(), |p| f(&p).to_string())
+            };
+            // SLO accounting; empty cells whenever resilience was passive.
+            let slo = |f: fn(&ServeSlo) -> u64| {
+                c.serve_slo.map_or(String::new(), |s| f(&s).to_string())
             };
             w.row([
                 c.cell.workload.short_name().to_string(),
@@ -492,6 +551,12 @@ impl SweepResults {
                 peaks(|p| p.arena_slots),
                 peaks(|p| p.resident_blocks),
                 peaks(|p| p.resident_bytes),
+                slo(|s| s.retries),
+                slo(|s| s.shed),
+                slo(|s| s.degraded),
+                slo(|s| s.deadline_misses),
+                slo(|s| s.queue_p95_us),
+                slo(|s| s.queue_p99_us),
             ]);
         }
         w.finish().to_string()
@@ -545,7 +610,7 @@ fn run_serve_cell(
     cache_bytes: u64,
     policy: PolicySpec,
     ax: ServeAxis,
-) -> (RunReport, ServePeaks) {
+) -> (RunReport, ServePeaks, Option<ServeSlo>) {
     assert!(
         policy != PolicySpec::Belady,
         "Belady-MIN is excluded from serve cells (no whole-run trace under interleaving)"
@@ -564,18 +629,43 @@ fn run_serve_cell(
             quota: ax.quota,
             upfront: false,
             intern: true,
+            resilience: ax.resilience,
         },
     );
-    let policies: Vec<Box<dyn CachePolicy>> =
-        (0..ax.tenants).map(|_| policy.build(None)).collect();
-    let report = serve.run(policies);
+    // App-level retry needs a fresh policy instance per admission, so serve
+    // cells always go through the factory path.
+    let report = serve.run_with(|_| policy.build(None));
     let peaks = ServePeaks {
         active_apps: report.peak_active_apps,
         arena_slots: report.peak_arena_slots,
         resident_blocks: report.peak_resident_blocks,
         resident_bytes: report.peak_resident_bytes,
     };
-    (report.merged_report(), peaks)
+    let slo = report.resilience.as_ref().map(|res| {
+        let mut delays: Vec<u64> = res.queue_delay_us.clone();
+        delays.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if delays.is_empty() {
+                return 0;
+            }
+            let rank = ((delays.len() as f64) * q).ceil() as usize;
+            delays[rank.clamp(1, delays.len()) - 1]
+        };
+        let deadline_misses = (0..report.reports.len())
+            .filter(|&i| {
+                res.met_deadline(i, report.arrivals[i], report.completions[i]) == Some(false)
+            })
+            .count() as u64;
+        ServeSlo {
+            retries: res.total_retries(),
+            shed: res.shed_count(),
+            degraded: res.degraded_count(),
+            deadline_misses,
+            queue_p95_us: pct(0.95),
+            queue_p99_us: pct(0.99),
+        }
+    });
+    (report.merged_report(), peaks, slo)
 }
 
 /// Run every cell of `grid` on a worker pool and aggregate the reports in
@@ -610,14 +700,15 @@ pub fn run_sweep(grid: &SweepGrid, ctx: &ExpContext, opts: &SweepOptions) -> Swe
             cell_ctx.faults = refdist_cluster::FaultPlan::chaos(cell.chaos);
         }
         let cell_started = Instant::now();
-        let (report, serve_peaks) = if let Some(ax) = cell.serve {
-            let (report, peaks) = run_serve_cell(prep, &cell_ctx, cache_bytes, cell.policy, ax);
-            (report, Some(peaks))
+        let (report, serve_peaks, serve_slo) = if let Some(ax) = cell.serve {
+            let (report, peaks, slo) =
+                run_serve_cell(prep, &cell_ctx, cache_bytes, cell.policy, ax);
+            (report, Some(peaks), slo)
         } else {
             let report = SCRATCH.with(|s| {
                 run_one_prepared(prep, &cell_ctx, cache_bytes, cell.policy, &mut s.borrow_mut())
             });
-            (report, None)
+            (report, None, None)
         };
         progress.cell_done(&cell.key(), cell_started.elapsed());
         CellResult {
@@ -625,6 +716,7 @@ pub fn run_sweep(grid: &SweepGrid, ctx: &ExpContext, opts: &SweepOptions) -> Swe
             cache_bytes,
             report,
             serve_peaks,
+            serve_slo,
         }
     });
 
@@ -738,6 +830,7 @@ mod tests {
             mean_gap_us: 200_000,
             sched: ServeSched::FairShare,
             quota: QuotaKind::EqualShare,
+            resilience: Default::default(),
         };
         let served = SweepCell {
             serve: Some(ax),
@@ -786,6 +879,7 @@ mod tests {
             mean_gap_us: 100_000,
             sched: ServeSched::FairShare,
             quota: QuotaKind::EqualShare,
+            resilience: Default::default(),
         };
         let grid = SweepGrid::new(vec![Workload::KMeans], vec![PolicySpec::Lru])
             .fractions(&[0.5])
@@ -800,6 +894,133 @@ mod tests {
         assert_eq!(served.report.tasks, 3 * single.report.tasks);
         assert!(served.report.jct >= single.report.jct);
         assert!(served.report.app.contains('+'), "{}", served.report.app);
+    }
+
+    #[test]
+    fn resilience_axis_is_invisible_when_passive() {
+        use refdist_cluster::AdmissionPolicy;
+        let ax = ServeAxis {
+            tenants: 3,
+            mean_gap_us: 200_000,
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::EqualShare,
+            resilience: Default::default(),
+        };
+        let base = SweepCell {
+            workload: Workload::KMeans,
+            policy: PolicySpec::Lru,
+            capacity_frac: 0.4,
+            seed: 42,
+            chaos: 0.0,
+            serve: Some(ax),
+        };
+        // A passive config — even one with non-default backoff knobs, which
+        // only matter once retries happen — keeps the pre-resilience key and
+        // seed shapes, so historical serve grids stay byte-stable.
+        let tuned_but_passive = SweepCell {
+            serve: Some(ServeAxis {
+                resilience: ResilienceConfig {
+                    retry_backoff_us: 123,
+                    max_retry_backoff_us: 456,
+                    admission: AdmissionPolicy::Degrade,
+                    ..Default::default()
+                },
+                ..ax
+            }),
+            ..base
+        };
+        assert_eq!(
+            base.key(),
+            "KM/LRU/f0.4000/s42/t3/g200000/fair-share/qequal-share"
+        );
+        assert_eq!(base.key(), tuned_but_passive.key());
+        assert_eq!(base.sim_seed(42), tuned_but_passive.sim_seed(42));
+        // Any gating field extends both, and distinct configs get distinct
+        // fault/arrival randomness.
+        let resilient = SweepCell {
+            serve: Some(ServeAxis {
+                resilience: ResilienceConfig {
+                    max_app_attempts: 3,
+                    admission: AdmissionPolicy::Shed,
+                    max_active_apps: Some(2),
+                    queue_cap: Some(4),
+                    deadline_us: Some(5_000_000),
+                    ..Default::default()
+                },
+                ..ax
+            }),
+            ..base
+        };
+        assert_eq!(
+            resilient.key(),
+            "KM/LRU/f0.4000/s42/t3/g200000/fair-share/qequal-share/r3-shed-m2-c4-d5000000"
+        );
+        assert_ne!(base.sim_seed(42), resilient.sim_seed(42));
+        // Policies at one resilient grid point still share randomness.
+        assert_eq!(
+            resilient.sim_seed(42),
+            SweepCell {
+                policy: PolicySpec::MrdFull,
+                ..resilient
+            }
+            .sim_seed(42)
+        );
+    }
+
+    #[test]
+    fn resilient_serve_cells_report_slo_columns() {
+        use refdist_cluster::AdmissionPolicy;
+        let ctx = tiny_ctx();
+        let passive = ServeAxis {
+            tenants: 3,
+            mean_gap_us: 0,
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::EqualShare,
+            resilience: Default::default(),
+        };
+        // All three tenants arrive at t=0; one admission slot and a shedding
+        // policy means exactly two submissions are turned away.
+        let shedding = ServeAxis {
+            resilience: ResilienceConfig {
+                admission: AdmissionPolicy::Shed,
+                max_active_apps: Some(1),
+                deadline_us: Some(1),
+                ..Default::default()
+            },
+            ..passive
+        };
+        let grid = SweepGrid::new(vec![Workload::KMeans], vec![PolicySpec::Lru])
+            .fractions(&[0.5])
+            .serve(&[Some(passive), Some(shedding)]);
+        let res = run_sweep(&grid, &ctx, &SweepOptions::default().threads(2));
+        assert_eq!(res.cells.len(), 2);
+        let quiet = &res.cells[0];
+        let shed = &res.cells[1];
+        assert!(
+            quiet.serve_slo.is_none(),
+            "passive resilience must not grow an SLO report"
+        );
+        let slo = shed.serve_slo.expect("non-passive cell reports SLO stats");
+        assert_eq!(slo.shed, 2, "one slot, three simultaneous arrivals");
+        assert_eq!(slo.degraded, 0);
+        assert!(
+            slo.deadline_misses >= 2,
+            "shed submissions always miss the deadline"
+        );
+        // The CSV carries the SLO columns: empty for the passive cell,
+        // populated for the resilient one.
+        let csv = res.csv();
+        let rows: Vec<&str> = csv.lines().collect();
+        assert_eq!(rows.len(), 3, "header + one row per cell");
+        assert!(rows[0].ends_with(
+            "app_retries,shed,degraded,deadline_misses,queue_p95_us,queue_p99_us"
+        ));
+        assert!(rows[1].ends_with(",,,,,"), "{}", rows[1]);
+        assert!(
+            rows[2].contains(",2,0,") && !rows[2].ends_with(",,,,,"),
+            "{}",
+            rows[2]
+        );
     }
 
     #[test]

@@ -129,12 +129,14 @@ fn serve_cells_are_byte_identical_across_thread_counts() {
             mean_gap_us: 100_000,
             sched: ServeSched::FairShare,
             quota: QuotaKind::EqualShare,
+            resilience: Default::default(),
         }),
         Some(ServeAxis {
             tenants: 2,
             mean_gap_us: 50_000,
             sched: ServeSched::Fifo,
             quota: QuotaKind::Unlimited,
+            resilience: Default::default(),
         }),
     ]);
     let sequential = run_sweep(&grid, &ctx, &SweepOptions::default().threads(1));
@@ -183,12 +185,14 @@ fn streaming_serve_cells_are_byte_identical_across_thread_counts() {
             mean_gap_us: 20_000,
             sched: ServeSched::FairShare,
             quota: QuotaKind::EqualShare,
+            resilience: Default::default(),
         }),
         Some(ServeAxis {
             tenants: 5,
             mean_gap_us: 10_000,
             sched: ServeSched::Fifo,
             quota: QuotaKind::Unlimited,
+            resilience: Default::default(),
         }),
     ]);
     let sequential = run_sweep(&grid, &ctx, &SweepOptions::default().threads(1));

@@ -14,6 +14,18 @@
 //!   the manager re-issues the distance-table replica, paper §4.4);
 //! * **slowdown windows** ([`Slowdown`]) — a node's compute runs `factor`×
 //!   slower for a stage interval (transient noisy-neighbour effects);
+//! * **wall-clock events** ([`TimedCrash`], [`TimedSlowdown`]) — the same
+//!   two shapes indexed by simulated *time* instead of stage id. Stage ids
+//!   are per-application, which makes stage-indexed events meaningless
+//!   across a serve stream (each submission replays stages `0..n`, so a
+//!   stage-indexed crash fires once per matching stage of *every* app);
+//!   timed events fire against the cluster-wide clock high-water mark and
+//!   hit whichever app happens to be running;
+//! * **churn** ([`ChurnProcess`]) — a stochastic membership process: each
+//!   node alternates exponentially distributed up (MTBF) and down (MTTR)
+//!   intervals, drawn from a dedicated salted RNG stream (the fault-seed
+//!   pattern) so churn timing is independent of every other random stream
+//!   and of which applications the stream happens to contain;
 //! * **stochastic processes** — per-task-attempt failure probability
 //!   (failed attempts retry with capped exponential backoff up to
 //!   [`FaultPlan::max_task_attempts`], then the run aborts), and per-fetch /
@@ -31,6 +43,18 @@
 use refdist_dag::StageId;
 
 /// One scripted executor loss.
+///
+/// **Serve-mode indexing:** stage ids are *per application* — every
+/// submission in a serve stream replays local stages `0..n`. A
+/// stage-indexed crash therefore fires at the first stage start whose local
+/// id reaches `at_stage` (fire-once, tracked cluster-wide), i.e. against the
+/// merged stream's stage numbering, not against any one submission. Which
+/// submission that is depends only on arrival order and per-app stage
+/// counts, both fixed by the seed — so a chaos seed yields the same fault
+/// sequence under the streaming, upfront, and interned drivers (pinned by
+/// `chaos_fault_sequence_is_driver_invariant` in `differential_serve.rs`).
+/// For events that must not depend on stream composition at all, use
+/// [`TimedCrash`]/[`ChurnProcess`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrashEvent {
     /// Node that crashes.
@@ -63,6 +87,60 @@ impl Slowdown {
     }
 }
 
+/// One scripted executor loss indexed by simulated wall-clock time instead
+/// of stage id. In serve mode stage ids belong to whichever application is
+/// running, so [`CrashEvent`] timing depends on stream composition; a
+/// `TimedCrash` fires once, when the cluster clock's high-water mark first
+/// reaches `at_time_us`, regardless of what is running.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedCrash {
+    /// Node that crashes.
+    pub node: u32,
+    /// Simulated time (microseconds) at which the crash fires. The engine
+    /// checks at stage starts, so the effective firing point is the first
+    /// stage boundary at or after this instant.
+    pub at_time_us: u64,
+    /// `None`: storage wiped, executor replaced immediately. `Some(d)`: the
+    /// node is down for `d` microseconds of simulated time, then rejoins
+    /// with cold caches.
+    pub rejoin_after_us: Option<u64>,
+}
+
+/// A transient compute slowdown on one node over a wall-clock window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedSlowdown {
+    /// Affected node.
+    pub node: u32,
+    /// Compute-time multiplier (values below 1 are clamped to 1).
+    pub factor: f64,
+    /// Start of the window, simulated microseconds.
+    pub from_time_us: u64,
+    /// End of the window (exclusive); `None` = permanent.
+    pub until_time_us: Option<u64>,
+}
+
+impl TimedSlowdown {
+    /// Whether the window covers the instant `t` (microseconds).
+    pub fn active_at_time(&self, t: u64) -> bool {
+        t >= self.from_time_us && self.until_time_us.is_none_or(|u| t < u)
+    }
+}
+
+/// Continuous stochastic membership churn: every node alternates
+/// exponentially distributed up intervals (mean [`ChurnProcess::mtbf_us`])
+/// and down intervals (mean [`ChurnProcess::mttr_us`]). Failures wipe the
+/// node's storage exactly like a scripted downtime crash; repairs rejoin it
+/// cold. All draws come from a dedicated salted stream of the master seed,
+/// so a given seed produces one fixed fault timeline no matter which
+/// applications the run contains or which serve driver executes them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnProcess {
+    /// Mean time between failures per node, simulated microseconds.
+    pub mtbf_us: u64,
+    /// Mean time to repair per node, simulated microseconds.
+    pub mttr_us: u64,
+}
+
 /// Everything that can go wrong in one run. `FaultPlan::default()` is the
 /// empty plan: no events, zero probabilities, speculation off — runs are
 /// byte-identical to a fault-free build (the differential tests prove it).
@@ -72,6 +150,12 @@ pub struct FaultPlan {
     pub crashes: Vec<CrashEvent>,
     /// Transient compute slowdowns.
     pub slowdowns: Vec<Slowdown>,
+    /// Wall-clock-indexed executor losses.
+    pub timed_crashes: Vec<TimedCrash>,
+    /// Wall-clock-indexed compute slowdowns.
+    pub timed_slowdowns: Vec<TimedSlowdown>,
+    /// Stochastic membership churn; `None` = nodes never churn.
+    pub churn: Option<ChurnProcess>,
     /// Probability that a task attempt fails after doing its work.
     pub task_failure_p: f64,
     /// Probability that a remote-memory fetch fails mid-flight (the reader
@@ -98,6 +182,9 @@ impl Default for FaultPlan {
         FaultPlan {
             crashes: Vec::new(),
             slowdowns: Vec::new(),
+            timed_crashes: Vec::new(),
+            timed_slowdowns: Vec::new(),
+            churn: None,
             task_failure_p: 0.0,
             fetch_failure_p: 0.0,
             disk_failure_p: 0.0,
@@ -115,6 +202,9 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.crashes.is_empty()
             && self.slowdowns.is_empty()
+            && self.timed_crashes.is_empty()
+            && self.timed_slowdowns.is_empty()
+            && self.churn.is_none()
             && self.task_failure_p == 0.0
             && self.fetch_failure_p == 0.0
             && self.disk_failure_p == 0.0
@@ -141,6 +231,42 @@ impl FaultPlan {
             at_stage,
             rejoin_after: Some(down_stages),
         });
+        self
+    }
+
+    /// A wall-clock crash at `at_time_us` with the node down for
+    /// `down_us` microseconds before rejoining cold; `down_us = None` is
+    /// the instant-replacement shape.
+    pub fn timed_crash(&mut self, node: u32, at_time_us: u64, down_us: Option<u64>) -> &mut Self {
+        self.timed_crashes.push(TimedCrash {
+            node,
+            at_time_us,
+            rejoin_after_us: down_us,
+        });
+        self
+    }
+
+    /// A wall-clock slowdown window on `node`.
+    pub fn timed_slowdown(
+        &mut self,
+        node: u32,
+        factor: f64,
+        from_time_us: u64,
+        until_time_us: Option<u64>,
+    ) -> &mut Self {
+        self.timed_slowdowns.push(TimedSlowdown {
+            node,
+            factor,
+            from_time_us,
+            until_time_us,
+        });
+        self
+    }
+
+    /// Enable continuous membership churn with the given per-node mean
+    /// up/down times (microseconds).
+    pub fn node_churn(&mut self, mtbf_us: u64, mttr_us: u64) -> &mut Self {
+        self.churn = Some(ChurnProcess { mtbf_us, mttr_us });
         self
     }
 
@@ -180,6 +306,19 @@ impl FaultPlan {
         f
     }
 
+    /// Combined wall-clock slowdown factor for `node` at instant `t`
+    /// (microseconds) — the product of every active timed window's
+    /// (clamped) factor.
+    pub fn slow_factor_at_time(&self, node: u32, t: u64) -> f64 {
+        let mut f = 1.0;
+        for s in &self.timed_slowdowns {
+            if s.node == node && s.active_at_time(t) {
+                f *= s.factor.max(1.0);
+            }
+        }
+        f
+    }
+
     /// Backoff before retry number `failures` (1-based), capped.
     pub fn backoff_us(&self, failures: u32) -> u64 {
         let shift = failures.saturating_sub(1).min(20);
@@ -192,7 +331,10 @@ impl FaultPlan {
     /// crashes redirect homed tasks and speculation launches copies, both on
     /// the globally earliest slot.
     pub fn needs_global_slots(&self) -> bool {
-        self.speculation_quantile > 0.0 || self.crashes.iter().any(|c| c.rejoin_after.is_some())
+        self.speculation_quantile > 0.0
+            || self.crashes.iter().any(|c| c.rejoin_after.is_some())
+            || self.timed_crashes.iter().any(|c| c.rejoin_after_us.is_some())
+            || self.churn.is_some()
     }
 
     /// Sanity-check the plan's knobs.
@@ -214,6 +356,19 @@ impl FaultPlan {
         }
         if self.max_task_attempts == 0 {
             return Err("max_task_attempts must be at least 1".into());
+        }
+        if let Some(ch) = self.churn {
+            if ch.mtbf_us == 0 || ch.mttr_us == 0 {
+                return Err(format!(
+                    "churn MTBF/MTTR must be nonzero, got {}/{}",
+                    ch.mtbf_us, ch.mttr_us
+                ));
+            }
+        }
+        for s in &self.timed_slowdowns {
+            if !s.factor.is_finite() {
+                return Err(format!("timed slowdown factor must be finite, got {}", s.factor));
+            }
         }
         Ok(())
     }
@@ -335,6 +490,53 @@ mod tests {
             ..Default::default()
         };
         assert!(spec.needs_global_slots());
+    }
+
+    #[test]
+    fn timed_events_and_churn_extend_the_plan() {
+        let mut p = FaultPlan::default();
+        p.timed_crash(0, 1_000_000, None);
+        assert!(!p.is_empty());
+        // Instant-replacement timed crashes never need the global slot order.
+        assert!(!p.needs_global_slots());
+        p.timed_crash(1, 2_000_000, Some(500_000));
+        assert!(p.needs_global_slots());
+        p.validate().unwrap();
+
+        let mut c = FaultPlan::default();
+        c.node_churn(10_000_000, 1_000_000);
+        assert!(!c.is_empty());
+        assert!(c.needs_global_slots());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn timed_slowdown_windows_bound_correctly() {
+        let mut p = FaultPlan::default();
+        p.timed_slowdown(0, 3.0, 2_000, Some(5_000));
+        assert_eq!(p.slow_factor_at_time(0, 1_999), 1.0);
+        assert_eq!(p.slow_factor_at_time(0, 2_000), 3.0);
+        assert_eq!(p.slow_factor_at_time(0, 4_999), 3.0);
+        assert_eq!(p.slow_factor_at_time(0, 5_000), 1.0);
+        assert_eq!(p.slow_factor_at_time(1, 3_000), 1.0);
+        // Permanent window + sub-unity clamping.
+        p.timed_slowdown(1, 0.5, 0, None);
+        assert_eq!(p.slow_factor_at_time(1, 9_999_999), 1.0);
+        assert!(!p.is_empty());
+        assert!(!p.needs_global_slots());
+    }
+
+    #[test]
+    fn validate_rejects_zero_churn_means() {
+        let mut p = FaultPlan::default();
+        p.node_churn(0, 1_000);
+        assert!(p.validate().is_err());
+        let mut p = FaultPlan::default();
+        p.node_churn(1_000, 0);
+        assert!(p.validate().is_err());
+        let mut p = FaultPlan::default();
+        p.timed_slowdown(0, f64::INFINITY, 0, None);
+        assert!(p.validate().is_err());
     }
 
     #[test]

@@ -58,10 +58,13 @@ mod sched;
 pub mod serve;
 
 pub use config::{ClusterConfig, SimConfig};
-pub use faults::{CrashEvent, FaultPlan, FaultStats, Slowdown, StageAbort};
+pub use faults::{
+    ChurnProcess, CrashEvent, FaultPlan, FaultStats, Slowdown, StageAbort, TimedCrash,
+    TimedSlowdown,
+};
 pub use report::{RunReport, SchedStats};
 pub use runtime::{collect_trace, EngineScratch, Simulation};
 pub use serve::{
-    ArrivalProcess, QuotaKind, ServeConfig, ServeReport, ServeSched, ServeSim, TenantMux,
-    TenantSummary,
+    AdmissionPolicy, ArrivalProcess, QuotaKind, ResilienceConfig, ResilienceReport, ServeConfig,
+    ServeReport, ServeSched, ServeSim, TenantMux, TenantSummary,
 };

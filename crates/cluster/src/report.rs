@@ -45,6 +45,10 @@ pub struct RunReport {
     /// crashes/rejoins, speculative wins/losses. All-zero when the run's
     /// [`crate::FaultPlan`] never fired.
     pub faults: FaultStats,
+    /// Admissions this application consumed: always 1 for single-app runs
+    /// and passive serve runs; >1 when serve-mode app-level retry
+    /// re-admitted it; 0 for the placeholder report of a shed submission.
+    pub app_attempts: u32,
     /// Set when some task exhausted its retry budget and the run stopped at
     /// that stage; later stages never executed and the report covers only
     /// the completed prefix.
@@ -181,6 +185,7 @@ mod tests {
             stage_times: vec![],
             tasks: 0,
             faults: FaultStats::default(),
+            app_attempts: 1,
             aborted: None,
             trace: None,
             placements: None,

@@ -447,6 +447,32 @@ pub(crate) struct Engine<'a> {
     /// Application index stamped onto [`StageAbort`]s. Always 0 for the
     /// single-app engine; the serve driver sets it to the running app.
     pub(crate) current_app: u32,
+
+    // --- wall-clock faults (cluster-level; never swapped per-app) ---
+    /// High-water mark of every stage-start clock observed so far. The
+    /// per-app `now` is *not* monotone across a serve stream (FIFO runs an
+    /// early arrival to completion before a later-arriving app starts at its
+    /// earlier clock), so wall-clock events fire against this monotone mark
+    /// instead. Maintained only when timed crashes or churn are configured.
+    cluster_now: u64,
+    /// Per scripted timed crash: whether it already fired.
+    timed_fired: Vec<bool>,
+    /// Per node: wall-clock instant at which a timed-crash downtime expires.
+    rejoin_at_time: Vec<Option<u64>>,
+    /// Dedicated churn stream — a third salt of the master seed, so churn
+    /// timing is independent of jitter, fault draws, and arrivals, and zero
+    /// draws happen when churn is off.
+    churn_rng: Option<SmallRng>,
+    /// Per node: wall-clock instant of the next churn transition.
+    churn_next: Vec<u64>,
+    /// Per node: whether the next churn transition is a repair (the node's
+    /// current churn interval is a down interval) rather than a failure.
+    churn_repair: Vec<bool>,
+    /// Degraded-admission mode for the app currently swapped in: when set,
+    /// nothing is inserted into the memory cache and no prefetch runs — the
+    /// submission executes, it just cannot cache. Serve-driver controlled;
+    /// always false elsewhere.
+    pub(crate) cache_bypass: bool,
 }
 
 /// Slot free time marking an unavailable (down) node's cores: later than any
@@ -460,6 +486,22 @@ const NODE_DOWN: SimTime = SimTime(u64::MAX);
 /// streams match what a standalone run of the same seed would use.
 fn fault_rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64((seed ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+}
+
+/// The churn stream for `seed`: yet another salt of the master seed
+/// (distinct from the fault-draw and arrival salts), so the membership
+/// timeline is a function of the seed alone — independent of which apps run,
+/// their jitter, and their per-app fault draws.
+fn churn_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64((seed ^ 0x6A09_E667_F3BC_C909).wrapping_mul(0x94D0_49BB_1331_11EB))
+}
+
+/// One exponentially distributed interval with the given mean, at least 1 µs
+/// so successive churn transitions always advance the clock.
+fn exp_gap(rng: &mut SmallRng, mean_us: u64) -> u64 {
+    let u: f64 = rng.random();
+    let gap = -(1.0 - u).ln() * mean_us as f64;
+    (gap as u64).max(1)
 }
 
 /// The per-application slice of engine state. The serve driver keeps one per
@@ -500,6 +542,20 @@ impl AppState {
             sched_stats: SchedStats::default(),
             fstats: FaultStats::default(),
             aborted: None,
+        }
+    }
+
+    /// State for an app-level retry: fresh clock and RNG streams (seeded
+    /// exactly as a standalone run of `seed` would be), with the failed
+    /// attempts' accumulators, logs, and fault counters carried over so the
+    /// submission's final report covers every attempt it consumed.
+    pub(crate) fn retry_from(prev: AppState, seed: u64, arrival: SimTime) -> AppState {
+        AppState {
+            now: arrival,
+            rng: SmallRng::seed_from_u64(seed),
+            frng: fault_rng(seed),
+            aborted: None,
+            ..prev
         }
     }
 }
@@ -579,6 +635,14 @@ impl<'a> Engine<'a> {
                 cfg.delay_scheduling_us.is_some() || cfg.faults.needs_global_slots(),
             )
         });
+        // Churn: draw every node's initial time-to-failure up front, in node
+        // order, so the draw sequence is fixed by the seed alone.
+        let churn_on = cfg.faults.churn.is_some();
+        let mut churn_rng = cfg.faults.churn.map(|_| churn_rng(cfg.seed));
+        let churn_next = match (&cfg.faults.churn, &mut churn_rng) {
+            (Some(ch), Some(rng)) => (0..n).map(|_| exp_gap(rng, ch.mtbf_us)).collect(),
+            _ => Vec::new(),
+        };
         Engine {
             source,
             plan,
@@ -644,6 +708,13 @@ impl<'a> Engine<'a> {
             ghost_disk: vec![0; n],
             crash_fired: vec![false; cfg.faults.crashes.len()],
             current_app: 0,
+            cluster_now: 0,
+            timed_fired: vec![false; cfg.faults.timed_crashes.len()],
+            rejoin_at_time: vec![None; n],
+            churn_rng,
+            churn_next,
+            churn_repair: vec![false; if churn_on { n } else { 0 }],
+            cache_bypass: false,
         }
     }
 
@@ -770,6 +841,37 @@ impl<'a> Engine<'a> {
             self.visited_epoch.drain(..drained);
         }
         self.vis_base = reg.rdd_base;
+    }
+
+    /// Forcibly evict every memory-resident block of `rdds` (an aborted
+    /// attempt's range) so the range can be retired and re-admitted for an
+    /// app-level retry. Removals route through `policy.on_remove` so policy
+    /// bookkeeping stays consistent, but deliberately touch no cache
+    /// statistics: the teardown is a driver artifact, not cache behaviour,
+    /// and per-stage stat deltas have already been attributed.
+    pub(crate) fn purge_app(&mut self, rdds: std::ops::Range<u32>, policy: &mut dyn CachePolicy) {
+        for ri in rdds {
+            let id = RddId(ri);
+            let (cached, parts) = {
+                let r = self.rdd(id);
+                (r.is_cached(), r.num_partitions)
+            };
+            if !cached {
+                continue;
+            }
+            for p in 0..parts {
+                let b = BlockId::new(id, p);
+                for node in 0..self.nodes {
+                    if self.managers[node].memory.remove(b).is_some() {
+                        self.master.unregister_memory(b, NodeId(node as u32));
+                        self.clear_pending(node, b);
+                        self.take_prefetched(node, b);
+                        policy.on_remove(NodeId(node as u32), b);
+                    }
+                }
+                self.sync_prefetchable(b);
+            }
+        }
     }
 
     /// Cluster-wide memory residency `(blocks, bytes)` — the serve driver's
@@ -1023,6 +1125,7 @@ impl<'a> Engine<'a> {
             stage_times: std::mem::take(&mut self.stage_times),
             tasks: self.tasks_run,
             faults: self.fstats,
+            app_attempts: 1,
             aborted: self.aborted,
             trace: if self.cfg.collect_trace {
                 Some(std::mem::take(&mut self.trace))
@@ -1049,6 +1152,14 @@ impl<'a> Engine<'a> {
         visible: &AppProfile,
         policy: &mut dyn CachePolicy,
     ) {
+        // Wall-clock faults: advance the cluster-wide clock high-water mark
+        // and fire everything due by it. Gated so fault-free runs (and runs
+        // with only stage-indexed plans) pay nothing here.
+        if !self.timed_fired.is_empty() || self.churn_rng.is_some() {
+            self.cluster_now = self.cluster_now.max(self.now.0);
+            self.process_time_events(policy);
+        }
+
         // Scripted faults: rejoins due at this stage, then crashes.
         self.process_fault_events(stage.id.0, policy);
 
@@ -1078,7 +1189,7 @@ impl<'a> Engine<'a> {
         for node in 0..self.nodes {
             self.managers[node].memory.set_reserved(0);
         }
-        if self.aborted.is_none() && policy.wants_prefetch() {
+        if self.aborted.is_none() && !self.cache_bypass && policy.wants_prefetch() {
             self.run_prefetch(stage, visible, policy);
         }
         self.stage_times.push((stage.id, start, end));
@@ -1112,23 +1223,112 @@ impl<'a> Engine<'a> {
                 continue;
             }
             if let Some(downtime) = c.rejoin_after {
-                if self.down.iter().filter(|d| !**d).count() <= 1 {
+                if self.live_nodes() <= 1 {
                     continue;
                 }
-                self.fail_node(node, policy);
-                self.down[node] = true;
+                self.take_node_down(node, policy);
                 self.rejoin_at[node] = Some(stage.saturating_add(downtime.max(1)));
-                for slot in 0..self.slots[node].len() {
-                    let old = std::mem::replace(&mut self.slots[node][slot], NODE_DOWN);
-                    if let Some(idx) = &mut self.sched {
-                        idx.commit(node, slot, old, NODE_DOWN);
-                    }
-                }
             } else {
                 // Legacy shape: storage wiped, the replacement executor is
                 // up immediately and the MRDmanager re-issues the table
                 // replica on the next interaction (§4.4).
                 self.fail_node(node, policy);
+            }
+        }
+    }
+
+    /// Fire the wall-clock fault events due by the cluster clock high-water
+    /// mark: first timed rejoins whose downtime expired, then scripted timed
+    /// crashes, then the churn process's transitions in strict `(time, node)`
+    /// order — so the churn RNG's draw sequence, and with it the whole
+    /// membership timeline, is a function of the seed alone.
+    fn process_time_events(&mut self, policy: &mut dyn CachePolicy) {
+        let tnow = self.cluster_now;
+        for node in 0..self.nodes {
+            if self.rejoin_at_time[node].is_some_and(|r| r <= tnow) {
+                self.rejoin_at_time[node] = None;
+                if self.down[node] {
+                    self.rejoin_node(node, policy);
+                }
+            }
+        }
+        for i in 0..self.cfg.faults.timed_crashes.len() {
+            let c = self.cfg.faults.timed_crashes[i];
+            let node = c.node as usize;
+            if self.timed_fired[i] || c.at_time_us > tnow {
+                continue;
+            }
+            // Consumed at its first due stage boundary whether or not it can
+            // fire, exactly like the stage-indexed shape.
+            self.timed_fired[i] = true;
+            if node >= self.nodes || self.down[node] {
+                continue;
+            }
+            if let Some(downtime) = c.rejoin_after_us {
+                if self.live_nodes() <= 1 {
+                    continue;
+                }
+                self.take_node_down(node, policy);
+                self.rejoin_at_time[node] = Some(c.at_time_us.saturating_add(downtime.max(1)));
+            } else {
+                self.fail_node(node, policy);
+            }
+        }
+        let Some(ch) = self.cfg.faults.churn else {
+            return;
+        };
+        loop {
+            // Earliest due transition, ties broken by node index.
+            let mut due: Option<(u64, usize)> = None;
+            for node in 0..self.nodes {
+                let t = self.churn_next[node];
+                if t <= tnow && due.is_none_or(|(bt, bn)| (t, node) < (bt, bn)) {
+                    due = Some((t, node));
+                }
+            }
+            let Some((t, node)) = due else { break };
+            let rng = self.churn_rng.as_mut().expect("churn rng exists when churn is on");
+            if self.churn_repair[node] {
+                // Repair: the drawn down interval is over; schedule the next
+                // failure and rejoin — unless a scripted event owns the
+                // node's downtime (its own rejoin will handle it).
+                let gap = exp_gap(rng, ch.mtbf_us);
+                self.churn_next[node] = t.saturating_add(gap);
+                self.churn_repair[node] = false;
+                if self.down[node]
+                    && self.rejoin_at[node].is_none()
+                    && self.rejoin_at_time[node].is_none()
+                {
+                    self.rejoin_node(node, policy);
+                }
+            } else {
+                // Failure: the repair time is drawn unconditionally (fixed
+                // draw order), but the node only goes down if it is up and
+                // not the last one live.
+                let gap = exp_gap(rng, ch.mttr_us);
+                self.churn_next[node] = t.saturating_add(gap);
+                self.churn_repair[node] = true;
+                if !self.down[node] && self.live_nodes() > 1 {
+                    self.take_node_down(node, policy);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes currently up.
+    fn live_nodes(&self) -> usize {
+        self.down.iter().filter(|d| !**d).count()
+    }
+
+    /// Take `node` down: storage wiped, slots parked at `NODE_DOWN` so no
+    /// ordered scan or slot index can choose them until the rejoin.
+    fn take_node_down(&mut self, node: usize, policy: &mut dyn CachePolicy) {
+        self.fail_node(node, policy);
+        self.down[node] = true;
+        for slot in 0..self.slots[node].len() {
+            let old = std::mem::replace(&mut self.slots[node][slot], NODE_DOWN);
+            if let Some(idx) = &mut self.sched {
+                idx.commit(node, slot, old, NODE_DOWN);
             }
         }
     }
@@ -1410,6 +1610,14 @@ impl<'a> Engine<'a> {
                 jitter *= s.factor.max(1.0);
             }
         }
+        // Wall-clock slowdown windows are matched against the attempt's own
+        // start instant (the app clock): transient noise hits whatever runs
+        // while the window is open.
+        for s in &self.cfg.faults.timed_slowdowns {
+            if s.node as usize == node && s.active_at_time(start.0) {
+                jitter *= s.factor.max(1.0);
+            }
+        }
         let compute = SimDuration::from_secs_f64(compute_us as f64 * jitter / 1e6);
         let mut task_end = io_done + compute;
 
@@ -1679,6 +1887,12 @@ impl<'a> Engine<'a> {
         prefetched: bool,
         policy: &mut dyn CachePolicy,
     ) -> bool {
+        // Degraded admission: the submission runs but caches nothing — every
+        // insert (demand, promote, prefetch) is declined up front, exactly
+        // like a block that never fits.
+        if self.cache_bypass {
+            return false;
+        }
         let size = self.block_size(b);
         loop {
             match self.managers[node].put_memory(b, size) {
@@ -2266,6 +2480,79 @@ mod tests {
         assert_eq!(r.faults.retries, 2);
         assert_eq!(r.faults.task_failures, 3);
         assert!(r.summary().contains("ABORTED at stage 0"));
+    }
+
+    #[test]
+    fn timed_crash_fires_on_the_wall_clock_and_rejoins() {
+        let spec = iterative_app(6, 8, 256 * 1024);
+        let mut cfg = sim_cfg(2, 1 << 30);
+        // Crash node 1 once the app clock passes 1ms; bring it back 1ms
+        // later. Both transitions are keyed to simulated time, not stage
+        // ids, so they fire wherever the clock happens to be.
+        cfg.faults.timed_crash(1, 1_000, Some(1_000));
+        let r = run(&spec, cfg.clone(), &mut *PolicyKind::Lru.build());
+        assert_eq!(r.faults.crashes, 1);
+        assert_eq!(r.faults.rejoins, 1);
+        assert!(r.aborted.is_none());
+        let again = run(&spec, cfg, &mut *PolicyKind::Lru.build());
+        assert_eq!(format!("{r:?}"), format!("{again:?}"));
+        // A timed crash far past the makespan never fires.
+        let mut late = sim_cfg(2, 1 << 30);
+        late.faults.timed_crash(1, u64::MAX / 2, Some(1_000));
+        let l = run(&spec, late, &mut *PolicyKind::Lru.build());
+        assert_eq!(l.faults.crashes, 0);
+    }
+
+    #[test]
+    fn timed_slowdown_window_stretches_the_run() {
+        let spec = iterative_app(4, 8, 256 * 1024);
+        let healthy = run(&spec, sim_cfg(2, 1 << 30), &mut *PolicyKind::Lru.build());
+        let mut cfg = sim_cfg(2, 1 << 30);
+        cfg.faults.timed_slowdown(0, 20.0, 0, None);
+        let slow = run(&spec, cfg, &mut *PolicyKind::Lru.build());
+        assert!(slow.jct > healthy.jct, "an open-ended 20x slowdown must cost time");
+        // A window that opens after the run ends is inert.
+        let mut future = sim_cfg(2, 1 << 30);
+        future.faults.timed_slowdown(0, 20.0, u64::MAX / 2, None);
+        let p = run(&spec, future, &mut *PolicyKind::Lru.build());
+        assert_eq!(p.jct, healthy.jct);
+    }
+
+    #[test]
+    fn churn_process_is_deterministic_and_survivable() {
+        let spec = iterative_app(8, 8, 256 * 1024);
+        let mut cfg = sim_cfg(3, 1 << 30);
+        // Aggressive churn relative to the run length so transitions fire.
+        cfg.faults.node_churn(20_000, 10_000);
+        let r = run(&spec, cfg.clone(), &mut *PolicyKind::Lru.build());
+        assert!(
+            r.faults.crashes > 0,
+            "MTBF far below the makespan must take nodes down: {:?}",
+            r.faults
+        );
+        assert!(r.faults.rejoins > 0, "MTTR must bring them back");
+        assert!(r.aborted.is_none(), "task retries ride out the churn");
+        let again = run(&spec, cfg.clone(), &mut *PolicyKind::Lru.build());
+        assert_eq!(format!("{r:?}"), format!("{again:?}"), "same seed, same membership timeline");
+        let mut other = cfg.clone();
+        other.seed ^= 0xDEAD_BEEF;
+        let o = run(&spec, other, &mut *PolicyKind::Lru.build());
+        assert_ne!(
+            format!("{r:?}"),
+            format!("{o:?}"),
+            "churn draws come from the seed-salted churn stream"
+        );
+    }
+
+    #[test]
+    fn churn_never_downs_the_last_live_node() {
+        let spec = iterative_app(6, 4, 256 * 1024);
+        let mut cfg = sim_cfg(1, 1 << 30);
+        // On a one-node cluster the churn process can never fire a failure.
+        cfg.faults.node_churn(1_000, 1_000_000);
+        let r = run(&spec, cfg, &mut *PolicyKind::Lru.build());
+        assert_eq!(r.faults.crashes, 0);
+        assert!(r.aborted.is_none());
     }
 
     #[test]

@@ -85,6 +85,25 @@ fn app_seed(master: u64, i: usize) -> u64 {
     }
 }
 
+/// Engine seed for admission `attempt` (0-based) of a submission: attempt 0
+/// is the submission's [`app_seed`] verbatim (byte-equality with the
+/// no-retry path), app-level retries get decorrelated but fully
+/// seed-determined streams so a retry does not replay the exact jitter and
+/// fault draws that killed the previous attempt.
+fn attempt_seed(base: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        base
+    } else {
+        splitmix64(base ^ (attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+    }
+}
+
+/// Simulated microseconds between admission re-polls of a queued submission
+/// (admission control, [`AdmissionPolicy::Queue`]): under fair-share the
+/// running submissions advance between polls, so the wait resolves as soon
+/// as one finishes, quantized to this granularity.
+const QUEUE_POLL_US: u64 = 1_000;
+
 impl ArrivalProcess {
     /// Arrival times (microseconds, ascending) for `n` submissions. Pure:
     /// same `(self, n, master_seed)` always yields the same times, and the
@@ -158,6 +177,116 @@ impl fmt::Display for QuotaKind {
     }
 }
 
+/// What happens to a newly arriving submission when the cluster is already
+/// running [`ResilienceConfig::max_active_apps`] submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Wait in a (bounded, see [`ResilienceConfig::queue_cap`]) pending
+    /// queue until a running submission finishes. Queue wait counts into
+    /// the submission's JCT and is reported as queue delay.
+    #[default]
+    Queue,
+    /// Reject the submission outright: it never runs, its report is a
+    /// placeholder, and it counts as a deadline miss when a deadline is set.
+    Shed,
+    /// Admit the submission anyway but with caching bypassed: it computes
+    /// everything from lineage and inserts nothing into the shared cache,
+    /// so it cannot add cache pressure to the submissions already running.
+    Degrade,
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdmissionPolicy::Queue => "queue",
+            AdmissionPolicy::Shed => "shed",
+            AdmissionPolicy::Degrade => "degrade",
+        })
+    }
+}
+
+/// Serve-mode resilience knobs: app-level retry and overload admission
+/// control. The default is fully passive — no retry budget beyond the first
+/// attempt, no active-app cap, no deadline — and a passive config is
+/// byte-invisible: the driver takes no extra branch, draws no extra random
+/// number, and reports no resilience section (the differential serve suite
+/// pins this).
+///
+/// Retry and admission control are *streaming-driver* features: the upfront
+/// reference path predates them and stays byte-frozen, so it rejects a
+/// non-passive config (deadline accounting excepted — it is pure reporting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Total admissions a submission may consume, aborts included. 1 (the
+    /// default) = no app-level retry; an aborted submission with budget
+    /// left is torn down (blocks purged, slots recycled, policy dropped)
+    /// and re-admitted through the normal streaming admission path after a
+    /// capped exponential backoff.
+    pub max_app_attempts: u32,
+    /// Base app-level retry backoff, simulated microseconds; doubles per
+    /// failed attempt.
+    pub retry_backoff_us: u64,
+    /// Cap on the app-level exponential backoff.
+    pub max_retry_backoff_us: u64,
+    /// What to do with a first-time arrival when `max_active_apps` are
+    /// already running. Retries re-enter unconditionally: the cluster
+    /// already accepted the submission once.
+    pub admission: AdmissionPolicy,
+    /// Cap on concurrently *running* (admitted, unfinished) submissions;
+    /// `None` = unbounded (admission control off).
+    pub max_active_apps: Option<u32>,
+    /// Bound on how many submissions may wait in the pending queue at once
+    /// (admission [`AdmissionPolicy::Queue`] only); an arrival past the cap
+    /// is shed. `None` = unbounded queue.
+    pub queue_cap: Option<u32>,
+    /// Per-submission completion deadline measured from *arrival*,
+    /// microseconds. Pure accounting: deadline misses (shed submissions
+    /// included) feed the per-tenant SLO attainment in the report.
+    pub deadline_us: Option<u64>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_app_attempts: 1,
+            retry_backoff_us: 500_000,
+            max_retry_backoff_us: 8_000_000,
+            admission: AdmissionPolicy::Queue,
+            max_active_apps: None,
+            queue_cap: None,
+            deadline_us: None,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Whether nothing in this config can change a run's behaviour or its
+    /// report (backoff values and the admission policy are irrelevant when
+    /// no retry budget and no active-app cap can trigger them).
+    pub fn is_passive(&self) -> bool {
+        self.max_app_attempts <= 1 && self.max_active_apps.is_none() && self.deadline_us.is_none()
+    }
+
+    /// Backoff before app-level retry number `failures` (1-based), capped.
+    pub fn app_backoff_us(&self, failures: u32) -> u64 {
+        let shift = failures.saturating_sub(1).min(20);
+        self.retry_backoff_us
+            .saturating_mul(1u64 << shift)
+            .min(self.max_retry_backoff_us)
+    }
+
+    /// Sanity-check the knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_app_attempts == 0 {
+            return Err("max_app_attempts must be at least 1".into());
+        }
+        if self.queue_cap.is_some() && self.max_active_apps.is_none() {
+            return Err("queue_cap is meaningless without max_active_apps".into());
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of one serve run, wrapping the single-app [`SimConfig`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -183,6 +312,9 @@ pub struct ServeConfig {
     /// differential suite checks interning against). The upfront path
     /// always replans per submission and ignores this flag.
     pub intern: bool,
+    /// App-level retry and overload admission control. Passive by default;
+    /// see [`ResilienceConfig`].
+    pub resilience: ResilienceConfig,
 }
 
 impl ServeConfig {
@@ -196,6 +328,7 @@ impl ServeConfig {
             quota: QuotaKind::Unlimited,
             upfront: false,
             intern: true,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -707,12 +840,46 @@ impl<'a> ServeSim<'a> {
 
     /// Execute the stream under one policy instance per submission (same
     /// order as the submissions passed to [`ServeSim::new`]).
+    ///
+    /// App-level retry re-admits a submission with a *fresh* policy
+    /// instance, which a pre-built `Vec` cannot supply — use
+    /// [`ServeSim::run_with`] when `max_app_attempts > 1`.
     pub fn run(&self, policies: Vec<Box<dyn CachePolicy>>) -> ServeReport {
         assert_eq!(policies.len(), self.subs.len(), "one policy per submission");
+        assert!(
+            self.cfg.resilience.max_app_attempts <= 1,
+            "app-level retry needs fresh policy instances: use ServeSim::run_with"
+        );
+        let mut policies: Vec<Option<Box<dyn CachePolicy>>> =
+            policies.into_iter().map(Some).collect();
+        self.dispatch(&mut |i| policies[i].take().expect("each submission admits once"))
+    }
+
+    /// Execute the stream with `factory(i)` supplying a policy instance for
+    /// every *admission* of submission `i` — called once per submission
+    /// normally, once more per app-level retry.
+    pub fn run_with(&self, mut factory: impl FnMut(usize) -> Box<dyn CachePolicy>) -> ServeReport {
+        self.dispatch(&mut factory)
+    }
+
+    fn dispatch(&self, factory: &mut dyn FnMut(usize) -> Box<dyn CachePolicy>) -> ServeReport {
+        if let Err(e) = self.cfg.resilience.validate() {
+            panic!("invalid resilience config: {e}");
+        }
         if self.cfg.upfront {
-            self.run_upfront(policies)
+            // The upfront driver is the byte-frozen reference path: it
+            // predates retry/admission control and must stay byte-identical
+            // to pre-resilience behaviour. Deadline accounting is pure
+            // reporting, so it is allowed through.
+            let res = &self.cfg.resilience;
+            assert!(
+                res.max_app_attempts <= 1 && res.max_active_apps.is_none(),
+                "app-level retry and admission control are streaming-only: \
+                 disable `upfront` or make the resilience config passive"
+            );
+            self.run_upfront((0..self.subs.len()).map(factory).collect())
         } else {
-            self.run_streaming(policies)
+            self.run_streaming(factory)
         }
     }
 
@@ -803,6 +970,7 @@ impl<'a> ServeSim<'a> {
                     &mut states[a],
                     &per_node_acc[a],
                     arrivals[a],
+                    1,
                     &mux,
                 ));
             }
@@ -814,7 +982,17 @@ impl<'a> ServeSim<'a> {
         };
         drive(self.cfg.sched, cfg.use_heap_events(), &arrivals, advance);
 
-        self.make_report(reports, arrivals, completions, &mux, peaks, 0)
+        // Only the deadline can be non-passive here (dispatch rejects the
+        // rest): pure post-hoc accounting over an unchanged run.
+        let res = &self.cfg.resilience;
+        let resilience = (!res.is_passive()).then(|| ResilienceReport {
+            app_attempts: vec![1; n],
+            shed: vec![false; n],
+            degraded: vec![false; n],
+            queue_delay_us: vec![0; n],
+            deadline_us: res.deadline_us,
+        });
+        self.make_report(reports, arrivals, completions, &mux, peaks, 0, resilience)
     }
 
     /// The streaming path: a submission's plan, profile, policy state and
@@ -823,11 +1001,23 @@ impl<'a> ServeSim<'a> {
     /// drain-then-retire rule — retiring at completion would change which
     /// blocks later evictions see, and therefore the victim sequences).
     /// Engine, mux and arena state are O(peak-active), not O(stream).
-    fn run_streaming(&self, policies: Vec<Box<dyn CachePolicy>>) -> ServeReport {
+    ///
+    /// This driver also owns the two active resilience features: app-level
+    /// retry (an aborted submission is fully torn down — blocks purged,
+    /// slots returned, policy dropped — and re-admitted through the same
+    /// admission path after a capped exponential backoff) and overload
+    /// admission control (queue/shed/degrade against
+    /// [`ResilienceConfig::max_active_apps`]). With a passive config every
+    /// resilience branch is statically false and the run is byte-identical
+    /// to the pre-resilience driver.
+    fn run_streaming(&self, factory: &mut dyn FnMut(usize) -> Box<dyn CachePolicy>) -> ServeReport {
         let n = self.subs.len();
         let cfg = &self.cfg.sim;
         let nodes = cfg.cluster.nodes as usize;
         let arrivals = self.cfg.arrivals.arrivals(n, cfg.seed);
+        let res = &self.cfg.resilience;
+        let retry_on = res.max_app_attempts > 1;
+        let gate_on = res.max_active_apps.is_some();
 
         let mut arena = SlotArena::new();
         let mut engine =
@@ -837,8 +1027,6 @@ impl<'a> ServeSim<'a> {
         }
         let mut mux = TenantMux::new_streaming(n, Arc::clone(&self.map));
 
-        let mut policies: Vec<Option<Box<dyn CachePolicy>>> =
-            policies.into_iter().map(Some).collect();
         let mut plans: Vec<Option<Arc<AppPlan>>> = (0..n).map(|_| None).collect();
         let mut profilers: Vec<Option<Arc<AppProfiler>>> = (0..n).map(|_| None).collect();
         let mut visible: Vec<Option<Arc<AppProfile>>> = (0..n).map(|_| None).collect();
@@ -867,9 +1055,67 @@ impl<'a> ServeSim<'a> {
         // distinct submission structure. Lives for the whole stream — the
         // cache is bounded by template diversity, not stream length.
         let mut templates = TemplateCache::new();
+        // Resilience accounting. `attempts` counts admissions consumed
+        // (0 until first admission); `running` counts admitted, unfinished
+        // submissions and drives the overload gate.
+        let mut attempts = vec![0u32; n];
+        let mut shed = vec![false; n];
+        let mut degraded = vec![false; n];
+        let mut queue_delay_us = vec![0u64; n];
+        let mut waiting = vec![false; n];
+        let mut waiting_count = 0usize;
+        let mut running = 0usize;
 
         let advance = |a: usize| -> (bool, u64) {
             if plans[a].is_none() {
+                // Overload admission control, first admission only: a retry
+                // re-enters unconditionally (the cluster already accepted
+                // the submission once). With `max_active_apps` unset this
+                // whole block is dead and arrivals admit exactly as before.
+                if attempts[a] == 0 {
+                    if let Some(cap) = res.max_active_apps {
+                        if running >= cap.max(1) as usize {
+                            match res.admission {
+                                AdmissionPolicy::Queue => {
+                                    let qcap =
+                                        res.queue_cap.map_or(usize::MAX, |c| c as usize);
+                                    if !waiting[a] && waiting_count >= qcap {
+                                        // Bounded queue overflow: shed on
+                                        // arrival.
+                                        shed[a] = true;
+                                        done[a] = true;
+                                        completions[a] = states[a].now.0;
+                                        return (true, states[a].now.0);
+                                    }
+                                    if !waiting[a] {
+                                        waiting[a] = true;
+                                        waiting_count += 1;
+                                    }
+                                    // Re-poll one quantum later; under
+                                    // fair-share the running submissions
+                                    // advance in between, so the poll loop
+                                    // terminates as soon as one finishes.
+                                    let next =
+                                        states[a].now.0.saturating_add(QUEUE_POLL_US);
+                                    states[a].now = SimTime(next);
+                                    return (false, next);
+                                }
+                                AdmissionPolicy::Shed => {
+                                    shed[a] = true;
+                                    done[a] = true;
+                                    completions[a] = states[a].now.0;
+                                    return (true, states[a].now.0);
+                                }
+                                AdmissionPolicy::Degrade => degraded[a] = true,
+                            }
+                        }
+                    }
+                    if waiting[a] {
+                        waiting[a] = false;
+                        waiting_count -= 1;
+                        queue_delay_us[a] = states[a].now.0.saturating_sub(arrivals[a]);
+                    }
+                }
                 // Admission: plan and profile this submission now, at its
                 // arrival event, and carve its block range out of the
                 // recyclable slot arena.
@@ -891,11 +1137,13 @@ impl<'a> ServeSim<'a> {
                 slot_runs[a] = arena.admit(&counts);
                 let snap = Arc::new(arena.snapshot());
                 engine.admit_app(spec, off, &snap);
-                let policy = policies[a].take().expect("each submission admits once");
+                let policy = factory(a);
                 mux.admit(a, policy, (!cfg.reference_state).then_some(&snap));
                 visible[a] = Some(profiler.visible_at_job_shared(JobId(0)));
                 plans[a] = Some(plan);
                 profilers[a] = Some(profiler);
+                attempts[a] += 1;
+                running += 1;
             }
             let plan = plans[a].as_ref().expect("admitted");
             let profiler = profilers[a].as_ref().expect("admitted");
@@ -913,6 +1161,12 @@ impl<'a> ServeSim<'a> {
             let vis = visible[a].as_ref().expect("admitted");
             mux.on_stage_start(stage.id, vis);
 
+            if gate_on {
+                // Degraded submissions run with caching bypassed; the flag
+                // is cluster-level engine state, so (re)assert it around
+                // every stage rather than trusting the previous app's value.
+                engine.cache_bypass = degraded[a];
+            }
             let base = engine.node_stats();
             engine.run_one_stage(stage, vis, &mut mux);
             let after = engine.node_stats();
@@ -926,14 +1180,45 @@ impl<'a> ServeSim<'a> {
 
             engine.swap_app(&mut states[a]);
             next_stage[a] += 1;
-            if states[a].aborted.is_some() || next_stage[a] == nstages {
+            let aborted_now = states[a].aborted.is_some();
+            if aborted_now && retry_on && attempts[a] < res.max_app_attempts {
+                // App-level retry: tear the failed attempt down completely
+                // — purge its memory-resident blocks, return its slot run
+                // and registry window, drop its policy instance — then
+                // reset the admission markers so the next dispatch of this
+                // submission re-enters the normal streaming admission path
+                // (template re-intern, slot recycling, fresh policy from
+                // the factory) after a capped exponential backoff. The
+                // accumulators, stage log and fault counters carry over so
+                // the final report covers every attempt.
+                let range = self.map.rdd_range(a);
+                engine.purge_app(range.clone(), &mut mux);
+                let (sb, sl) = slot_runs[a];
+                engine.retire_app(range.clone(), sb, sl);
+                arena.retire(RddId(range.start));
+                mux.retire(a);
+                plans[a] = None;
+                profilers[a] = None;
+                visible[a] = None;
+                submitted[a] = None;
+                next_stage[a] = 0;
+                running -= 1;
+                let backoff = res.app_backoff_us(attempts[a]);
+                let resume = states[a].now.0.saturating_add(backoff);
+                let seed = attempt_seed(app_seed(cfg.seed, a), attempts[a]);
+                let prev =
+                    std::mem::replace(&mut states[a], AppState::fresh(seed, SimTime(resume)));
+                states[a] = AppState::retry_from(prev, seed, SimTime(resume));
+            } else if aborted_now || next_stage[a] == nstages {
                 done[a] = true;
                 completions[a] = states[a].now.0;
+                running -= 1;
                 reports[a] = Some(self.finish_report(
                     a,
                     &mut states[a],
                     &per_node_acc[a],
                     arrivals[a],
+                    attempts[a],
                     &mux,
                 ));
                 // Completion: the plan, profile, visibility cursor and
@@ -982,9 +1267,17 @@ impl<'a> ServeSim<'a> {
         drive(self.cfg.sched, cfg.use_heap_events(), &arrivals, advance);
 
         let distinct = templates.len();
-        self.make_report(reports, arrivals, completions, &mux, peaks, distinct)
+        let resilience = (!res.is_passive()).then_some(ResilienceReport {
+            app_attempts: attempts,
+            shed,
+            degraded,
+            queue_delay_us,
+            deadline_us: res.deadline_us,
+        });
+        self.make_report(reports, arrivals, completions, &mux, peaks, distinct, resilience)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn make_report(
         &self,
         reports: Vec<Option<RunReport>>,
@@ -993,13 +1286,20 @@ impl<'a> ServeSim<'a> {
         mux: &TenantMux,
         peaks: Peaks,
         distinct_templates: usize,
+        resilience: Option<ResilienceReport>,
     ) -> ServeReport {
         let n = self.subs.len();
         let makespan = SimDuration(completions.iter().copied().max().unwrap_or(0));
         ServeReport {
             reports: reports
                 .into_iter()
-                .map(|r| r.expect("all apps ran"))
+                .enumerate()
+                .map(|(a, r)| match r {
+                    Some(r) => r,
+                    // A shed submission never ran: its report is an inert
+                    // placeholder so submission indices stay aligned.
+                    None => self.shed_report(a),
+                })
                 .collect(),
             arrivals,
             completions,
@@ -1013,6 +1313,29 @@ impl<'a> ServeSim<'a> {
             peak_arena_slots: peaks.arena_slots,
             peak_active_apps: peaks.active_apps,
             distinct_templates,
+            resilience,
+        }
+    }
+
+    /// The inert placeholder report of a shed submission: it consumed no
+    /// attempt, ran no task and touched no cache.
+    fn shed_report(&self, a: usize) -> RunReport {
+        RunReport {
+            app: self.subs[a].name.clone(),
+            policy: "-".into(),
+            jct: SimDuration::ZERO,
+            stats: CacheStats::new(),
+            sched: crate::report::SchedStats::default(),
+            per_node: Vec::new(),
+            io_time: SimDuration::ZERO,
+            compute_time: SimDuration::ZERO,
+            stage_times: Vec::new(),
+            tasks: 0,
+            faults: crate::faults::FaultStats::default(),
+            app_attempts: 0,
+            aborted: None,
+            trace: None,
+            placements: None,
         }
     }
 
@@ -1022,6 +1345,7 @@ impl<'a> ServeSim<'a> {
         st: &mut AppState,
         per_node: &[CacheStats],
         arrival: u64,
+        attempts: u32,
         mux: &TenantMux,
     ) -> RunReport {
         let mut agg = CacheStats::new();
@@ -1040,6 +1364,7 @@ impl<'a> ServeSim<'a> {
             stage_times: std::mem::take(&mut st.stage_times),
             tasks: st.tasks_run,
             faults: st.fstats,
+            app_attempts: attempts,
             aborted: st.aborted,
             trace: self
                 .cfg
@@ -1060,9 +1385,9 @@ impl<'a> ServeSim<'a> {
 pub struct TenantSummary {
     /// Tenant id.
     pub tenant: u32,
-    /// Submissions belonging to the tenant.
+    /// Submissions belonging to the tenant (shed submissions included).
     pub apps: usize,
-    /// Mean JCT over the tenant's submissions.
+    /// Mean JCT over the tenant's executed (non-shed) submissions.
     pub mean_jct: SimDuration,
     /// Nearest-rank 95th-percentile JCT.
     pub p95_jct: SimDuration,
@@ -1070,6 +1395,66 @@ pub struct TenantSummary {
     pub p99_jct: SimDuration,
     /// Submissions that aborted (retry budgets exhausted).
     pub aborts: u64,
+    /// App-level retries the tenant's submissions consumed (resilience runs
+    /// only; always 0 otherwise).
+    pub retries: u64,
+    /// Submissions shed at admission (never ran).
+    pub shed: u64,
+    /// Submissions admitted with caching bypassed.
+    pub degraded: u64,
+    /// Submissions that missed the deadline (shed submissions count as
+    /// misses); 0 when no deadline was configured.
+    pub deadline_misses: u64,
+    /// Nearest-rank p95 admission-queue delay over the tenant's admitted
+    /// submissions.
+    pub queue_p95: SimDuration,
+}
+
+/// Per-submission resilience accounting; present on [`ServeReport`] only
+/// when the run's [`ResilienceConfig`] was non-passive, so passive reports
+/// stay byte-identical to pre-resilience ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Admissions each submission consumed (1 = first attempt succeeded or
+    /// exhausted a budget of 1; 0 = shed before ever running).
+    pub app_attempts: Vec<u32>,
+    /// Whether each submission was shed at admission.
+    pub shed: Vec<bool>,
+    /// Whether each submission ran with caching bypassed.
+    pub degraded: Vec<bool>,
+    /// Admission-queue delay of each submission, microseconds (0 when
+    /// admitted at arrival or shed).
+    pub queue_delay_us: Vec<u64>,
+    /// The configured per-submission deadline, if any.
+    pub deadline_us: Option<u64>,
+}
+
+impl ResilienceReport {
+    /// Total app-level retries across the stream.
+    pub fn total_retries(&self) -> u64 {
+        self.app_attempts
+            .iter()
+            .map(|&a| a.saturating_sub(1) as u64)
+            .sum()
+    }
+
+    /// Submissions shed at admission.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.iter().filter(|&&s| s).count() as u64
+    }
+
+    /// Submissions admitted with caching bypassed.
+    pub fn degraded_count(&self) -> u64 {
+        self.degraded.iter().filter(|&&d| d).count() as u64
+    }
+
+    /// Whether submission `i` met the deadline: it was not shed and its
+    /// completion came within `deadline_us` of its arrival. `None` when no
+    /// deadline was configured.
+    pub fn met_deadline(&self, i: usize, arrival: u64, completion: u64) -> Option<bool> {
+        let d = self.deadline_us?;
+        Some(!self.shed[i] && completion.saturating_sub(arrival) <= d)
+    }
 }
 
 /// Everything a serve run produced: one [`RunReport`] per submission plus
@@ -1110,6 +1495,10 @@ pub struct ServeReport {
     /// Distinct structural templates the interned streaming admission
     /// planned. Zero on the upfront path and when interning is disabled.
     pub distinct_templates: usize,
+    /// Per-submission resilience accounting (retries, sheds, degrades,
+    /// queue delays, deadline). `None` whenever the run's
+    /// [`ResilienceConfig`] was passive.
+    pub resilience: Option<ResilienceReport>,
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
@@ -1122,37 +1511,63 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 }
 
 impl ServeReport {
-    /// Per-tenant JCT distributions, ascending by tenant id.
+    /// Per-tenant JCT distributions, ascending by tenant id. On resilience
+    /// runs the JCT distribution covers executed (non-shed) submissions
+    /// only; `apps` always counts every submission.
     pub fn tenant_summaries(&self) -> Vec<TenantSummary> {
         let nt = self.tenants.iter().copied().max().unwrap_or(0) as usize + 1;
+        let res = self.resilience.as_ref();
+        let is_shed = |i: usize| res.is_some_and(|r| r.shed[i]);
         (0..nt as u32)
             .map(|t| {
-                let mut jcts: Vec<u64> = self
-                    .reports
+                let idx: Vec<usize> = (0..self.tenants.len())
+                    .filter(|&i| self.tenants[i] == t)
+                    .collect();
+                let mut jcts: Vec<u64> = idx
                     .iter()
-                    .zip(&self.tenants)
-                    .filter(|&(_, &rt)| rt == t)
-                    .map(|(r, _)| r.jct.micros())
+                    .filter(|&&i| !is_shed(i))
+                    .map(|&i| self.reports[i].jct.micros())
                     .collect();
                 jcts.sort_unstable();
-                let aborts = self
-                    .reports
+                let aborts = idx
                     .iter()
-                    .zip(&self.tenants)
-                    .filter(|&(r, &rt)| rt == t && r.aborted.is_some())
+                    .filter(|&&i| self.reports[i].aborted.is_some())
                     .count() as u64;
                 let mean = if jcts.is_empty() {
                     0
                 } else {
                     jcts.iter().sum::<u64>() / jcts.len() as u64
                 };
+                let (mut retries, mut shed, mut degraded, mut misses) = (0u64, 0u64, 0u64, 0u64);
+                let mut delays: Vec<u64> = Vec::new();
+                if let Some(r) = res {
+                    for &i in &idx {
+                        retries += r.app_attempts[i].saturating_sub(1) as u64;
+                        shed += r.shed[i] as u64;
+                        degraded += r.degraded[i] as u64;
+                        if r.met_deadline(i, self.arrivals[i], self.completions[i])
+                            == Some(false)
+                        {
+                            misses += 1;
+                        }
+                        if !r.shed[i] {
+                            delays.push(r.queue_delay_us[i]);
+                        }
+                    }
+                    delays.sort_unstable();
+                }
                 TenantSummary {
                     tenant: t,
-                    apps: jcts.len(),
+                    apps: idx.len(),
                     mean_jct: SimDuration(mean),
                     p95_jct: SimDuration(percentile(&jcts, 0.95)),
                     p99_jct: SimDuration(percentile(&jcts, 0.99)),
                     aborts,
+                    retries,
+                    shed,
+                    degraded,
+                    deadline_misses: misses,
+                    queue_p95: SimDuration(percentile(&delays, 0.95)),
                 }
             })
             .collect()
@@ -1197,6 +1612,50 @@ impl ServeReport {
                 s.push('\n');
             }
         }
+        // Resilience block, printed only on non-passive runs so passive
+        // summaries (and their golden files) stay byte-identical.
+        if let Some(res) = &self.resilience {
+            let n = res.app_attempts.len();
+            let mut delays: Vec<u64> = (0..n)
+                .filter(|&i| !res.shed[i])
+                .map(|i| res.queue_delay_us[i])
+                .collect();
+            delays.sort_unstable();
+            s.push_str(&format!(
+                "resilience: {} app retries, {} shed, {} degraded, queue delay p95 {:.3}s / p99 {:.3}s\n",
+                res.total_retries(),
+                res.shed_count(),
+                res.degraded_count(),
+                SimDuration(percentile(&delays, 0.95)).as_secs_f64(),
+                SimDuration(percentile(&delays, 0.99)).as_secs_f64(),
+            ));
+            if let Some(d) = res.deadline_us {
+                let met = (0..n)
+                    .filter(|&i| {
+                        res.met_deadline(i, self.arrivals[i], self.completions[i])
+                            == Some(true)
+                    })
+                    .count();
+                s.push_str(&format!(
+                    "slo: {}/{} met the {:.3}s deadline ({:.1}% attainment)\n",
+                    met,
+                    n,
+                    d as f64 / 1e6,
+                    met as f64 / n.max(1) as f64 * 100.0,
+                ));
+            }
+            for t in self.tenant_summaries() {
+                s.push_str(&format!(
+                    "tenant {} slo: {} retries, {} shed, {} degraded, {} deadline misses, queue p95 {:.3}s\n",
+                    t.tenant,
+                    t.retries,
+                    t.shed,
+                    t.degraded,
+                    t.deadline_misses,
+                    t.queue_p95.as_secs_f64(),
+                ));
+            }
+        }
         s
     }
 
@@ -1206,7 +1665,10 @@ impl ServeReport {
     pub fn merged_report(&self) -> RunReport {
         let first = &self.reports[0];
         let mut agg = CacheStats::new();
-        let mut per_node = vec![CacheStats::default(); first.per_node.len()];
+        // A shed submission's placeholder has no per-node rows (and a "-"
+        // policy), so size and name the merge from reports that ran.
+        let nn = self.reports.iter().map(|r| r.per_node.len()).max().unwrap_or(0);
+        let mut per_node = vec![CacheStats::default(); nn];
         let mut sched = crate::report::SchedStats::default();
         let mut io = SimDuration::ZERO;
         let mut compute = SimDuration::ZERO;
@@ -1214,7 +1676,9 @@ impl ServeReport {
         let mut faults = crate::faults::FaultStats::default();
         let mut stage_times = Vec::new();
         let mut aborted = None;
+        let mut attempts = 0u32;
         for r in &self.reports {
+            attempts = attempts.saturating_add(r.app_attempts);
             agg.merge(&r.stats);
             for (acc, s) in per_node.iter_mut().zip(&r.per_node) {
                 acc.merge(s);
@@ -1237,7 +1701,13 @@ impl ServeReport {
                 .map(|r| r.app.as_str())
                 .collect::<Vec<_>>()
                 .join("+"),
-            policy: first.policy.clone(),
+            policy: self
+                .reports
+                .iter()
+                .map(|r| &r.policy)
+                .find(|p| p.as_str() != "-")
+                .unwrap_or(&first.policy)
+                .clone(),
             jct: self.makespan,
             stats: agg,
             sched,
@@ -1247,6 +1717,7 @@ impl ServeReport {
             stage_times,
             tasks,
             faults,
+            app_attempts: attempts,
             aborted,
             trace: None,
             placements: None,
@@ -1327,6 +1798,7 @@ mod tests {
                 quota: QuotaKind::EqualShare,
                 upfront: false,
                 intern: true,
+                resilience: ResilienceConfig::default(),
             },
         );
         let sr = serve.run(vec![Box::new(LruPolicy::new()), Box::new(LruPolicy::new())]);
@@ -1351,5 +1823,249 @@ mod tests {
         assert_eq!(sums[1].apps, 1);
         assert!(sr.summary().contains("2 apps over 2 tenants"));
         assert_eq!(sr.cross_evictions.len(), 2);
+        assert!(sr.resilience.is_none(), "passive config reports no resilience");
+        assert!(!sr.summary().contains("resilience:"));
+    }
+
+    fn serve_cfg(sim: SimConfig, sched: ServeSched, resilience: ResilienceConfig) -> ServeConfig {
+        ServeConfig {
+            sim,
+            arrivals: ArrivalProcess::Trace(vec![0]),
+            sched,
+            quota: QuotaKind::Unlimited,
+            upfront: false,
+            intern: true,
+            resilience,
+        }
+    }
+
+    #[test]
+    fn passive_resilience_values_are_byte_invisible() {
+        let a = little_app("alpha", 3);
+        let b = little_app("beta", 2);
+        let run = |res: ResilienceConfig| {
+            let mut c = serve_cfg(cfg(2, 2 << 20), ServeSched::FairShare, res);
+            c.arrivals = ArrivalProcess::Trace(vec![0, 100_000]);
+            c.quota = QuotaKind::EqualShare;
+            let serve = ServeSim::new(&[(&a, 0), (&b, 1)], c);
+            serve.run_with(|_| Box::new(LruPolicy::new()))
+        };
+        // Two passive configs with wildly different (but inert) knob values.
+        let base = run(ResilienceConfig::default());
+        let tweaked = run(ResilienceConfig {
+            retry_backoff_us: 1,
+            max_retry_backoff_us: 2,
+            admission: AdmissionPolicy::Shed,
+            queue_cap: None,
+            ..ResilienceConfig::default()
+        });
+        assert_eq!(format!("{:?}", base.reports), format!("{:?}", tweaked.reports));
+        assert_eq!(base.summary(), tweaked.summary());
+        assert!(base.resilience.is_none() && tweaked.resilience.is_none());
+    }
+
+    #[test]
+    fn app_level_retry_consumes_budget_and_reports_attempts() {
+        // Every task attempt fails, so every app-level attempt aborts at
+        // stage 0 and the budget is consumed in full.
+        let spec = little_app("doomed", 2);
+        let mut c = cfg(2, 3 << 20);
+        c.faults.task_failure_p = 1.0;
+        c.faults.max_task_attempts = 2;
+        let res = ResilienceConfig {
+            max_app_attempts: 3,
+            retry_backoff_us: 50_000,
+            ..ResilienceConfig::default()
+        };
+        let serve = ServeSim::new(&[(&spec, 0)], serve_cfg(c, ServeSched::Fifo, res));
+        let mut built = 0u32;
+        let sr = serve.run_with(|_| {
+            built += 1;
+            Box::new(LruPolicy::new())
+        });
+        assert_eq!(built, 3, "one fresh policy per admission attempt");
+        let r = &sr.reports[0];
+        assert_eq!(r.app_attempts, 3);
+        assert!(r.aborted.is_some(), "budget exhausted: final abort stands");
+        let res = sr.resilience.as_ref().expect("non-passive run");
+        assert_eq!(res.app_attempts, vec![3]);
+        assert_eq!(res.total_retries(), 2);
+        assert!(
+            sr.completions[0] >= 2 * 50_000,
+            "completion includes two retry backoffs (got {})",
+            sr.completions[0]
+        );
+        assert!(sr.summary().contains("resilience: 2 app retries"));
+        assert_eq!(sr.tenant_summaries()[0].retries, 2);
+        assert_eq!(sr.tenant_summaries()[0].aborts, 1);
+    }
+
+    #[test]
+    fn retry_replays_byte_identically() {
+        let spec = little_app("doomed", 2);
+        let mut c = cfg(2, 3 << 20);
+        c.faults.task_failure_p = 0.4;
+        c.faults.max_task_attempts = 1;
+        let res = ResilienceConfig {
+            max_app_attempts: 4,
+            ..ResilienceConfig::default()
+        };
+        let run = || {
+            let serve =
+                ServeSim::new(&[(&spec, 0)], serve_cfg(c.clone(), ServeSched::Fifo, res));
+            serve.run_with(|_| Box::new(LruPolicy::new()))
+        };
+        let x = run();
+        let y = run();
+        assert_eq!(format!("{:?}", x.reports), format!("{:?}", y.reports));
+        assert_eq!(x.summary(), y.summary());
+    }
+
+    #[test]
+    fn admission_queue_delays_but_runs_everything() {
+        let a = little_app("alpha", 3);
+        let b = little_app("beta", 3);
+        let d = little_app("gamma", 3);
+        let res = ResilienceConfig {
+            max_active_apps: Some(1),
+            admission: AdmissionPolicy::Queue,
+            ..ResilienceConfig::default()
+        };
+        let mut c = serve_cfg(cfg(2, 2 << 20), ServeSched::FairShare, res);
+        c.arrivals = ArrivalProcess::Trace(vec![0, 0, 0]);
+        let serve = ServeSim::new(&[(&a, 0), (&b, 0), (&d, 1)], c);
+        let sr = serve.run_with(|_| Box::new(LruPolicy::new()));
+        let res = sr.resilience.as_ref().expect("non-passive run");
+        assert_eq!(res.shed_count(), 0);
+        assert!(sr.reports.iter().all(|r| r.tasks > 0), "everything ran");
+        assert!(
+            res.queue_delay_us.iter().any(|&d| d > 0),
+            "simultaneous arrivals past the cap must wait: {:?}",
+            res.queue_delay_us
+        );
+        // Queue wait is part of JCT: a queued app's JCT covers admission
+        // delay plus execution.
+        let delayed = (0..3).find(|&i| res.queue_delay_us[i] > 0).unwrap();
+        assert!(sr.reports[delayed].jct.micros() >= res.queue_delay_us[delayed]);
+    }
+
+    #[test]
+    fn admission_shed_drops_overflow_and_keeps_indices_aligned() {
+        let a = little_app("alpha", 3);
+        let b = little_app("beta", 3);
+        let d = little_app("gamma", 3);
+        let res = ResilienceConfig {
+            max_active_apps: Some(1),
+            admission: AdmissionPolicy::Shed,
+            ..ResilienceConfig::default()
+        };
+        let mut c = serve_cfg(cfg(2, 2 << 20), ServeSched::FairShare, res);
+        c.arrivals = ArrivalProcess::Trace(vec![0, 0, 0]);
+        let serve = ServeSim::new(&[(&a, 0), (&b, 0), (&d, 1)], c);
+        let sr = serve.run_with(|_| Box::new(LruPolicy::new()));
+        let res = sr.resilience.as_ref().expect("non-passive run");
+        assert_eq!(res.shed_count(), 2, "only one submission fits");
+        let shed_idx: Vec<usize> = (0..3).filter(|&i| res.shed[i]).collect();
+        for &i in &shed_idx {
+            assert_eq!(sr.reports[i].policy, "-");
+            assert_eq!(sr.reports[i].tasks, 0);
+            assert_eq!(sr.reports[i].app_attempts, 0);
+            assert_eq!(sr.completions[i], sr.arrivals[i], "shed at arrival");
+        }
+        // shed + completed + aborted = submitted.
+        let completed = sr
+            .reports
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| !res.shed[*i] && r.aborted.is_none())
+            .count() as u64;
+        let aborted = sr.reports.iter().filter(|r| r.aborted.is_some()).count() as u64;
+        assert_eq!(res.shed_count() + completed + aborted, 3);
+        assert!(sr.summary().contains("2 shed"));
+        // The merged report still sees every node and a real policy name.
+        let merged = sr.merged_report();
+        assert_eq!(merged.per_node.len(), 2);
+        assert_eq!(merged.policy, "LRU");
+    }
+
+    #[test]
+    fn admission_degrade_bypasses_caching() {
+        let a = little_app("alpha", 4);
+        let b = little_app("beta", 4);
+        let res = ResilienceConfig {
+            max_active_apps: Some(1),
+            admission: AdmissionPolicy::Degrade,
+            ..ResilienceConfig::default()
+        };
+        let mut c = serve_cfg(cfg(2, 4 << 20), ServeSched::FairShare, res);
+        c.arrivals = ArrivalProcess::Trace(vec![0, 0]);
+        let serve = ServeSim::new(&[(&a, 0), (&b, 1)], c);
+        let sr = serve.run_with(|_| Box::new(LruPolicy::new()));
+        let res = sr.resilience.as_ref().expect("non-passive run");
+        assert_eq!(res.degraded_count(), 1);
+        let deg = (0..2).find(|&i| res.degraded[i]).unwrap();
+        let ok = 1 - deg;
+        assert_eq!(
+            sr.reports[deg].stats.hits, 0,
+            "cache bypass: nothing it computes is ever cached"
+        );
+        assert!(sr.reports[ok].stats.hits > 0, "the admitted app caches normally");
+        assert!(sr.reports[deg].tasks > 0, "degraded apps still run");
+        assert!(sr.summary().contains("1 degraded"));
+    }
+
+    #[test]
+    fn deadline_slo_accounting_is_post_hoc() {
+        let a = little_app("alpha", 3);
+        let b = little_app("beta", 3);
+        // A 1us deadline nothing can meet, on an otherwise passive run.
+        let res = ResilienceConfig {
+            deadline_us: Some(1),
+            ..ResilienceConfig::default()
+        };
+        let mut c = serve_cfg(cfg(2, 2 << 20), ServeSched::FairShare, res);
+        c.arrivals = ArrivalProcess::Trace(vec![0, 100_000]);
+        let serve = ServeSim::new(&[(&a, 0), (&b, 1)], c);
+        let sr = serve.run_with(|_| Box::new(LruPolicy::new()));
+        let res = sr.resilience.as_ref().expect("deadline makes the run non-passive");
+        assert_eq!(res.met_deadline(0, sr.arrivals[0], sr.completions[0]), Some(false));
+        assert!(sr.summary().contains("slo: 0/2 met the 0.000s deadline (0.0% attainment)"));
+        let sums = sr.tenant_summaries();
+        assert_eq!(sums[0].deadline_misses + sums[1].deadline_misses, 2);
+        // And the run itself is byte-identical to the passive one: deadline
+        // is pure reporting.
+        let passive = {
+            let mut c2 = serve_cfg(cfg(2, 2 << 20), ServeSched::FairShare, Default::default());
+            c2.arrivals = ArrivalProcess::Trace(vec![0, 100_000]);
+            ServeSim::new(&[(&a, 0), (&b, 1)], c2).run_with(|_| Box::new(LruPolicy::new()))
+        };
+        assert_eq!(format!("{:?}", sr.reports), format!("{:?}", passive.reports));
+    }
+
+    #[test]
+    fn upfront_rejects_active_resilience_but_allows_deadline() {
+        let a = little_app("alpha", 2);
+        let res = ResilienceConfig {
+            deadline_us: Some(1_000_000_000),
+            ..ResilienceConfig::default()
+        };
+        let mut c = serve_cfg(cfg(2, 2 << 20), ServeSched::Fifo, res);
+        c.upfront = true;
+        let sr = ServeSim::new(&[(&a, 0)], c).run_with(|_| Box::new(LruPolicy::new()));
+        let r = sr.resilience.as_ref().expect("deadline reported upfront too");
+        assert_eq!(r.app_attempts, vec![1]);
+        assert!(sr.summary().contains("slo: 1/1 met"));
+    }
+
+    #[test]
+    #[should_panic(expected = "use ServeSim::run_with")]
+    fn run_rejects_retry_budgets() {
+        let a = little_app("alpha", 2);
+        let res = ResilienceConfig {
+            max_app_attempts: 2,
+            ..ResilienceConfig::default()
+        };
+        let serve = ServeSim::new(&[(&a, 0)], serve_cfg(cfg(2, 2 << 20), ServeSched::Fifo, res));
+        let _ = serve.run(vec![Box::new(LruPolicy::new())]);
     }
 }

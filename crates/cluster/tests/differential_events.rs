@@ -227,6 +227,7 @@ fn assert_serve_identical(p: &Params, sched: ServeSched) {
             quota: QuotaKind::EqualShare,
             upfront: false,
             intern: true,
+            resilience: Default::default(),
         };
         let serve = ServeSim::new(&subs, cfg);
         let mut logs = Vec::new();

@@ -344,6 +344,16 @@ fn run_stream(
     upfront: bool,
     intern: bool,
 ) -> (ServeReport, (VictimLog, PurgeLog)) {
+    run_stream_with(p, c, upfront, intern, &|_| {})
+}
+
+fn run_stream_with(
+    p: &StreamParams,
+    c: &CfgParams,
+    upfront: bool,
+    intern: bool,
+    tweak: &dyn Fn(&mut ServeConfig),
+) -> (ServeReport, (VictimLog, PurgeLog)) {
     let n = p.gaps.len() + 1;
     let specs: Vec<AppSpec> = (0..n)
         .map(|i| {
@@ -385,7 +395,10 @@ fn run_stream(
         },
         upfront,
         intern,
+        resilience: Default::default(),
     };
+    let mut cfg = cfg;
+    tweak(&mut cfg);
     let serve = ServeSim::new(&subs, cfg);
     // One shared log across every submission's recorder: the *global*
     // victim/purge call sequence must match, interleaving included.
@@ -546,6 +559,124 @@ fn streaming_matches_upfront_under_heavy_pressure() {
     c2.seed = 23;
     assert_stream_equivalent(&s2, &c2);
     assert_interned_equivalent(&s2, &c2);
+}
+
+/// The stream/config pair the resilience differentials run on: heavy cache
+/// pressure, chaos events, heterogeneous submissions across two tenants.
+fn pressure_stream() -> (StreamParams, CfgParams) {
+    (
+        StreamParams {
+            gaps: vec![40_000, 0, 120_000, 10_000],
+            tenants: 2,
+            fair_share: true,
+            quota: 2,
+            app: AppParams {
+                iters: 3,
+                parts: 5,
+                block_kb: 2,
+                mem_only: false,
+                two_rdds: true,
+            },
+            vary: true,
+            poisson: false,
+        },
+        CfgParams {
+            nodes: 2,
+            cache_frac: 0.4,
+            exec_mem: 0.3,
+            jitter: 0.1,
+            seed: 11,
+            adaptive: true,
+            failure: true,
+            rejoin: true,
+            delay: Some(10_000),
+        },
+    )
+}
+
+/// A `ResilienceConfig` with every *inert* knob set to a non-default value
+/// must be byte-invisible — reports, summaries and the global victim/purge
+/// decision sequences — to every serve path: streaming and upfront, interned
+/// and cold, FIFO and fair-share, with quota and chaos in play.
+#[test]
+fn inert_resilience_config_is_byte_invisible_everywhere() {
+    let (mut stream, cfg) = pressure_stream();
+    let inert = |sc: &mut ServeConfig| {
+        sc.resilience = refdist_cluster::ResilienceConfig {
+            max_app_attempts: 1,
+            retry_backoff_us: 123,
+            max_retry_backoff_us: 456,
+            admission: refdist_cluster::AdmissionPolicy::Degrade,
+            max_active_apps: None,
+            queue_cap: None,
+            deadline_us: None,
+        };
+    };
+    for fair_share in [true, false] {
+        stream.fair_share = fair_share;
+        for (upfront, intern) in [(false, true), (false, false), (true, true)] {
+            let (base, blog) = run_stream(&stream, &cfg, upfront, intern);
+            let (res, rlog) = run_stream_with(&stream, &cfg, upfront, intern, &inert);
+            assert_eq!(
+                format!("{:?}", base.reports),
+                format!("{:?}", res.reports),
+                "inert resilience config changed reports (fair_share={fair_share}, upfront={upfront}, intern={intern})"
+            );
+            assert_eq!(base.summary(), res.summary());
+            assert_eq!(base.completions, res.completions);
+            assert_eq!(base.cross_evictions, res.cross_evictions);
+            assert_eq!(blog, rlog, "decision sequences diverged under an inert config");
+            assert!(res.resilience.is_none(), "passive config must not report resilience");
+        }
+    }
+}
+
+/// Regression pin for the serve×chaos stage-indexing contract: stage-indexed
+/// `CrashEvent`s fire against *per-application* stage numbering (fire-once,
+/// cluster-wide), and wall-clock events (timed crashes, churn) fire against
+/// the engine's monotone cluster clock — so a given chaos seed produces the
+/// same fault sequence whether the stream runs under the `--upfront`
+/// reference driver, the streaming driver, or streaming with template
+/// interning.
+#[test]
+fn chaos_fault_sequence_is_driver_invariant() {
+    let (stream, cfg) = pressure_stream();
+    // Stage-indexed chaos (from `cfg`: node_failure + crash_with_rejoin)
+    // plus the full wall-clock arsenal.
+    let chaos = |sc: &mut ServeConfig| {
+        sc.sim.faults.timed_crash(1, 200_000, Some(150_000));
+        sc.sim.faults.timed_slowdown(0, 3.0, 100_000, Some(400_000));
+        sc.sim.faults.node_churn(900_000, 300_000);
+    };
+    let (up, ulog) = run_stream_with(&stream, &cfg, true, true, &chaos);
+    let (st, slog) = run_stream_with(&stream, &cfg, false, true, &chaos);
+    let (cold, clog) = run_stream_with(&stream, &cfg, false, false, &chaos);
+
+    let faults = |r: &ServeReport| -> Vec<String> {
+        r.reports.iter().map(|x| format!("{:?}", x.faults)).collect()
+    };
+    assert_eq!(
+        faults(&up),
+        faults(&st),
+        "per-submission fault sequence diverged between upfront and streaming"
+    );
+    assert_eq!(
+        faults(&st),
+        faults(&cold),
+        "per-submission fault sequence diverged between interned and cold admission"
+    );
+    // The whole run — not just the fault counters — is driver-invariant.
+    assert_eq!(format!("{:?}", up.reports), format!("{:?}", st.reports));
+    assert_eq!(format!("{:?}", st.reports), format!("{:?}", cold.reports));
+    assert_eq!(ulog, slog);
+    assert_eq!(slog, clog);
+    // And the chaos actually fired: this pin is vacuous on a quiet cluster.
+    let total: u64 = st.reports.iter().map(|r| r.faults.crashes).sum();
+    assert!(total > 0, "chaos plan must take nodes down during the stream");
+    // Same chaos seed, same run: byte-deterministic replay.
+    let (again, alog) = run_stream_with(&stream, &cfg, false, true, &chaos);
+    assert_eq!(format!("{:?}", st.reports), format!("{:?}", again.reports));
+    assert_eq!(slog, alog);
 }
 
 /// Deterministic spot-check of the pressure-heavy corner (cache far smaller

@@ -11,7 +11,10 @@
 //! identical configuration twice gives byte-identical reports.
 
 use proptest::prelude::*;
-use refdist_cluster::{ClusterConfig, CrashEvent, FaultPlan, SimConfig, Simulation, Slowdown};
+use refdist_cluster::{
+    AdmissionPolicy, ArrivalProcess, ClusterConfig, CrashEvent, FaultPlan, QuotaKind,
+    ResilienceConfig, ServeConfig, ServeSched, ServeSim, SimConfig, Simulation, Slowdown,
+};
 use refdist_core::{MrdPolicy, ProfileMode};
 use refdist_dag::{AppBuilder, AppPlan, AppSpec, StorageLevel};
 use refdist_policies::{CachePolicy, PolicyKind};
@@ -216,6 +219,210 @@ proptest! {
     fn randomized_fault_plans_terminate_and_conserve_accounting(p in params_strategy()) {
         check(&p);
     }
+}
+
+/// Randomized serve-mode resilience: a streaming multi-tenant run under
+/// node churn, app-level retry, and overload admission control.
+#[derive(Debug, Clone)]
+struct ServeParams {
+    apps: usize,
+    tenants: u32,
+    gap_us: u64,
+    seed: u64,
+    /// Churn mean-time-between-failures, ms; 0 disables churn.
+    mtbf_ms: u64,
+    retries: u32,
+    max_active: Option<u32>,
+    admission: u8,
+    deadline_ms: Option<u64>,
+    fair: bool,
+}
+
+fn serve_template() -> AppSpec {
+    let block = 256 * 1024;
+    let mut b = AppBuilder::new("serve-prop-app");
+    let input = b.input("in", 4, block, 2_000);
+    let hot = b.narrow("hot", input, block, 5_000);
+    b.persist(hot, StorageLevel::MemoryAndDisk);
+    for i in 0..2 {
+        let s = b.shuffle(format!("agg{i}"), &[hot], 4, block / 4, 1_000);
+        b.action(format!("job{i}"), s);
+    }
+    b.build()
+}
+
+/// Every sampled churn+retry+admission stream must (a) terminate, (b)
+/// partition its submissions exactly into shed / aborted / completed, (c)
+/// respect the retry budget and shed only under an active Shed cap, and (d)
+/// replay byte-identically from the same seed.
+fn serve_check(p: &ServeParams) {
+    let spec = serve_template();
+    let subs: Vec<(&AppSpec, u32)> = (0..p.apps)
+        .map(|i| (&spec, i as u32 % p.tenants))
+        .collect();
+    let admission = match p.admission % 3 {
+        0 => AdmissionPolicy::Queue,
+        1 => AdmissionPolicy::Shed,
+        _ => AdmissionPolicy::Degrade,
+    };
+    let nodes = 2u32;
+    let footprint: u64 = spec
+        .cached_rdds()
+        .map(|r| r.num_partitions as u64 * r.block_size)
+        .sum();
+    let per_node = ((footprint as f64 * 0.5) / nodes as f64) as u64;
+    let run = || {
+        let mut sim = SimConfig::new(ClusterConfig::tiny(nodes, per_node));
+        sim.seed = p.seed;
+        if p.mtbf_ms > 0 {
+            let mtbf_us = p.mtbf_ms * 1_000;
+            sim.faults.node_churn(mtbf_us, (mtbf_us / 3).max(1));
+        }
+        let serve = ServeSim::new(
+            &subs,
+            ServeConfig {
+                sim,
+                arrivals: ArrivalProcess::Poisson {
+                    mean_gap_us: p.gap_us,
+                },
+                sched: if p.fair {
+                    ServeSched::FairShare
+                } else {
+                    ServeSched::Fifo
+                },
+                quota: QuotaKind::Unlimited,
+                upfront: false,
+                intern: true,
+                resilience: ResilienceConfig {
+                    max_app_attempts: p.retries + 1,
+                    // Small backoffs keep churned streams short.
+                    retry_backoff_us: 1_000,
+                    max_retry_backoff_us: 8_000,
+                    admission,
+                    max_active_apps: p.max_active,
+                    queue_cap: None,
+                    deadline_us: p.deadline_ms.map(|d| d * 1_000),
+                },
+            },
+        );
+        serve.run_with(|_| PolicyKind::Lru.build())
+    };
+    let rep = run();
+    let n = p.apps;
+    assert_eq!(rep.reports.len(), n, "one report per submission: {p:?}");
+    assert_eq!(rep.completions.len(), n);
+    let shed: Vec<bool> = match &rep.resilience {
+        Some(r) => r.shed.clone(),
+        None => vec![false; n],
+    };
+    let (mut shed_c, mut aborted_c, mut done_c) = (0usize, 0usize, 0usize);
+    for (i, &was_shed) in shed.iter().enumerate() {
+        let r = &rep.reports[i];
+        assert!(
+            rep.completions[i] >= rep.arrivals[i],
+            "time ran backwards for submission {i}: {p:?}"
+        );
+        if was_shed {
+            shed_c += 1;
+            assert_eq!(r.app_attempts, 0, "shed submissions never run: {p:?}");
+            assert_eq!(
+                rep.completions[i], rep.arrivals[i],
+                "a shed submission completes at its arrival: {p:?}"
+            );
+            assert!(r.aborted.is_none(), "shed and aborted overlap: {p:?}");
+        } else if r.aborted.is_some() {
+            aborted_c += 1;
+        } else {
+            done_c += 1;
+        }
+        if let Some(res) = &rep.resilience {
+            assert!(
+                res.app_attempts[i] <= p.retries + 1,
+                "retry budget overrun for submission {i}: {p:?}"
+            );
+            assert_eq!(res.app_attempts[i] == 0, shed[i], "{p:?}");
+        }
+    }
+    // The stream partitions exactly: shed + aborted + completed = submitted.
+    assert_eq!(shed_c + aborted_c + done_c, n, "{p:?}");
+    // Shedding needs an active-app cap with the Shed policy.
+    if p.max_active.is_none() || admission != AdmissionPolicy::Shed {
+        assert_eq!(shed_c, 0, "shed without a Shed cap: {p:?}");
+    }
+    // Aborts are only reachable through churn crashes in this plan.
+    if p.mtbf_ms == 0 {
+        assert_eq!(aborted_c, 0, "abort without any fault source: {p:?}");
+    }
+    // Byte-determinism: the identical stream replays exactly.
+    let rep2 = run();
+    assert_eq!(
+        format!("{:?}", rep.reports),
+        format!("{:?}", rep2.reports),
+        "nondeterministic serve replay: {p:?}"
+    );
+    assert_eq!(rep.summary(), rep2.summary(), "{p:?}");
+    assert_eq!(rep.resilience, rep2.resilience, "{p:?}");
+}
+
+fn serve_params_strategy() -> impl Strategy<Value = ServeParams> {
+    (
+        (1usize..6, 1u32..4, prop_oneof![Just(0u64), Just(5_000), Just(50_000)]),
+        (
+            any::<u16>(),
+            prop_oneof![Just(0u64), Just(20), Just(100)],
+            0u32..3,
+        ),
+        (
+            prop_oneof![Just(None), Just(Some(1u32)), Just(Some(2))],
+            0u8..3,
+            prop_oneof![Just(None), Just(Some(1u64)), Just(Some(10_000))],
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (apps, tenants, gap_us),
+                (seed, mtbf_ms, retries),
+                (max_active, admission, deadline_ms, fair),
+            )| ServeParams {
+                apps,
+                tenants,
+                gap_us,
+                seed: seed as u64,
+                mtbf_ms,
+                retries,
+                max_active,
+                admission,
+                deadline_ms,
+                fair,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn randomized_resilient_serve_streams_terminate_and_partition(p in serve_params_strategy()) {
+        serve_check(&p);
+    }
+}
+
+/// Deterministic spot-check of the resilient-serve corner: fast churn, a
+/// retry budget, a tight Shed cap and a deadline, all at once.
+#[test]
+fn churned_shedding_serve_stream_partitions_and_replays() {
+    serve_check(&ServeParams {
+        apps: 5,
+        tenants: 2,
+        gap_us: 5_000,
+        seed: 11,
+        mtbf_ms: 20,
+        retries: 2,
+        max_active: Some(1),
+        admission: 1, // Shed
+        deadline_ms: Some(10_000),
+        fair: true,
+    });
 }
 
 /// Deterministic spot-check combining every fault class at once: two

@@ -109,6 +109,21 @@ pub enum Command {
         seed: u64,
         /// Emit CSV instead of a table.
         csv: bool,
+        /// Serve-mode resilience curve: run a multi-tenant stream under
+        /// node churn at each rate and report SLO attainment instead of
+        /// the single-app degradation curve.
+        serve: bool,
+        /// Serve mode: number of tenants.
+        tenants: u32,
+        /// Serve mode: total submissions (default: one per tenant).
+        apps: Option<u32>,
+        /// Serve mode: mean Poisson inter-arrival gap in milliseconds.
+        gap_ms: u64,
+        /// Serve mode: per-submission completion deadline in microseconds
+        /// (default: twice the fault-free maximum JCT).
+        deadline_us: Option<u64>,
+        /// Serve mode: app-level retries after an abort.
+        app_retries: u32,
         /// Generation parameters.
         params: WorkloadParams,
     },
@@ -153,6 +168,19 @@ pub enum Command {
         nodes: Option<u32>,
         /// Master seed (arrivals and per-app simulation seeds derive from it).
         seed: u64,
+        /// Wall-clock node churn: mean time between failures and mean
+        /// repair time, both in milliseconds (`--churn MTBF,MTTR`).
+        churn: Option<(u64, u64)>,
+        /// Cap on concurrently admitted applications.
+        max_active: Option<u32>,
+        /// Overload admission policy at the `--max-active` cap
+        /// (queue | shed | degrade).
+        admission: String,
+        /// Per-submission completion deadline in microseconds.
+        deadline_us: Option<u64>,
+        /// App-level retries after an abort (admission budget is
+        /// retries + 1).
+        app_retries: u32,
         /// Generation parameters.
         params: WorkloadParams,
     },
@@ -208,6 +236,15 @@ CHAOS OPTIONS (in addition to the applicable options above):
   Each rate seeds stochastic task/fetch/disk failures from the master seed,
   so the resilience curve is byte-deterministic at any thread count.
 
+  --serve                serve-mode resilience curve: run a multi-tenant
+                         stream (--tenants/--apps/--gap-ms as in serve)
+                         under Poisson node churn at each rate (rate =
+                         expected node failures per simulated second) and
+                         report SLO attainment instead of JCT degradation
+  --deadline <US>        per-submission SLO deadline in microseconds
+                         (default: twice the fault-free maximum JCT)
+  --app-retries <N>      re-admit churn-aborted submissions up to N times
+
 SERVE OPTIONS (in addition to the applicable options above):
   --tenants <N>          number of tenants, one app each (default 3)
   --apps <N>             total submissions in the stream, round-robined
@@ -227,6 +264,16 @@ SERVE OPTIONS (in addition to the applicable options above):
   --quotas <a,b,..>      per-tenant cache quotas: unlimited | equal-share |
                          a per-tenant budget in MiB (default
                          unlimited,equal-share)
+  --churn <MTBF,MTTR>    wall-clock node churn: mean time between node
+                         failures and mean repair time, in milliseconds
+  --app-retries <N>      re-admit an aborted submission up to N times with
+                         capped exponential backoff (streaming only)
+  --max-active <N>       admit at most N concurrent apps; later arrivals
+                         follow the --admission policy (streaming only)
+  --admission <policy>   queue | shed | degrade (default queue); what an
+                         arrival gets when the cluster is at --max-active
+  --deadline <US>        per-submission SLO deadline in microseconds;
+                         reports per-tenant attainment
 
   Every (scheduler x quota) combination serves the same Poisson arrival
   stream (replayed from the master seed) and reports per-tenant mean/p95/p99
@@ -309,6 +356,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut mix: Vec<String> = Vec::new();
     let mut scheds: Vec<String> = vec!["fifo".into(), "fair-share".into()];
     let mut quotas: Vec<String> = vec!["unlimited".into(), "equal-share".into()];
+    let mut churn: Option<(u64, u64)> = None;
+    let mut max_active: Option<u32> = None;
+    let mut admission = "queue".to_string();
+    let mut deadline_us: Option<u64> = None;
+    let mut app_retries = 0u32;
+    let mut serve_chaos = false;
     let mut positional: Vec<&String> = Vec::new();
 
     let mut f = Flags { args, i: 0 };
@@ -343,6 +396,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--mix" => mix = f.parse_list("--mix")?,
             "--scheds" => scheds = f.parse_list("--scheds")?,
             "--quotas" => quotas = f.parse_list("--quotas")?,
+            "--churn" => {
+                let pair: Vec<u64> = f.parse_list("--churn")?;
+                if pair.len() != 2 {
+                    return Err("--churn needs MTBF,MTTR in milliseconds".into());
+                }
+                churn = Some((pair[0], pair[1]));
+            }
+            "--max-active" => max_active = Some(f.parse_num("--max-active")?),
+            "--admission" => admission = f.value("--admission")?.to_string(),
+            "--deadline" => deadline_us = Some(f.parse_num("--deadline")?),
+            "--app-retries" => app_retries = f.parse_num("--app-retries")?,
+            "--serve" => serve_chaos = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             _ => positional.push(arg),
         }
@@ -408,6 +473,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             threads,
             seed,
             csv,
+            serve: serve_chaos,
+            tenants,
+            apps,
+            gap_ms,
+            deadline_us,
+            app_retries,
             params,
         }),
         "serve" => Ok(Command::Serve {
@@ -433,6 +504,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             cluster,
             nodes,
             seed,
+            churn,
+            max_active,
+            admission,
+            deadline_us,
+            app_retries,
             params,
         }),
         other => Err(format!("unknown command `{other}` (try `refdist help`)")),
@@ -484,6 +560,19 @@ fn parse_quota(name: &str) -> Result<refdist_cluster::QuotaKind, String> {
     }
 }
 
+fn parse_admission(name: &str) -> Result<refdist_cluster::AdmissionPolicy, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "queue" => refdist_cluster::AdmissionPolicy::Queue,
+        "shed" => refdist_cluster::AdmissionPolicy::Shed,
+        "degrade" => refdist_cluster::AdmissionPolicy::Degrade,
+        other => {
+            return Err(format!(
+                "unknown admission policy `{other}` (queue | shed | degrade)"
+            ))
+        }
+    })
+}
+
 fn cluster_preset(name: &str) -> Result<ClusterConfig, String> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "main" => ClusterConfig::main_cluster(),
@@ -491,6 +580,193 @@ fn cluster_preset(name: &str) -> Result<ClusterConfig, String> {
         "memtune" => ClusterConfig::memtune_cluster(),
         other => return Err(format!("unknown cluster preset `{other}`")),
     })
+}
+
+/// Inputs of the `refdist chaos --serve` curve (bundled so the helper does
+/// not take a dozen positional arguments).
+struct ChaosServe {
+    w: Workload,
+    policies: Vec<String>,
+    rates: Vec<f64>,
+    cache_fraction: f64,
+    cl: ClusterConfig,
+    tenants: u32,
+    apps: Option<u32>,
+    gap_ms: u64,
+    deadline_us: Option<u64>,
+    app_retries: u32,
+    seed: u64,
+    csv: bool,
+    params: WorkloadParams,
+}
+
+/// `refdist chaos --serve`: SLO attainment vs churn rate. Each rate is an
+/// expected node-failure count per simulated second; the stream is replayed
+/// (same arrivals, same master seed) under a Poisson churn process with
+/// `MTBF = 1/rate` and `MTTR = MTBF/5`, with churn-aborted submissions
+/// re-admitted up to `--app-retries` times. A submission meets its SLO when
+/// it completes within `--deadline` microseconds of its arrival (default:
+/// twice that policy's fault-free maximum JCT, so the rate-0 baseline always
+/// attains 100%).
+fn chaos_serve(cs: ChaosServe) -> Result<String, String> {
+    use refdist_cluster::{
+        ArrivalProcess, QuotaKind, ResilienceConfig, ServeConfig, ServeReport, ServeSched,
+        ServeSim,
+    };
+    for p in &cs.policies {
+        build_policy(p)?;
+    }
+    if cs.tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let spec = cs.w.build(&cs.params);
+    let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+    let cache = (((footprint as f64 * cs.cache_fraction) / cs.cl.nodes as f64) as u64).max(1);
+    let napps = cs.apps.unwrap_or(cs.tenants).max(1) as usize;
+    let subs: Vec<(&AppSpec, u32)> = (0..napps as u32).map(|i| (&spec, i % cs.tenants)).collect();
+    let mean_gap_us = cs.gap_ms.saturating_mul(1_000);
+    let run_at = |rate: f64, deadline: Option<u64>, pname: &str| -> ServeReport {
+        let mut sim = SimConfig::new(cs.cl.clone().with_cache(cache)).with_seed(cs.seed);
+        if rate > 0.0 {
+            let mtbf_us = ((1_000_000.0 / rate) as u64).max(1);
+            sim.faults.node_churn(mtbf_us, (mtbf_us / 5).max(1));
+        }
+        let serve = ServeSim::new(
+            &subs,
+            ServeConfig {
+                sim,
+                arrivals: ArrivalProcess::Poisson { mean_gap_us },
+                sched: ServeSched::FairShare,
+                quota: QuotaKind::Unlimited,
+                upfront: false,
+                intern: true,
+                resilience: ResilienceConfig {
+                    max_app_attempts: cs.app_retries.saturating_add(1),
+                    deadline_us: deadline,
+                    ..Default::default()
+                },
+            },
+        );
+        serve.run_with(|_| build_policy(pname).expect("validated above"))
+    };
+    // One curve point: policy, rate, deadline, met, retries, crashes,
+    // rejoins, makespan.
+    type CurveRow = (String, f64, u64, usize, u64, u64, u64, f64);
+    let mut rows: Vec<CurveRow> = Vec::new();
+    for pname in &cs.policies {
+        // Each policy's SLO is anchored to its own fault-free stream.
+        let deadline = cs.deadline_us.unwrap_or_else(|| {
+            let base = run_at(0.0, None, pname);
+            base.arrivals
+                .iter()
+                .zip(&base.completions)
+                .map(|(a, c)| c.saturating_sub(*a))
+                .max()
+                .unwrap_or(0)
+                .saturating_mul(2)
+                .max(1)
+        });
+        for &rate in &cs.rates {
+            let rep = run_at(rate, Some(deadline), pname);
+            let res = rep.resilience.as_ref().expect("deadline set");
+            let met = (0..napps)
+                .filter(|&i| {
+                    res.met_deadline(i, rep.arrivals[i], rep.completions[i]) == Some(true)
+                })
+                .count();
+            let crashes: u64 = rep.reports.iter().map(|r| r.faults.crashes).sum();
+            let rejoins: u64 = rep.reports.iter().map(|r| r.faults.rejoins).sum();
+            let policy_name = rep
+                .reports
+                .iter()
+                .map(|r| r.policy.as_str())
+                .find(|p| *p != "-")
+                .unwrap_or("-")
+                .to_string();
+            rows.push((
+                policy_name,
+                rate,
+                deadline,
+                met,
+                res.total_retries(),
+                crashes,
+                rejoins,
+                rep.makespan.as_secs_f64(),
+            ));
+        }
+    }
+    let mtbf_label = |rate: f64| {
+        if rate > 0.0 {
+            format!("{:.1}", 1.0 / rate)
+        } else {
+            "-".into()
+        }
+    };
+    if cs.csv {
+        let mut out = String::from(
+            "policy,rate,mtbf_s,deadline_s,slo_met,slo_total,attainment,\
+             app_retries,crashes,rejoins,makespan_s\n",
+        );
+        for (pol, rate, dl, met, retries, crashes, rejoins, mk) in &rows {
+            let _ = writeln!(
+                out,
+                "{},{:.4},{},{:.4},{},{},{:.4},{},{},{},{:.4}",
+                pol,
+                rate,
+                mtbf_label(*rate),
+                *dl as f64 / 1e6,
+                met,
+                napps,
+                *met as f64 / napps as f64,
+                retries,
+                crashes,
+                rejoins,
+                mk,
+            );
+        }
+        return Ok(out);
+    }
+    let mut t = TextTable::new([
+        "Policy",
+        "Rate",
+        "MTBF (s)",
+        "SLO",
+        "Attainment",
+        "Retries",
+        "Crashes",
+        "Rejoins",
+        "Makespan (s)",
+    ]);
+    for (pol, rate, _dl, met, retries, crashes, rejoins, mk) in &rows {
+        t.row([
+            pol.clone(),
+            format!("{rate:.4}"),
+            mtbf_label(*rate),
+            format!("{met}/{napps}"),
+            format!("{:.1}%", *met as f64 / napps as f64 * 100.0),
+            retries.to_string(),
+            crashes.to_string(),
+            rejoins.to_string(),
+            format!("{mk:.2}"),
+        ]);
+    }
+    let deadline_note = match cs.deadline_us {
+        Some(d) => format!("deadline {:.3}s", d as f64 / 1e6),
+        None => "deadline 2x each policy's fault-free max JCT".into(),
+    };
+    let mut out = format!(
+        "{} serve resilience on {} nodes: {} submissions over {} tenants, \
+         {} app retries, {} (seed {})\n\n",
+        cs.w.short_name(),
+        cs.cl.nodes,
+        napps,
+        cs.tenants,
+        cs.app_retries,
+        deadline_note,
+        cs.seed,
+    );
+    out.push_str(&t.render());
+    Ok(out)
 }
 
 /// Execute a parsed command, returning its printable output.
@@ -755,16 +1031,15 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             threads,
             seed,
             csv,
+            serve,
+            tenants,
+            apps,
+            gap_ms,
+            deadline_us,
+            app_retries,
             params,
         } => {
             let w = find_workload(&workload)?;
-            let ps: Vec<refdist_bench::PolicySpec> = policies
-                .iter()
-                .map(|p| {
-                    refdist_bench::PolicySpec::from_cli_name(p)
-                        .ok_or_else(|| format!("unknown policy `{p}`"))
-                })
-                .collect::<Result<_, _>>()?;
             let mut cl = cluster_preset(&cluster)?;
             if let Some(n) = nodes {
                 cl.nodes = n;
@@ -780,6 +1055,30 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             rates.push(0.0);
             rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
             rates.dedup();
+            if serve {
+                return chaos_serve(ChaosServe {
+                    w,
+                    policies,
+                    rates,
+                    cache_fraction,
+                    cl,
+                    tenants,
+                    apps,
+                    gap_ms,
+                    deadline_us,
+                    app_retries,
+                    seed,
+                    csv,
+                    params,
+                });
+            }
+            let ps: Vec<refdist_bench::PolicySpec> = policies
+                .iter()
+                .map(|p| {
+                    refdist_bench::PolicySpec::from_cli_name(p)
+                        .ok_or_else(|| format!("unknown policy `{p}`"))
+                })
+                .collect::<Result<_, _>>()?;
             let ctx = refdist_bench::ExpContext {
                 cluster: cl,
                 params,
@@ -892,9 +1191,14 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             cluster,
             nodes,
             seed,
+            churn,
+            max_active,
+            admission,
+            deadline_us,
+            app_retries,
             params,
         } => {
-            use refdist_cluster::{ArrivalProcess, ServeConfig, ServeSim};
+            use refdist_cluster::{ArrivalProcess, ResilienceConfig, ServeConfig, ServeSim};
             // A heterogeneous mix cycles through the named workloads; the
             // plain form is the one-workload special case.
             let names: Vec<String> = if mix.is_empty() {
@@ -924,6 +1228,28 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 .iter()
                 .map(|q| parse_quota(q))
                 .collect::<Result<_, _>>()?;
+            let admission = parse_admission(&admission)?;
+            if upfront && (app_retries > 0 || max_active.is_some()) {
+                return Err(
+                    "--app-retries and --max-active need streaming admission; drop --upfront"
+                        .into(),
+                );
+            }
+            if max_active == Some(0) {
+                return Err("--max-active must be at least 1".into());
+            }
+            if let Some((mtbf, mttr)) = churn {
+                if mtbf == 0 || mttr == 0 {
+                    return Err("--churn MTBF and MTTR must both be positive".into());
+                }
+            }
+            let resilience = ResilienceConfig {
+                max_app_attempts: app_retries.saturating_add(1),
+                admission,
+                max_active_apps: max_active,
+                deadline_us,
+                ..Default::default()
+            };
             build_policy(&policy)?; // validate the name before the grid runs
             let specs: Vec<AppSpec> = ws.iter().map(|w| w.build(&params)).collect();
             let mut cl = cluster_preset(&cluster)?;
@@ -968,23 +1294,42 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     if upfront { "upfront" } else { "streaming" }
                 ));
             }
+            if churn.is_some() || !resilience.is_passive() {
+                let mut bits: Vec<String> = Vec::new();
+                if let Some((b, r)) = churn {
+                    bits.push(format!("churn mtbf {b}ms mttr {r}ms"));
+                }
+                if app_retries > 0 {
+                    bits.push(format!("{app_retries} app retries"));
+                }
+                if let Some(m) = max_active {
+                    bits.push(format!("max-active {m} ({admission})"));
+                }
+                if let Some(d) = deadline_us {
+                    bits.push(format!("deadline {:.3}s", d as f64 / 1e6));
+                }
+                out.push_str(&format!("resilience: {}\n", bits.join(", ")));
+            }
             for &sched in &scheds {
                 for &quota in &quotas {
+                    let mut sim = SimConfig::new(cl.clone().with_cache(cache)).with_seed(seed);
+                    if let Some((mtbf_ms, mttr_ms)) = churn {
+                        sim.faults
+                            .node_churn(mtbf_ms.saturating_mul(1_000), mttr_ms.saturating_mul(1_000));
+                    }
                     let serve = ServeSim::new(
                         &subs,
                         ServeConfig {
-                            sim: SimConfig::new(cl.clone().with_cache(cache)).with_seed(seed),
+                            sim,
                             arrivals: ArrivalProcess::Poisson { mean_gap_us },
                             sched,
                             quota,
                             upfront,
                             intern: !no_intern,
+                            resilience,
                         },
                     );
-                    let policies = (0..napps)
-                        .map(|_| build_policy(&policy))
-                        .collect::<Result<Vec<_>, _>>()?;
-                    let report = serve.run(policies);
+                    let report = serve.run_with(|_| build_policy(&policy).expect("validated"));
                     out.push('\n');
                     out.push_str(&report.summary());
                     out.push_str(&format!(
@@ -1336,6 +1681,97 @@ mod tests {
         assert!(execute(parse(&args("serve SP --quotas 64kb")).unwrap()).is_err());
         assert!(execute(parse(&args("serve SP --policy optimal")).unwrap()).is_err());
         assert!(execute(parse(&args("serve --mix SP,bogus")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve SP --admission lottery")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve SP --upfront --app-retries 2")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve SP --upfront --max-active 2")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve SP --max-active 0")).unwrap()).is_err());
+        assert!(execute(parse(&args("serve SP --churn 0,5")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn parse_serve_resilience_flags() {
+        match parse(&args(
+            "serve SP --churn 2000,500 --max-active 2 --admission shed \
+             --deadline 4000000 --app-retries 3",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                churn,
+                max_active,
+                admission,
+                deadline_us,
+                app_retries,
+                ..
+            } => {
+                assert_eq!(churn, Some((2000, 500)));
+                assert_eq!(max_active, Some(2));
+                assert_eq!(admission, "shed");
+                assert_eq!(deadline_us, Some(4_000_000));
+                assert_eq!(app_retries, 3);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // --churn is strictly a pair.
+        assert!(parse(&args("serve SP --churn 2000")).is_err());
+        assert!(parse(&args("serve SP --churn 1,2,3")).is_err());
+        // The passive defaults survive a plain parse.
+        match parse(&args("serve SP")).unwrap() {
+            Command::Serve {
+                churn,
+                max_active,
+                admission,
+                deadline_us,
+                app_retries,
+                ..
+            } => {
+                assert_eq!(churn, None);
+                assert_eq!(max_active, None);
+                assert_eq!(admission, "queue");
+                assert_eq!(deadline_us, None);
+                assert_eq!(app_retries, 0);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_resilience_flags_surface_in_output() {
+        let cmd = "serve SP --policy lru --tenants 2 --apps 4 --gap-ms 50 --nodes 2 \
+                   --partitions 8 --scale 0.02 --cache-fraction 0.3 --scheds fair-share \
+                   --quotas unlimited --max-active 1 --admission queue --deadline 120000000";
+        let out = execute(parse(&args(cmd)).unwrap()).unwrap();
+        assert!(
+            out.contains("resilience: max-active 1 (queue), deadline 120.000s"),
+            "{out}"
+        );
+        // A non-passive config turns on the stream-level resilience and SLO
+        // accounting lines.
+        assert!(out.contains("queue delay p95"), "{out}");
+        assert!(out.contains("slo:"), "{out}");
+        let again = execute(parse(&args(cmd)).unwrap()).unwrap();
+        assert_eq!(out, again, "resilient serve must replay byte-identically");
+    }
+
+    #[test]
+    fn chaos_serve_reports_slo_attainment_curve() {
+        let cmd = "chaos SP --serve --policies lru --rates 0.5 --tenants 2 --apps 4 \
+                   --gap-ms 50 --nodes 3 --partitions 8 --scale 0.02 --cache-fraction 0.3 \
+                   --app-retries 2 --csv";
+        let out = execute(parse(&args(cmd)).unwrap()).unwrap();
+        let again = execute(parse(&args(cmd)).unwrap()).unwrap();
+        assert_eq!(out, again, "chaos --serve must be deterministic");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "header + rate 0 + rate 0.5: {out}");
+        assert!(lines[0].starts_with("policy,rate,mtbf_s,deadline_s"));
+        // The fault-free row attains 100% against its own derived deadline
+        // (twice its own max JCT).
+        assert!(lines[1].starts_with("LRU,0.0000,-,"), "{out}");
+        assert!(lines[1].contains(",1.0000,"), "{out}");
+        // The churned row actually took node crashes.
+        let cols: Vec<&str> = lines[2].split(',').collect();
+        assert!(lines[2].starts_with("LRU,0.5000,2.0,"), "{out}");
+        assert_ne!(cols[8], "0", "no crashes at rate 0.5: {out}");
     }
 
     #[test]

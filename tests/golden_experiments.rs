@@ -16,7 +16,8 @@
 
 use refdist::bench::{experiments, run_one, ExpContext, PolicySpec, SweepOptions};
 use refdist::cluster::{
-    ArrivalProcess, ClusterConfig, QuotaKind, ServeConfig, ServeSched, ServeSim, SimConfig,
+    AdmissionPolicy, ArrivalProcess, ClusterConfig, QuotaKind, ResilienceConfig, ServeConfig,
+    ServeSched, ServeSim, SimConfig,
 };
 use refdist::core::ProfileMode;
 use refdist::dag::{AppPlan, AppSpec};
@@ -121,10 +122,79 @@ fn serve_fair_matches_golden() {
             quota: QuotaKind::Unlimited,
             upfront: false,
             intern: true,
+            resilience: Default::default(),
         },
     );
     let report = serve.run((0..3).map(|_| PolicyKind::Lru.build()).collect());
     check_golden("serve_fair.txt", &report.summary());
+}
+
+#[test]
+fn serve_churn_matches_golden() {
+    // The resilient-serving end-to-end pinned byte-for-byte: a 6-submission
+    // stream over 3 tenants rides out wall-clock node churn plus a
+    // retry-exhausting task-fault storm, with app-level retry (budget 3),
+    // a bounded admission queue (2 active, queue cap 2) and a per-submission
+    // SLO deadline. The summary — per-tenant JCT lines, cross-tenant
+    // evictions, the stream-level resilience line, and the SLO attainment
+    // lines — must not move unless the resilience engine itself changes.
+    let mut ctx = golden_ctx();
+    // The same deterministic abort trigger as the crash-mid-stream test:
+    // at master seed 11 some submission exhausts its 2-attempt task budget,
+    // which is what hands the app-level retry path real work.
+    ctx.faults.task_failure_p = 0.04;
+    ctx.faults.max_task_attempts = 2;
+    // Wall-clock churn: a node dies about every 300ms of cluster time and
+    // takes 100ms to come back cold.
+    ctx.faults.node_churn(300_000, 100_000);
+    let spec = Workload::ShortestPaths.build(&ctx.params);
+    let footprint: u64 = spec.cached_rdds().map(|r| r.total_size()).sum();
+    let cache = (((footprint as f64) * 0.5 / ctx.cluster.nodes as f64) as u64).max(1);
+    let subs: Vec<(&AppSpec, u32)> =
+        (0..6u32).map(|i| (&spec, i % 3)).collect::<Vec<_>>();
+    let mut sim = SimConfig::new(ctx.cluster.with_cache(cache)).with_seed(11);
+    sim.faults = ctx.faults.clone();
+    let serve = ServeSim::new(
+        &subs,
+        ServeConfig {
+            sim,
+            arrivals: ArrivalProcess::Trace(vec![
+                0, 50_000, 100_000, 150_000, 200_000, 250_000,
+            ]),
+            sched: ServeSched::FairShare,
+            quota: QuotaKind::Unlimited,
+            upfront: false,
+            intern: true,
+            resilience: ResilienceConfig {
+                max_app_attempts: 3,
+                retry_backoff_us: 50_000,
+                max_retry_backoff_us: 400_000,
+                admission: AdmissionPolicy::Queue,
+                max_active_apps: Some(2),
+                queue_cap: Some(2),
+                deadline_us: Some(9_000_000),
+            },
+        },
+    );
+    let report = serve.run_with(|_| PolicyKind::Lru.build());
+    let res = report
+        .resilience
+        .as_ref()
+        .expect("non-passive config reports resilience");
+    assert!(
+        res.total_retries() > 0,
+        "the fault storm must force at least one app-level retry"
+    );
+    let crashes: u64 = report.reports.iter().map(|r| r.faults.crashes).sum();
+    assert!(crashes > 0, "churn must take at least one node down");
+    assert!(
+        res.queue_delay_us.iter().any(|&d| d > 0),
+        "the 2-active cap must queue at least one arrival"
+    );
+    let summary = report.summary();
+    assert!(summary.contains("resilience:"), "{summary}");
+    assert!(summary.contains("slo:"), "{summary}");
+    check_golden("serve_churn.txt", &summary);
 }
 
 #[test]
@@ -154,6 +224,7 @@ fn serve_survives_a_tenant_crash_mid_stream() {
             quota: QuotaKind::Unlimited,
             upfront: false,
             intern: true,
+            resilience: Default::default(),
         },
     );
     let report = serve.run((0..3).map(|_| PolicyKind::Lru.build()).collect());

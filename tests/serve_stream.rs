@@ -51,6 +51,7 @@ fn run(n: usize, tenants: u32, upfront: bool) -> ServeReport {
             quota: QuotaKind::EqualShare,
             upfront,
             intern: true,
+            resilience: Default::default(),
         },
     );
     serve.run((0..n).map(|_| PolicyKind::Lru.build()).collect())
@@ -129,6 +130,7 @@ fn template_cache_is_bounded_by_distinct_structures() {
             quota: QuotaKind::EqualShare,
             upfront: false,
             intern: true,
+            resilience: Default::default(),
         },
     );
     let report = serve.run((0..N).map(|_| PolicyKind::Lru.build()).collect());
@@ -154,6 +156,7 @@ fn streaming_and_upfront_agree_on_fifo_and_quotas() {
                     quota,
                     upfront,
                     intern: true,
+                    resilience: Default::default(),
                 },
             );
             serve.run((0..subs.len()).map(|_| PolicyKind::Lru.build()).collect())
